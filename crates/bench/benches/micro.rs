@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the hot primitives underneath the
+//! experiments: NVM persist, bit-packed scan, dictionary intern, index
+//! probe, and the full engine commit path.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyrise_nv::{Database, DurabilityConfig, IndexKind};
+use nvm::{LatencyModel, NvmHeap, NvmRegion};
+use storage::{bitpack, ColumnDef, DataType, Schema, TableStore, VTable, Value};
+
+fn bench_nvm_persist(c: &mut Criterion) {
+    let region = NvmRegion::new(1 << 20, LatencyModel::zero());
+    let mut g = c.benchmark_group("nvm_persist");
+    g.bench_function("write_pod_u64", |b| {
+        b.iter(|| region.write_pod(128, black_box(&42u64)).unwrap())
+    });
+    g.bench_function("persist_8B", |b| {
+        b.iter(|| {
+            region.write_pod(128, black_box(&42u64)).unwrap();
+            region.persist(128, 8).unwrap();
+        })
+    });
+    g.bench_function("persist_4KiB", |b| {
+        let buf = [7u8; 4096];
+        b.iter(|| {
+            region.write_bytes(4096, black_box(&buf)).unwrap();
+            region.persist(4096, 4096).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_bitpack(c: &mut Criterion) {
+    let ids: Vec<u64> = (0..100_000u64).map(|i| i % 1000).collect();
+    let packed = bitpack::BitPacked::from_ids(&ids, 1000);
+    let mut g = c.benchmark_group("bitpack");
+    g.bench_function("pack_100k", |b| {
+        b.iter(|| bitpack::BitPacked::from_ids(black_box(&ids), 1000))
+    });
+    g.bench_function("scan_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..packed.len() {
+                if packed.get(i) == 500 {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dictionary");
+    g.bench_function("delta_intern_insert", |b| {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]);
+        let mut table = VTable::new(schema);
+        let mut i = 0i64;
+        b.iter(|| {
+            table
+                .insert_version(&[Value::Int(black_box(i % 4096))], 1)
+                .unwrap();
+            i += 1;
+        })
+    });
+    g.bench_function("main_dict_binary_search_scan", |b| {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]);
+        let mut table = VTable::new(schema);
+        for i in 0..50_000i64 {
+            table.insert_version(&[Value::Int(i % 500)], 1).unwrap();
+        }
+        table.merge(1).unwrap();
+        b.iter(|| table.scan_eq(0, &Value::Int(black_box(250)), 10, 99).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_nv_index_probe(c: &mut Criterion) {
+    let region = Arc::new(NvmRegion::new(256 << 20, LatencyModel::zero()));
+    let heap = NvmHeap::format(region).unwrap();
+    let idx = index::NvHashIndex::create(&heap, 0, 1 << 16).unwrap();
+    for i in 0..100_000u64 {
+        idx.insert(&Value::Int((i % 10_000) as i64), i).unwrap();
+    }
+    c.bench_function("nv_hash_index_probe", |b| {
+        b.iter(|| idx.lookup(&Value::Int(black_box(5000))).unwrap())
+    });
+}
+
+fn bench_nv_ordered_index(c: &mut Criterion) {
+    let region = Arc::new(NvmRegion::new(256 << 20, LatencyModel::zero()));
+    let heap = NvmHeap::format(region).unwrap();
+    let idx = index::NvOrderedIndex::create(&heap, 0, DataType::Int).unwrap();
+    for i in 0..50_000i64 {
+        idx.insert(&Value::Int(i * 7 % 10_000), i as u64).unwrap();
+    }
+    let mut g = c.benchmark_group("nv_ordered_index");
+    g.bench_function("point_probe", |b| {
+        b.iter(|| idx.lookup(&Value::Int(black_box(5000))).unwrap())
+    });
+    g.bench_function("range_100", |b| {
+        b.iter(|| {
+            idx.lookup_range(Some(&Value::Int(black_box(4000))), Some(&Value::Int(4100)))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_commit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_path");
+    g.sample_size(20);
+    for (name, config) in [
+        ("volatile", DurabilityConfig::Volatile),
+        ("wal", DurabilityConfig::wal_temp()),
+        ("nvm", DurabilityConfig::nvm(1 << 30, LatencyModel::zero())),
+    ] {
+        let mut db = Database::create(config).unwrap();
+        let t = db
+            .create_table(
+                "t",
+                Schema::new(vec![
+                    ColumnDef::new("k", DataType::Int),
+                    ColumnDef::new("v", DataType::Text),
+                ]),
+            )
+            .unwrap();
+        db.create_index(t, 0, IndexKind::Hash).unwrap();
+        let mut i = 0i64;
+        g.bench_with_input(BenchmarkId::new("insert_commit", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut tx = db.begin();
+                db.insert(&mut tx, t, &[Value::Int(i), Value::Text(format!("v{}", i % 64))])
+                    .unwrap();
+                db.commit(&mut tx).unwrap();
+                i += 1;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nvm_persist,
+    bench_bitpack,
+    bench_dictionary,
+    bench_nv_index_probe,
+    bench_nv_ordered_index,
+    bench_commit_path
+);
+criterion_main!(benches);

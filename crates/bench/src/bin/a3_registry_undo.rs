@@ -1,0 +1,110 @@
+//! A3 (ablation) — registry-driven undo vs full-scan undo.
+//!
+//! After a crash, effects of unpublished transactions must be rolled back.
+//! Two ways to find them:
+//!
+//! * **full scan** — walk every MVCC timestamp word (what a design without
+//!   persistent transaction write-sets must do): O(rows);
+//! * **registry** — walk the persistent in-flight transaction registry's
+//!   write sets: O(in-flight writes), independent of table size.
+//!
+//! The registry is what keeps E1's Hyrise-NV line flat; this ablation
+//! quantifies it directly.
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin a3_registry_undo`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use benchkit::{load_ycsb_opts, print_table, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::{LatencyModel, NvmHeap, NvmRegion};
+use storage::nv::NvTable;
+use storage::{ColumnDef, DataType, Schema, TableStore, Value};
+use workload::{YcsbConfig, YcsbMix};
+
+/// Registry path: engine restart with one in-flight transaction; returns
+/// the undo-phase wall time in µs.
+fn registry_undo_us(n: u64) -> f64 {
+    let mut db = Database::create(DurabilityConfig::nvm(
+        (n * 600).max(256 << 20),
+        LatencyModel::zero(),
+    ))
+    .expect("create");
+    let cfg = YcsbConfig {
+        record_count: n,
+        mix: YcsbMix::C,
+        ..Default::default()
+    };
+    let handle = load_ycsb_opts(&mut db, &cfg, false).expect("load");
+    db.merge(handle.table).expect("merge");
+    let mut tx = db.begin();
+    for k in 0..8i64 {
+        db.insert(
+            &mut tx,
+            handle.table,
+            &[Value::Int(n as i64 + k), Value::Text("inflight".into())],
+        )
+        .expect("insert");
+    }
+    let report = db.restart_after_crash().expect("restart");
+    report
+        .phases
+        .iter()
+        .find(|p| p.name == "mvcc undo pass")
+        .map(|p| p.wall.as_secs_f64() * 1e6)
+        .unwrap_or(0.0)
+}
+
+/// Ablated path: full MVCC scan over a same-size table (the exact
+/// `recover_mvcc` code the engine would otherwise run).
+fn full_scan_undo_us(n: u64) -> f64 {
+    let heap = NvmHeap::format(Arc::new(NvmRegion::new(
+        (n * 600).max(256 << 20),
+        LatencyModel::zero(),
+    )))
+    .expect("format");
+    let mut t = NvTable::create(
+        &heap,
+        Schema::new(vec![ColumnDef::new("k", DataType::Int)]),
+    )
+    .expect("create");
+    for i in 0..n {
+        let r = t
+            .insert_version(&[Value::Int(i as i64)], storage::mvcc::pending(1))
+            .expect("ins");
+        t.commit_insert(r, 1).expect("commit");
+    }
+    t.merge(1).expect("merge");
+    let t0 = Instant::now();
+    t.recover_mvcc(1).expect("recover");
+    t0.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[u64] = if quick {
+        &[10_000, 40_000]
+    } else {
+        &[10_000, 40_000, 160_000, 640_000]
+    };
+
+    let mut rows_out = Vec::new();
+    for &n in sizes {
+        let registry = registry_undo_us(n);
+        let scan = full_scan_undo_us(n);
+        rows_out.push(
+            Row::new()
+                .with("rows", n)
+                .with("registry_undo_us", format!("{registry:.1}"))
+                .with("full_scan_undo_us", format!("{scan:.1}"))
+                .with("speedup", format!("{:.0}x", scan / registry.max(0.1))),
+        );
+    }
+
+    print_table(
+        "A3: undo-pass cost — persistent txn registry vs full MVCC scan",
+        &rows_out,
+    );
+    write_json("a3_registry_undo", &rows_out);
+}

@@ -1,0 +1,79 @@
+//! E3 — Normal-operation throughput overhead of NVM durability.
+//!
+//! Paper family: Hyrise-NV pays a modest runtime overhead versus the
+//! volatile engine (flushes + fences on the write path) in exchange for
+//! instant restarts; the log variant pays log appends + syncs. Reported per
+//! YCSB mix: wall throughput and *modeled* throughput, where the simulated
+//! NVM/IO latency ledger is added to wall time (the paper's hardware would
+//! show it directly).
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin e3_runtime_overhead`
+
+use std::time::Instant;
+
+use benchkit::{load_ycsb, print_table, run_ycsb_op, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::LatencyModel;
+use workload::{YcsbConfig, YcsbGenerator, YcsbMix};
+
+fn configs() -> Vec<(&'static str, DurabilityConfig)> {
+    vec![
+        ("volatile", DurabilityConfig::Volatile),
+        ("log-based", DurabilityConfig::wal_temp()),
+        (
+            "hyrise-nv",
+            DurabilityConfig::nvm(512 << 20, LatencyModel::pcm()),
+        ),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (records, op_count) = if quick { (2_000, 2_000) } else { (20_000, 20_000) };
+
+    let mixes: Vec<(&str, YcsbMix)> = vec![
+        ("A 50r/50u", YcsbMix::A),
+        ("B 95r/5u", YcsbMix::B),
+        ("C read-only", YcsbMix::C),
+        ("insert-heavy", YcsbMix::INSERT_HEAVY),
+    ];
+
+    let mut rows_out = Vec::new();
+    for (mix_name, mix) in &mixes {
+        for (name, config) in configs() {
+            let mut db = Database::create(config).expect("create");
+            let cfg = YcsbConfig {
+                record_count: records,
+                mix: *mix,
+                ..Default::default()
+            };
+            let handle = load_ycsb(&mut db, &cfg).expect("load");
+            let mut generator = YcsbGenerator::new(cfg);
+            let ops = generator.ops(op_count);
+
+            let sim0 = db.simulated_ns();
+            let t0 = Instant::now();
+            for op in &ops {
+                run_ycsb_op(&mut db, handle, op).expect("op");
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let sim = (db.simulated_ns() - sim0) as f64 / 1e9;
+            let kops_wall = op_count as f64 / wall / 1e3;
+            let kops_model = op_count as f64 / (wall + sim) / 1e3;
+            rows_out.push(
+                Row::new()
+                    .with("mix", *mix_name)
+                    .with("backend", name)
+                    .with("kops_wall", format!("{kops_wall:.1}"))
+                    .with("kops_modeled", format!("{kops_model:.1}"))
+                    .with("sim_ms", format!("{:.1}", sim * 1e3)),
+            );
+        }
+    }
+
+    print_table(
+        "E3: runtime overhead of durability (YCSB mixes; modeled = wall + simulated NVM/IO time)",
+        &rows_out,
+    );
+    write_json("e3_runtime_overhead", &rows_out);
+}

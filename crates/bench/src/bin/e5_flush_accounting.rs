@@ -1,0 +1,100 @@
+//! E5 — Persistence-primitive cost per operation type.
+//!
+//! Paper family: the ordering protocol's cost is measured in cache-line
+//! flushes and fences per transaction; inserts pay one flush per column
+//! slot plus the MVCC words and the row publish, commits pay one flush per
+//! touched timestamp plus the CTS publish. This table prints measured
+//! averages from the region's instrumentation counters.
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin e5_flush_accounting`
+
+use benchkit::{load_ycsb, print_table, run_ycsb_op, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::LatencyModel;
+use workload::{Op, YcsbConfig, YcsbGenerator, YcsbMix};
+
+fn main() {
+    let n_ops = 2_000usize;
+    let mut db =
+        Database::create(DurabilityConfig::nvm(512 << 20, LatencyModel::pcm())).expect("create");
+    let cfg = YcsbConfig {
+        record_count: 10_000,
+        mix: YcsbMix::C,
+        ..Default::default()
+    };
+    let handle = load_ycsb(&mut db, &cfg).expect("load");
+    let mut generator = YcsbGenerator::new(YcsbConfig {
+        mix: YcsbMix::A,
+        ..cfg.clone()
+    });
+
+    let mut rows_out = Vec::new();
+    for kind in ["read", "update", "insert", "scan"] {
+        // Collect n_ops operations of this kind from suitable generators.
+        let ops: Vec<Op> = match kind {
+            "insert" => {
+                let mut g = YcsbGenerator::new(YcsbConfig {
+                    mix: YcsbMix {
+                        insert: 1.0,
+                        update: 0.0,
+                        scan: 0.0,
+                    },
+                    ..cfg.clone()
+                });
+                g.ops(n_ops)
+            }
+            "scan" => {
+                let mut g = YcsbGenerator::new(YcsbConfig {
+                    mix: YcsbMix {
+                        insert: 0.0,
+                        update: 0.0,
+                        scan: 1.0,
+                    },
+                    ..cfg.clone()
+                });
+                g.ops(n_ops)
+            }
+            "update" => {
+                let mut ops = Vec::new();
+                while ops.len() < n_ops {
+                    let op = generator.next_op();
+                    if op.kind() == "update" {
+                        ops.push(op);
+                    }
+                }
+                ops
+            }
+            _ => {
+                let mut ops = Vec::new();
+                while ops.len() < n_ops {
+                    let op = generator.next_op();
+                    if op.kind() == "read" {
+                        ops.push(op);
+                    }
+                }
+                ops
+            }
+        };
+
+        let before = db.nvm_stats();
+        for op in &ops {
+            run_ycsb_op(&mut db, handle, op).expect("op");
+        }
+        let d = db.nvm_stats().since(&before);
+        let per = |x: u64| format!("{:.2}", x as f64 / n_ops as f64);
+        rows_out.push(
+            Row::new()
+                .with("op", kind)
+                .with("flushes/op", per(d.flush_calls))
+                .with("lines/op", per(d.lines_flushed))
+                .with("fences/op", per(d.fences))
+                .with("nvm_bytes_written/op", per(d.bytes_written)),
+        );
+    }
+
+    print_table(
+        "E5: persistence primitives per operation (Hyrise-NV, 2-column table)",
+        &rows_out,
+    );
+    write_json("e5_flush_accounting", &rows_out);
+}

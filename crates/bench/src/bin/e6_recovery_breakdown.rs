@@ -1,0 +1,77 @@
+//! E6 — Restart phase breakdown.
+//!
+//! Paper family: where does restart time go? Hyrise-NV spends it on
+//! metadata-bound phases (heap map + allocator scan, catalogue + transient
+//! probe rebuild, MVCC undo); the baseline on data-bound phases
+//! (checkpoint load, log replay, index rebuild).
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin e6_recovery_breakdown`
+
+use benchkit::{load_ycsb_opts, print_table, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::LatencyModel;
+use storage::Value;
+use workload::{YcsbConfig, YcsbMix};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = if quick { 5_000u64 } else { 50_000u64 };
+
+    let mut rows_out = Vec::new();
+    for config in [
+        DurabilityConfig::nvm(1 << 30, LatencyModel::pcm()),
+        DurabilityConfig::wal_temp(),
+    ] {
+        let backend = config.mode_name();
+        let mut db = Database::create(config).expect("create");
+        let cfg = YcsbConfig {
+            record_count: rows,
+            mix: YcsbMix::C,
+            ..Default::default()
+        };
+        let handle = load_ycsb_opts(&mut db, &cfg, false).expect("load");
+        // Half merged into main, a fresh delta on top, plus an in-flight
+        // transaction at crash time (so the undo pass has work).
+        db.merge(handle.table).expect("merge");
+        let mut tx = db.begin();
+        for k in 0..(rows / 10) as i64 {
+            db.insert(
+                &mut tx,
+                handle.table,
+                &[
+                    Value::Int(rows as i64 + k),
+                    Value::Text(workload::ycsb::payload(k as u64, 32)),
+                ],
+            )
+            .expect("insert");
+            if k % 64 == 63 {
+                db.commit(&mut tx).expect("commit");
+                tx = db.begin();
+            }
+        }
+        // tx left in flight.
+        let report = db.restart_after_crash().expect("restart");
+        for p in &report.phases {
+            rows_out.push(
+                Row::new()
+                    .with("backend", backend)
+                    .with("phase", p.name)
+                    .with("wall_ms", format!("{:.3}", p.wall.as_secs_f64() * 1e3))
+                    .with("sim_us", p.simulated_ns / 1000),
+            );
+        }
+        rows_out.push(
+            Row::new()
+                .with("backend", backend)
+                .with("phase", "TOTAL")
+                .with(
+                    "wall_ms",
+                    format!("{:.3}", report.total_wall().as_secs_f64() * 1e3),
+                )
+                .with("sim_us", report.total_simulated_ns() / 1000),
+        );
+    }
+
+    print_table("E6: restart phase breakdown", &rows_out);
+    write_json("e6_recovery_breakdown", &rows_out);
+}

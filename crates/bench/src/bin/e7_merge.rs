@@ -1,0 +1,86 @@
+//! E7 — Delta→main merge cost and post-merge scan speedup.
+//!
+//! Paper family (Hyrise architecture): the write-optimized delta degrades
+//! scan performance as it grows; the merge folds it into the read-optimized
+//! main (sorted dictionary + bit-packed vectors). Measured: merge duration
+//! versus delta size, and range-scan latency before/after the merge, on
+//! both the NVM and volatile engines.
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin e7_merge`
+
+use std::time::Instant;
+
+use benchkit::{load_ycsb, print_table, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::LatencyModel;
+use storage::Value;
+use workload::{YcsbConfig, YcsbMix};
+
+fn scan_ms(db: &mut Database, t: hyrise_nv::TableId, reps: usize) -> f64 {
+    let tx = db.begin();
+    let t0 = Instant::now();
+    let mut total = 0usize;
+    for i in 0..reps {
+        let lo = Value::Int((i * 37 % 1000) as i64);
+        let hi = Value::Int((i * 37 % 1000 + 200) as i64);
+        total += db
+            .scan_range(&tx, t, 0, Some(&lo), Some(&hi))
+            .expect("scan")
+            .len();
+    }
+    assert!(total > 0);
+    t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[u64] = if quick {
+        &[2_000, 8_000]
+    } else {
+        &[2_000, 8_000, 32_000, 128_000]
+    };
+
+    let mut rows_out = Vec::new();
+    for &n in sizes {
+        for config in [
+            DurabilityConfig::nvm(1 << 30, LatencyModel::pcm()),
+            DurabilityConfig::Volatile,
+        ] {
+            let backend = config.mode_name();
+            let mut db = Database::create(config).expect("create");
+            let cfg = YcsbConfig {
+                record_count: n,
+                mix: YcsbMix::C,
+                ..Default::default()
+            };
+            let handle = load_ycsb(&mut db, &cfg).expect("load");
+            let t = handle.table;
+
+            let scan_before = scan_ms(&mut db, t, 20);
+            let sim0 = db.simulated_ns();
+            let t0 = Instant::now();
+            let stats = db.merge(t).expect("merge");
+            let merge_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let sim_ms = (db.simulated_ns() - sim0) as f64 / 1e6;
+            let scan_after = scan_ms(&mut db, t, 20);
+
+            rows_out.push(
+                Row::new()
+                    .with("delta_rows", n)
+                    .with("backend", backend)
+                    .with("merge_ms", format!("{merge_ms:.2}"))
+                    .with("merge_sim_ms", format!("{sim_ms:.2}"))
+                    .with("rows_merged", stats.rows_merged)
+                    .with("scan_before_ms", format!("{scan_before:.3}"))
+                    .with("scan_after_ms", format!("{scan_after:.3}"))
+                    .with(
+                        "scan_speedup",
+                        format!("{:.2}x", scan_before / scan_after),
+                    ),
+            );
+        }
+    }
+
+    print_table("E7: merge cost and post-merge scan speedup", &rows_out);
+    write_json("e7_merge", &rows_out);
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Experiment harness support: workload drivers over the `Database` façade
+//! and tabular result emission.
+//!
+//! Each `src/bin/e*.rs` binary reproduces one figure/table of the paper
+//! (see DESIGN.md's experiment index); they share the drivers and the
+//! reporting here.
+
+pub mod driver;
+pub mod results;
+
+pub use driver::{
+    load_tpcc, load_ycsb, load_ycsb_opts, run_tpcc_txn, run_ycsb_op, TpccHandles, YcsbHandle,
+};
+pub use results::{print_table, write_json, Row};

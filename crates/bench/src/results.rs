@@ -1,0 +1,105 @@
+//! Result rows: aligned console tables plus JSON lines for archival.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// One result row: ordered `(column, value)` pairs.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct Row {
+    /// Ordered cells.
+    pub cells: BTreeMap<String, String>,
+}
+
+impl Row {
+    /// Empty row.
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Add a cell (builder style).
+    pub fn with(mut self, key: &str, value: impl ToString) -> Row {
+        self.cells.insert(key.to_owned(), value.to_string());
+        self
+    }
+}
+
+/// Print rows as an aligned table with a title.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let columns: Vec<&String> = rows[0].cells.keys().collect();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, c) in columns.iter().enumerate() {
+            if let Some(v) = row.cells.get(*c) {
+                widths[i] = widths[i].max(v.len());
+            }
+        }
+    }
+    let header: Vec<String> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+        .collect();
+    println!("{}", header.join("  "));
+    for row in rows {
+        let line: Vec<String> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!(
+                    "{:>w$}",
+                    row.cells.get(*c).map_or("", |s| s.as_str()),
+                    w = widths[i]
+                )
+            })
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Append rows as JSON lines to `results/<name>.jsonl` under the workspace
+/// root (best effort; failures are printed, not fatal).
+pub fn write_json(name: &str, rows: &[Row]) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            for row in rows {
+                if let Ok(line) = serde_json::to_string(&row.cells) {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_keep_cells() {
+        let r = Row::new().with("a", 1).with("b", "x");
+        assert_eq!(r.cells.get("a").unwrap(), "1");
+        assert_eq!(r.cells.get("b").unwrap(), "x");
+    }
+
+    #[test]
+    fn print_does_not_panic_on_ragged_rows() {
+        let rows = vec![
+            Row::new().with("col", 1).with("other", "yyyy"),
+            Row::new().with("col", 22),
+        ];
+        print_table("test", &rows);
+        print_table("empty", &[]);
+    }
+}

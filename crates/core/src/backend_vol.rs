@@ -1,0 +1,84 @@
+//! The no-durability backend: DRAM tables only. Serves as the throughput
+//! upper bound in experiment E3; a restart loses everything.
+
+use index::{VolatileHashIndex, VolatileOrderedIndex};
+use storage::{Schema, TableStore, VTable, Value};
+
+use crate::config::IndexKind;
+use crate::error::{EngineError, Result};
+
+/// Per-table DRAM index sets.
+pub(crate) struct VolTableIndexes {
+    pub hash: Vec<VolatileHashIndex>,
+    pub ordered: Vec<VolatileOrderedIndex>,
+}
+
+/// The volatile (no durability) backend.
+#[derive(Default)]
+pub struct VolatileBackend {
+    pub(crate) tables: Vec<VTable>,
+    pub(crate) names: Vec<String>,
+    pub(crate) indexes: Vec<VolTableIndexes>,
+}
+
+impl VolatileBackend {
+    /// An empty volatile database.
+    pub fn create() -> VolatileBackend {
+        VolatileBackend::default()
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<usize> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(EngineError::Catalog(format!("duplicate table name {name:?}")));
+        }
+        self.tables.push(VTable::new(schema));
+        self.names.push(name.to_owned());
+        self.indexes.push(VolTableIndexes {
+            hash: Vec::new(),
+            ordered: Vec::new(),
+        });
+        Ok(self.tables.len() - 1)
+    }
+
+    /// Register and populate an index.
+    pub fn create_index(&mut self, table: usize, column: usize, kind: IndexKind) -> Result<()> {
+        match kind {
+            IndexKind::Hash => {
+                let mut idx = VolatileHashIndex::new(column);
+                idx.rebuild(&self.tables[table])?;
+                self.indexes[table].hash.push(idx);
+            }
+            IndexKind::Ordered => {
+                let mut idx = VolatileOrderedIndex::new(column);
+                idx.rebuild(&self.tables[table])?;
+                self.indexes[table].ordered.push(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Notify indexes of a new row version.
+    pub fn index_insert(&mut self, table: usize, values: &[Value], row: u64) {
+        for idx in &mut self.indexes[table].hash {
+            let c = idx.column();
+            idx.insert(&values[c], row);
+        }
+        for idx in &mut self.indexes[table].ordered {
+            let c = idx.column();
+            idx.insert(&values[c], row);
+        }
+    }
+
+    /// Merge a table and rebuild its indexes.
+    pub fn merge_table(&mut self, table: usize, snapshot: u64) -> Result<storage::MergeStats> {
+        let stats = self.tables[table].merge(snapshot)?;
+        for idx in &mut self.indexes[table].hash {
+            idx.rebuild(&self.tables[table])?;
+        }
+        for idx in &mut self.indexes[table].ordered {
+            idx.rebuild(&self.tables[table])?;
+        }
+        Ok(stats)
+    }
+}

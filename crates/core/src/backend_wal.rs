@@ -1,0 +1,199 @@
+//! The log-based baseline backend: DRAM tables + WAL + checkpoints +
+//! rebuilt DRAM indexes.
+
+use std::sync::Arc;
+
+use index::{VolatileHashIndex, VolatileOrderedIndex};
+use nvm::SimClock;
+use storage::{Schema, TableStore, VTable, Value};
+use wal::{LogRecord, LogWriter, WalPaths};
+
+use crate::config::{IndexKind, WalConfig};
+use crate::error::{EngineError, Result};
+
+/// Per-table DRAM index sets (all rebuilt on restart).
+pub(crate) struct WalTableIndexes {
+    pub hash: Vec<VolatileHashIndex>,
+    pub ordered: Vec<VolatileOrderedIndex>,
+}
+
+/// The WAL durability backend.
+pub struct WalBackend {
+    pub(crate) cfg: WalConfig,
+    pub(crate) paths: WalPaths,
+    pub(crate) clock: Arc<SimClock>,
+    pub(crate) tables: Vec<VTable>,
+    pub(crate) names: Vec<String>,
+    pub(crate) writer: LogWriter,
+    pub(crate) indexes: Vec<WalTableIndexes>,
+    /// Index DDL (table, column, kind) — conceptually part of the durable
+    /// catalogue; kept here so restarts rebuild the same indexes.
+    pub(crate) index_specs: Vec<(usize, usize, IndexKind)>,
+    /// Commits since the last log sync (group commit window).
+    pub(crate) commits_since_sync: u32,
+}
+
+impl WalBackend {
+    /// Create a fresh baseline database in `cfg.dir` (files truncated).
+    pub fn create(cfg: WalConfig) -> Result<WalBackend> {
+        let paths = WalPaths::new(&cfg.dir).map_err(wal::WalError::Io)?;
+        let _ = std::fs::remove_file(paths.log());
+        let _ = std::fs::remove_file(paths.checkpoint());
+        let clock = Arc::new(SimClock::new());
+        let writer = LogWriter::open(&paths.log(), clock.clone(), cfg.sync_latency_ns)?;
+        Ok(WalBackend {
+            cfg,
+            paths,
+            clock,
+            tables: Vec::new(),
+            names: Vec::new(),
+            writer,
+            indexes: Vec::new(),
+            index_specs: Vec::new(),
+            commits_since_sync: 0,
+        })
+    }
+
+    /// The simulated-time clock charged by log syncs.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Log activity counters.
+    pub fn wal_stats(&self) -> wal::WalStats {
+        self.writer.stats()
+    }
+
+    /// Create a table. The schema becomes durable through an immediate
+    /// checkpoint (the baseline's DDL persistence).
+    pub fn create_table(&mut self, name: &str, schema: Schema, last_cts: u64) -> Result<usize> {
+        if self.names.iter().any(|n| n == name) {
+            return Err(EngineError::Catalog(format!("duplicate table name {name:?}")));
+        }
+        self.tables.push(VTable::new(schema));
+        self.names.push(name.to_owned());
+        self.indexes.push(WalTableIndexes {
+            hash: Vec::new(),
+            ordered: Vec::new(),
+        });
+        self.checkpoint(last_cts)?;
+        Ok(self.tables.len() - 1)
+    }
+
+    /// Write a checkpoint covering the current log position.
+    pub fn checkpoint(&mut self, last_cts: u64) -> Result<u64> {
+        // Everything buffered must be on disk before the checkpoint can
+        // claim to cover it.
+        self.writer.sync()?;
+        let named: Vec<(String, &VTable)> = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.tables.iter())
+            .collect();
+        let bytes = wal::write_checkpoint(
+            &self.paths.checkpoint(),
+            &named,
+            last_cts,
+            self.writer.position(),
+        )?;
+        Ok(bytes)
+    }
+
+    /// Append a redo record for an insert (durable at the next sync).
+    pub fn log_insert(&mut self, tid: u64, table: usize, row: u64, values: &[Value]) -> Result<()> {
+        self.writer.append(&LogRecord::Insert {
+            tid,
+            table: table as u32,
+            row,
+            values: values.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Append a redo record for an invalidation.
+    pub fn log_invalidate(&mut self, tid: u64, table: usize, row: u64) -> Result<()> {
+        self.writer.append(&LogRecord::Invalidate {
+            tid,
+            table: table as u32,
+            row,
+        })?;
+        Ok(())
+    }
+
+    /// Append an abort record (no sync required).
+    pub fn log_abort(&mut self, tid: u64) -> Result<()> {
+        self.writer.append(&LogRecord::Abort { tid })?;
+        Ok(())
+    }
+
+    /// Append a commit record and sync according to the group-commit
+    /// window.
+    pub fn log_commit(&mut self, tid: u64, cts: u64) -> Result<()> {
+        self.writer.append(&LogRecord::Commit { tid, cts })?;
+        self.commits_since_sync += 1;
+        if self.commits_since_sync >= self.cfg.sync_every_n_commits.max(1) {
+            self.writer.sync()?;
+            self.commits_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Merge a table: logged (so replay reproduces row ids), then executed,
+    /// then DRAM indexes rebuilt.
+    pub fn merge_table(
+        &mut self,
+        table: usize,
+        snapshot: u64,
+    ) -> Result<storage::MergeStats> {
+        self.writer.append(&LogRecord::Merge {
+            table: table as u32,
+            cts: snapshot,
+        })?;
+        self.writer.sync()?;
+        let stats = self.tables[table].merge(snapshot)?;
+        self.rebuild_indexes_for(table)?;
+        Ok(stats)
+    }
+
+    /// Register an index; populated immediately, rebuilt on every restart.
+    pub fn create_index(&mut self, table: usize, column: usize, kind: IndexKind) -> Result<()> {
+        match kind {
+            IndexKind::Hash => {
+                let mut idx = VolatileHashIndex::new(column);
+                idx.rebuild(&self.tables[table])?;
+                self.indexes[table].hash.push(idx);
+            }
+            IndexKind::Ordered => {
+                let mut idx = VolatileOrderedIndex::new(column);
+                idx.rebuild(&self.tables[table])?;
+                self.indexes[table].ordered.push(idx);
+            }
+        }
+        self.index_specs.push((table, column, kind));
+        Ok(())
+    }
+
+    /// Notify indexes of a new row version.
+    pub fn index_insert(&mut self, table: usize, values: &[Value], row: u64) {
+        for idx in &mut self.indexes[table].hash {
+            let c = idx.column();
+            idx.insert(&values[c], row);
+        }
+        for idx in &mut self.indexes[table].ordered {
+            let c = idx.column();
+            idx.insert(&values[c], row);
+        }
+    }
+
+    /// Rebuild every index of `table` (post-merge, post-restart).
+    pub fn rebuild_indexes_for(&mut self, table: usize) -> Result<()> {
+        for idx in &mut self.indexes[table].hash {
+            idx.rebuild(&self.tables[table])?;
+        }
+        for idx in &mut self.indexes[table].ordered {
+            idx.rebuild(&self.tables[table])?;
+        }
+        Ok(())
+    }
+}

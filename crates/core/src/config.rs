@@ -1,0 +1,109 @@
+//! Engine configuration.
+
+use std::path::PathBuf;
+
+use nvm::LatencyModel;
+
+/// Which index structure to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash group-key index (point lookups). On the NVM backend this is a
+    /// persistent multi-version index; on the others it is a rebuilt DRAM
+    /// index.
+    Hash,
+    /// Ordered group-key index (range lookups). On the NVM backend this is
+    /// a persistent crash-safe skip list (re-attached on restart); on the
+    /// others a DRAM B-tree map rebuilt after recovery.
+    Ordered,
+}
+
+/// Configuration of the log-based baseline.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory for `wal.log` / `checkpoint.bin`.
+    pub dir: PathBuf,
+    /// Simulated latency charged per log sync (group commit boundary).
+    pub sync_latency_ns: u64,
+    /// Sync the log every N commits (1 = every commit durable immediately;
+    /// larger values model group commit).
+    pub sync_every_n_commits: u32,
+}
+
+impl WalConfig {
+    /// A config rooted at a fresh unique directory under the system temp
+    /// dir, syncing every commit with a 10 µs simulated sync.
+    pub fn temp() -> WalConfig {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        WalConfig {
+            dir: std::env::temp_dir().join(format!(
+                "hyrise-nv-wal-{}-{n}",
+                std::process::id()
+            )),
+            sync_latency_ns: 10_000,
+            sync_every_n_commits: 1,
+        }
+    }
+}
+
+/// Durability backend selection.
+#[derive(Debug, Clone)]
+pub enum DurabilityConfig {
+    /// Hyrise-NV: all primary data on simulated NVM.
+    Nvm {
+        /// NVM region capacity in bytes.
+        capacity: u64,
+        /// Latency model charged by persistence primitives.
+        latency: LatencyModel,
+    },
+    /// Log-based baseline: DRAM tables + WAL + checkpoints.
+    Wal(WalConfig),
+    /// No durability (upper-bound throughput reference).
+    Volatile,
+}
+
+impl DurabilityConfig {
+    /// 256 MiB NVM region with PCM-flavoured latencies.
+    pub fn nvm_default() -> DurabilityConfig {
+        DurabilityConfig::Nvm {
+            capacity: 256 << 20,
+            latency: LatencyModel::pcm(),
+        }
+    }
+
+    /// NVM region with explicit capacity and latency.
+    pub fn nvm(capacity: u64, latency: LatencyModel) -> DurabilityConfig {
+        DurabilityConfig::Nvm { capacity, latency }
+    }
+
+    /// WAL baseline in a fresh temp directory.
+    pub fn wal_temp() -> DurabilityConfig {
+        DurabilityConfig::Wal(WalConfig::temp())
+    }
+
+    /// Short name used in reports.
+    pub fn mode_name(&self) -> &'static str {
+        match self {
+            DurabilityConfig::Nvm { .. } => "nvm",
+            DurabilityConfig::Wal(_) => "wal",
+            DurabilityConfig::Volatile => "volatile",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(DurabilityConfig::nvm_default().mode_name(), "nvm");
+        assert_eq!(DurabilityConfig::wal_temp().mode_name(), "wal");
+        assert_eq!(DurabilityConfig::Volatile.mode_name(), "volatile");
+    }
+
+    #[test]
+    fn temp_dirs_unique() {
+        assert_ne!(WalConfig::temp().dir, WalConfig::temp().dir);
+    }
+}

@@ -1,0 +1,714 @@
+//! The `Database` façade.
+
+use nvm::CrashPolicy;
+use storage::mvcc;
+use storage::{RowId, ScanResult, Schema, TableStore, Value};
+use txn::{Transaction, TxnManager};
+use wal::LogWriter;
+
+use crate::backend_nv::NvBackend;
+use crate::backend_vol::VolatileBackend;
+use crate::backend_wal::WalBackend;
+use crate::config::{DurabilityConfig, IndexKind};
+use crate::error::{EngineError, Result};
+use crate::report::{timed_phase, RecoveryReport};
+
+/// Handle to a table in the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub usize);
+
+enum Backend {
+    Nv(NvBackend),
+    Wal(WalBackend),
+    Volatile(VolatileBackend),
+}
+
+/// An embedded database instance over one durability backend.
+///
+/// The façade is single-threaded by design (one writer, as in the paper's
+/// per-table delta append model); benchmark drivers issue transactions
+/// back-to-back.
+pub struct Database {
+    backend: Backend,
+    mgr: TxnManager,
+    config: DurabilityConfig,
+}
+
+impl Database {
+    /// Create a fresh database with the given durability configuration.
+    pub fn create(config: DurabilityConfig) -> Result<Database> {
+        let backend = match &config {
+            DurabilityConfig::Nvm { capacity, latency } => {
+                Backend::Nv(NvBackend::create(*capacity, *latency)?)
+            }
+            DurabilityConfig::Wal(cfg) => Backend::Wal(WalBackend::create(cfg.clone())?),
+            DurabilityConfig::Volatile => Backend::Volatile(VolatileBackend::create()),
+        };
+        Ok(Database {
+            backend,
+            mgr: TxnManager::new(),
+            config,
+        })
+    }
+
+    /// The active durability mode ("nvm" / "wal" / "volatile").
+    pub fn mode(&self) -> &'static str {
+        self.config.mode_name()
+    }
+
+    /// Simulated nanoseconds charged so far (NVM flush/fence or WAL sync).
+    pub fn simulated_ns(&self) -> u64 {
+        match &self.backend {
+            Backend::Nv(b) => b.region().clock().now_ns(),
+            Backend::Wal(b) => b.clock().now_ns(),
+            Backend::Volatile(_) => 0,
+        }
+    }
+
+    /// NVM primitive counters (zeroes for other backends).
+    pub fn nvm_stats(&self) -> nvm::StatsSnapshot {
+        match &self.backend {
+            Backend::Nv(b) => b.region().stats(),
+            _ => nvm::StatsSnapshot::default(),
+        }
+    }
+
+    /// WAL activity counters (zeroes for other backends).
+    pub fn wal_stats(&self) -> wal::WalStats {
+        match &self.backend {
+            Backend::Wal(b) => b.wal_stats(),
+            _ => wal::WalStats::default(),
+        }
+    }
+
+    /// The NVM backend, if active (advanced instrumentation).
+    pub fn nv_backend(&self) -> Option<&NvBackend> {
+        match &self.backend {
+            Backend::Nv(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The transaction manager's committed-state watermark.
+    pub fn last_committed(&self) -> u64 {
+        self.mgr.last_committed()
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        let id = match &mut self.backend {
+            Backend::Nv(b) => b.create_table(name, schema)?,
+            Backend::Wal(b) => {
+                let cts = self.mgr.last_committed();
+                b.create_table(name, schema, cts)?
+            }
+            Backend::Volatile(b) => b.create_table(name, schema)?,
+        };
+        Ok(TableId(id))
+    }
+
+    /// Look up a table by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        let names = match &self.backend {
+            Backend::Nv(b) => &b.names,
+            Backend::Wal(b) => &b.names,
+            Backend::Volatile(b) => &b.names,
+        };
+        names.iter().position(|n| n == name).map(TableId)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        match &self.backend {
+            Backend::Nv(b) => b.tables.len(),
+            Backend::Wal(b) => b.tables.len(),
+            Backend::Volatile(b) => b.tables.len(),
+        }
+    }
+
+    /// Create an index over `(table, column)`.
+    pub fn create_index(&mut self, table: TableId, column: usize, kind: IndexKind) -> Result<()> {
+        self.check_table(table)?;
+        match &mut self.backend {
+            Backend::Nv(b) => match kind {
+                IndexKind::Hash => b.create_hash_index(table.0, column),
+                IndexKind::Ordered => b.create_ordered_index(table.0, column),
+            },
+            Backend::Wal(b) => b.create_index(table.0, column, kind),
+            Backend::Volatile(b) => b.create_index(table.0, column, kind),
+        }
+    }
+
+    fn check_table(&self, table: TableId) -> Result<()> {
+        if table.0 < self.table_count() {
+            Ok(())
+        } else {
+            Err(EngineError::Catalog(format!(
+                "unknown table id {}",
+                table.0
+            )))
+        }
+    }
+
+    /// Crate-internal access to a table's store (query operators).
+    pub(crate) fn table_store(&self, table: TableId) -> Result<&dyn TableStore> {
+        self.table(table)
+    }
+
+    fn table(&self, table: TableId) -> Result<&dyn TableStore> {
+        self.check_table(table)?;
+        Ok(match &self.backend {
+            Backend::Nv(b) => &b.tables[table.0],
+            Backend::Wal(b) => &b.tables[table.0],
+            Backend::Volatile(b) => &b.tables[table.0],
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction with a snapshot of the current committed state.
+    pub fn begin(&mut self) -> Transaction {
+        self.mgr.begin()
+    }
+
+    /// Insert a row.
+    pub fn insert(
+        &mut self,
+        tx: &mut Transaction,
+        table: TableId,
+        values: &[Value],
+    ) -> Result<RowId> {
+        self.check_table(table)?;
+        let t = table.0;
+        let marker = tx.marker();
+        let row = match &mut self.backend {
+            Backend::Nv(b) => {
+                // Write-ahead registry entry: the row id an insert will get
+                // is deterministic (next physical slot), so recovery can be
+                // told about it before the row materializes.
+                let row = b.tables[t].row_count();
+                b.registry.record_insert(tx.tid, t, row)?;
+                let got = b.tables[t].insert_version(values, marker)?;
+                debug_assert_eq!(got, row);
+                b.index_insert(t, values, got)?;
+                got
+            }
+            Backend::Wal(b) => {
+                let row = b.tables[t].insert_version(values, marker)?;
+                b.log_insert(tx.tid, t, row, values)?;
+                b.index_insert(t, values, row);
+                row
+            }
+            Backend::Volatile(b) => {
+                let row = b.tables[t].insert_version(values, marker)?;
+                b.index_insert(t, values, row);
+                row
+            }
+        };
+        tx.record_insert(t, row);
+        Ok(row)
+    }
+
+    /// Delete (invalidate) a visible row version. Fails with a write
+    /// conflict if another transaction holds the row.
+    pub fn delete(&mut self, tx: &mut Transaction, table: TableId, row: RowId) -> Result<()> {
+        self.check_table(table)?;
+        let t = table.0;
+        let marker = tx.marker();
+        match &mut self.backend {
+            Backend::Nv(b) => {
+                b.registry.record_invalidate(tx.tid, t, row)?;
+                b.tables[t].try_invalidate(row, marker)?;
+            }
+            Backend::Wal(b) => {
+                b.tables[t].try_invalidate(row, marker)?;
+                b.log_invalidate(tx.tid, t, row)?;
+            }
+            Backend::Volatile(b) => b.tables[t].try_invalidate(row, marker)?,
+        }
+        tx.record_invalidate(t, row);
+        Ok(())
+    }
+
+    /// Update a visible row version: invalidate + insert the new values.
+    /// Returns the new version's row id.
+    pub fn update(
+        &mut self,
+        tx: &mut Transaction,
+        table: TableId,
+        row: RowId,
+        new_values: &[Value],
+    ) -> Result<RowId> {
+        self.delete(tx, table, row)?;
+        self.insert(tx, table, new_values)
+    }
+
+    /// Commit: stamp every write with the next commit timestamp, durably
+    /// publish it, advance the committed state.
+    pub fn commit(&mut self, tx: &mut Transaction) -> Result<u64> {
+        match &mut self.backend {
+            Backend::Nv(b) => {
+                let mut publisher = b.publisher();
+                let cts = {
+                    let mut refs: Vec<&mut dyn TableStore> = b
+                        .tables
+                        .iter_mut()
+                        .map(|t| t as &mut dyn TableStore)
+                        .collect();
+                    self.mgr.commit(tx, &mut refs, &mut publisher)?
+                };
+                b.registry.release(tx.tid)?;
+                Ok(cts)
+            }
+            Backend::Wal(b) => {
+                let WalBackend {
+                    tables,
+                    writer,
+                    commits_since_sync,
+                    cfg,
+                    ..
+                } = b;
+                let mut publisher = WalPublisher {
+                    writer,
+                    commits_since_sync,
+                    every: cfg.sync_every_n_commits.max(1),
+                };
+                let mut refs: Vec<&mut dyn TableStore> = tables
+                    .iter_mut()
+                    .map(|t| t as &mut dyn TableStore)
+                    .collect();
+                Ok(self.mgr.commit(tx, &mut refs, &mut publisher)?)
+            }
+            Backend::Volatile(b) => {
+                let mut refs: Vec<&mut dyn TableStore> = b
+                    .tables
+                    .iter_mut()
+                    .map(|t| t as &mut dyn TableStore)
+                    .collect();
+                Ok(self.mgr.commit(tx, &mut refs, &mut txn::NoopPublish)?)
+            }
+        }
+    }
+
+    /// Abort: roll back every pending marker.
+    pub fn abort(&mut self, tx: &mut Transaction) -> Result<()> {
+        match &mut self.backend {
+            Backend::Nv(b) => {
+                {
+                    let mut refs: Vec<&mut dyn TableStore> = b
+                        .tables
+                        .iter_mut()
+                        .map(|t| t as &mut dyn TableStore)
+                        .collect();
+                    self.mgr.abort(tx, &mut refs)?;
+                }
+                b.registry.release(tx.tid)?;
+            }
+            Backend::Wal(b) => {
+                {
+                    let mut refs: Vec<&mut dyn TableStore> = b
+                        .tables
+                        .iter_mut()
+                        .map(|t| t as &mut dyn TableStore)
+                        .collect();
+                    self.mgr.abort(tx, &mut refs)?;
+                }
+                b.log_abort(tx.tid)?;
+            }
+            Backend::Volatile(b) => {
+                let mut refs: Vec<&mut dyn TableStore> = b
+                    .tables
+                    .iter_mut()
+                    .map(|t| t as &mut dyn TableStore)
+                    .collect();
+                self.mgr.abort(tx, &mut refs)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn materialize(&self, table: TableId, rows: Vec<RowId>) -> Result<Vec<ScanResult>> {
+        let t = self.table(table)?;
+        rows.into_iter()
+            .map(|row| {
+                Ok(ScanResult {
+                    row,
+                    values: t.row_values(row)?,
+                })
+            })
+            .collect()
+    }
+
+    /// All rows visible to `tx`.
+    pub fn scan_all(&self, tx: &Transaction, table: TableId) -> Result<Vec<ScanResult>> {
+        let rows = self.table(table)?.scan_visible(tx.snapshot, tx.tid)?;
+        self.materialize(table, rows)
+    }
+
+    /// Visible rows with `column == value` (full column scan through the
+    /// dictionary; use [`Database::index_lookup`] when an index exists).
+    pub fn scan_eq(
+        &self,
+        tx: &Transaction,
+        table: TableId,
+        column: usize,
+        value: &Value,
+    ) -> Result<Vec<ScanResult>> {
+        let rows = self
+            .table(table)?
+            .scan_eq(column, value, tx.snapshot, tx.tid)?;
+        self.materialize(table, rows)
+    }
+
+    /// Visible rows with `lo <= column < hi`.
+    pub fn scan_range(
+        &self,
+        tx: &Transaction,
+        table: TableId,
+        column: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<ScanResult>> {
+        let rows = self
+            .table(table)?
+            .scan_range(column, lo, hi, tx.snapshot, tx.tid)?;
+        self.materialize(table, rows)
+    }
+
+    /// Point lookup through an index on `(table, column)`; falls back to a
+    /// dictionary scan when no index exists. Results are verified against
+    /// the base table and MVCC-filtered.
+    pub fn index_lookup(
+        &self,
+        tx: &Transaction,
+        table: TableId,
+        column: usize,
+        value: &Value,
+    ) -> Result<Vec<ScanResult>> {
+        self.check_table(table)?;
+        let t = table.0;
+        let candidates: Option<Vec<RowId>> = match &self.backend {
+            Backend::Nv(b) => {
+                if let Some(idx) = b.indexes[t].hash.iter().find(|i| i.column() == column) {
+                    Some(idx.lookup(value)?)
+                } else if let Some(idx) =
+                    b.indexes[t].ordered.iter().find(|i| i.column() == column)
+                {
+                    Some(idx.lookup(value)?)
+                } else {
+                    None
+                }
+            }
+            Backend::Wal(b) => {
+                if let Some(idx) = b.indexes[t].hash.iter().find(|i| i.column() == column) {
+                    Some(idx.lookup(value).to_vec())
+                } else {
+                    b.indexes[t]
+                        .ordered
+                        .iter()
+                        .find(|i| i.column() == column)
+                        .map(|idx| idx.lookup(value).to_vec())
+                }
+            }
+            Backend::Volatile(b) => {
+                if let Some(idx) = b.indexes[t].hash.iter().find(|i| i.column() == column) {
+                    Some(idx.lookup(value).to_vec())
+                } else {
+                    b.indexes[t]
+                        .ordered
+                        .iter()
+                        .find(|i| i.column() == column)
+                        .map(|idx| idx.lookup(value).to_vec())
+                }
+            }
+        };
+        let Some(candidates) = candidates else {
+            return self.scan_eq(tx, table, column, value);
+        };
+        let store = self.table(table)?;
+        let mut out = Vec::new();
+        for row in candidates {
+            // Hash candidates may collide; verify the key, then visibility.
+            if store.value(row, column)? != *value {
+                continue;
+            }
+            let b = store.begin_ts(row)?;
+            let e = store.end_ts(row)?;
+            if mvcc::visible(b, e, tx.snapshot, tx.tid) {
+                out.push(ScanResult {
+                    row,
+                    values: store.row_values(row)?,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range lookup through an ordered index; falls back to a scan.
+    pub fn index_range_lookup(
+        &self,
+        tx: &Transaction,
+        table: TableId,
+        column: usize,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<ScanResult>> {
+        self.check_table(table)?;
+        let t = table.0;
+        let candidates: Option<Vec<RowId>> = match &self.backend {
+            Backend::Nv(b) => match b.indexes[t]
+                .ordered
+                .iter()
+                .find(|i| i.column() == column)
+            {
+                Some(idx) => Some(idx.lookup_range(lo, hi)?),
+                None => None,
+            },
+            Backend::Wal(b) => b.indexes[t]
+                .ordered
+                .iter()
+                .find(|i| i.column() == column)
+                .map(|idx| idx.lookup_range(lo, hi)),
+            Backend::Volatile(b) => b.indexes[t]
+                .ordered
+                .iter()
+                .find(|i| i.column() == column)
+                .map(|idx| idx.lookup_range(lo, hi)),
+        };
+        let Some(candidates) = candidates else {
+            return self.scan_range(tx, table, column, lo, hi);
+        };
+        let store = self.table(table)?;
+        let mut out = Vec::new();
+        for row in candidates {
+            let b = store.begin_ts(row)?;
+            let e = store.end_ts(row)?;
+            if mvcc::visible(b, e, tx.snapshot, tx.tid) {
+                out.push(ScanResult {
+                    row,
+                    values: store.row_values(row)?,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total physical rows (all versions) in a table.
+    pub fn row_count(&self, table: TableId) -> Result<u64> {
+        Ok(self.table(table)?.row_count())
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Merge a table's delta into its main. Requires a quiesced table (no
+    /// in-flight transactions touching it).
+    pub fn merge(&mut self, table: TableId) -> Result<storage::MergeStats> {
+        self.check_table(table)?;
+        let snapshot = self.mgr.last_committed();
+        match &mut self.backend {
+            Backend::Nv(b) => b.merge_table(table.0, snapshot),
+            Backend::Wal(b) => b.merge_table(table.0, snapshot),
+            Backend::Volatile(b) => b.merge_table(table.0, snapshot),
+        }
+    }
+
+    /// Write a checkpoint (WAL backend only; no-ops elsewhere — NVM *is*
+    /// its own checkpoint). Returns bytes written.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let cts = self.mgr.last_committed();
+        match &mut self.backend {
+            Backend::Wal(b) => b.checkpoint(cts),
+            _ => Ok(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash + restart
+    // ------------------------------------------------------------------
+
+    /// Simulate a power failure with all unflushed cache lines lost, then
+    /// restart and recover. Returns the phase-timed report.
+    pub fn restart_after_crash(&mut self) -> Result<RecoveryReport> {
+        self.restart(CrashPolicy::DropUnflushed)
+    }
+
+    /// Simulate a power failure with the given crash policy, then restart.
+    pub fn restart(&mut self, policy: CrashPolicy) -> Result<RecoveryReport> {
+        let mut report = RecoveryReport {
+            mode: self.mode(),
+            ..Default::default()
+        };
+        match &mut self.backend {
+            Backend::Nv(b) => {
+                let region = b.region().clone();
+                region.crash(policy);
+                let clock = || region.clock().now_ns();
+
+                // Phase 1: map the region + allocator recovery scan.
+                let (heap, alloc_report) =
+                    timed_phase(&mut report.phases, "heap map + allocator scan", clock, || {
+                        nvm::NvmHeap::open(region.clone()).map_err(EngineError::Nvm)
+                    })?;
+                report.heap_blocks_scanned = alloc_report.blocks_scanned;
+
+                // Phase 2: catalogue + tables (transient probe rebuild) +
+                // index attach/rebuild.
+                let mut nb =
+                    timed_phase(&mut report.phases, "catalogue + transient rebuild", clock, || {
+                        NvBackend::attach(heap)
+                    })?;
+                let (attached, rebuilt) = nb.index_counts();
+                report.indexes_attached = attached;
+                report.indexes_rebuilt = rebuilt;
+
+                // Phase 3: registry-driven undo pass — repairs exactly the
+                // rows of transactions in flight at the crash, O(in-flight
+                // writes), never O(rows).
+                let last_cts = nb.last_cts()?;
+                let repaired =
+                    timed_phase(&mut report.phases, "mvcc undo pass", clock, || {
+                        let NvBackend {
+                            registry, tables, ..
+                        } = &mut nb;
+                        let rec = registry.recover(tables, last_cts)?;
+                        Ok::<u64, EngineError>(rec.repaired)
+                    })?;
+                report.mvcc_words_repaired = repaired;
+                report.last_cts = last_cts;
+                report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
+
+                self.mgr = TxnManager::recovered(last_cts);
+                self.backend = Backend::Nv(nb);
+            }
+            Backend::Wal(b) => {
+                // Power failure: the in-memory tables and any unsynced log
+                // buffer are gone. Dropping the writer without a final sync
+                // models the lost buffer.
+                let cfg = b.cfg.clone();
+                let paths = b.paths.clone();
+                let clock_arc = b.clock().clone();
+                let index_specs = b.index_specs.clone();
+                let clock = || clock_arc.now_ns();
+
+                // Phase 1: load the newest checkpoint.
+                let ckpt = timed_phase(&mut report.phases, "checkpoint load", clock, || {
+                    if paths.checkpoint().exists() {
+                        wal::load_checkpoint(&paths.checkpoint())
+                            .map(Some)
+                            .map_err(EngineError::Wal)
+                    } else {
+                        Ok(None)
+                    }
+                })?;
+                let (mut tables, names, mut last_cts, covered) = match ckpt {
+                    Some((meta, tables)) => {
+                        (tables, meta.table_names, meta.last_cts, meta.covered_log_pos)
+                    }
+                    None => (Vec::new(), Vec::new(), 0, 0),
+                };
+
+                // Phase 2: replay the log suffix.
+                let replay = timed_phase(&mut report.phases, "log replay", clock, || {
+                    if paths.log().exists() {
+                        wal::replay_log(&paths.log(), covered, &mut tables)
+                            .map_err(EngineError::Wal)
+                    } else {
+                        Ok(wal::ReplayReport::default())
+                    }
+                })?;
+                last_cts = last_cts.max(replay.last_cts);
+                report.log_records_replayed = replay.records;
+
+                // Phase 3: rebuild the DRAM indexes.
+                let mut nb = WalBackend {
+                    writer: LogWriter::open(&paths.log(), clock_arc.clone(), cfg.sync_latency_ns)
+                        .map_err(EngineError::Wal)?,
+                    cfg,
+                    paths,
+                    clock: clock_arc.clone(),
+                    tables,
+                    names,
+                    indexes: Vec::new(),
+                    index_specs: Vec::new(),
+                    commits_since_sync: 0,
+                };
+                for _ in 0..nb.tables.len() {
+                    nb.indexes.push(crate::backend_wal::WalTableIndexes {
+                        hash: Vec::new(),
+                        ordered: Vec::new(),
+                    });
+                }
+                timed_phase(&mut report.phases, "index rebuild", clock, || {
+                    for (t, c, k) in &index_specs {
+                        nb.create_index(*t, *c, *k)?;
+                    }
+                    Ok::<(), EngineError>(())
+                })?;
+                // create_index re-populated index_specs.
+                report.indexes_rebuilt =
+                    (nb.indexes.iter().map(|s| s.hash.len() + s.ordered.len()).sum::<usize>())
+                        as u64;
+                report.last_cts = last_cts;
+                report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
+
+                self.mgr = TxnManager::recovered(last_cts);
+                self.backend = Backend::Wal(nb);
+            }
+            Backend::Volatile(_) => {
+                // Everything is lost; the report records the data loss.
+                timed_phase(&mut report.phases, "data loss", || 0, || {
+                    Ok::<(), EngineError>(())
+                })?;
+                self.mgr = TxnManager::new();
+                self.backend = Backend::Volatile(VolatileBackend::create());
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Durable commit publish for the WAL backend: append a commit record; sync
+/// when the group-commit window fills.
+struct WalPublisher<'a> {
+    writer: &'a mut LogWriter,
+    commits_since_sync: &'a mut u32,
+    every: u32,
+}
+
+impl txn::CommitPublish for WalPublisher<'_> {
+    fn publish(&mut self, cts: u64, txn: &Transaction) -> txn::Result<()> {
+        self.writer
+            .append(&wal::LogRecord::Commit { tid: txn.tid, cts })
+            .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
+        *self.commits_since_sync += 1;
+        if *self.commits_since_sync >= self.every {
+            self.writer
+                .sync()
+                .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
+            *self.commits_since_sync = 0;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("mode", &self.mode())
+            .field("tables", &self.table_count())
+            .field("last_committed", &self.mgr.last_committed())
+            .finish()
+    }
+}

@@ -1,0 +1,78 @@
+//! Engine-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Database`] façade.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Storage-layer failure.
+    Storage(storage::StorageError),
+    /// Transaction-layer failure (including write conflicts).
+    Txn(txn::TxnError),
+    /// WAL-layer failure.
+    Wal(wal::WalError),
+    /// NVM substrate failure.
+    Nvm(nvm::NvmError),
+    /// Catalogue misuse (unknown table, duplicate name, limits exceeded…).
+    Catalog(String),
+    /// The operation is not supported by the active durability backend.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage: {e}"),
+            EngineError::Txn(e) => write!(f, "txn: {e}"),
+            EngineError::Wal(e) => write!(f, "wal: {e}"),
+            EngineError::Nvm(e) => write!(f, "nvm: {e}"),
+            EngineError::Catalog(s) => write!(f, "catalog: {s}"),
+            EngineError::Unsupported(s) => write!(f, "unsupported by this backend: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Txn(e) => Some(e),
+            EngineError::Wal(e) => Some(e),
+            EngineError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<storage::StorageError> for EngineError {
+    fn from(e: storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+impl From<txn::TxnError> for EngineError {
+    fn from(e: txn::TxnError) -> Self {
+        EngineError::Txn(e)
+    }
+}
+impl From<wal::WalError> for EngineError {
+    fn from(e: wal::WalError) -> Self {
+        EngineError::Wal(e)
+    }
+}
+impl From<nvm::NvmError> for EngineError {
+    fn from(e: nvm::NvmError) -> Self {
+        EngineError::Nvm(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// True if the error is a write-write conflict the caller should retry.
+pub fn is_conflict(e: &EngineError) -> bool {
+    match e {
+        EngineError::Txn(t) => txn::is_conflict(t),
+        EngineError::Storage(storage::StorageError::WriteConflict { .. }) => true,
+        _ => false,
+    }
+}

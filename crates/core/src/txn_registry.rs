@@ -1,0 +1,248 @@
+//! Persistent in-flight transaction registry.
+//!
+//! The naive post-crash undo pass scans *every* MVCC timestamp word to find
+//! effects of unpublished transactions — work linear in table size, which
+//! would undermine the paper's size-independent restart. Hyrise-NV instead
+//! keeps per-transaction write sets on NVM; recovery then repairs only the
+//! rows touched by transactions in flight at the crash.
+//!
+//! Layout:
+//!
+//! ```text
+//! Registry block: SLOTS × (tid u64 | nwrites u64 | writes_ptr u64)
+//! Writes block:   capacity-managed array of 16-byte entries:
+//!                 word0 = table << 8 | kind   (kind 0 = insert, 1 = invalidate)
+//!                 word1 = row
+//! ```
+//!
+//! Protocol (write-ahead with respect to the table operation):
+//!
+//! 1. on a transaction's first write, claim a slot and durably store its
+//!    tid;
+//! 2. before *each* table write, append the (table, row, kind) entry and
+//!    durably bump `nwrites` — the entry may thus reference a row the crash
+//!    prevented from materializing, which recovery skips;
+//! 3. after the commit publish (or after abort undo), durably clear the
+//!    slot.
+//!
+//! Recovery walks the (bounded) slot array; for each occupied slot it
+//! repairs exactly the referenced rows, idempotently: pending markers and
+//! timestamps beyond the published CTS roll back, everything else is left
+//! alone (the slot may have been cleared *after* a successful publish).
+
+use std::collections::HashMap;
+
+use nvm::NvmHeap;
+use storage::nv::NvTable;
+use storage::TableStore;
+
+use crate::error::{EngineError, Result};
+
+/// Number of concurrently writing transactions the registry supports.
+pub const REGISTRY_SLOTS: u64 = 64;
+
+const SLOT_SIZE: u64 = 24;
+const S_TID: u64 = 0;
+const S_NWRITES: u64 = 8;
+const S_WRITES: u64 = 16;
+
+const ENTRY_SIZE: u64 = 16;
+const INITIAL_ENTRIES: u64 = 16;
+
+const KIND_INSERT: u64 = 0;
+const KIND_INVALIDATE: u64 = 1;
+
+/// The registry handle (volatile part: tid → slot map and cached
+/// capacities).
+pub struct TxnRegistry {
+    heap: NvmHeap,
+    base: u64,
+    /// tid → slot index for active transactions.
+    active: HashMap<u64, u64>,
+    /// Cached per-slot writes-block capacity (entries).
+    caps: Vec<u64>,
+}
+
+/// What the registry's recovery pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryRecovery {
+    /// Occupied slots found (transactions in flight at the crash).
+    pub inflight_txns: u64,
+    /// Write entries walked.
+    pub entries_walked: u64,
+    /// MVCC words actually repaired.
+    pub repaired: u64,
+}
+
+impl TxnRegistry {
+    /// Allocate and zero a fresh registry; returns the handle. The block
+    /// offset is stored by the caller (catalogue).
+    pub fn create(heap: &NvmHeap) -> Result<TxnRegistry> {
+        let base = heap.alloc(REGISTRY_SLOTS * SLOT_SIZE)?;
+        let region = heap.region();
+        for s in 0..REGISTRY_SLOTS {
+            region.write_pod(base + s * SLOT_SIZE + S_TID, &0u64)?;
+            region.write_pod(base + s * SLOT_SIZE + S_NWRITES, &0u64)?;
+            region.write_pod(base + s * SLOT_SIZE + S_WRITES, &0u64)?;
+        }
+        region.persist(base, REGISTRY_SLOTS * SLOT_SIZE)?;
+        Ok(TxnRegistry {
+            heap: heap.clone(),
+            base,
+            active: HashMap::new(),
+            caps: vec![0; REGISTRY_SLOTS as usize],
+        })
+    }
+
+    /// Re-attach after restart (after [`TxnRegistry::recover`] has run the
+    /// slots are all clear).
+    pub fn open(heap: &NvmHeap, base: u64) -> Result<TxnRegistry> {
+        let region = heap.region();
+        let mut caps = vec![0u64; REGISTRY_SLOTS as usize];
+        for s in 0..REGISTRY_SLOTS {
+            let writes: u64 = region.read_pod(base + s * SLOT_SIZE + S_WRITES)?;
+            caps[s as usize] = if writes == 0 {
+                0
+            } else {
+                heap.payload_capacity(writes)? / ENTRY_SIZE
+            };
+        }
+        Ok(TxnRegistry {
+            heap: heap.clone(),
+            base,
+            active: HashMap::new(),
+            caps,
+        })
+    }
+
+    /// Block offset (for the catalogue).
+    pub fn base_offset(&self) -> u64 {
+        self.base
+    }
+
+    fn slot_off(&self, slot: u64) -> u64 {
+        self.base + slot * SLOT_SIZE
+    }
+
+    fn claim(&mut self, tid: u64) -> Result<u64> {
+        if let Some(&slot) = self.active.get(&tid) {
+            return Ok(slot);
+        }
+        let used: std::collections::HashSet<u64> = self.active.values().copied().collect();
+        let slot = (0..REGISTRY_SLOTS)
+            .find(|s| !used.contains(s))
+            .ok_or_else(|| {
+                EngineError::Catalog(format!(
+                    "more than {REGISTRY_SLOTS} concurrently writing transactions"
+                ))
+            })?;
+        let region = self.heap.region().clone();
+        let off = self.slot_off(slot);
+        // Writes block allocated lazily, then kept across slot reuses.
+        if self.caps[slot as usize] == 0 {
+            let writes = self.heap.reserve(INITIAL_ENTRIES * ENTRY_SIZE)?;
+            self.heap
+                .activate(writes, Some((off + S_WRITES, writes)), None)?;
+            self.caps[slot as usize] = INITIAL_ENTRIES;
+        }
+        region.write_pod(off + S_NWRITES, &0u64)?;
+        region.write_pod(off + S_TID, &tid)?;
+        region.persist(off, SLOT_SIZE)?;
+        self.active.insert(tid, slot);
+        Ok(slot)
+    }
+
+    fn append(&mut self, tid: u64, table: usize, row: u64, kind: u64) -> Result<()> {
+        let slot = self.claim(tid)?;
+        let region = self.heap.region().clone();
+        let off = self.slot_off(slot);
+        let n: u64 = region.read_pod(off + S_NWRITES)?;
+        let cap = self.caps[slot as usize];
+        if n >= cap {
+            // Grow the writes block (crash-safe pointer swap).
+            let old: u64 = region.read_pod(off + S_WRITES)?;
+            let new_cap = cap * 2;
+            let new = self.heap.reserve(new_cap * ENTRY_SIZE)?;
+            let bytes = region.with_slice(old, n * ENTRY_SIZE, |b| b.to_vec())?;
+            region.write_bytes(new, &bytes)?;
+            region.persist(new, n * ENTRY_SIZE)?;
+            self.heap
+                .activate(new, Some((off + S_WRITES, new)), Some(old))?;
+            self.caps[slot as usize] = new_cap;
+        }
+        let writes: u64 = region.read_pod(off + S_WRITES)?;
+        let e = writes + n * ENTRY_SIZE;
+        region.write_pod(e, &((table as u64) << 8 | kind))?;
+        region.write_pod(e + 8, &row)?;
+        region.persist(e, ENTRY_SIZE)?;
+        region.write_pod(off + S_NWRITES, &(n + 1))?;
+        region.persist(off + S_NWRITES, 8)?;
+        Ok(())
+    }
+
+    /// Record an upcoming insert of `row` (call *before* the table write).
+    pub fn record_insert(&mut self, tid: u64, table: usize, row: u64) -> Result<()> {
+        self.append(tid, table, row, KIND_INSERT)
+    }
+
+    /// Record an upcoming invalidation of `row`.
+    pub fn record_invalidate(&mut self, tid: u64, table: usize, row: u64) -> Result<()> {
+        self.append(tid, table, row, KIND_INVALIDATE)
+    }
+
+    /// Durably release a transaction's slot (after commit publish or abort
+    /// undo). No-op for read-only transactions that never claimed one.
+    pub fn release(&mut self, tid: u64) -> Result<()> {
+        if let Some(slot) = self.active.remove(&tid) {
+            let region = self.heap.region();
+            let off = self.slot_off(slot);
+            region.write_pod(off + S_TID, &0u64)?;
+            region.persist(off + S_TID, 8)?;
+        }
+        Ok(())
+    }
+
+    /// Post-crash repair: for every occupied slot, repair exactly the
+    /// referenced rows against the published `last_cts`, then clear the
+    /// slot. Idempotent.
+    pub fn recover(&mut self, tables: &mut [NvTable], last_cts: u64) -> Result<RegistryRecovery> {
+        let region = self.heap.region().clone();
+        let mut report = RegistryRecovery::default();
+        for s in 0..REGISTRY_SLOTS {
+            let off = self.slot_off(s);
+            let tid: u64 = region.read_pod(off + S_TID)?;
+            if tid == 0 {
+                continue;
+            }
+            report.inflight_txns += 1;
+            let n: u64 = region.read_pod(off + S_NWRITES)?;
+            let writes: u64 = region.read_pod(off + S_WRITES)?;
+            for i in 0..n {
+                let e = writes + i * ENTRY_SIZE;
+                let word0: u64 = region.read_pod(e)?;
+                let row: u64 = region.read_pod(e + 8)?;
+                let table = (word0 >> 8) as usize;
+                report.entries_walked += 1;
+                let Some(t) = tables.get_mut(table) else {
+                    continue; // entry from a table the crash never published
+                };
+                if row >= t.row_count() {
+                    continue; // row never materialized
+                }
+                report.repaired += t.repair_row(row, last_cts)?;
+            }
+            region.write_pod(off + S_TID, &0u64)?;
+            region.persist(off + S_TID, 8)?;
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for TxnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnRegistry")
+            .field("base", &self.base)
+            .field("active", &self.active.len())
+            .finish()
+    }
+}

@@ -1,0 +1,97 @@
+//! DRAM hash group-key index (baseline).
+
+use std::collections::HashMap;
+
+use storage::{RowId, TableStore, Value};
+
+/// A group-key index mapping column values to the physical rows containing
+/// them. Volatile: the baseline rebuilds it after restart with
+/// [`VolatileHashIndex::rebuild`].
+#[derive(Debug, Default, Clone)]
+pub struct VolatileHashIndex {
+    map: HashMap<Value, Vec<RowId>>,
+    column: usize,
+}
+
+impl VolatileHashIndex {
+    /// An empty index over column `column`.
+    pub fn new(column: usize) -> VolatileHashIndex {
+        VolatileHashIndex {
+            map: HashMap::new(),
+            column,
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Register a new row version carrying `value`.
+    pub fn insert(&mut self, value: &Value, row: RowId) {
+        self.map.entry(value.clone()).or_default().push(row);
+    }
+
+    /// Candidate physical rows for `value` (all versions; caller filters
+    /// visibility).
+    pub fn lookup(&self, value: &Value) -> &[RowId] {
+        self.map.get(value).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total row entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Rebuild from a table scan — the baseline's post-restart (and
+    /// post-merge) path. Indexes every physical row, including dead
+    /// versions; visibility is the reader's job.
+    pub fn rebuild(&mut self, table: &dyn TableStore) -> storage::Result<()> {
+        self.map.clear();
+        for row in 0..table.row_count() {
+            let v = table.value(row, self.column)?;
+            self.insert(&v, row);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{ColumnDef, DataType, Schema, VTable};
+
+    fn table_with(rows: &[i64]) -> VTable {
+        let mut t = VTable::new(Schema::new(vec![ColumnDef::new("k", DataType::Int)]));
+        for &k in rows {
+            t.insert_version(&[Value::Int(k)], 1).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = VolatileHashIndex::new(0);
+        idx.insert(&Value::Int(1), 0);
+        idx.insert(&Value::Int(1), 2);
+        idx.insert(&Value::Int(2), 1);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(9)), &[] as &[RowId]);
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.entry_count(), 3);
+    }
+
+    #[test]
+    fn rebuild_matches_table() {
+        let t = table_with(&[5, 3, 5, 8]);
+        let mut idx = VolatileHashIndex::new(0);
+        idx.rebuild(&t).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(8)), &[3]);
+    }
+}

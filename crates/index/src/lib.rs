@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! Index structures for the two engine variants.
+//!
+//! * [`VolatileHashIndex`] / [`VolatileOrderedIndex`] — DRAM group-key
+//!   indexes used by the log-based baseline. They are *not* durable: after a
+//!   restart the baseline must rebuild them by scanning the recovered table,
+//!   which is part of its size-dependent recovery cost (experiment E6).
+//! * [`NvHashIndex`] — the Hyrise-NV multi-version hash index. Buckets and
+//!   entry chains live on NVM and are updated with the allocator's
+//!   crash-safe activate protocol, so after a restart the index is simply
+//!   *mapped*, never rebuilt. Entries are versioned implicitly: the index
+//!   stores one entry per physical row version; readers filter through the
+//!   table's MVCC metadata and verify the key against the base table (the
+//!   index stores 64-bit key hashes, not keys).
+//!
+//! Indexes return *candidate* physical rows; callers apply MVCC visibility
+//! and (for the hash indexes) equality verification.
+
+mod hash;
+mod nvhash;
+mod nvordered;
+mod ordered;
+
+pub use hash::VolatileHashIndex;
+pub use nvhash::{NvHashIndex, NVHASH_DESC_SIZE};
+pub use nvordered::{NvOrderedIndex, MAX_HEIGHT, NVORDERED_DESC_SIZE, ORD_POOL_ENTRIES};
+pub use ordered::VolatileOrderedIndex;
+
+use std::hash::{Hash, Hasher};
+
+use storage::Value;
+
+/// The 64-bit key hash shared by the volatile and persistent hash indexes
+/// (stable across runs of the same build; FNV-1a over the value's tagged
+/// bytes).
+pub fn key_hash(v: &Value) -> u64 {
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+            }
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hash_stable_and_discriminating() {
+        assert_eq!(key_hash(&Value::Int(5)), key_hash(&Value::Int(5)));
+        assert_ne!(key_hash(&Value::Int(5)), key_hash(&Value::Int(6)));
+        assert_ne!(key_hash(&Value::Int(5)), key_hash(&Value::Double(5.0)));
+        assert_eq!(
+            key_hash(&Value::Text("ab".into())),
+            key_hash(&Value::Text("ab".into()))
+        );
+    }
+}

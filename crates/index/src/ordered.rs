@@ -1,0 +1,113 @@
+//! DRAM ordered group-key index (baseline), supporting range probes.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use storage::{RowId, TableStore, Value};
+
+/// An ordered group-key index over one column, for range lookups. Volatile;
+/// rebuilt after restart (and after merges).
+#[derive(Debug, Default, Clone)]
+pub struct VolatileOrderedIndex {
+    map: BTreeMap<Value, Vec<RowId>>,
+    column: usize,
+}
+
+impl VolatileOrderedIndex {
+    /// An empty index over column `column`.
+    pub fn new(column: usize) -> VolatileOrderedIndex {
+        VolatileOrderedIndex {
+            map: BTreeMap::new(),
+            column,
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Register a new row version carrying `value`.
+    pub fn insert(&mut self, value: &Value, row: RowId) {
+        self.map.entry(value.clone()).or_default().push(row);
+    }
+
+    /// Candidate rows with value exactly `value`.
+    pub fn lookup(&self, value: &Value) -> &[RowId] {
+        self.map.get(value).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Candidate rows with `lo <= value < hi` (either bound optional).
+    pub fn lookup_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        let lo_bound = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi_bound = hi.map_or(Bound::Unbounded, |v| Bound::Excluded(v.clone()));
+        let mut out = Vec::new();
+        for rows in self.map.range((lo_bound, hi_bound)).map(|(_, r)| r) {
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Smallest indexed key at or above `v`, with its rows.
+    pub fn ceiling(&self, v: &Value) -> Option<(&Value, &[RowId])> {
+        self.map
+            .range((Bound::Included(v.clone()), Bound::Unbounded))
+            .next()
+            .map(|(k, r)| (k, r.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Rebuild from a table scan (post-restart / post-merge).
+    pub fn rebuild(&mut self, table: &dyn TableStore) -> storage::Result<()> {
+        self.map.clear();
+        for row in 0..table.row_count() {
+            let v = table.value(row, self.column)?;
+            self.insert(&v, row);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> VolatileOrderedIndex {
+        let mut i = VolatileOrderedIndex::new(0);
+        for (k, r) in [(5i64, 0u64), (1, 1), (9, 2), (5, 3), (7, 4)] {
+            i.insert(&Value::Int(k), r);
+        }
+        i
+    }
+
+    #[test]
+    fn range_lookups() {
+        let i = idx();
+        let mut got = i.lookup_range(Some(&Value::Int(5)), Some(&Value::Int(9)));
+        got.sort();
+        assert_eq!(got, vec![0, 3, 4]);
+        assert_eq!(i.lookup_range(None, Some(&Value::Int(2))), vec![1]);
+        let all = i.lookup_range(None, None);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn ceiling_finds_next_key() {
+        let i = idx();
+        let (k, rows) = i.ceiling(&Value::Int(6)).unwrap();
+        assert_eq!(*k, Value::Int(7));
+        assert_eq!(rows, &[4]);
+        assert!(i.ceiling(&Value::Int(10)).is_none());
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let i = idx();
+        assert_eq!(i.lookup(&Value::Int(5)), &[0, 3]);
+        assert_eq!(i.key_count(), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Differential property tests: persistent indexes vs in-memory models,
+//! including crash/reopen cycles.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use index::{NvHashIndex, NvOrderedIndex};
+use nvm::{CrashPolicy, LatencyModel, NvmHeap, NvmRegion};
+use proptest::prelude::*;
+use storage::{DataType, Value};
+
+fn heap() -> NvmHeap {
+    NvmHeap::format(Arc::new(NvmRegion::new(1 << 24, LatencyModel::zero()))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The skip list agrees with a BTreeMap model on every point and range
+    /// probe, before and after a crash.
+    #[test]
+    fn ordered_index_matches_btreemap(
+        keys in proptest::collection::vec(-50i64..50, 1..120),
+        probes in proptest::collection::vec((-60i64..60, 0i64..30), 1..20),
+    ) {
+        let h = heap();
+        let idx = NvOrderedIndex::create(&h, 0, DataType::Int).unwrap();
+        let desc = idx.desc_offset();
+        let mut model: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+        for (row, k) in keys.iter().enumerate() {
+            idx.insert(&Value::Int(*k), row as u64).unwrap();
+            model.entry(*k).or_default().push(row as u64);
+        }
+        h.region().crash(CrashPolicy::DropUnflushed);
+        let (h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+        let idx = NvOrderedIndex::open(&h2, desc).unwrap();
+
+        for (lo, width) in &probes {
+            let hi = lo + width;
+            let mut got = idx
+                .lookup_range(Some(&Value::Int(*lo)), Some(&Value::Int(hi)))
+                .unwrap();
+            got.sort();
+            let mut want: Vec<u64> = model
+                .range(*lo..hi)
+                .flat_map(|(_, rows)| rows.iter().copied())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "range [{}, {})", lo, hi);
+
+            let mut got = idx.lookup(&Value::Int(*lo)).unwrap();
+            got.sort();
+            let want = model.get(lo).cloned().unwrap_or_default();
+            prop_assert_eq!(got, want, "point {}", lo);
+        }
+    }
+
+    /// Text-keyed skip list agrees with a BTreeMap<String, _> model.
+    #[test]
+    fn ordered_text_index_matches_model(
+        keys in proptest::collection::vec("[a-e]{1,4}", 1..60),
+    ) {
+        let h = heap();
+        let idx = NvOrderedIndex::create(&h, 0, DataType::Text).unwrap();
+        let mut model: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (row, k) in keys.iter().enumerate() {
+            idx.insert(&Value::Text(k.clone()), row as u64).unwrap();
+            model.entry(k.clone()).or_default().push(row as u64);
+        }
+        for k in model.keys() {
+            let mut got = idx.lookup(&Value::Text(k.clone())).unwrap();
+            got.sort();
+            prop_assert_eq!(&got, &model[k]);
+        }
+        // Full ordered walk covers everything exactly once.
+        let all = idx.lookup_range(None, None).unwrap();
+        prop_assert_eq!(all.len(), keys.len());
+    }
+
+    /// Hash and ordered indexes agree with each other on point probes under
+    /// identical histories, across a crash with random eviction.
+    #[test]
+    fn hash_and_ordered_agree(
+        keys in proptest::collection::vec(0i64..40, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let h = heap();
+        let hash = NvHashIndex::create(&h, 0, 64).unwrap();
+        let ord = NvOrderedIndex::create(&h, 0, DataType::Int).unwrap();
+        let (hd, od) = (hash.desc_offset(), ord.desc_offset());
+        for (row, k) in keys.iter().enumerate() {
+            hash.insert(&Value::Int(*k), row as u64).unwrap();
+            ord.insert(&Value::Int(*k), row as u64).unwrap();
+        }
+        h.region().crash(CrashPolicy::RandomEviction { p: 0.5, seed });
+        let (h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+        let hash = NvHashIndex::open(&h2, hd).unwrap();
+        let ord = NvOrderedIndex::open(&h2, od).unwrap();
+        for k in 0..41i64 {
+            let mut a = hash.lookup(&Value::Int(k)).unwrap();
+            let mut b = ord.lookup(&Value::Int(k)).unwrap();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "key {}", k);
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! nvm_malloc-style persistent allocator.
+//!
+//! The paper's engine places all primary data on NVM through a persistent
+//! allocator whose metadata survives crashes. The tricky part is the window
+//! between *allocating* a block and *linking* it into a durable structure:
+//! naively, a crash in that window either leaks the block (allocated but
+//! unreachable) or dangles it (linked but not allocated). Following
+//! nvm_malloc, allocation is split into **reserve** and **activate**, and the
+//! activation record stores the link target inside the block header so the
+//! recovery scan can *complete* a half-done activation instead of guessing:
+//!
+//! 1. `reserve(len)` — the block header is written durably in state
+//!    `Reserved`. A crash now reclaims the block.
+//! 2. The caller initializes the payload and flushes it.
+//! 3. `activate(payload, link, replaces)` — the header durably records the
+//!    link address/value (and optionally a block this one replaces), moves to
+//!    state `Activating`, then performs the link store, frees the replaced
+//!    block, and finally moves to `Allocated`. A crash anywhere in between is
+//!    redone idempotently by [`recovery`](NvmHeap::open).
+//! 4. `free(payload, unlink)` mirrors this with a `Deactivating` state.
+//!
+//! Block headers are one cache line (64 bytes) and blocks are line-aligned,
+//! so each header update is a single-line (atomic) persist.
+//!
+//! The free lists are **volatile** — exactly as in nvm_malloc — and are
+//! rebuilt by the recovery scan; the cost of that scan versus heap population
+//! is the A2 ablation experiment.
+
+use std::collections::HashMap;
+
+use crate::layout::{align_up, CACHE_LINE};
+use crate::region::NvmRegion;
+use crate::{NvmError, Result};
+
+/// Size of the per-block header (one cache line).
+pub const ALLOC_BLOCK_HEADER: u64 = CACHE_LINE;
+
+/// Magic value identifying a formatted region ("HYRISNVM" in ASCII-ish).
+pub(crate) const REGION_MAGIC: u64 = 0x4859_5249_534E_564D;
+/// On-media layout version.
+pub(crate) const REGION_VERSION: u64 = 1;
+
+/// Region header field offsets (all u64 fields, header occupies the first
+/// cache line of the region).
+pub(crate) mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const VERSION: u64 = 8;
+    pub const CAPACITY: u64 = 16;
+    pub const HEAP_START: u64 = 24;
+    pub const BUMP: u64 = 32;
+    pub const ROOT: u64 = 40;
+}
+
+/// Block lifecycle states stored in the low bits of the header size word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum AllocState {
+    /// Block is unused and reusable.
+    Free = 0,
+    /// Block handed out by `reserve` but not yet activated; reclaimed by
+    /// recovery.
+    Reserved = 1,
+    /// Activation in progress; recovery completes it.
+    Activating = 2,
+    /// Block is live.
+    Allocated = 3,
+    /// Deallocation in progress; recovery completes it.
+    Deactivating = 4,
+}
+
+impl AllocState {
+    fn from_tag(tag: u64) -> Option<AllocState> {
+        match tag {
+            0 => Some(AllocState::Free),
+            1 => Some(AllocState::Reserved),
+            2 => Some(AllocState::Activating),
+            3 => Some(AllocState::Allocated),
+            4 => Some(AllocState::Deactivating),
+            _ => None,
+        }
+    }
+}
+
+const STATE_BITS: u64 = 3;
+const STATE_MASK: u64 = (1 << STATE_BITS) - 1;
+
+/// Block header word offsets relative to the block start.
+mod bh {
+    /// `size << 3 | state`.
+    pub const SIZE_STATE: u64 = 0;
+    /// Durable link target address (0 = none).
+    pub const LINK_ADDR: u64 = 8;
+    /// Value to store at the link target.
+    pub const LINK_VAL: u64 = 16;
+    /// Block offset of a block this activation replaces (0 = none).
+    pub const REPLACES: u64 = 24;
+}
+
+/// Description of one heap block, as returned by [`crate::NvmHeap::walk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Offset of the block header.
+    pub block_off: u64,
+    /// Offset of the payload (header + one line).
+    pub payload_off: u64,
+    /// Total block size including the header.
+    pub total_size: u64,
+    /// Lifecycle state.
+    pub state: AllocState,
+}
+
+/// Outcome of the allocator recovery scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocatorRecovery {
+    /// Total block headers visited.
+    pub blocks_scanned: u64,
+    /// Blocks found in `Allocated` state.
+    pub live_blocks: u64,
+    /// `Reserved` blocks reclaimed (crash before activation).
+    pub reclaimed_reserved: u64,
+    /// `Activating` blocks whose activation was completed (redo).
+    pub completed_activations: u64,
+    /// `Deactivating` blocks whose free was completed (redo).
+    pub completed_deactivations: u64,
+    /// Free blocks re-inserted into the volatile bins.
+    pub free_blocks: u64,
+}
+
+/// The volatile face of the persistent heap: exact-size free bins plus the
+/// durable bump frontier, all rebuilt from the region on `open`.
+pub(crate) struct Allocator {
+    heap_start: u64,
+    /// Cached copy of the durable bump pointer.
+    bump: u64,
+    /// Exact-total-size free bins (volatile; rebuilt on recovery).
+    bins: HashMap<u64, Vec<u64>>,
+}
+
+impl Allocator {
+    /// Format a virgin region: write the region header durably and return an
+    /// empty allocator.
+    pub fn format(region: &NvmRegion) -> Result<Allocator> {
+        let heap_start = CACHE_LINE;
+        region.write_pod(hdr::MAGIC, &REGION_MAGIC)?;
+        region.write_pod(hdr::VERSION, &REGION_VERSION)?;
+        region.write_pod(hdr::CAPACITY, &region.capacity())?;
+        region.write_pod(hdr::HEAP_START, &heap_start)?;
+        region.write_pod(hdr::BUMP, &heap_start)?;
+        region.write_pod(hdr::ROOT, &0u64)?;
+        region.persist(0, CACHE_LINE)?;
+        Ok(Allocator {
+            heap_start,
+            bump: heap_start,
+            bins: HashMap::new(),
+        })
+    }
+
+    /// Open a formatted region: validate the header, then scan the heap,
+    /// completing interrupted operations and rebuilding the free bins.
+    pub fn open(region: &NvmRegion) -> Result<(Allocator, AllocatorRecovery)> {
+        if region.read_pod::<u64>(hdr::MAGIC)? != REGION_MAGIC {
+            return Err(NvmError::BadHeader {
+                reason: "magic mismatch (region not formatted?)",
+            });
+        }
+        if region.read_pod::<u64>(hdr::VERSION)? != REGION_VERSION {
+            return Err(NvmError::BadHeader {
+                reason: "layout version mismatch",
+            });
+        }
+        if region.read_pod::<u64>(hdr::CAPACITY)? != region.capacity() {
+            return Err(NvmError::BadHeader {
+                reason: "capacity mismatch",
+            });
+        }
+        let heap_start = region.read_pod::<u64>(hdr::HEAP_START)?;
+        let bump = region.read_pod::<u64>(hdr::BUMP)?;
+        let mut alloc = Allocator {
+            heap_start,
+            bump,
+            bins: HashMap::new(),
+        };
+        let report = alloc.recover(region)?;
+        Ok((alloc, report))
+    }
+
+    fn read_header(&self, region: &NvmRegion, block_off: u64) -> Result<(u64, AllocState)> {
+        let word = region.read_pod::<u64>(block_off + bh::SIZE_STATE)?;
+        let size = word >> STATE_BITS;
+        let state = AllocState::from_tag(word & STATE_MASK).ok_or(NvmError::CorruptHeap {
+            offset: block_off,
+            reason: "unknown block state tag",
+        })?;
+        Ok((size, state))
+    }
+
+    fn write_state(&self, region: &NvmRegion, block_off: u64, size: u64, state: AllocState) -> Result<()> {
+        region.write_pod(block_off + bh::SIZE_STATE, &(size << STATE_BITS | state as u64))?;
+        region.persist(block_off, CACHE_LINE)
+    }
+
+    /// Recovery scan: walk `[heap_start, bump)`, redo interrupted
+    /// activations/deactivations, reclaim reservations, rebuild bins.
+    fn recover(&mut self, region: &NvmRegion) -> Result<AllocatorRecovery> {
+        let mut report = AllocatorRecovery::default();
+        let mut off = self.heap_start;
+        while off < self.bump {
+            let (size, state) = self.read_header(region, off)?;
+            if size < ALLOC_BLOCK_HEADER + CACHE_LINE || off + size > self.bump || size % CACHE_LINE != 0 {
+                return Err(NvmError::CorruptHeap {
+                    offset: off,
+                    reason: "implausible block size",
+                });
+            }
+            report.blocks_scanned += 1;
+            match state {
+                AllocState::Allocated => report.live_blocks += 1,
+                AllocState::Free => {
+                    report.free_blocks += 1;
+                    self.bins.entry(size).or_default().push(off);
+                }
+                AllocState::Reserved => {
+                    // Never activated: reclaim.
+                    self.write_state(region, off, size, AllocState::Free)?;
+                    report.reclaimed_reserved += 1;
+                    self.bins.entry(size).or_default().push(off);
+                }
+                AllocState::Activating => {
+                    // Redo: link store, free of the replaced block, publish.
+                    let link_addr = region.read_pod::<u64>(off + bh::LINK_ADDR)?;
+                    let link_val = region.read_pod::<u64>(off + bh::LINK_VAL)?;
+                    let replaces = region.read_pod::<u64>(off + bh::REPLACES)?;
+                    if link_addr != 0 {
+                        region.write_pod(link_addr, &link_val)?;
+                        region.persist(link_addr, 8)?;
+                    }
+                    if replaces != 0 {
+                        let (rsize, _) = self.read_header(region, replaces)?;
+                        self.write_state(region, replaces, rsize, AllocState::Free)?;
+                        self.bins.entry(rsize).or_default().push(replaces);
+                        report.free_blocks += 1;
+                    }
+                    self.write_state(region, off, size, AllocState::Allocated)?;
+                    report.completed_activations += 1;
+                    report.live_blocks += 1;
+                }
+                AllocState::Deactivating => {
+                    // Redo: unlink store, then free.
+                    let link_addr = region.read_pod::<u64>(off + bh::LINK_ADDR)?;
+                    let link_val = region.read_pod::<u64>(off + bh::LINK_VAL)?;
+                    if link_addr != 0 {
+                        region.write_pod(link_addr, &link_val)?;
+                        region.persist(link_addr, 8)?;
+                    }
+                    self.write_state(region, off, size, AllocState::Free)?;
+                    report.completed_deactivations += 1;
+                    report.free_blocks += 1;
+                    self.bins.entry(size).or_default().push(off);
+                }
+            }
+            off += size;
+        }
+        if off != self.bump {
+            return Err(NvmError::CorruptHeap {
+                offset: off,
+                reason: "heap scan overran the bump frontier",
+            });
+        }
+        Ok(report)
+    }
+
+    /// Total block size for a payload of `len` bytes.
+    fn total_for(len: u64) -> u64 {
+        ALLOC_BLOCK_HEADER + align_up(len.max(8), CACHE_LINE)
+    }
+
+    /// Reserve a block able to hold `len` payload bytes. Returns the payload
+    /// offset. Durable in state `Reserved`.
+    pub fn reserve(&mut self, region: &NvmRegion, len: u64) -> Result<u64> {
+        let total = Self::total_for(len);
+        let block_off = if let Some(list) = self.bins.get_mut(&total) {
+            match list.pop() {
+                Some(off) => off,
+                None => self.bump_alloc(region, total)?,
+            }
+        } else {
+            self.bump_alloc(region, total)?
+        };
+        // Clear the activation words from any previous life, then mark
+        // reserved; one header line, one persist.
+        region.write_pod(block_off + bh::LINK_ADDR, &0u64)?;
+        region.write_pod(block_off + bh::LINK_VAL, &0u64)?;
+        region.write_pod(block_off + bh::REPLACES, &0u64)?;
+        region.write_pod(
+            block_off + bh::SIZE_STATE,
+            &(total << STATE_BITS | AllocState::Reserved as u64),
+        )?;
+        region.persist(block_off, CACHE_LINE)?;
+        Ok(block_off + ALLOC_BLOCK_HEADER)
+    }
+
+    fn bump_alloc(&mut self, region: &NvmRegion, total: u64) -> Result<u64> {
+        let block_off = self.bump;
+        let new_bump = block_off
+            .checked_add(total)
+            .ok_or(NvmError::OutOfMemory { requested: total })?;
+        if new_bump > region.capacity() {
+            return Err(NvmError::OutOfMemory { requested: total });
+        }
+        // Header first (so the scan below the new bump always sees a valid
+        // header), then advance the durable bump.
+        region.write_pod(
+            block_off + bh::SIZE_STATE,
+            &(total << STATE_BITS | AllocState::Reserved as u64),
+        )?;
+        region.persist(block_off, CACHE_LINE)?;
+        region.write_pod(hdr::BUMP, &new_bump)?;
+        region.persist(hdr::BUMP, 8)?;
+        self.bump = new_bump;
+        Ok(block_off)
+    }
+
+    /// Activate a reserved block: durably record the intended link (and the
+    /// block being replaced, if any), then perform link store → free of the
+    /// replaced block → publish. Crash-safe at every step.
+    pub fn activate(
+        &mut self,
+        region: &NvmRegion,
+        payload_off: u64,
+        link: Option<(u64, u64)>,
+        replaces: Option<u64>,
+    ) -> Result<()> {
+        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let (size, state) = self.read_header(region, block_off)?;
+        if state != AllocState::Reserved {
+            return Err(NvmError::BadBlockState {
+                offset: payload_off,
+                found: state as u64,
+                op: "activate",
+            });
+        }
+        let (link_addr, link_val) = link.unwrap_or((0, 0));
+        let replaces_block = match replaces {
+            Some(p) => {
+                let rb = p - ALLOC_BLOCK_HEADER;
+                let (_, rstate) = self.read_header(region, rb)?;
+                if rstate != AllocState::Allocated {
+                    return Err(NvmError::BadBlockState {
+                        offset: p,
+                        found: rstate as u64,
+                        op: "activate(replaces)",
+                    });
+                }
+                rb
+            }
+            None => 0,
+        };
+        // Step 1: durable activation record (single header line).
+        region.write_pod(block_off + bh::LINK_ADDR, &link_addr)?;
+        region.write_pod(block_off + bh::LINK_VAL, &link_val)?;
+        region.write_pod(block_off + bh::REPLACES, &replaces_block)?;
+        region.write_pod(
+            block_off + bh::SIZE_STATE,
+            &(size << STATE_BITS | AllocState::Activating as u64),
+        )?;
+        region.persist(block_off, CACHE_LINE)?;
+        // Step 2: the link store.
+        if link_addr != 0 {
+            region.write_pod(link_addr, &link_val)?;
+            region.persist(link_addr, 8)?;
+        }
+        // Step 3: free the replaced block.
+        if replaces_block != 0 {
+            let (rsize, _) = self.read_header(region, replaces_block)?;
+            self.write_state(region, replaces_block, rsize, AllocState::Free)?;
+            self.bins.entry(rsize).or_default().push(replaces_block);
+        }
+        // Step 4: publish.
+        self.write_state(region, block_off, size, AllocState::Allocated)?;
+        Ok(())
+    }
+
+    /// Free a live block, optionally storing `unlink = (addr, val)` durably
+    /// first (e.g. nulling the pointer that referenced it). Crash-safe.
+    pub fn free(
+        &mut self,
+        region: &NvmRegion,
+        payload_off: u64,
+        unlink: Option<(u64, u64)>,
+    ) -> Result<()> {
+        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let (size, state) = self.read_header(region, block_off)?;
+        if state != AllocState::Allocated && state != AllocState::Reserved {
+            return Err(NvmError::BadBlockState {
+                offset: payload_off,
+                found: state as u64,
+                op: "free",
+            });
+        }
+        if let Some((addr, val)) = unlink {
+            region.write_pod(block_off + bh::LINK_ADDR, &addr)?;
+            region.write_pod(block_off + bh::LINK_VAL, &val)?;
+            region.write_pod(
+                block_off + bh::SIZE_STATE,
+                &(size << STATE_BITS | AllocState::Deactivating as u64),
+            )?;
+            region.persist(block_off, CACHE_LINE)?;
+            region.write_pod(addr, &val)?;
+            region.persist(addr, 8)?;
+        }
+        self.write_state(region, block_off, size, AllocState::Free)?;
+        self.bins.entry(size).or_default().push(block_off);
+        Ok(())
+    }
+
+    /// Usable payload capacity of the block at `payload_off`.
+    pub fn payload_capacity(&self, region: &NvmRegion, payload_off: u64) -> Result<u64> {
+        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let (size, _) = self.read_header(region, block_off)?;
+        Ok(size - ALLOC_BLOCK_HEADER)
+    }
+
+    /// Set the durable root pointer (payload offset of the application's
+    /// root object; 0 clears it).
+    pub fn set_root(&self, region: &NvmRegion, payload_off: u64) -> Result<()> {
+        region.write_pod(hdr::ROOT, &payload_off)?;
+        region.persist(hdr::ROOT, 8)
+    }
+
+    /// Read the durable root pointer.
+    pub fn root(&self, region: &NvmRegion) -> Result<u64> {
+        region.read_pod::<u64>(hdr::ROOT)
+    }
+
+    /// Enumerate every block in the heap (diagnostics / invariant checks).
+    pub fn walk(&self, region: &NvmRegion) -> Result<Vec<BlockInfo>> {
+        let mut out = Vec::new();
+        let mut off = self.heap_start;
+        while off < self.bump {
+            let (size, state) = self.read_header(region, off)?;
+            out.push(BlockInfo {
+                block_off: off,
+                payload_off: off + ALLOC_BLOCK_HEADER,
+                total_size: size,
+                state,
+            });
+            off += size;
+        }
+        Ok(out)
+    }
+
+    /// Current bump frontier (bytes of heap consumed).
+    pub fn high_water(&self) -> u64 {
+        self.bump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::region::CrashPolicy;
+
+    fn setup() -> (NvmRegion, Allocator) {
+        let region = NvmRegion::new(1 << 20, LatencyModel::zero());
+        let alloc = Allocator::format(&region).unwrap();
+        (region, alloc)
+    }
+
+    #[test]
+    fn format_then_open() {
+        let (region, _) = setup();
+        let (alloc, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.blocks_scanned, 0);
+        assert_eq!(alloc.high_water(), CACHE_LINE);
+    }
+
+    #[test]
+    fn open_unformatted_fails() {
+        let region = NvmRegion::new(1 << 16, LatencyModel::zero());
+        assert!(matches!(
+            Allocator::open(&region),
+            Err(NvmError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn reserve_activate_survives_crash() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 16).unwrap();
+        region.write_pod(p, &77u64).unwrap();
+        region.persist(p, 8).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+        let (alloc2, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.live_blocks, 1);
+        assert_eq!(region.read_pod::<u64>(p).unwrap(), 77);
+        drop(alloc2);
+    }
+
+    #[test]
+    fn unactivated_reservation_reclaimed() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 16).unwrap();
+        region.write_pod(p, &1u64).unwrap();
+        // No activate; crash.
+        region.crash(CrashPolicy::DropUnflushed);
+        let (mut alloc2, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.reclaimed_reserved, 1);
+        assert_eq!(report.live_blocks, 0);
+        // The reclaimed block is reusable.
+        let p2 = alloc2.reserve(&region, 16).unwrap();
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn activation_link_redone_by_recovery() {
+        let (region, mut alloc) = setup();
+        // A durable "slot" to link into.
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        let p = alloc.reserve(&region, 32).unwrap();
+        region.write_pod(p, &42u64).unwrap();
+        region.persist(p, 8).unwrap();
+        alloc.activate(&region, p, Some((slot, p)), None).unwrap();
+        // Simulate crash where the link store itself never hit the medium:
+        // overwrite the slot volatile-only, then crash. Recovery must redo
+        // nothing (activation completed), and the durable link persists.
+        region.crash(CrashPolicy::DropUnflushed);
+        let (_a, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.live_blocks, 2);
+        assert_eq!(region.read_pod::<u64>(slot).unwrap(), p);
+        assert_eq!(report.completed_activations, 0);
+    }
+
+    #[test]
+    fn interrupted_activation_completed() {
+        // Drive the protocol manually up to the Activating record, crash,
+        // and check recovery completes link + publish.
+        let (region, mut alloc) = setup();
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        region.write_pod(slot, &0u64).unwrap();
+        region.persist(slot, 8).unwrap();
+
+        let p = alloc.reserve(&region, 32).unwrap();
+        region.write_pod(p, &99u64).unwrap();
+        region.persist(p, 8).unwrap();
+        // Manually write the activation record (step 1 only).
+        let block = p - ALLOC_BLOCK_HEADER;
+        region.write_pod(block + bh::LINK_ADDR, &slot).unwrap();
+        region.write_pod(block + bh::LINK_VAL, &p).unwrap();
+        region.write_pod(block + bh::REPLACES, &0u64).unwrap();
+        let size = Allocator::total_for(32);
+        region
+            .write_pod(
+                block + bh::SIZE_STATE,
+                &(size << STATE_BITS | AllocState::Activating as u64),
+            )
+            .unwrap();
+        region.persist(block, CACHE_LINE).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+
+        let (_a, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.completed_activations, 1);
+        assert_eq!(region.read_pod::<u64>(slot).unwrap(), p, "link redone");
+        assert_eq!(region.read_pod::<u64>(p).unwrap(), 99, "payload durable");
+    }
+
+    #[test]
+    fn interrupted_deactivation_completed() {
+        let (region, mut alloc) = setup();
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        let p = alloc.reserve(&region, 32).unwrap();
+        alloc.activate(&region, p, Some((slot, p)), None).unwrap();
+        // Manually write the deactivation record, then crash before the
+        // unlink store.
+        let block = p - ALLOC_BLOCK_HEADER;
+        let size = Allocator::total_for(32);
+        region.write_pod(block + bh::LINK_ADDR, &slot).unwrap();
+        region.write_pod(block + bh::LINK_VAL, &0u64).unwrap();
+        region
+            .write_pod(
+                block + bh::SIZE_STATE,
+                &(size << STATE_BITS | AllocState::Deactivating as u64),
+            )
+            .unwrap();
+        region.persist(block, CACHE_LINE).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+
+        let (_a, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.completed_deactivations, 1);
+        assert_eq!(region.read_pod::<u64>(slot).unwrap(), 0, "unlink redone");
+    }
+
+    #[test]
+    fn replace_frees_old_block() {
+        let (region, mut alloc) = setup();
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        let old = alloc.reserve(&region, 64).unwrap();
+        alloc.activate(&region, old, Some((slot, old)), None).unwrap();
+        let newp = alloc.reserve(&region, 64).unwrap();
+        alloc
+            .activate(&region, newp, Some((slot, newp)), Some(old))
+            .unwrap();
+        assert_eq!(region.read_pod::<u64>(slot).unwrap(), newp);
+        let blocks = alloc.walk(&region).unwrap();
+        let old_block = blocks
+            .iter()
+            .find(|b| b.payload_off == old)
+            .expect("old block present");
+        assert_eq!(old_block.state, AllocState::Free);
+        // And the freed block is reusable at the same size.
+        let again = alloc.reserve(&region, 64).unwrap();
+        assert_eq!(again, old);
+    }
+
+    #[test]
+    fn free_with_unlink() {
+        let (region, mut alloc) = setup();
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        let p = alloc.reserve(&region, 16).unwrap();
+        alloc.activate(&region, p, Some((slot, p)), None).unwrap();
+        alloc.free(&region, p, Some((slot, 0))).unwrap();
+        assert_eq!(region.read_pod::<u64>(slot).unwrap(), 0);
+        region.crash(CrashPolicy::DropUnflushed);
+        let (_a, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.live_blocks, 1); // only the slot
+        assert_eq!(report.free_blocks, 1);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let region = NvmRegion::new(4096, LatencyModel::zero());
+        let mut alloc = Allocator::format(&region).unwrap();
+        let mut n = 0;
+        loop {
+            match alloc.reserve(&region, 256) {
+                Ok(p) => {
+                    alloc.activate(&region, p, None, None).unwrap();
+                    n += 1;
+                }
+                Err(NvmError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!((1..16).contains(&n), "allocated {n} blocks from a 4 KiB region");
+    }
+
+    #[test]
+    fn double_activate_rejected() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        assert!(matches!(
+            alloc.activate(&region, p, None, None),
+            Err(NvmError::BadBlockState { .. })
+        ));
+    }
+
+    #[test]
+    fn root_pointer_durable() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        alloc.set_root(&region, p).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+        let (alloc2, _) = Allocator::open(&region).unwrap();
+        assert_eq!(alloc2.root(&region).unwrap(), p);
+    }
+
+    #[test]
+    fn walk_matches_allocations() {
+        let (region, mut alloc) = setup();
+        let mut live = Vec::new();
+        for i in 0..10u64 {
+            let p = alloc.reserve(&region, 8 * (i + 1)).unwrap();
+            alloc.activate(&region, p, None, None).unwrap();
+            live.push(p);
+        }
+        alloc.free(&region, live[3], None).unwrap();
+        let blocks = alloc.walk(&region).unwrap();
+        assert_eq!(blocks.len(), 10);
+        assert_eq!(
+            blocks.iter().filter(|b| b.state == AllocState::Allocated).count(),
+            9
+        );
+        assert_eq!(
+            blocks.iter().filter(|b| b.state == AllocState::Free).count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by all NVM operations.
+
+use std::fmt;
+
+/// Errors raised by the NVM substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmError {
+    /// An access touched bytes outside the region.
+    OutOfBounds {
+        /// Byte offset of the access.
+        offset: u64,
+        /// Length of the access in bytes.
+        len: u64,
+        /// Region capacity in bytes.
+        capacity: u64,
+    },
+    /// The persistent heap has no room for the requested allocation.
+    OutOfMemory {
+        /// Requested payload size in bytes.
+        requested: u64,
+    },
+    /// The region header does not carry the expected magic/version, i.e. the
+    /// region was never formatted or belongs to an incompatible build.
+    BadHeader {
+        /// A human-readable description of what failed to validate.
+        reason: &'static str,
+    },
+    /// An allocator operation was applied to a block in the wrong state
+    /// (e.g. activating a block that was never reserved).
+    BadBlockState {
+        /// Payload offset of the offending block.
+        offset: u64,
+        /// State the block was found in (raw tag).
+        found: u64,
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// The recovery scan met a corrupt block header.
+    CorruptHeap {
+        /// Offset at which the scan failed.
+        offset: u64,
+        /// Description of the corruption.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "NVM access out of bounds: offset {offset} len {len} exceeds capacity {capacity}"
+            ),
+            NvmError::OutOfMemory { requested } => {
+                write!(f, "persistent heap out of memory ({requested} bytes requested)")
+            }
+            NvmError::BadHeader { reason } => write!(f, "invalid region header: {reason}"),
+            NvmError::BadBlockState { offset, found, op } => write!(
+                f,
+                "block at offset {offset} in unexpected state {found} for operation {op}"
+            ),
+            NvmError::CorruptHeap { offset, reason } => {
+                write!(f, "corrupt heap at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NvmError>;

@@ -1,0 +1,50 @@
+//! Address-space layout helpers.
+
+/// Cache-line size assumed by the persistence model. Flush granularity and
+/// the line-granular atomicity guarantee both use this constant.
+pub const CACHE_LINE: u64 = 64;
+
+/// Round `v` up to the next multiple of `align` (which must be a power of
+/// two).
+#[inline]
+pub const fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+/// Index of the cache line containing byte offset `off`.
+#[inline]
+pub const fn line_index(off: u64) -> u64 {
+    off / CACHE_LINE
+}
+
+/// Inclusive range of cache-line indices covering `[off, off + len)`.
+/// Returns `(first, last)`; callers must ensure `len > 0`.
+#[inline]
+pub const fn line_span(off: u64, len: u64) -> (u64, u64) {
+    (line_index(off), line_index(off + len - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(7, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+    }
+
+    #[test]
+    fn line_spans() {
+        assert_eq!(line_span(0, 1), (0, 0));
+        assert_eq!(line_span(0, 64), (0, 0));
+        assert_eq!(line_span(0, 65), (0, 1));
+        assert_eq!(line_span(63, 2), (0, 1));
+        assert_eq!(line_span(128, 64), (2, 2));
+    }
+}

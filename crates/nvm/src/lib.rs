@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Simulated byte-addressable non-volatile memory (NVM).
+//!
+//! This crate is the hardware substrate for the Hyrise-NV reproduction. The
+//! paper (Schwalb et al., ICDE 2016) runs on NVDIMM-emulated hardware; here
+//! the medium is simulated in a way that is *stricter* than real hardware for
+//! crash-consistency work:
+//!
+//! * An [`NvmRegion`] holds two images of the same address space. Stores land
+//!   in the **volatile image** (modelling CPU caches and store buffers).
+//!   [`NvmRegion::flush`] + [`NvmRegion::fence`] copy the covered cache lines
+//!   into the **persistent image** (the medium) and charge configurable
+//!   latencies to a simulated-time ledger.
+//! * [`NvmRegion::crash`] discards the volatile image — optionally persisting
+//!   a random subset of dirty lines first, modelling uncontrolled cache
+//!   eviction — so a recovery path sees exactly what a power failure would
+//!   leave behind.
+//! * [`NvmHeap`] layers an nvm_malloc-style persistent allocator on top, with
+//!   a crash-safe reserve → activate protocol and a recovery scan, plus
+//!   persistent containers ([`PVar`], [`PArray`], [`PVec`]) used by the
+//!   storage engine.
+//!
+//! Everything observable by recovery code goes through the persistent image,
+//! so property tests can crash at adversarial points and verify invariants —
+//! something real NVM hardware cannot do deterministically.
+
+mod alloc;
+mod error;
+mod heap;
+mod latency;
+mod layout;
+mod parray;
+mod pod;
+mod pslab;
+mod pvar;
+mod pvec;
+mod region;
+mod stats;
+
+pub use alloc::{AllocState, AllocatorRecovery, BlockInfo, ALLOC_BLOCK_HEADER};
+pub use error::{NvmError, Result};
+pub use heap::{HeapStats, NvmHeap};
+pub use latency::{LatencyModel, SimClock};
+pub use layout::{align_up, line_index, CACHE_LINE};
+pub use parray::PArray;
+pub use pod::Pod;
+pub use pslab::{PSlab, PSLAB_HEADER};
+pub use pvar::PVar;
+pub use pvec::{PVec, PVEC_HEADER};
+pub use region::{CrashPolicy, NvmRegion};
+pub use stats::{NvmStats, StatsSnapshot};

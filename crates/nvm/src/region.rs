@@ -1,0 +1,429 @@
+//! The simulated NVM region: two images, dirty-line tracking, crash
+//! injection.
+
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::latency::{LatencyModel, SimClock};
+use crate::layout::{line_span, CACHE_LINE};
+use crate::pod::Pod;
+use crate::stats::{NvmStats, StatsSnapshot};
+use crate::{NvmError, Result};
+
+/// What happens to dirty-but-unflushed cache lines when power is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashPolicy {
+    /// Every unflushed line is lost. The most conservative model: only data
+    /// covered by an explicit `flush` survives.
+    DropUnflushed,
+    /// Each dirty line independently survives with probability `p`,
+    /// modelling cache lines that happened to be evicted (written back) by
+    /// the hardware before the failure. Crash-consistent software must
+    /// tolerate *any* subset surviving; the seed makes failures replayable.
+    RandomEviction {
+        /// Per-line survival probability in `[0, 1]`.
+        p: f64,
+        /// RNG seed for replayable adversarial runs.
+        seed: u64,
+    },
+}
+
+struct Images {
+    /// What the CPU sees (caches + medium combined).
+    volatile: Box<[u8]>,
+    /// What survives power loss (the medium).
+    persistent: Box<[u8]>,
+    /// One bit per cache line: line differs between the two images.
+    dirty: Vec<u64>,
+}
+
+impl Images {
+    #[inline]
+    fn mark_dirty(&mut self, first_line: u64, last_line: u64) {
+        for line in first_line..=last_line {
+            self.dirty[(line / 64) as usize] |= 1u64 << (line % 64);
+        }
+    }
+
+    #[inline]
+    fn is_dirty(&self, line: u64) -> bool {
+        self.dirty[(line / 64) as usize] & (1u64 << (line % 64)) != 0
+    }
+
+    #[inline]
+    fn clear_dirty(&mut self, line: u64) {
+        self.dirty[(line / 64) as usize] &= !(1u64 << (line % 64));
+    }
+
+    /// Copy one cache line volatile → persistent and mark it clean.
+    /// Returns true if the line was actually dirty.
+    fn write_back(&mut self, line: u64) -> bool {
+        if !self.is_dirty(line) {
+            return false;
+        }
+        let start = (line * CACHE_LINE) as usize;
+        let end = start + CACHE_LINE as usize;
+        self.persistent[start..end].copy_from_slice(&self.volatile[start..end]);
+        self.clear_dirty(line);
+        true
+    }
+}
+
+/// A simulated NVM device of fixed capacity.
+///
+/// All methods take `&self`; the two images live behind an internal
+/// reader-writer lock so the region can be shared across threads (group
+/// commit, concurrent readers). Bulk scans should prefer
+/// [`NvmRegion::with_slice`] to amortize locking.
+pub struct NvmRegion {
+    images: RwLock<Images>,
+    stats: NvmStats,
+    clock: SimClock,
+    latency: LatencyModel,
+    capacity: u64,
+}
+
+impl NvmRegion {
+    /// Create a zero-filled region of `capacity` bytes (rounded up to a
+    /// whole number of cache lines) with the given latency model.
+    pub fn new(capacity: u64, latency: LatencyModel) -> Self {
+        let capacity = crate::layout::align_up(capacity.max(CACHE_LINE), CACHE_LINE);
+        let lines = capacity / CACHE_LINE;
+        NvmRegion {
+            images: RwLock::new(Images {
+                volatile: vec![0u8; capacity as usize].into_boxed_slice(),
+                persistent: vec![0u8; capacity as usize].into_boxed_slice(),
+                dirty: vec![0u64; lines.div_ceil(64) as usize],
+            }),
+            stats: NvmStats::default(),
+            clock: SimClock::new(),
+            latency,
+            capacity,
+        }
+    }
+
+    /// Region capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The latency model this region charges against.
+    #[inline]
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// The simulated-time ledger shared by all users of this region.
+    #[inline]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Primitive-call counters.
+    #[inline]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset counters (the simulated clock is reset separately via
+    /// [`SimClock::reset`]).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn check(&self, off: u64, len: u64) -> Result<()> {
+        if len == 0 || off.checked_add(len).is_some_and(|end| end <= self.capacity) {
+            Ok(())
+        } else {
+            Err(NvmError::OutOfBounds {
+                offset: off,
+                len,
+                capacity: self.capacity,
+            })
+        }
+    }
+
+    /// Store `bytes` at `off` in the volatile image.
+    pub fn write_bytes(&self, off: u64, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        self.check(off, bytes.len() as u64)?;
+        let mut img = self.images.write();
+        img.volatile[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
+        let (a, b) = line_span(off, bytes.len() as u64);
+        img.mark_dirty(a, b);
+        self.stats
+            .bytes_written
+            .fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Load `buf.len()` bytes starting at `off` from the volatile image.
+    pub fn read_bytes(&self, off: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.check(off, buf.len() as u64)?;
+        let img = self.images.read();
+        buf.copy_from_slice(&img.volatile[off as usize..off as usize + buf.len()]);
+        self.stats
+            .bytes_read
+            .fetch_add(buf.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Store a [`Pod`] value at `off`.
+    #[inline]
+    pub fn write_pod<T: Pod>(&self, off: u64, value: &T) -> Result<()> {
+        self.write_bytes(off, value.as_bytes())
+    }
+
+    /// Load a [`Pod`] value from `off`.
+    #[inline]
+    pub fn read_pod<T: Pod>(&self, off: u64) -> Result<T> {
+        self.check(off, T::SIZE as u64)?;
+        let img = self.images.read();
+        self.stats
+            .bytes_read
+            .fetch_add(T::SIZE as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(T::from_bytes(
+            &img.volatile[off as usize..off as usize + T::SIZE],
+        ))
+    }
+
+    /// Run `f` over a borrowed slice of the volatile image. This is the bulk
+    /// read path: one lock acquisition for the whole scan.
+    pub fn with_slice<R>(&self, off: u64, len: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.check(off, len)?;
+        let img = self.images.read();
+        self.stats
+            .bytes_read
+            .fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        Ok(f(&img.volatile[off as usize..(off + len) as usize]))
+    }
+
+    /// Flush (write back) every dirty cache line covering `[off, off+len)`.
+    /// Charges `flush_line_ns` per line actually written back.
+    pub fn flush(&self, off: u64, len: u64) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        self.check(off, len)?;
+        let mut img = self.images.write();
+        let (a, b) = line_span(off, len);
+        let mut written = 0u64;
+        for line in a..=b {
+            if img.write_back(line) {
+                written += 1;
+            }
+        }
+        drop(img);
+        self.stats
+            .flush_calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .lines_flushed
+            .fetch_add(written, std::sync::atomic::Ordering::Relaxed);
+        self.clock.charge(written * self.latency.flush_line_ns);
+        Ok(())
+    }
+
+    /// Issue a store fence. In this synchronous simulator the flush itself
+    /// already reached the medium, so the fence only charges latency and
+    /// counts — but protocols must still call it where hardware would need
+    /// it, and the accounting of experiment E5 reports it.
+    pub fn fence(&self) {
+        self.stats
+            .fences
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.clock.charge(self.latency.fence_ns);
+    }
+
+    /// `flush` + `fence` — the common "persist this range" idiom.
+    pub fn persist(&self, off: u64, len: u64) -> Result<()> {
+        self.flush(off, len)?;
+        self.fence();
+        Ok(())
+    }
+
+    /// Charge read latency for a bulk scan of `len` bytes that is assumed to
+    /// miss into the medium.
+    pub fn charge_read(&self, len: u64) {
+        let lines = len.div_ceil(CACHE_LINE);
+        self.clock.charge(lines * self.latency.read_line_ns);
+    }
+
+    /// Simulate a power failure: the volatile image is replaced by the
+    /// persistent image. Under [`CrashPolicy::RandomEviction`], each dirty
+    /// line first survives (is written back) with probability `p`.
+    pub fn crash(&self, policy: CrashPolicy) {
+        let mut img = self.images.write();
+        if let CrashPolicy::RandomEviction { p, seed } = policy {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let lines = self.capacity / CACHE_LINE;
+            for line in 0..lines {
+                if img.is_dirty(line) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    img.write_back(line);
+                }
+            }
+        }
+        let cap = self.capacity as usize;
+        let Images {
+            volatile,
+            persistent,
+            ..
+        } = &mut *img;
+        volatile[..cap].copy_from_slice(&persistent[..cap]);
+        for w in img.dirty.iter_mut() {
+            *w = 0;
+        }
+        self.stats
+            .crashes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of currently dirty (unflushed) cache lines. Test/diagnostic
+    /// helper.
+    pub fn dirty_lines(&self) -> u64 {
+        let img = self.images.read();
+        img.dirty.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+impl std::fmt::Debug for NvmRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvmRegion")
+            .field("capacity", &self.capacity)
+            .field("latency", &self.latency)
+            .field("dirty_lines", &self.dirty_lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> NvmRegion {
+        NvmRegion::new(4096, LatencyModel::pcm())
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let r = region();
+        r.write_pod(128, &0xABCD_u64).unwrap();
+        assert_eq!(r.read_pod::<u64>(128).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let r = region();
+        assert!(matches!(
+            r.write_pod(4095, &0u64),
+            Err(NvmError::OutOfBounds { .. })
+        ));
+        assert!(r.read_pod::<u64>(4090).is_err());
+        // Zero-length accesses at the boundary are fine.
+        r.write_bytes(4096, &[]).unwrap();
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_crash() {
+        let r = region();
+        r.write_pod(0, &1u64).unwrap();
+        r.write_pod(64, &2u64).unwrap();
+        r.persist(0, 8).unwrap();
+        r.crash(CrashPolicy::DropUnflushed);
+        assert_eq!(r.read_pod::<u64>(0).unwrap(), 1);
+        assert_eq!(r.read_pod::<u64>(64).unwrap(), 0, "unflushed line lost");
+    }
+
+    #[test]
+    fn flush_is_line_granular() {
+        let r = region();
+        // Two values on the same cache line: flushing one persists both.
+        r.write_pod(0, &7u64).unwrap();
+        r.write_pod(8, &9u64).unwrap();
+        r.persist(0, 8).unwrap();
+        r.crash(CrashPolicy::DropUnflushed);
+        assert_eq!(r.read_pod::<u64>(0).unwrap(), 7);
+        assert_eq!(r.read_pod::<u64>(8).unwrap(), 9);
+    }
+
+    #[test]
+    fn random_eviction_persists_subset() {
+        let r = NvmRegion::new(64 * 1024, LatencyModel::zero());
+        for i in 0..512u64 {
+            r.write_pod(i * 64, &(i + 1)).unwrap();
+        }
+        r.crash(CrashPolicy::RandomEviction { p: 0.5, seed: 42 });
+        let survived = (0..512u64)
+            .filter(|i| r.read_pod::<u64>(i * 64).unwrap() != 0)
+            .count();
+        assert!(survived > 100 && survived < 400, "survived {survived}");
+        // Replayability: same seed, same outcome.
+        let r2 = NvmRegion::new(64 * 1024, LatencyModel::zero());
+        for i in 0..512u64 {
+            r2.write_pod(i * 64, &(i + 1)).unwrap();
+        }
+        r2.crash(CrashPolicy::RandomEviction { p: 0.5, seed: 42 });
+        for i in 0..512u64 {
+            assert_eq!(
+                r.read_pod::<u64>(i * 64).unwrap(),
+                r2.read_pod::<u64>(i * 64).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_ledger_charges_per_dirty_line() {
+        let r = region();
+        r.write_bytes(0, &[1u8; 200]).unwrap(); // 4 lines dirty
+        r.flush(0, 200).unwrap();
+        assert_eq!(r.clock().now_ns(), 4 * 250);
+        // Flushing clean lines is free.
+        r.flush(0, 200).unwrap();
+        assert_eq!(r.clock().now_ns(), 4 * 250);
+        r.fence();
+        assert_eq!(r.clock().now_ns(), 4 * 250 + 20);
+    }
+
+    #[test]
+    fn stats_count_primitives() {
+        let r = region();
+        r.write_pod(0, &1u64).unwrap();
+        r.persist(0, 8).unwrap();
+        let s = r.stats();
+        assert_eq!(s.flush_calls, 1);
+        assert_eq!(s.lines_flushed, 1);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.bytes_written, 8);
+    }
+
+    #[test]
+    fn with_slice_bulk_read() {
+        let r = region();
+        r.write_bytes(100, b"hello world").unwrap();
+        let v = r
+            .with_slice(100, 11, |s| String::from_utf8(s.to_vec()).unwrap())
+            .unwrap();
+        assert_eq!(v, "hello world");
+    }
+
+    #[test]
+    fn dirty_line_count_tracks_state() {
+        let r = region();
+        assert_eq!(r.dirty_lines(), 0);
+        r.write_pod(0, &1u64).unwrap();
+        r.write_pod(1000, &1u64).unwrap();
+        assert_eq!(r.dirty_lines(), 2);
+        r.flush(0, 8).unwrap();
+        assert_eq!(r.dirty_lines(), 1);
+        r.crash(CrashPolicy::DropUnflushed);
+        assert_eq!(r.dirty_lines(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the persistent allocator and containers: random
+//! operation sequences, crashes with random cache-line eviction, and
+//! recovery invariants.
+
+use std::sync::Arc;
+
+use nvm::{
+    AllocState, CrashPolicy, LatencyModel, NvmHeap, NvmRegion, PSlab, PVec, PSLAB_HEADER,
+    PVEC_HEADER,
+};
+use proptest::prelude::*;
+
+fn heap(bytes: u64) -> NvmHeap {
+    NvmHeap::format(Arc::new(NvmRegion::new(bytes, LatencyModel::zero()))).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    /// Reserve+activate a block of the given size class.
+    Alloc { size: u64 },
+    /// Free the i-th live block (modulo count).
+    Free { pick: usize },
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (8u64..512).prop_map(|size| AllocOp::Alloc { size }),
+        any::<usize>().prop_map(|pick| AllocOp::Free { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// After any alloc/free sequence + crash (with random eviction), the
+    /// recovery scan terminates, agrees with the set of fully-activated
+    /// blocks, and the heap stays usable.
+    #[test]
+    fn allocator_recovers_from_any_sequence(
+        ops in proptest::collection::vec(alloc_op(), 1..60),
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+    ) {
+        let h = heap(4 << 20);
+        let mut live: Vec<u64> = Vec::new();
+        for op in &ops {
+            match op {
+                AllocOp::Alloc { size } => {
+                    let off = h.reserve(*size).unwrap();
+                    h.region().write_pod(off, &0xAAu8).unwrap();
+                    h.region().persist(off, 1).unwrap();
+                    h.activate(off, None, None).unwrap();
+                    live.push(off);
+                }
+                AllocOp::Free { pick } => {
+                    if !live.is_empty() {
+                        let i = pick % live.len();
+                        let off = live.swap_remove(i);
+                        h.free(off, None).unwrap();
+                    }
+                }
+            }
+        }
+        h.region().crash(CrashPolicy::RandomEviction { p, seed });
+        let (h2, report) = NvmHeap::open(h.region().clone()).unwrap();
+        prop_assert_eq!(report.live_blocks as usize, live.len());
+        // Walk agrees with the report.
+        let blocks = h2.walk().unwrap();
+        let walked_live = blocks.iter().filter(|b| b.state == AllocState::Allocated).count();
+        prop_assert_eq!(walked_live, live.len());
+        // Every surviving allocation is among the walked live blocks.
+        for off in &live {
+            prop_assert!(blocks.iter().any(|b| b.payload_off == *off
+                && b.state == AllocState::Allocated));
+        }
+        // Heap still usable: allocate something new.
+        let p2 = h2.reserve(64).unwrap();
+        h2.activate(p2, None, None).unwrap();
+    }
+
+    /// PVec appends are prefix-durable: after a crash, the vector contains
+    /// exactly a prefix of what was pushed (the published prefix), intact.
+    #[test]
+    fn pvec_crash_leaves_valid_prefix(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        crash_after in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let h = heap(4 << 20);
+        let hdr = h.alloc(PVEC_HEADER).unwrap();
+        let v = PVec::<u64>::create(&h, hdr, 4).unwrap();
+        let crash_after = crash_after.min(values.len());
+        for x in &values[..crash_after] {
+            v.push(&h, x).unwrap();
+        }
+        // Unpublished garbage writes beyond the tail must never surface.
+        h.region().crash(CrashPolicy::RandomEviction { p: 0.5, seed });
+        let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+        let v2 = PVec::<u64>::open(hdr);
+        let got = v2.to_vec(h.region()).unwrap();
+        prop_assert_eq!(got.as_slice(), &values[..crash_after]);
+    }
+
+    /// PSlab under external length management: elements persisted via
+    /// `store` survive any crash; `ensure` growth never corrupts the live
+    /// prefix.
+    #[test]
+    fn pslab_grow_store_crash(
+        n in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let h = heap(4 << 20);
+        let hdr = h.alloc(PSLAB_HEADER).unwrap();
+        let s = PSlab::<u64>::create(&h, hdr, 4).unwrap();
+        for i in 0..n {
+            s.ensure(&h, i, i).unwrap();
+            s.store(h.region(), i, &(i * 31 + 7)).unwrap();
+        }
+        h.region().crash(CrashPolicy::RandomEviction { p: 0.3, seed });
+        let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+        let s2 = PSlab::<u64>::open(hdr);
+        let got = s2.prefix(h.region(), n).unwrap();
+        for (i, x) in got.iter().enumerate() {
+            prop_assert_eq!(*x, i as u64 * 31 + 7);
+        }
+    }
+
+    /// Byte-blob appends are run-durable: published runs read back intact
+    /// after crashes, across growth relocations.
+    #[test]
+    fn blob_runs_survive_crash(
+        runs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..40),
+    ) {
+        let h = heap(4 << 20);
+        let hdr = h.alloc(PVEC_HEADER).unwrap();
+        let blob = PVec::<u8>::create(&h, hdr, 8).unwrap();
+        let mut offsets = Vec::new();
+        for run in &runs {
+            offsets.push(blob.append_bytes(&h, run).unwrap());
+        }
+        h.region().crash(CrashPolicy::DropUnflushed);
+        let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+        let blob2 = PVec::<u8>::open(hdr);
+        for (off, run) in offsets.iter().zip(&runs) {
+            let got = blob2.read_bytes_at(h.region(), *off, run.len() as u64).unwrap();
+            prop_assert_eq!(&got, run);
+        }
+    }
+}
+
+#[test]
+fn interleaved_vec_and_slab_on_one_heap() {
+    // Multiple structures sharing one heap must not interfere across
+    // crashes (regression guard for allocator bin reuse).
+    let h = heap(8 << 20);
+    let vhdr = h.alloc(PVEC_HEADER).unwrap();
+    let shdr = h.alloc(PSLAB_HEADER).unwrap();
+    let v = PVec::<u64>::create(&h, vhdr, 4).unwrap();
+    let s = PSlab::<u32>::create(&h, shdr, 4).unwrap();
+    for i in 0..500u64 {
+        v.push(&h, &(i * 2)).unwrap();
+        s.ensure(&h, i, i).unwrap();
+        s.store(h.region(), i, &(i as u32 * 3)).unwrap();
+    }
+    h.region().crash(CrashPolicy::DropUnflushed);
+    let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
+    let v2 = PVec::<u64>::open(vhdr).to_vec(h.region()).unwrap();
+    let s2 = PSlab::<u32>::open(shdr).prefix(h.region(), 500).unwrap();
+    assert!(v2.iter().enumerate().all(|(i, x)| *x == i as u64 * 2));
+    assert!(s2.iter().enumerate().all(|(i, x)| *x == i as u32 * 3));
+}

@@ -1,0 +1,205 @@
+//! Bit-packed integer vectors for main-partition attribute vectors.
+//!
+//! After a merge, every value in a column is a value-id into the sorted
+//! dictionary; ids fit in `ceil(log2(dict_len))` bits and are packed into
+//! `u64` words. The packing math here is shared by the volatile main store
+//! (over a `Vec<u64>`) and the NVM main store (over a persistent word
+//! array): both just provide the word slice.
+
+/// Number of bits needed to represent ids `0..n` (at least 1).
+#[inline]
+pub fn width_for(n: u64) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Number of `u64` words needed to hold `count` values of `width` bits.
+#[inline]
+pub fn words_for(count: u64, width: u32) -> u64 {
+    (count * width as u64).div_ceil(64)
+}
+
+/// Write value `v` (must fit in `width` bits) at index `i` into `words`.
+/// Values may straddle a word boundary.
+pub fn pack_at(words: &mut [u64], width: u32, i: u64, v: u64) {
+    debug_assert!((1..=32).contains(&width));
+    debug_assert!(width == 64 || v < (1u64 << width), "value does not fit");
+    let bit = i * width as u64;
+    let word = (bit / 64) as usize;
+    let shift = (bit % 64) as u32;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    words[word] = (words[word] & !(mask << shift)) | (v << shift);
+    let spill = shift as u64 + width as u64;
+    if spill > 64 {
+        let hi_bits = spill - 64;
+        let lo_taken = width as u64 - hi_bits;
+        let hi_mask = (1u64 << hi_bits) - 1;
+        words[word + 1] = (words[word + 1] & !hi_mask) | (v >> lo_taken);
+    }
+}
+
+/// Read the value at index `i` from `words`.
+#[inline]
+pub fn unpack_at(words: &[u64], width: u32, i: u64) -> u64 {
+    let bit = i * width as u64;
+    let word = (bit / 64) as usize;
+    let shift = (bit % 64) as u32;
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut v = (words[word] >> shift) & mask;
+    let spill = shift as u64 + width as u64;
+    if spill > 64 {
+        let hi_bits = spill - 64;
+        let lo_taken = width as u64 - hi_bits;
+        let hi_mask = (1u64 << hi_bits) - 1;
+        v |= (words[word + 1] & hi_mask) << lo_taken;
+    }
+    v
+}
+
+/// Pack a slice of ids into a fresh word vector.
+pub fn pack_all(ids: &[u64], width: u32) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(ids.len() as u64, width) as usize];
+    for (i, &v) in ids.iter().enumerate() {
+        pack_at(&mut words, width, i as u64, v);
+    }
+    words
+}
+
+/// A packed vector owning its words — the volatile main store's attribute
+/// vector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitPacked {
+    words: Vec<u64>,
+    width: u32,
+    len: u64,
+}
+
+impl BitPacked {
+    /// Pack `ids`, sizing the width for ids `0..id_domain`.
+    pub fn from_ids(ids: &[u64], id_domain: u64) -> BitPacked {
+        let width = width_for(id_domain);
+        BitPacked {
+            words: pack_all(ids, width),
+            width,
+            len: ids.len() as u64,
+        }
+    }
+
+    /// Reconstruct from raw parts (checkpoint load).
+    pub fn from_raw(words: Vec<u64>, width: u32, len: u64) -> BitPacked {
+        assert!(words.len() as u64 >= words_for(len, width));
+        BitPacked { words, width, len }
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no values are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Backing words (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Value at index `i`.
+    #[inline]
+    pub fn get(&self, i: u64) -> u64 {
+        debug_assert!(i < self.len);
+        unpack_at(&self.words, self.width, i)
+    }
+
+    /// Iterate over all values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn width_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 1);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 2);
+        assert_eq!(width_for(5), 3);
+        assert_eq!(width_for(1 << 20), 20);
+        assert_eq!(width_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn straddling_values_roundtrip() {
+        // width 7 guarantees boundary straddles.
+        let ids: Vec<u64> = (0..100).map(|i| i % 128).collect();
+        let packed = pack_all(&ids, 7);
+        for (i, &v) in ids.iter().enumerate() {
+            assert_eq!(unpack_at(&packed, 7, i as u64), v);
+        }
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut words = vec![0u64; 4];
+        pack_at(&mut words, 13, 3, 4000);
+        pack_at(&mut words, 13, 4, 8000);
+        pack_at(&mut words, 13, 3, 1234);
+        assert_eq!(unpack_at(&words, 13, 3), 1234);
+        assert_eq!(unpack_at(&words, 13, 4), 8000);
+    }
+
+    #[test]
+    fn bitpacked_wrapper() {
+        let ids: Vec<u64> = vec![0, 5, 2, 7, 7, 1];
+        let bp = BitPacked::from_ids(&ids, 8);
+        assert_eq!(bp.width(), 3);
+        assert_eq!(bp.len(), 6);
+        assert_eq!(bp.iter().collect::<Vec<_>>(), ids);
+        let rebuilt = BitPacked::from_raw(bp.words().to_vec(), bp.width(), bp.len());
+        assert_eq!(rebuilt, bp);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(width in 1u32..=32, ids in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let ids: Vec<u64> = ids.into_iter().map(|v| v & mask).collect();
+            let packed = pack_all(&ids, width);
+            for (i, &v) in ids.iter().enumerate() {
+                prop_assert_eq!(unpack_at(&packed, width, i as u64), v);
+            }
+        }
+
+        #[test]
+        fn prop_random_overwrites(width in 1u32..=20,
+                                  ops in proptest::collection::vec((0u64..64, any::<u64>()), 1..100)) {
+            let mask = (1u64 << width) - 1;
+            let mut model = vec![0u64; 64];
+            let mut words = vec![0u64; words_for(64, width) as usize];
+            for (i, v) in ops {
+                let v = v & mask;
+                model[i as usize] = v;
+                pack_at(&mut words, width, i, v);
+            }
+            for i in 0..64u64 {
+                prop_assert_eq!(unpack_at(&words, width, i), model[i as usize]);
+            }
+        }
+    }
+}

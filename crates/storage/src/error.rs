@@ -1,0 +1,102 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+use crate::{ColumnId, DataType, RowId};
+
+/// Errors raised by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Underlying NVM substrate failure.
+    Nvm(nvm::NvmError),
+    /// A value did not match the column's declared type.
+    TypeMismatch {
+        /// Column the value was destined for.
+        column: ColumnId,
+        /// Declared type.
+        expected: DataType,
+    },
+    /// A row operation carried the wrong number of values.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of columns in the schema.
+        expected: usize,
+    },
+    /// Row id outside the table.
+    RowOutOfRange {
+        /// Offending row id.
+        row: RowId,
+        /// Current number of rows.
+        rows: u64,
+    },
+    /// Column id outside the schema.
+    ColumnOutOfRange {
+        /// Offending column id.
+        column: ColumnId,
+        /// Number of columns.
+        columns: usize,
+    },
+    /// Write-write conflict: the row version is already invalidated (or
+    /// being invalidated) by another transaction. First committer wins.
+    WriteConflict {
+        /// The contested row.
+        row: RowId,
+    },
+    /// Attempt to mutate a main-partition row in a way only the delta
+    /// supports (main rows are immutable except for invalidation).
+    MainRowImmutable {
+        /// The row.
+        row: RowId,
+    },
+    /// The persistent table image failed validation on open.
+    Corrupt {
+        /// Description of what failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Nvm(e) => write!(f, "nvm: {e}"),
+            StorageError::TypeMismatch { column, expected } => {
+                write!(f, "type mismatch in column {column}: expected {expected:?}")
+            }
+            StorageError::ArityMismatch { got, expected } => {
+                write!(f, "row arity mismatch: got {got} values, schema has {expected}")
+            }
+            StorageError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (table has {rows} rows)")
+            }
+            StorageError::ColumnOutOfRange { column, columns } => {
+                write!(f, "column {column} out of range (schema has {columns})")
+            }
+            StorageError::WriteConflict { row } => {
+                write!(f, "write-write conflict on row {row}")
+            }
+            StorageError::MainRowImmutable { row } => {
+                write!(f, "main-partition row {row} is immutable")
+            }
+            StorageError::Corrupt { reason } => write!(f, "corrupt table image: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nvm::NvmError> for StorageError {
+    fn from(e: nvm::NvmError) -> Self {
+        StorageError::Nvm(e)
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,140 @@
+//! MVCC timestamp encoding and visibility rules.
+//!
+//! Every row version carries two 64-bit words:
+//!
+//! * **begin** — the commit timestamp (CTS) at which the version became
+//!   visible, or a *pending marker* while the inserting transaction is in
+//!   flight, or [`TS_ABORTED`] if that transaction rolled back.
+//! * **end** — [`TS_INF`] while the version is live, a pending marker while
+//!   an invalidating transaction is in flight (this doubles as the row
+//!   write-lock: first committer wins), or the CTS of the invalidation.
+//!
+//! Commit timestamps occupy `1..2^62`; merged-main rows use begin = 0
+//! ("visible since forever"). The pending marker sets bit 63 and carries the
+//! transaction id in the low bits, so ownership is checkable.
+//!
+//! On NVM these words are persisted in place; the commit protocol orders
+//! their flushes against the durable global CTS publish (see the `txn`
+//! crate) so that a crash can never expose a half-committed transaction.
+
+/// "Never invalidated" end timestamp.
+pub const TS_INF: u64 = u64::MAX;
+
+/// Begin timestamp of a version whose inserting transaction aborted.
+pub const TS_ABORTED: u64 = u64::MAX - 1;
+
+/// Bit flagging a pending (uncommitted) marker.
+pub const PENDING_BIT: u64 = 1 << 63;
+
+/// Largest usable commit timestamp.
+pub const MAX_CTS: u64 = (1 << 62) - 1;
+
+/// Encode a pending marker owned by transaction `tid`.
+#[inline]
+pub fn pending(tid: u64) -> u64 {
+    debug_assert!(tid <= MAX_CTS, "tid too large for pending marker");
+    PENDING_BIT | tid
+}
+
+/// True if `ts` is a pending marker.
+#[inline]
+pub fn is_pending(ts: u64) -> bool {
+    ts & PENDING_BIT != 0 && ts != TS_INF && ts != TS_ABORTED
+}
+
+/// Owner of a pending marker (meaningless if `!is_pending(ts)`).
+#[inline]
+pub fn pending_owner(ts: u64) -> u64 {
+    ts & !PENDING_BIT
+}
+
+/// True if `ts` is a real commit timestamp (including the "0 = since
+/// forever" of merged rows).
+#[inline]
+pub fn is_committed(ts: u64) -> bool {
+    ts <= MAX_CTS
+}
+
+/// Visibility of a version `(begin, end)` to a reader with snapshot
+/// timestamp `snapshot` running inside transaction `tid`.
+///
+/// A version is visible when:
+/// * it was committed at or before the snapshot (`begin <= snapshot`), or it
+///   was written by the reader's own transaction; and
+/// * it has not been invalidated at or before the snapshot by a committed
+///   transaction, nor invalidated by the reader's own transaction.
+#[inline]
+pub fn visible(begin: u64, end: u64, snapshot: u64, tid: u64) -> bool {
+    let begin_ok = if is_pending(begin) {
+        pending_owner(begin) == tid
+    } else {
+        is_committed(begin) && begin <= snapshot
+    };
+    if !begin_ok {
+        return false;
+    }
+    if end == TS_INF {
+        return true;
+    }
+    if is_pending(end) {
+        // Invalidated by an in-flight transaction: still visible to others,
+        // invisible to the invalidator itself.
+        pending_owner(end) != tid
+    } else {
+        // Committed invalidation: visible only to snapshots before it.
+        !is_committed(end) || end > snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_encoding() {
+        let m = pending(42);
+        assert!(is_pending(m));
+        assert_eq!(pending_owner(m), 42);
+        assert!(!is_pending(5));
+        assert!(!is_pending(TS_INF));
+        assert!(!is_pending(TS_ABORTED));
+        assert!(!is_committed(m));
+        assert!(is_committed(0));
+        assert!(is_committed(MAX_CTS));
+    }
+
+    #[test]
+    fn committed_version_visible_at_or_after_begin() {
+        assert!(visible(5, TS_INF, 5, 1));
+        assert!(visible(5, TS_INF, 9, 1));
+        assert!(!visible(5, TS_INF, 4, 1));
+        // Merged rows (begin 0) visible to everyone.
+        assert!(visible(0, TS_INF, 0, 1));
+    }
+
+    #[test]
+    fn own_pending_insert_visible_only_to_owner() {
+        let b = pending(7);
+        assert!(visible(b, TS_INF, 100, 7));
+        assert!(!visible(b, TS_INF, 100, 8));
+    }
+
+    #[test]
+    fn aborted_insert_invisible() {
+        assert!(!visible(TS_ABORTED, TS_INF, u64::MAX - 2, 1));
+    }
+
+    #[test]
+    fn committed_invalidation_hides_from_later_snapshots() {
+        assert!(visible(1, 10, 9, 1));
+        assert!(!visible(1, 10, 10, 1));
+        assert!(!visible(1, 10, 11, 1));
+    }
+
+    #[test]
+    fn pending_invalidation_hides_only_from_owner() {
+        let e = pending(3);
+        assert!(!visible(1, e, 5, 3), "invalidator no longer sees the row");
+        assert!(visible(1, e, 5, 4), "others still see it until commit");
+    }
+}

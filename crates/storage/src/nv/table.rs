@@ -1,0 +1,982 @@
+//! The NVM-resident main/delta table.
+//!
+//! ## Persistent layout
+//!
+//! ```text
+//! TableRoot   (24 B)  : schema_ptr | pair_ptr | reserved
+//! PairBlock   (16 B)  : delta_ptr | main_ptr (0 = no main)
+//! DeltaDesc           : row_count                          (publish point)
+//!                       begin  PSlab<u64> header
+//!                       end    PSlab<u64> header
+//!                       per column: dict PVec<u64> header + av PSlab<u32> header
+//! MainDesc            : row_count | end_ptr
+//!                       per column: dict_ptr | dict_len | av_ptr | av_words | width
+//! ```
+//!
+//! Dictionary entry words hold the value directly for `Int`/`Double` and a
+//! string-block offset for `Text`.
+//!
+//! ## Ordering protocols
+//!
+//! * **Insert**: intern values (dictionary appends are independently
+//!   crash-atomic), write the row's attribute-vector slots and MVCC words,
+//!   flush them all, fence, *then* durably publish `row_count`. A crash
+//!   before the publish leaves the row nonexistent; after it, the row exists
+//!   but is gated by its (pending) begin timestamp.
+//! * **Commit/abort**: single-word in-place persists of begin/end
+//!   timestamps; the global commit-timestamp publish in the `txn` crate
+//!   orders them.
+//! * **Merge**: builds a complete new main + empty delta in fresh
+//!   allocations, then swaps one pointer (the pair block) via the
+//!   allocator's crash-safe replace step, then frees the old tree. A crash
+//!   mid-free leaks blocks until the next merge (documented; compaction
+//!   reclaims them in real engines).
+
+use std::collections::HashMap;
+
+use nvm::{NvmHeap, NvmRegion, PArray, PSlab, PVec, PSLAB_HEADER, PVEC_HEADER};
+
+use crate::bitpack;
+use crate::mvcc::{self, TS_INF};
+use crate::nv::text::read_string;
+use crate::table_ops::{MergeStats, TableStore};
+use crate::{ColumnId, DataType, Result, RowId, Schema, StorageError, Value};
+
+/// Byte size of the table root block.
+pub const TABLE_ROOT_SIZE: u64 = 24;
+
+const ROOT_SCHEMA: u64 = 0;
+const ROOT_PAIR: u64 = 8;
+
+const PAIR_SIZE: u64 = 16;
+const PAIR_DELTA: u64 = 0;
+const PAIR_MAIN: u64 = 8;
+
+const DD_ROWS: u64 = 0;
+const DD_BEGIN: u64 = 8;
+const DD_END: u64 = DD_BEGIN + PSLAB_HEADER;
+const DD_COLS: u64 = DD_END + PSLAB_HEADER;
+const DD_COL_STRIDE: u64 = PVEC_HEADER + PSLAB_HEADER + PVEC_HEADER + 8; // dict + av + text blob + pad
+
+const MD_ROWS: u64 = 0;
+const MD_END: u64 = 8;
+const MD_COLS: u64 = 16;
+const MD_COL_STRIDE: u64 = 48;
+
+fn delta_desc_size(ncols: usize) -> u64 {
+    DD_COLS + ncols as u64 * DD_COL_STRIDE
+}
+
+fn main_desc_size(ncols: usize) -> u64 {
+    MD_COLS + ncols as u64 * MD_COL_STRIDE
+}
+
+struct DeltaCol {
+    dict: PVec<u64>,
+    av: PSlab<u32>,
+    /// Per-column string blob: text dictionary entries are local offsets
+    /// into this byte run (one block per column, not one per string — the
+    /// contiguous layout Hyrise uses, and what keeps the allocator's
+    /// recovery scan metadata-bound).
+    blob: PVec<u8>,
+}
+
+struct DeltaHandle {
+    desc: u64,
+    /// Cached copy of the durable row counter.
+    rows: u64,
+    begin: PSlab<u64>,
+    end: PSlab<u64>,
+    cols: Vec<DeltaCol>,
+    /// Transient probe maps (value → value-id), rebuilt on open.
+    probes: Vec<HashMap<Value, u32>>,
+}
+
+struct MainCol {
+    dict_ptr: u64,
+    dict_len: u64,
+    /// Packed attribute vector as raw words.
+    av: PArray<u64>,
+    width: u32,
+    /// Text blob payload offset (0 for non-text columns); dictionary
+    /// entries are local offsets into it.
+    blob_ptr: u64,
+}
+
+struct MainHandle {
+    rows: u64,
+    end: PArray<u64>,
+    cols: Vec<MainCol>,
+}
+
+/// An NVM-resident table. The struct itself is the *volatile handle*: cheap
+/// to rebuild, holding cached offsets, row counters, and the transient probe
+/// maps. All data it points at lives on the heap.
+pub struct NvTable {
+    heap: NvmHeap,
+    root: u64,
+    schema: Schema,
+    delta: DeltaHandle,
+    main: Option<MainHandle>,
+}
+
+impl NvTable {
+    /// Create a fresh table on `heap`. Returns the handle; the root block
+    /// offset is available via [`NvTable::root_offset`] for cataloguing.
+    ///
+    /// Creation is not crash-atomic as a whole (a crash mid-create of a
+    /// fresh database is resolved by re-creating it); individual blocks use
+    /// the normal allocation protocol.
+    pub fn create(heap: &NvmHeap, schema: Schema) -> Result<NvTable> {
+        let region = heap.region().clone();
+        let ncols = schema.len();
+
+        // Schema block: [len: u64][bytes].
+        let schema_bytes = schema.to_bytes();
+        let schema_ptr = heap.alloc(8 + schema_bytes.len() as u64)?;
+        region.write_pod(schema_ptr, &(schema_bytes.len() as u64))?;
+        region.write_bytes(schema_ptr + 8, &schema_bytes)?;
+        region.persist(schema_ptr, 8 + schema_bytes.len() as u64)?;
+
+        let delta_desc = Self::create_delta_desc(heap, ncols)?;
+
+        let pair = heap.alloc(PAIR_SIZE)?;
+        region.write_pod(pair + PAIR_DELTA, &delta_desc)?;
+        region.write_pod(pair + PAIR_MAIN, &0u64)?;
+        region.persist(pair, PAIR_SIZE)?;
+
+        let root = heap.alloc(TABLE_ROOT_SIZE)?;
+        region.write_pod(root + ROOT_SCHEMA, &schema_ptr)?;
+        region.write_pod(root + ROOT_PAIR, &pair)?;
+        region.write_pod(root + 16, &0u64)?;
+        region.persist(root, TABLE_ROOT_SIZE)?;
+
+        Self::open(heap, root)
+    }
+
+    fn create_delta_desc(heap: &NvmHeap, ncols: usize) -> Result<u64> {
+        let region = heap.region();
+        let desc = heap.alloc(delta_desc_size(ncols))?;
+        region.write_pod(desc + DD_ROWS, &0u64)?;
+        region.persist(desc + DD_ROWS, 8)?;
+        PSlab::<u64>::create(heap, desc + DD_BEGIN, 16)?;
+        PSlab::<u64>::create(heap, desc + DD_END, 16)?;
+        for c in 0..ncols as u64 {
+            let base = desc + DD_COLS + c * DD_COL_STRIDE;
+            PVec::<u64>::create(heap, base, 8)?;
+            PSlab::<u32>::create(heap, base + PVEC_HEADER, 16)?;
+            PVec::<u8>::create(heap, base + PVEC_HEADER + PSLAB_HEADER, 64)?;
+        }
+        Ok(desc)
+    }
+
+    /// Re-attach to an existing table given its root block offset. Runs the
+    /// transient-rebuild step (probe maps, cached counters) — the only
+    /// data-dependent work on the Hyrise-NV restart path.
+    pub fn open(heap: &NvmHeap, root: u64) -> Result<NvTable> {
+        let region = heap.region().clone();
+        let schema_ptr: u64 = region.read_pod(root + ROOT_SCHEMA)?;
+        let schema_len: u64 = region.read_pod(schema_ptr)?;
+        if schema_len > 1 << 20 {
+            return Err(StorageError::Corrupt {
+                reason: "implausible schema length",
+            });
+        }
+        let schema_bytes = region.with_slice(schema_ptr + 8, schema_len, |b| b.to_vec())?;
+        let schema = Schema::from_bytes(&schema_bytes)?;
+        let ncols = schema.len();
+
+        let pair: u64 = region.read_pod(root + ROOT_PAIR)?;
+        let delta_desc: u64 = region.read_pod(pair + PAIR_DELTA)?;
+        let main_desc: u64 = region.read_pod(pair + PAIR_MAIN)?;
+
+        let rows: u64 = region.read_pod(delta_desc + DD_ROWS)?;
+        let mut cols = Vec::with_capacity(ncols);
+        for c in 0..ncols as u64 {
+            let base = delta_desc + DD_COLS + c * DD_COL_STRIDE;
+            cols.push(DeltaCol {
+                dict: PVec::open(base),
+                av: PSlab::open(base + PVEC_HEADER),
+                blob: PVec::open(base + PVEC_HEADER + PSLAB_HEADER),
+            });
+        }
+        let mut delta = DeltaHandle {
+            desc: delta_desc,
+            rows,
+            begin: PSlab::open(delta_desc + DD_BEGIN),
+            end: PSlab::open(delta_desc + DD_END),
+            cols,
+            probes: vec![HashMap::new(); ncols],
+        };
+        // Transient rebuild: probe maps from the persistent dictionaries.
+        // Bulk-reads the dictionary words and the whole string blob once,
+        // then decodes locally — one lock acquisition per column instead of
+        // two per entry.
+        for c in 0..ncols {
+            let dtype = schema.column(c)?.dtype;
+            let words = delta.cols[c].dict.to_vec(&region)?;
+            let blob_bytes = if dtype == DataType::Text {
+                delta.cols[c].blob.to_vec(&region)?
+            } else {
+                Vec::new()
+            };
+            let mut probe = HashMap::with_capacity(words.len());
+            for (id, w) in words.iter().enumerate() {
+                let v = match dtype {
+                    DataType::Int => Value::Int(*w as i64),
+                    DataType::Double => Value::Double(f64::from_bits(*w)),
+                    DataType::Text => {
+                        let at = *w as usize;
+                        let n = u32::from_le_bytes(
+                            blob_bytes
+                                .get(at..at + 4)
+                                .ok_or(StorageError::Corrupt {
+                                    reason: "dict entry beyond blob",
+                                })?
+                                .try_into()
+                                .expect("4 bytes"),
+                        ) as usize;
+                        let bytes = blob_bytes.get(at + 4..at + 4 + n).ok_or(
+                            StorageError::Corrupt {
+                                reason: "string run beyond blob",
+                            },
+                        )?;
+                        Value::Text(
+                            std::str::from_utf8(bytes)
+                                .map_err(|_| StorageError::Corrupt {
+                                    reason: "delta blob string not utf-8",
+                                })?
+                                .to_owned(),
+                        )
+                    }
+                };
+                probe.insert(v, id as u32);
+            }
+            delta.probes[c] = probe;
+        }
+
+        let main = if main_desc != 0 {
+            Some(Self::open_main(&region, main_desc, ncols)?)
+        } else {
+            None
+        };
+
+        Ok(NvTable {
+            heap: heap.clone(),
+            root,
+            schema,
+            delta,
+            main,
+        })
+    }
+
+    fn open_main(region: &NvmRegion, desc: u64, ncols: usize) -> Result<MainHandle> {
+        let rows: u64 = region.read_pod(desc + MD_ROWS)?;
+        let end_ptr: u64 = region.read_pod(desc + MD_END)?;
+        let mut cols = Vec::with_capacity(ncols);
+        for c in 0..ncols as u64 {
+            let base = desc + MD_COLS + c * MD_COL_STRIDE;
+            let dict_ptr: u64 = region.read_pod(base)?;
+            let dict_len: u64 = region.read_pod(base + 8)?;
+            let av_ptr: u64 = region.read_pod(base + 16)?;
+            let av_words: u64 = region.read_pod(base + 24)?;
+            let width: u64 = region.read_pod(base + 32)?;
+            let blob_ptr: u64 = region.read_pod(base + 40)?;
+            cols.push(MainCol {
+                dict_ptr,
+                dict_len,
+                av: PArray::at(av_ptr, av_words),
+                width: width as u32,
+                blob_ptr,
+            });
+        }
+        Ok(MainHandle {
+            rows,
+            end: PArray::at(end_ptr, rows),
+            cols,
+        })
+    }
+
+    /// Offset of the table's root block (for catalogues and re-opening).
+    pub fn root_offset(&self) -> u64 {
+        self.root
+    }
+
+    /// The heap this table lives on.
+    pub fn heap(&self) -> &NvmHeap {
+        &self.heap
+    }
+
+    fn region(&self) -> &NvmRegion {
+        self.heap.region()
+    }
+
+    fn main_rows_(&self) -> u64 {
+        self.main.as_ref().map_or(0, |m| m.rows)
+    }
+
+    fn split(&self, row: RowId) -> Result<(bool, u64)> {
+        let main_rows = self.main_rows_();
+        let total = main_rows + self.delta.rows;
+        if row < main_rows {
+            Ok((true, row))
+        } else if row < total {
+            Ok((false, row - main_rows))
+        } else {
+            Err(StorageError::RowOutOfRange { row, rows: total })
+        }
+    }
+
+    fn check_col(&self, col: ColumnId) -> Result<()> {
+        if col < self.schema.len() {
+            Ok(())
+        } else {
+            Err(StorageError::ColumnOutOfRange {
+                column: col,
+                columns: self.schema.len(),
+            })
+        }
+    }
+
+    /// Intern `v` into the delta dictionary of column `c`.
+    fn intern(&mut self, c: ColumnId, v: &Value) -> Result<u32> {
+        if let Some(&id) = self.delta.probes[c].get(v) {
+            return Ok(id);
+        }
+        let word = match v {
+            Value::Text(s) => {
+                let mut run = Vec::with_capacity(4 + s.len());
+                run.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                run.extend_from_slice(s.as_bytes());
+                self.delta.cols[c].blob.append_bytes(&self.heap, &run)?
+            }
+            other => other.as_word().expect("fixed-width value"),
+        };
+        let id = self.delta.cols[c].dict.push(&self.heap, &word)? as u32;
+        self.delta.probes[c].insert(v.clone(), id);
+        Ok(id)
+    }
+
+    fn delta_dict_value(&self, c: ColumnId, id: u32) -> Result<Value> {
+        let word = self.delta.cols[c].dict.get(self.region(), id as u64)?;
+        decode_delta_entry(
+            self.region(),
+            self.schema.column(c)?.dtype,
+            &self.delta.cols[c].blob,
+            word,
+        )
+    }
+
+    fn main_dict_value(&self, m: &MainHandle, c: ColumnId, id: u64) -> Result<Value> {
+        let word: u64 = self.region().read_pod(m.cols[c].dict_ptr + id * 8)?;
+        match self.schema.column(c)?.dtype {
+            DataType::Text => Ok(Value::Text(
+                read_string(&self.heap, m.cols[c].blob_ptr + word)?.to_string(),
+            )),
+            dt => Ok(Value::from_word(dt, word)),
+        }
+    }
+
+    /// Binary search the sorted main dictionary of column `c`; returns
+    /// `Ok(id)` on a hit, `Err(insertion_point)` otherwise.
+    fn main_dict_search(
+        &self,
+        m: &MainHandle,
+        c: ColumnId,
+        v: &Value,
+    ) -> Result<std::result::Result<u64, u64>> {
+        let mut lo = 0u64;
+        let mut hi = m.cols[c].dict_len;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let dv = self.main_dict_value(m, c, mid)?;
+            match dv.cmp(v) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Equal => return Ok(Ok(mid)),
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        Ok(Err(lo))
+    }
+
+    /// Lower bound (first id whose value is >= v) in the sorted main dict.
+    fn main_dict_lower_bound(&self, m: &MainHandle, c: ColumnId, v: &Value) -> Result<u64> {
+        Ok(match self.main_dict_search(m, c, v)? {
+            Ok(id) => id,
+            Err(ip) => ip,
+        })
+    }
+
+    fn main_av_ids(&self, m: &MainHandle, c: ColumnId) -> Result<Vec<u64>> {
+        let words = m.cols[c].av.to_vec(self.region())?;
+        let width = m.cols[c].width;
+        self.region().charge_read(m.cols[c].av.byte_len());
+        Ok((0..m.rows)
+            .map(|i| bitpack::unpack_at(&words, width, i))
+            .collect())
+    }
+
+    fn delta_av_ids(&self, c: ColumnId) -> Result<Vec<u32>> {
+        Ok(self.delta.cols[c].av.prefix(self.region(), self.delta.rows)?)
+    }
+
+    fn main_end_vec(&self) -> Result<Vec<u64>> {
+        match &self.main {
+            Some(m) => Ok(m.end.to_vec(self.region())?),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn delta_begin_vec(&self) -> Result<Vec<u64>> {
+        Ok(self.delta.begin.prefix(self.region(), self.delta.rows)?)
+    }
+
+    fn delta_end_vec(&self) -> Result<Vec<u64>> {
+        Ok(self.delta.end.prefix(self.region(), self.delta.rows)?)
+    }
+
+    fn visible_filter(
+        &self,
+        candidates: impl Iterator<Item = RowId>,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>> {
+        let main_rows = self.main_rows_();
+        let m_end = self.main_end_vec()?;
+        let d_begin = self.delta_begin_vec()?;
+        let d_end = self.delta_end_vec()?;
+        Ok(candidates
+            .filter(|&r| {
+                if r < main_rows {
+                    mvcc::visible(0, m_end[r as usize], snapshot, tid)
+                } else {
+                    let i = (r - main_rows) as usize;
+                    mvcc::visible(d_begin[i], d_end[i], snapshot, tid)
+                }
+            })
+            .collect())
+    }
+
+    /// Idempotently repair one row's MVCC words against the durably
+    /// published `last_cts`: pending markers and timestamps beyond it roll
+    /// back. Returns the number of words changed. Used by the engine's
+    /// registry-driven recovery (O(in-flight writes) instead of O(rows)).
+    pub fn repair_row(&mut self, row: RowId, last_cts: u64) -> Result<u64> {
+        let (in_main, i) = self.split(row)?;
+        let region = self.heap.region().clone();
+        let mut repaired = 0u64;
+        if in_main {
+            let m = self.main.as_ref().expect("main row");
+            let e = m.end.get(&region, i)?;
+            if mvcc::is_pending(e) || (mvcc::is_committed(e) && e > last_cts) {
+                m.end.store(&region, i, &TS_INF)?;
+                repaired += 1;
+            }
+        } else {
+            let b = self.delta.begin.get(&region, i)?;
+            if mvcc::is_pending(b) || (mvcc::is_committed(b) && b > last_cts) {
+                self.delta.begin.store(&region, i, &mvcc::TS_ABORTED)?;
+                repaired += 1;
+            }
+            let e = self.delta.end.get(&region, i)?;
+            if mvcc::is_pending(e) || (mvcc::is_committed(e) && e != TS_INF && e > last_cts) {
+                self.delta.end.store(&region, i, &TS_INF)?;
+                repaired += 1;
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Post-crash MVCC repair by full scan: roll back every effect of
+    /// transactions that did not durably commit (pending markers, and
+    /// commit timestamps beyond the published `last_cts`). Scans only the
+    /// timestamp arrays — never column data — but is still O(rows); the
+    /// engine prefers the registry-driven [`NvTable::repair_row`] path and
+    /// keeps this as the fallback undo pass (and for tests/ablations).
+    pub fn recover_mvcc(&mut self, last_cts: u64) -> Result<u64> {
+        let region = self.heap.region().clone();
+        let mut repaired = 0u64;
+        let rows = self.delta.rows;
+        let begins = self.delta_begin_vec()?;
+        let ends = self.delta_end_vec()?;
+        for i in 0..rows {
+            let b = begins[i as usize];
+            if mvcc::is_pending(b) || (mvcc::is_committed(b) && b > last_cts) {
+                self.delta.begin.store(&region, i, &mvcc::TS_ABORTED)?;
+                repaired += 1;
+            }
+            let e = ends[i as usize];
+            if mvcc::is_pending(e) || (mvcc::is_committed(e) && e != TS_INF && e > last_cts) {
+                self.delta.end.store(&region, i, &TS_INF)?;
+                repaired += 1;
+            }
+        }
+        if let Some(m) = &self.main {
+            let ends = m.end.to_vec(&region)?;
+            for (i, e) in ends.iter().enumerate() {
+                if mvcc::is_pending(*e) || (mvcc::is_committed(*e) && *e > last_cts) {
+                    m.end.store(&region, i as u64, &TS_INF)?;
+                    repaired += 1;
+                }
+            }
+        }
+        Ok(repaired)
+    }
+
+}
+
+/// Decode a delta dictionary entry word into a value (text entries are
+/// local offsets into the column's blob).
+fn decode_delta_entry(
+    region: &NvmRegion,
+    dtype: DataType,
+    blob: &PVec<u8>,
+    word: u64,
+) -> Result<Value> {
+    Ok(match dtype {
+        DataType::Int => Value::Int(word as i64),
+        DataType::Double => Value::Double(f64::from_bits(word)),
+        DataType::Text => {
+            let len_bytes = blob.read_bytes_at(region, word, 4)?;
+            let n = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as u64;
+            let bytes = blob.read_bytes_at(region, word + 4, n)?;
+            Value::Text(String::from_utf8(bytes).map_err(|_| StorageError::Corrupt {
+                reason: "delta blob string not utf-8",
+            })?)
+        }
+    })
+}
+
+/// Free the data block behind a `PSlab` header.
+fn free_slab_data(heap: &NvmHeap, region: &NvmRegion, hdr: u64) -> Result<()> {
+    let data: u64 = region.read_pod(hdr + 8)?;
+    if data != 0 {
+        heap.free(data, None)?;
+    }
+    Ok(())
+}
+
+impl TableStore for NvTable {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn row_count(&self) -> u64 {
+        self.main_rows_() + self.delta.rows
+    }
+
+    fn main_rows(&self) -> u64 {
+        self.main_rows_()
+    }
+
+    fn insert_version(&mut self, values: &[Value], begin_marker: u64) -> Result<RowId> {
+        self.schema.check_row(values)?;
+        let region = self.heap.region().clone();
+        let idx = self.delta.rows;
+
+        // 1. Intern values (dictionary appends are independently durable).
+        let mut ids = Vec::with_capacity(values.len());
+        for (c, v) in values.iter().enumerate() {
+            ids.push(self.intern(c, v)?);
+        }
+
+        // 2. Grow arrays as needed (crash-safe pointer swaps inside).
+        self.delta.begin.ensure(&self.heap, idx, idx)?;
+        self.delta.end.ensure(&self.heap, idx, idx)?;
+        for c in 0..values.len() {
+            self.delta.cols[c].av.ensure(&self.heap, idx, idx)?;
+        }
+
+        // 3. Write the row's cells and MVCC words, flush all, single fence.
+        for (c, id) in ids.iter().enumerate() {
+            self.delta.cols[c].av.set(&region, idx, id)?;
+        }
+        self.delta.begin.set(&region, idx, &begin_marker)?;
+        self.delta.end.set(&region, idx, &TS_INF)?;
+        for c in 0..values.len() {
+            let off = self.delta.cols[c].av.header_offset();
+            let data: u64 = region.read_pod(off + 8)?;
+            region.flush(data + idx * 4, 4)?;
+        }
+        {
+            let b_data: u64 = region.read_pod(self.delta.begin.header_offset() + 8)?;
+            let e_data: u64 = region.read_pod(self.delta.end.header_offset() + 8)?;
+            region.flush(b_data + idx * 8, 8)?;
+            region.flush(e_data + idx * 8, 8)?;
+        }
+        region.fence();
+
+        // 4. Publish the row.
+        region.write_pod(self.delta.desc + DD_ROWS, &(idx + 1))?;
+        region.persist(self.delta.desc + DD_ROWS, 8)?;
+        self.delta.rows = idx + 1;
+        Ok(self.main_rows_() + idx)
+    }
+
+    fn try_invalidate(&mut self, row: RowId, marker: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let region = self.region();
+        let current = if in_main {
+            self.main.as_ref().expect("main row").end.get(region, i)?
+        } else {
+            self.delta.end.get(region, i)?
+        };
+        if current != TS_INF {
+            return Err(StorageError::WriteConflict { row });
+        }
+        if in_main {
+            self.main.as_ref().expect("main row").end.store(region, i, &marker)?;
+        } else {
+            self.delta.end.store(region, i, &marker)?;
+        }
+        Ok(())
+    }
+
+    fn restore_end(&mut self, row: RowId) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let region = self.region();
+        if in_main {
+            self.main.as_ref().expect("main row").end.store(region, i, &TS_INF)?;
+        } else {
+            self.delta.end.store(region, i, &TS_INF)?;
+        }
+        Ok(())
+    }
+
+    fn abort_insert(&mut self, row: RowId) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            return Err(StorageError::MainRowImmutable { row });
+        }
+        let region = self.region();
+        self.delta.begin.store(region, i, &mvcc::TS_ABORTED)?;
+        Ok(())
+    }
+
+    fn commit_insert(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            return Err(StorageError::MainRowImmutable { row });
+        }
+        let region = self.region();
+        self.delta.begin.store(region, i, &cts)?;
+        Ok(())
+    }
+
+    fn commit_invalidate(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let region = self.region();
+        if in_main {
+            self.main.as_ref().expect("main row").end.store(region, i, &cts)?;
+        } else {
+            self.delta.end.store(region, i, &cts)?;
+        }
+        Ok(())
+    }
+
+    fn begin_ts(&self, row: RowId) -> Result<u64> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            Ok(0)
+        } else {
+            Ok(self.delta.begin.get(self.region(), i)?)
+        }
+    }
+
+    fn end_ts(&self, row: RowId) -> Result<u64> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            Ok(self.main.as_ref().expect("main row").end.get(self.region(), i)?)
+        } else {
+            Ok(self.delta.end.get(self.region(), i)?)
+        }
+    }
+
+    fn value(&self, row: RowId, col: ColumnId) -> Result<Value> {
+        self.check_col(col)?;
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            let m = self.main.as_ref().expect("main row");
+            let mcol = &m.cols[col];
+            // Read the (up to two) words covering the packed slot.
+            let bit = i * mcol.width as u64;
+            let w0 = bit / 64;
+            let need_two = (bit % 64) + mcol.width as u64 > 64;
+            let words = if need_two {
+                [m.cols[col].av.get(self.region(), w0)?, m.cols[col].av.get(self.region(), w0 + 1)?]
+            } else {
+                [m.cols[col].av.get(self.region(), w0)?, 0]
+            };
+            let shift = (bit % 64) as u32;
+            let mask = if mcol.width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << mcol.width) - 1
+            };
+            let mut id = (words[0] >> shift) & mask;
+            if need_two {
+                let hi_bits = (shift as u64 + mcol.width as u64) - 64;
+                let lo_taken = mcol.width as u64 - hi_bits;
+                id |= (words[1] & ((1u64 << hi_bits) - 1)) << lo_taken;
+            }
+            self.main_dict_value(m, col, id)
+        } else {
+            let id = self.delta.cols[col].av.get(self.region(), i)?;
+            self.delta_dict_value(col, id)
+        }
+    }
+
+    fn scan_visible(&self, snapshot: u64, tid: u64) -> Result<Vec<RowId>> {
+        self.visible_filter(0..self.row_count(), snapshot, tid)
+    }
+
+    fn scan_eq(
+        &self,
+        col: ColumnId,
+        value: &Value,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>> {
+        self.check_col(col)?;
+        let mut hits = Vec::new();
+        if let Some(m) = &self.main {
+            if let Ok(target) = self.main_dict_search(m, col, value)? {
+                let ids = self.main_av_ids(m, col)?;
+                for (i, id) in ids.iter().enumerate() {
+                    if *id == target {
+                        hits.push(i as u64);
+                    }
+                }
+            }
+        }
+        if let Some(&target) = self.delta.probes[col].get(value) {
+            let base = self.main_rows_();
+            let ids = self.delta_av_ids(col)?;
+            for (i, id) in ids.iter().enumerate() {
+                if *id == target {
+                    hits.push(base + i as u64);
+                }
+            }
+        }
+        self.visible_filter(hits.into_iter(), snapshot, tid)
+    }
+
+    fn scan_range(
+        &self,
+        col: ColumnId,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>> {
+        self.check_col(col)?;
+        let mut hits = Vec::new();
+        if let Some(m) = &self.main {
+            let lo_id = match lo {
+                Some(v) => self.main_dict_lower_bound(m, col, v)?,
+                None => 0,
+            };
+            let hi_id = match hi {
+                Some(v) => self.main_dict_lower_bound(m, col, v)?,
+                None => m.cols[col].dict_len,
+            };
+            if lo_id < hi_id {
+                let ids = self.main_av_ids(m, col)?;
+                for (i, id) in ids.iter().enumerate() {
+                    if *id >= lo_id && *id < hi_id {
+                        hits.push(i as u64);
+                    }
+                }
+            }
+        }
+        // Delta: unsorted dictionary — evaluate the predicate per entry.
+        let dict_words = self.delta.cols[col].dict.to_vec(self.region())?;
+        let dtype = self.schema.column(col)?.dtype;
+        let mut matches = Vec::with_capacity(dict_words.len());
+        for w in &dict_words {
+            let v = decode_delta_entry(self.region(), dtype, &self.delta.cols[col].blob, *w)?;
+            matches.push(lo.is_none_or(|l| &v >= l) && hi.is_none_or(|h| &v < h));
+        }
+        let base = self.main_rows_();
+        let ids = self.delta_av_ids(col)?;
+        for (i, id) in ids.iter().enumerate() {
+            if matches[*id as usize] {
+                hits.push(base + i as u64);
+            }
+        }
+        self.visible_filter(hits.into_iter(), snapshot, tid)
+    }
+
+    fn merge(&mut self, snapshot: u64) -> Result<MergeStats> {
+        let region = self.heap.region().clone();
+        let heap = self.heap.clone();
+        let total = self.row_count();
+
+        // 1. Collect survivors.
+        let m_end = self.main_end_vec()?;
+        let d_begin = self.delta_begin_vec()?;
+        let d_end = self.delta_end_vec()?;
+        let main_rows = self.main_rows_();
+        let mut survivors: Vec<Vec<Value>> = Vec::new();
+        for row in 0..total {
+            let (b, e) = if row < main_rows {
+                (0, m_end[row as usize])
+            } else {
+                let i = (row - main_rows) as usize;
+                (d_begin[i], d_end[i])
+            };
+            if mvcc::is_pending(b) || mvcc::is_pending(e) {
+                return Err(StorageError::Corrupt {
+                    reason: "merge requires a quiesced table (pending markers found)",
+                });
+            }
+            if mvcc::visible(b, e, snapshot, 0) {
+                survivors.push(self.row_values(row)?);
+            }
+        }
+        let nrows = survivors.len() as u64;
+        let ncols = self.schema.len();
+
+        // 2. Build the new main tree in fresh allocations.
+        let new_main = heap.alloc(main_desc_size(ncols))?;
+        region.write_pod(new_main + MD_ROWS, &nrows)?;
+        let end_ptr = heap.alloc((nrows * 8).max(8))?;
+        for i in 0..nrows {
+            region.write_pod(end_ptr + i * 8, &TS_INF)?;
+        }
+        region.persist(end_ptr, (nrows * 8).max(8))?;
+        region.write_pod(new_main + MD_END, &end_ptr)?;
+
+        for c in 0..ncols {
+            let mut dict: Vec<Value> = survivors.iter().map(|r| r[c].clone()).collect();
+            dict.sort();
+            dict.dedup();
+            let ids: Vec<u64> = survivors
+                .iter()
+                .map(|r| dict.binary_search(&r[c]).expect("interned") as u64)
+                .collect();
+            let width = bitpack::width_for(dict.len() as u64);
+            let words = bitpack::pack_all(&ids, width);
+
+            // Text columns get one contiguous blob; entries are local
+            // offsets into it.
+            let mut blob_bytes: Vec<u8> = Vec::new();
+            let dict_ptr = heap.alloc((dict.len() as u64 * 8).max(8))?;
+            for (i, v) in dict.iter().enumerate() {
+                let word = match v {
+                    Value::Text(s) => {
+                        let local = blob_bytes.len() as u64;
+                        blob_bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        blob_bytes.extend_from_slice(s.as_bytes());
+                        local
+                    }
+                    other => other.as_word().expect("fixed-width"),
+                };
+                region.write_pod(dict_ptr + i as u64 * 8, &word)?;
+            }
+            region.persist(dict_ptr, (dict.len() as u64 * 8).max(8))?;
+            let blob_ptr = if blob_bytes.is_empty() {
+                0
+            } else {
+                let b = heap.alloc(blob_bytes.len() as u64)?;
+                region.write_bytes(b, &blob_bytes)?;
+                region.persist(b, blob_bytes.len() as u64)?;
+                b
+            };
+
+            let av_ptr = heap.alloc((words.len() as u64 * 8).max(8))?;
+            for (i, w) in words.iter().enumerate() {
+                region.write_pod(av_ptr + i as u64 * 8, w)?;
+            }
+            region.persist(av_ptr, (words.len() as u64 * 8).max(8))?;
+
+            let base = new_main + MD_COLS + c as u64 * MD_COL_STRIDE;
+            region.write_pod(base, &dict_ptr)?;
+            region.write_pod(base + 8, &(dict.len() as u64))?;
+            region.write_pod(base + 16, &av_ptr)?;
+            region.write_pod(base + 24, &(words.len() as u64))?;
+            region.write_pod(base + 32, &(width as u64))?;
+            region.write_pod(base + 40, &blob_ptr)?;
+        }
+        region.persist(new_main, main_desc_size(ncols))?;
+
+        // 3. Fresh empty delta.
+        let new_delta = Self::create_delta_desc(&heap, ncols)?;
+
+        // 4. Atomic swap: one new pair block replaces the old one.
+        let old_pair: u64 = region.read_pod(self.root + ROOT_PAIR)?;
+        let pair = heap.reserve(PAIR_SIZE)?;
+        region.write_pod(pair + PAIR_DELTA, &new_delta)?;
+        region.write_pod(pair + PAIR_MAIN, &new_main)?;
+        region.persist(pair, PAIR_SIZE)?;
+        heap.activate(pair, Some((self.root + ROOT_PAIR, pair)), Some(old_pair))?;
+
+        // 5. Reclaim the old tree (leaks only if we crash mid-free).
+        // The old pair block was already freed by the activate(replaces).
+        let ncols_u = ncols;
+        {
+            // free_tree expects the pair to still be readable; the block is
+            // freed but its bytes are intact, so the walk works. We bypass
+            // the final pair free since `activate` already did it.
+            let old_delta: u64 = region.read_pod(old_pair + PAIR_DELTA)?;
+            let old_main: u64 = region.read_pod(old_pair + PAIR_MAIN)?;
+            self.free_delta_tree(old_delta, ncols_u)?;
+            if old_main != 0 {
+                self.free_main_tree(old_main, ncols_u)?;
+            }
+        }
+
+        // 6. Refresh the volatile handle.
+        let reopened = Self::open(&heap, self.root)?;
+        *self = reopened;
+
+        Ok(MergeStats {
+            rows_before: total,
+            rows_merged: nrows,
+            rows_dropped: total - nrows,
+        })
+    }
+}
+
+impl NvTable {
+    fn free_delta_tree(&self, old_delta: u64, ncols: usize) -> Result<()> {
+        let region = self.region();
+        let heap = &self.heap;
+        free_slab_data(heap, region, old_delta + DD_BEGIN)?;
+        free_slab_data(heap, region, old_delta + DD_END)?;
+        for c in 0..ncols {
+            let base = old_delta + DD_COLS + c as u64 * DD_COL_STRIDE;
+            let dict = PVec::<u64>::open(base);
+            let data = dict.data_offset(region)?;
+            if data != 0 {
+                heap.free(data, None)?;
+            }
+            free_slab_data(heap, region, base + PVEC_HEADER)?;
+            let blob = PVec::<u8>::open(base + PVEC_HEADER + PSLAB_HEADER);
+            let blob_data = blob.data_offset(region)?;
+            if blob_data != 0 {
+                heap.free(blob_data, None)?;
+            }
+        }
+        Ok(heap.free(old_delta, None)?)
+    }
+
+    fn free_main_tree(&self, old_main: u64, ncols: usize) -> Result<()> {
+        let region = self.region();
+        let heap = &self.heap;
+        let end_ptr: u64 = region.read_pod(old_main + MD_END)?;
+        heap.free(end_ptr, None)?;
+        for c in 0..ncols {
+            let base = old_main + MD_COLS + c as u64 * MD_COL_STRIDE;
+            let dict_ptr: u64 = region.read_pod(base)?;
+            let av_ptr: u64 = region.read_pod(base + 16)?;
+            let blob_ptr: u64 = region.read_pod(base + 40)?;
+            heap.free(dict_ptr, None)?;
+            heap.free(av_ptr, None)?;
+            if blob_ptr != 0 {
+                heap.free(blob_ptr, None)?;
+            }
+        }
+        Ok(heap.free(old_main, None)?)
+    }
+}

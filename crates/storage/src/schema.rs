@@ -1,0 +1,186 @@
+//! Table schemas.
+
+use crate::{ColumnId, DataType, Result, StorageError, Value};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within a schema by convention; not enforced).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Build a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty — a table needs at least one column.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        assert!(!columns.is_empty(), "schema must have at least one column");
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Always false (schemas are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Definition of column `c`.
+    pub fn column(&self, c: ColumnId) -> Result<&ColumnDef> {
+        self.columns.get(c).ok_or(StorageError::ColumnOutOfRange {
+            column: c,
+            columns: self.columns.len(),
+        })
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a full row against the schema.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                got: values.len(),
+                expected: self.columns.len(),
+            });
+        }
+        for (c, (v, def)) in values.iter().zip(&self.columns).enumerate() {
+            if v.data_type() != def.dtype {
+                return Err(StorageError::TypeMismatch {
+                    column: c,
+                    expected: def.dtype,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to a compact byte image (used by the NVM table root and
+    /// the checkpoint format): `[ncols: u32] ( [tag: u8] [name_len: u32]
+    /// [name bytes] )*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * self.columns.len());
+        out.extend_from_slice(&(self.columns.len() as u32).to_le_bytes());
+        for c in &self.columns {
+            out.push(c.dtype.tag());
+            out.extend_from_slice(&(c.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(c.name.as_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Schema::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Schema> {
+        let corrupt = |reason| StorageError::Corrupt { reason };
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or(corrupt("schema image truncated"))?;
+            *pos += n;
+            Ok(s)
+        };
+        let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        if ncols == 0 || ncols > 4096 {
+            return Err(corrupt("implausible column count"));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let tag = take(&mut pos, 1)?[0];
+            let dtype = DataType::from_tag(tag).ok_or(corrupt("unknown type tag"))?;
+            let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut pos, nlen)?)
+                .map_err(|_| corrupt("column name not utf-8"))?
+                .to_owned();
+            columns.push(ColumnDef { name, dtype });
+        }
+        Ok(Schema { columns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("balance", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.column_id("name"), Some(1));
+        assert_eq!(s.column_id("missing"), None);
+        assert_eq!(s.column(2).unwrap().dtype, DataType::Double);
+        assert!(s.column(3).is_err());
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = sample();
+        s.check_row(&[Value::Int(1), "a".into(), Value::Double(0.0)])
+            .unwrap();
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), "a".into()]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), Value::Int(2), Value::Double(0.0)]),
+            Err(StorageError::TypeMismatch { column: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let s = sample();
+        assert_eq!(Schema::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let s = sample();
+        let b = s.to_bytes();
+        assert!(Schema::from_bytes(&b[..b.len() - 2]).is_err());
+        assert!(Schema::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_schema_panics() {
+        let _ = Schema::new(vec![]);
+    }
+}

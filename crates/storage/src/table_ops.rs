@@ -1,0 +1,105 @@
+//! The table interface shared by the volatile and NVM storage variants.
+
+use crate::{ColumnId, Result, RowId, Schema, Value};
+
+/// Outcome of a delta→main merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Physical rows (main + delta) before the merge.
+    pub rows_before: u64,
+    /// Rows surviving into the new main.
+    pub rows_merged: u64,
+    /// Invalidated/aborted versions dropped by the merge.
+    pub rows_dropped: u64,
+}
+
+/// A materialized scan hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Physical row id of the visible version.
+    pub row: RowId,
+    /// The row's values in schema order.
+    pub values: Vec<Value>,
+}
+
+/// Operations every table substrate provides.
+///
+/// The transaction manager drives the MVCC lifecycle through this trait:
+/// `insert_version` / `try_invalidate` during execution (with pending
+/// markers), `commit_*` / `abort_*` at transaction end, and the `scan_*`
+/// family for reads. Implementations persist what their durability story
+/// requires: the NVM table flushes at each step per the paper's protocol,
+/// the volatile table does nothing extra (its durability is the WAL).
+pub trait TableStore: Send {
+    /// The table schema.
+    fn schema(&self) -> &Schema;
+
+    /// Total physical rows (main + delta), including invisible versions.
+    fn row_count(&self) -> u64;
+
+    /// Number of rows in the main partition (row ids `0..main_rows`).
+    fn main_rows(&self) -> u64;
+
+    /// Append a new row version to the delta with `begin = begin_marker`
+    /// (normally a pending marker) and `end = TS_INF`. Returns its row id.
+    fn insert_version(&mut self, values: &[Value], begin_marker: u64) -> Result<RowId>;
+
+    /// Claim the right to invalidate `row` by setting its end timestamp to
+    /// `marker` (a pending marker). Fails with
+    /// [`crate::StorageError::WriteConflict`] if another transaction already
+    /// claimed or committed an invalidation — first committer wins.
+    fn try_invalidate(&mut self, row: RowId, marker: u64) -> Result<()>;
+
+    /// Roll back a pending invalidation (abort path): end goes back to
+    /// `TS_INF`.
+    fn restore_end(&mut self, row: RowId) -> Result<()>;
+
+    /// Mark a pending insert as aborted: begin becomes
+    /// [`crate::mvcc::TS_ABORTED`].
+    fn abort_insert(&mut self, row: RowId) -> Result<()>;
+
+    /// Commit a pending insert: begin becomes `cts`.
+    fn commit_insert(&mut self, row: RowId, cts: u64) -> Result<()>;
+
+    /// Commit a pending invalidation: end becomes `cts`.
+    fn commit_invalidate(&mut self, row: RowId, cts: u64) -> Result<()>;
+
+    /// Begin timestamp word of `row`.
+    fn begin_ts(&self, row: RowId) -> Result<u64>;
+
+    /// End timestamp word of `row`.
+    fn end_ts(&self, row: RowId) -> Result<u64>;
+
+    /// Decode the value of one cell.
+    fn value(&self, row: RowId, col: ColumnId) -> Result<Value>;
+
+    /// Decode a full row.
+    fn row_values(&self, row: RowId) -> Result<Vec<Value>> {
+        (0..self.schema().len())
+            .map(|c| self.value(row, c))
+            .collect()
+    }
+
+    /// Row ids of all versions visible to `(snapshot, tid)`.
+    fn scan_visible(&self, snapshot: u64, tid: u64) -> Result<Vec<RowId>>;
+
+    /// Row ids of visible versions whose column `col` equals `value`.
+    fn scan_eq(&self, col: ColumnId, value: &Value, snapshot: u64, tid: u64)
+        -> Result<Vec<RowId>>;
+
+    /// Row ids of visible versions with `lo <= col_value < hi` (either bound
+    /// optional).
+    fn scan_range(
+        &self,
+        col: ColumnId,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>>;
+
+    /// Fold the delta into a fresh main, keeping exactly the versions
+    /// visible at `snapshot` (which must see no pending markers — merges run
+    /// on a quiesced table). Row ids are re-assigned.
+    fn merge(&mut self, snapshot: u64) -> Result<MergeStats>;
+}

@@ -1,0 +1,243 @@
+//! Column value types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point.
+    Double,
+    /// UTF-8 string.
+    Text,
+}
+
+impl DataType {
+    /// Stable on-media tag used by the NVM table layout and the WAL.
+    pub fn tag(self) -> u8 {
+        match self {
+            DataType::Int => 0,
+            DataType::Double => 1,
+            DataType::Text => 2,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub fn from_tag(tag: u8) -> Option<DataType> {
+        match tag {
+            0 => Some(DataType::Int),
+            1 => Some(DataType::Double),
+            2 => Some(DataType::Text),
+            _ => None,
+        }
+    }
+}
+
+/// A single column value.
+///
+/// `Value` implements a **total order** (doubles via `total_cmp`, values of
+/// different types ordered by type tag) so it can key sorted dictionaries
+/// and B-tree-style indexes; `Eq`/`Hash` follow the same equivalence
+/// (`NaN == NaN`, `-0.0 != +0.0` per bit pattern).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl Value {
+    /// The value's dynamic type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Double(_) => DataType::Double,
+            Value::Text(_) => DataType::Text,
+        }
+    }
+
+    /// For fixed-width types, the value encoded as a raw 64-bit word (the
+    /// NVM dictionary entry representation). `None` for text.
+    pub fn as_word(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => Some(*i as u64),
+            Value::Double(d) => Some(d.to_bits()),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Decode a fixed-width dictionary word back into a value of type `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is [`DataType::Text`]; text entries are stored as heap
+    /// offsets, not words.
+    pub fn from_word(dt: DataType, word: u64) -> Value {
+        match dt {
+            DataType::Int => Value::Int(word as i64),
+            DataType::Double => Value::Double(f64::from_bits(word)),
+            DataType::Text => panic!("text values are not word-encoded"),
+        }
+    }
+
+    /// Borrow the string if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract the integer if this is an int value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract the float if this is a double value.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) => a.data_type().tag().cmp(&b.data_type().tag()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Double(d) => {
+                1u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn word_roundtrip_int_double() {
+        for v in [Value::Int(-5), Value::Int(i64::MAX), Value::Double(-1.5)] {
+            let w = v.as_word().unwrap();
+            assert_eq!(Value::from_word(v.data_type(), w), v);
+        }
+        assert_eq!(Value::Text("x".into()).as_word(), None);
+    }
+
+    #[test]
+    fn total_order_on_doubles() {
+        let mut vals = [Value::Double(f64::NAN),
+            Value::Double(1.0),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(-0.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Double(f64::NEG_INFINITY));
+        // NaN sorts last under total_cmp (positive NaN).
+        assert!(matches!(vals[3], Value::Double(d) if d.is_nan()));
+    }
+
+    #[test]
+    fn nan_equals_itself_for_dict_keys() {
+        let mut m = HashMap::new();
+        m.insert(Value::Double(f64::NAN), 1u32);
+        assert_eq!(m.get(&Value::Double(f64::NAN)), Some(&1));
+    }
+
+    #[test]
+    fn cross_type_order_is_by_tag() {
+        assert!(Value::Int(999) < Value::Double(0.0));
+        assert!(Value::Double(9e9) < Value::Text("".into()));
+    }
+
+    #[test]
+    fn datatype_tag_roundtrip() {
+        for dt in [DataType::Int, DataType::Double, DataType::Text] {
+            assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_tag(9), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::Text("a".into()));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_double(), None);
+        assert_eq!(Value::Double(0.5).as_double(), Some(0.5));
+        assert_eq!(Value::Text("t".into()).as_text(), Some("t"));
+    }
+}

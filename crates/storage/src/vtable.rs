@@ -1,0 +1,611 @@
+//! The DRAM-resident table variant (substrate of the log-based baseline).
+
+use std::collections::HashMap;
+
+use crate::bitpack::BitPacked;
+use crate::mvcc::{self, TS_INF};
+use crate::table_ops::{MergeStats, TableStore};
+use crate::{ColumnId, Result, RowId, Schema, StorageError, Value};
+
+/// Read-optimized partition: per-column sorted dictionary + bit-packed
+/// attribute vector; rows all committed (begin = 0) with a mutable end
+/// timestamp.
+#[derive(Debug, Default, Clone)]
+pub struct VMain {
+    /// Per-column sorted dictionaries.
+    pub dicts: Vec<Vec<Value>>,
+    /// Per-column packed value-id vectors.
+    pub avs: Vec<BitPacked>,
+    /// Per-row end timestamps.
+    pub end_ts: Vec<u64>,
+}
+
+impl VMain {
+    /// Rows in the partition.
+    pub fn rows(&self) -> u64 {
+        self.end_ts.len() as u64
+    }
+}
+
+/// Write-optimized partition: per-column unsorted dictionary with a probe
+/// map, plain value-id vectors, begin/end timestamps per row.
+#[derive(Debug, Default, Clone)]
+pub struct VDelta {
+    /// Per-column append-order dictionaries.
+    pub dicts: Vec<Vec<Value>>,
+    /// Per-column probe maps value → value-id (transient; rebuilt on
+    /// recovery).
+    pub probes: Vec<HashMap<Value, u32>>,
+    /// Per-column value-id vectors.
+    pub avs: Vec<Vec<u32>>,
+    /// Per-row begin timestamps.
+    pub begin_ts: Vec<u64>,
+    /// Per-row end timestamps.
+    pub end_ts: Vec<u64>,
+}
+
+impl VDelta {
+    fn new(ncols: usize) -> VDelta {
+        VDelta {
+            dicts: vec![Vec::new(); ncols],
+            probes: vec![HashMap::new(); ncols],
+            avs: vec![Vec::new(); ncols],
+            begin_ts: Vec::new(),
+            end_ts: Vec::new(),
+        }
+    }
+
+    /// Rows in the partition.
+    pub fn rows(&self) -> u64 {
+        self.begin_ts.len() as u64
+    }
+
+    /// Intern `v` in column `c`'s dictionary, returning its value-id.
+    fn intern(&mut self, c: ColumnId, v: &Value) -> u32 {
+        if let Some(&id) = self.probes[c].get(v) {
+            return id;
+        }
+        let id = self.dicts[c].len() as u32;
+        self.dicts[c].push(v.clone());
+        self.probes[c].insert(v.clone(), id);
+        id
+    }
+
+    /// Rebuild the transient probe maps from the dictionaries (the recovery
+    /// path's "transient rebuild" step).
+    pub fn rebuild_probes(&mut self) {
+        for (c, dict) in self.dicts.iter().enumerate() {
+            let probe: HashMap<Value, u32> = dict
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (v.clone(), i as u32))
+                .collect();
+            self.probes[c] = probe;
+        }
+    }
+}
+
+/// A DRAM-resident main/delta table.
+#[derive(Debug, Clone)]
+pub struct VTable {
+    schema: Schema,
+    main: VMain,
+    delta: VDelta,
+}
+
+impl VTable {
+    /// Create an empty table.
+    pub fn new(schema: Schema) -> VTable {
+        let ncols = schema.len();
+        VTable {
+            schema,
+            main: VMain {
+                dicts: vec![Vec::new(); ncols],
+                avs: vec![BitPacked::default(); ncols],
+                end_ts: Vec::new(),
+            },
+            delta: VDelta::new(ncols),
+        }
+    }
+
+    /// Rebuild from checkpoint parts (see the `wal` crate).
+    pub fn from_parts(schema: Schema, main: VMain, mut delta: VDelta) -> VTable {
+        delta.rebuild_probes();
+        VTable {
+            schema,
+            main,
+            delta,
+        }
+    }
+
+    /// Borrow the main partition (checkpoint serialization).
+    pub fn main(&self) -> &VMain {
+        &self.main
+    }
+
+    /// Borrow the delta partition (checkpoint serialization).
+    pub fn delta(&self) -> &VDelta {
+        &self.delta
+    }
+
+    fn split(&self, row: RowId) -> Result<(bool, u64)> {
+        let main_rows = self.main.rows();
+        let total = main_rows + self.delta.rows();
+        if row < main_rows {
+            Ok((true, row))
+        } else if row < total {
+            Ok((false, row - main_rows))
+        } else {
+            Err(StorageError::RowOutOfRange { row, rows: total })
+        }
+    }
+
+    fn check_col(&self, col: ColumnId) -> Result<()> {
+        if col < self.schema.len() {
+            Ok(())
+        } else {
+            Err(StorageError::ColumnOutOfRange {
+                column: col,
+                columns: self.schema.len(),
+            })
+        }
+    }
+
+    fn visible_filter(&self, rows: impl Iterator<Item = RowId>, snapshot: u64, tid: u64) -> Vec<RowId> {
+        rows.filter(|&r| {
+            let (in_main, i) = self.split(r).expect("row from internal iteration");
+            let (b, e) = if in_main {
+                (0, self.main.end_ts[i as usize])
+            } else {
+                (
+                    self.delta.begin_ts[i as usize],
+                    self.delta.end_ts[i as usize],
+                )
+            };
+            mvcc::visible(b, e, snapshot, tid)
+        })
+        .collect()
+    }
+
+    /// Ids in the sorted main dictionary of `col` equal to `value`.
+    fn main_dict_eq(&self, col: ColumnId, value: &Value) -> Option<u64> {
+        self.main.dicts[col]
+            .binary_search(value)
+            .ok()
+            .map(|i| i as u64)
+    }
+
+    /// Id range `[lo, hi)` in the sorted main dictionary matching the value
+    /// range.
+    fn main_dict_range(&self, col: ColumnId, lo: Option<&Value>, hi: Option<&Value>) -> (u64, u64) {
+        let dict = &self.main.dicts[col];
+        let lo_id = match lo {
+            Some(v) => dict.partition_point(|d| d < v) as u64,
+            None => 0,
+        };
+        let hi_id = match hi {
+            Some(v) => dict.partition_point(|d| d < v) as u64,
+            None => dict.len() as u64,
+        };
+        (lo_id, hi_id)
+    }
+}
+
+impl TableStore for VTable {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn row_count(&self) -> u64 {
+        self.main.rows() + self.delta.rows()
+    }
+
+    fn main_rows(&self) -> u64 {
+        self.main.rows()
+    }
+
+    fn insert_version(&mut self, values: &[Value], begin_marker: u64) -> Result<RowId> {
+        self.schema.check_row(values)?;
+        for (c, v) in values.iter().enumerate() {
+            let id = self.delta.intern(c, v);
+            self.delta.avs[c].push(id);
+        }
+        self.delta.begin_ts.push(begin_marker);
+        self.delta.end_ts.push(TS_INF);
+        Ok(self.main.rows() + self.delta.rows() - 1)
+    }
+
+    fn try_invalidate(&mut self, row: RowId, marker: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let slot = if in_main {
+            &mut self.main.end_ts[i as usize]
+        } else {
+            &mut self.delta.end_ts[i as usize]
+        };
+        if *slot != TS_INF {
+            return Err(StorageError::WriteConflict { row });
+        }
+        *slot = marker;
+        Ok(())
+    }
+
+    fn restore_end(&mut self, row: RowId) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let slot = if in_main {
+            &mut self.main.end_ts[i as usize]
+        } else {
+            &mut self.delta.end_ts[i as usize]
+        };
+        *slot = TS_INF;
+        Ok(())
+    }
+
+    fn abort_insert(&mut self, row: RowId) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            return Err(StorageError::MainRowImmutable { row });
+        }
+        self.delta.begin_ts[i as usize] = mvcc::TS_ABORTED;
+        Ok(())
+    }
+
+    fn commit_insert(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            return Err(StorageError::MainRowImmutable { row });
+        }
+        self.delta.begin_ts[i as usize] = cts;
+        Ok(())
+    }
+
+    fn commit_invalidate(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            self.main.end_ts[i as usize] = cts;
+        } else {
+            self.delta.end_ts[i as usize] = cts;
+        }
+        Ok(())
+    }
+
+    fn begin_ts(&self, row: RowId) -> Result<u64> {
+        let (in_main, i) = self.split(row)?;
+        Ok(if in_main {
+            0
+        } else {
+            self.delta.begin_ts[i as usize]
+        })
+    }
+
+    fn end_ts(&self, row: RowId) -> Result<u64> {
+        let (in_main, i) = self.split(row)?;
+        Ok(if in_main {
+            self.main.end_ts[i as usize]
+        } else {
+            self.delta.end_ts[i as usize]
+        })
+    }
+
+    fn value(&self, row: RowId, col: ColumnId) -> Result<Value> {
+        self.check_col(col)?;
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            let id = self.main.avs[col].get(i);
+            Ok(self.main.dicts[col][id as usize].clone())
+        } else {
+            let id = self.delta.avs[col][i as usize];
+            Ok(self.delta.dicts[col][id as usize].clone())
+        }
+    }
+
+    fn scan_visible(&self, snapshot: u64, tid: u64) -> Result<Vec<RowId>> {
+        Ok(self.visible_filter(0..self.row_count(), snapshot, tid))
+    }
+
+    fn scan_eq(
+        &self,
+        col: ColumnId,
+        value: &Value,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>> {
+        self.check_col(col)?;
+        let mut hits = Vec::new();
+        // Main: binary search the sorted dictionary, then scan the packed av.
+        if let Some(target) = self.main_dict_eq(col, value) {
+            let av = &self.main.avs[col];
+            for i in 0..av.len() {
+                if av.get(i) == target {
+                    hits.push(i);
+                }
+            }
+        }
+        // Delta: probe map, then scan the id vector.
+        if let Some(&target) = self.delta.probes[col].get(value) {
+            let base = self.main.rows();
+            for (i, &id) in self.delta.avs[col].iter().enumerate() {
+                if id == target {
+                    hits.push(base + i as u64);
+                }
+            }
+        }
+        Ok(self.visible_filter(hits.into_iter(), snapshot, tid))
+    }
+
+    fn scan_range(
+        &self,
+        col: ColumnId,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        snapshot: u64,
+        tid: u64,
+    ) -> Result<Vec<RowId>> {
+        self.check_col(col)?;
+        let mut hits = Vec::new();
+        // Main: the sorted dictionary maps the value range to an id range.
+        let (lo_id, hi_id) = self.main_dict_range(col, lo, hi);
+        if lo_id < hi_id {
+            let av = &self.main.avs[col];
+            for i in 0..av.len() {
+                let id = av.get(i);
+                if id >= lo_id && id < hi_id {
+                    hits.push(i);
+                }
+            }
+        }
+        // Delta: the dictionary is unsorted; precompute per-id match bits.
+        let matches: Vec<bool> = self.delta.dicts[col]
+            .iter()
+            .map(|v| lo.is_none_or(|l| v >= l) && hi.is_none_or(|h| v < h))
+            .collect();
+        let base = self.main.rows();
+        for (i, &id) in self.delta.avs[col].iter().enumerate() {
+            if matches[id as usize] {
+                hits.push(base + i as u64);
+            }
+        }
+        Ok(self.visible_filter(hits.into_iter(), snapshot, tid))
+    }
+
+    fn merge(&mut self, snapshot: u64) -> Result<MergeStats> {
+        let total = self.row_count();
+        // Collect surviving rows (visible at `snapshot`; tid 0 is never a
+        // live transaction id in the managers built on top).
+        let mut survivors: Vec<Vec<Value>> = Vec::new();
+        for row in 0..total {
+            let b = self.begin_ts(row)?;
+            let e = self.end_ts(row)?;
+            if mvcc::is_pending(b) || mvcc::is_pending(e) {
+                return Err(StorageError::Corrupt {
+                    reason: "merge requires a quiesced table (pending markers found)",
+                });
+            }
+            if mvcc::visible(b, e, snapshot, 0) {
+                survivors.push(self.row_values(row)?);
+            }
+        }
+        let ncols = self.schema.len();
+        let mut new_main = VMain {
+            dicts: Vec::with_capacity(ncols),
+            avs: Vec::with_capacity(ncols),
+            end_ts: vec![TS_INF; survivors.len()],
+        };
+        for c in 0..ncols {
+            // Sorted, deduplicated dictionary over the surviving values.
+            let mut dict: Vec<Value> = survivors.iter().map(|r| r[c].clone()).collect();
+            dict.sort();
+            dict.dedup();
+            let ids: Vec<u64> = survivors
+                .iter()
+                .map(|r| dict.binary_search(&r[c]).expect("value interned") as u64)
+                .collect();
+            new_main.avs.push(BitPacked::from_ids(&ids, dict.len() as u64));
+            new_main.dicts.push(dict);
+        }
+        let merged = survivors.len() as u64;
+        self.main = new_main;
+        self.delta = VDelta::new(ncols);
+        Ok(MergeStats {
+            rows_before: total,
+            rows_merged: merged,
+            rows_dropped: total - merged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::DataType;
+
+    fn table() -> VTable {
+        VTable::new(Schema::new(vec![
+            ColumnDef::new("k", DataType::Int),
+            ColumnDef::new("s", DataType::Text),
+            ColumnDef::new("x", DataType::Double),
+        ]))
+    }
+
+    fn row(k: i64, s: &str, x: f64) -> Vec<Value> {
+        vec![Value::Int(k), s.into(), Value::Double(x)]
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        let r = t.insert_version(&row(1, "a", 0.5), 10).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(r, 0).unwrap(), Value::Int(1));
+        assert_eq!(t.value(r, 1).unwrap(), Value::Text("a".into()));
+        assert_eq!(t.row_values(r).unwrap(), row(1, "a", 0.5));
+    }
+
+    #[test]
+    fn dictionary_deduplicates() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert_version(&row(i % 3, "dup", 1.0), 1).unwrap();
+        }
+        assert_eq!(t.delta().dicts[0].len(), 3);
+        assert_eq!(t.delta().dicts[1].len(), 1);
+    }
+
+    #[test]
+    fn visibility_with_snapshots() {
+        let mut t = table();
+        let r1 = t.insert_version(&row(1, "a", 0.0), 5).unwrap();
+        let r2 = t.insert_version(&row(2, "b", 0.0), 8).unwrap();
+        assert_eq!(t.scan_visible(5, 99).unwrap(), vec![r1]);
+        assert_eq!(t.scan_visible(8, 99).unwrap(), vec![r1, r2]);
+        assert_eq!(t.scan_visible(4, 99).unwrap(), Vec::<RowId>::new());
+    }
+
+    #[test]
+    fn write_conflict_detection() {
+        let mut t = table();
+        let r = t.insert_version(&row(1, "a", 0.0), 1).unwrap();
+        t.try_invalidate(r, mvcc::pending(7)).unwrap();
+        assert!(matches!(
+            t.try_invalidate(r, mvcc::pending(8)),
+            Err(StorageError::WriteConflict { .. })
+        ));
+        t.restore_end(r).unwrap();
+        t.try_invalidate(r, mvcc::pending(8)).unwrap();
+    }
+
+    #[test]
+    fn scan_eq_hits_main_and_delta() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert_version(&row(i % 2, "v", 0.0), 1).unwrap();
+        }
+        t.merge(1).unwrap();
+        // Now main has 6 rows; add delta rows.
+        t.insert_version(&row(0, "v", 0.0), 2).unwrap();
+        let hits = t.scan_eq(0, &Value::Int(0), 5, 99).unwrap();
+        assert_eq!(hits.len(), 4); // 3 in main + 1 in delta
+        assert!(hits.iter().all(|&r| t.value(r, 0).unwrap() == Value::Int(0)));
+    }
+
+    #[test]
+    fn scan_range_semantics() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert_version(&row(i, "v", 0.0), 1).unwrap();
+        }
+        t.merge(1).unwrap();
+        t.insert_version(&row(10, "v", 0.0), 2).unwrap();
+        let hits = t
+            .scan_range(0, Some(&Value::Int(3)), Some(&Value::Int(8)), 5, 99)
+            .unwrap();
+        let mut ks: Vec<i64> = hits
+            .iter()
+            .map(|&r| t.value(r, 0).unwrap().as_int().unwrap())
+            .collect();
+        ks.sort();
+        assert_eq!(ks, vec![3, 4, 5, 6, 7]);
+        // Open-ended.
+        let hits = t.scan_range(0, Some(&Value::Int(9)), None, 5, 99).unwrap();
+        assert_eq!(hits.len(), 2); // 9 and 10
+    }
+
+    #[test]
+    fn merge_drops_dead_versions() {
+        let mut t = table();
+        let r1 = t.insert_version(&row(1, "a", 0.0), 1).unwrap();
+        let _r2 = t.insert_version(&row(2, "b", 0.0), 2).unwrap();
+        // Invalidate r1 at ts 3.
+        t.try_invalidate(r1, mvcc::pending(9)).unwrap();
+        t.commit_invalidate(r1, 3).unwrap();
+        let stats = t.merge(10).unwrap();
+        assert_eq!(stats.rows_before, 2);
+        assert_eq!(stats.rows_merged, 1);
+        assert_eq!(stats.rows_dropped, 1);
+        assert_eq!(t.main_rows(), 1);
+        assert_eq!(t.delta().rows(), 0);
+        let vis = t.scan_visible(10, 99).unwrap();
+        assert_eq!(vis.len(), 1);
+        assert_eq!(t.value(vis[0], 0).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn merge_rejects_pending_rows() {
+        let mut t = table();
+        t.insert_version(&row(1, "a", 0.0), mvcc::pending(4)).unwrap();
+        assert!(t.merge(10).is_err());
+    }
+
+    #[test]
+    fn merge_builds_sorted_dict_and_packed_av() {
+        let mut t = table();
+        for k in [5i64, 1, 9, 1, 5] {
+            t.insert_version(&row(k, "z", 0.0), 1).unwrap();
+        }
+        t.merge(2).unwrap();
+        assert_eq!(
+            t.main().dicts[0],
+            vec![Value::Int(1), Value::Int(5), Value::Int(9)]
+        );
+        assert_eq!(t.main().avs[0].width(), 2);
+        let vals: Vec<i64> = (0..5)
+            .map(|r| t.value(r, 0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![5, 1, 9, 1, 5]);
+    }
+
+    #[test]
+    fn update_chain_versions() {
+        let mut t = table();
+        let r1 = t.insert_version(&row(1, "old", 0.0), 1).unwrap();
+        // "Update": invalidate old version, insert new one, commit at ts 5.
+        t.try_invalidate(r1, mvcc::pending(2)).unwrap();
+        let r2 = t.insert_version(&row(1, "new", 0.0), mvcc::pending(2)).unwrap();
+        t.commit_invalidate(r1, 5).unwrap();
+        t.commit_insert(r2, 5).unwrap();
+        // Snapshot 4 sees the old version; snapshot 5 the new one.
+        assert_eq!(t.scan_visible(4, 99).unwrap(), vec![r1]);
+        assert_eq!(t.scan_visible(5, 99).unwrap(), vec![r2]);
+    }
+
+    #[test]
+    fn aborted_insert_hidden() {
+        let mut t = table();
+        let r = t.insert_version(&row(1, "a", 0.0), mvcc::pending(2)).unwrap();
+        t.abort_insert(r).unwrap();
+        assert!(t.scan_visible(100, 99).unwrap().is_empty());
+    }
+
+    #[test]
+    fn main_row_begin_immutable() {
+        let mut t = table();
+        t.insert_version(&row(1, "a", 0.0), 1).unwrap();
+        t.merge(1).unwrap();
+        assert!(matches!(
+            t.commit_insert(0, 9),
+            Err(StorageError::MainRowImmutable { .. })
+        ));
+        assert!(matches!(
+            t.abort_insert(0),
+            Err(StorageError::MainRowImmutable { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_row_and_column_errors() {
+        let mut t = table();
+        assert!(matches!(
+            t.value(0, 0),
+            Err(StorageError::RowOutOfRange { .. })
+        ));
+        t.insert_version(&row(1, "a", 0.0), 1).unwrap();
+        assert!(matches!(
+            t.value(0, 5),
+            Err(StorageError::ColumnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.insert_version(&[Value::Int(1)], 1),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+}

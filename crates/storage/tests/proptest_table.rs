@@ -1,0 +1,257 @@
+//! Model-based property tests: both table variants against a reference
+//! model, under random MVCC operation sequences, merges, and (for NVM)
+//! crashes.
+
+use std::sync::Arc;
+
+use nvm::{CrashPolicy, LatencyModel, NvmHeap, NvmRegion};
+use proptest::prelude::*;
+use storage::mvcc::{self, TS_INF};
+use storage::nv::NvTable;
+use storage::{ColumnDef, DataType, Schema, TableStore, VTable, Value};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("s", DataType::Text),
+    ])
+}
+
+/// Reference model: one entry per physical row version.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelRow {
+    k: i64,
+    s: String,
+    begin: u64,
+    end: u64,
+}
+
+#[derive(Debug, Clone)]
+enum MOp {
+    /// Insert a committed version at the next timestamp.
+    Insert { k: i64 },
+    /// Invalidate (commit immediately) the visible version of `k`, if any.
+    Delete { k: i64 },
+    /// Insert then abort.
+    AbortedInsert { k: i64 },
+    /// Merge at the current timestamp.
+    Merge,
+}
+
+fn mop() -> impl Strategy<Value = MOp> {
+    prop_oneof![
+        4 => (0i64..30).prop_map(|k| MOp::Insert { k }),
+        2 => (0i64..30).prop_map(|k| MOp::Delete { k }),
+        1 => (0i64..30).prop_map(|k| MOp::AbortedInsert { k }),
+        1 => Just(MOp::Merge),
+    ]
+}
+
+struct Harness<T: TableStore> {
+    table: T,
+    model: Vec<ModelRow>,
+    ts: u64,
+}
+
+impl<T: TableStore> Harness<T> {
+    fn new(table: T) -> Self {
+        Harness {
+            table,
+            model: Vec::new(),
+            ts: 0,
+        }
+    }
+
+    fn visible_model(&self, snapshot: u64) -> Vec<(i64, String)> {
+        let mut v: Vec<(i64, String)> = self
+            .model
+            .iter()
+            .filter(|r| mvcc::visible(r.begin, r.end, snapshot, 0))
+            .map(|r| (r.k, r.s.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn visible_table(&self, snapshot: u64) -> Vec<(i64, String)> {
+        let mut v: Vec<(i64, String)> = self
+            .table
+            .scan_visible(snapshot, 0)
+            .unwrap()
+            .into_iter()
+            .map(|row| {
+                let vals = self.table.row_values(row).unwrap();
+                (
+                    vals[0].as_int().unwrap(),
+                    vals[1].as_text().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn apply(&mut self, op: &MOp) {
+        match op {
+            MOp::Insert { k } => {
+                self.ts += 1;
+                let s = format!("v{k}@{}", self.ts);
+                let row = self
+                    .table
+                    .insert_version(
+                        &[Value::Int(*k), Value::Text(s.clone())],
+                        mvcc::pending(self.ts),
+                    )
+                    .unwrap();
+                self.table.commit_insert(row, self.ts).unwrap();
+                self.model.push(ModelRow {
+                    k: *k,
+                    s,
+                    begin: self.ts,
+                    end: TS_INF,
+                });
+            }
+            MOp::Delete { k } => {
+                self.ts += 1;
+                // Find the visible version in the model.
+                let snapshot = self.ts - 1;
+                let target = self
+                    .model
+                    .iter()
+                    .position(|r| r.k == *k && mvcc::visible(r.begin, r.end, snapshot, 0));
+                if let Some(idx) = target {
+                    // Duplicate inserts mean several visible versions can
+                    // carry the key; model and table share insertion order,
+                    // so "first visible" matches on both sides.
+                    let rows = self
+                        .table
+                        .scan_eq(0, &Value::Int(*k), snapshot, 0)
+                        .unwrap();
+                    assert!(!rows.is_empty(), "model/table divergence before delete");
+                    self.table.try_invalidate(rows[0], mvcc::pending(self.ts)).unwrap();
+                    self.table.commit_invalidate(rows[0], self.ts).unwrap();
+                    self.model[idx].end = self.ts;
+                }
+            }
+            MOp::AbortedInsert { k } => {
+                self.ts += 1;
+                let row = self
+                    .table
+                    .insert_version(
+                        &[Value::Int(*k), Value::Text("aborted".into())],
+                        mvcc::pending(self.ts),
+                    )
+                    .unwrap();
+                self.table.abort_insert(row).unwrap();
+                self.model.push(ModelRow {
+                    k: *k,
+                    s: "aborted".into(),
+                    begin: mvcc::TS_ABORTED,
+                    end: TS_INF,
+                });
+            }
+            MOp::Merge => {
+                self.table.merge(self.ts).unwrap();
+                // Model merge: keep exactly the currently visible versions,
+                // re-based to begin 0.
+                self.model = self
+                    .model
+                    .iter()
+                    .filter(|r| mvcc::visible(r.begin, r.end, self.ts, 0))
+                    .map(|r| ModelRow {
+                        k: r.k,
+                        s: r.s.clone(),
+                        begin: 0,
+                        end: TS_INF,
+                    })
+                    .collect();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The volatile table tracks the model exactly, at the latest snapshot
+    /// and at every historical one.
+    #[test]
+    fn vtable_matches_model(ops in proptest::collection::vec(mop(), 1..60)) {
+        let mut h = Harness::new(VTable::new(schema()));
+        let mut merge_points = vec![];
+        for op in &ops {
+            if matches!(op, MOp::Merge) {
+                merge_points.push(h.ts);
+            }
+            h.apply(op);
+            prop_assert_eq!(h.visible_table(h.ts), h.visible_model(h.ts));
+        }
+        // Historical snapshots since the last merge also agree (merges
+        // discard pre-merge history).
+        let floor = merge_points.last().copied().unwrap_or(0);
+        for snap in floor..=h.ts {
+            prop_assert_eq!(h.visible_table(snap), h.visible_model(snap));
+        }
+    }
+
+    /// The NVM table behaves identically AND survives a crash at the end
+    /// with no change to committed state.
+    #[test]
+    fn nvtable_matches_model_and_survives_crash(
+        ops in proptest::collection::vec(mop(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
+        let table = NvTable::create(&heap, schema()).unwrap();
+        let root = table.root_offset();
+        let mut h = Harness::new(table);
+        for op in &ops {
+            h.apply(op);
+        }
+        let expected = h.visible_model(h.ts);
+        prop_assert_eq!(h.visible_table(h.ts), expected.clone());
+
+        let ts = h.ts;
+        drop(h);
+        heap.region().crash(CrashPolicy::RandomEviction { p: 0.4, seed });
+        let (heap2, _) = NvmHeap::open(heap.region().clone()).unwrap();
+        let mut t2 = NvTable::open(&heap2, root).unwrap();
+        t2.recover_mvcc(ts).unwrap();
+        let mut got: Vec<(i64, String)> = t2
+            .scan_visible(ts, 0)
+            .unwrap()
+            .into_iter()
+            .map(|row| {
+                let vals = t2.row_values(row).unwrap();
+                (vals[0].as_int().unwrap(), vals[1].as_text().unwrap().to_owned())
+            })
+            .collect();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Range scans agree between the two table variants after identical
+    /// histories (cross-implementation differential test).
+    #[test]
+    fn scan_parity_between_variants(
+        ops in proptest::collection::vec(mop(), 1..40),
+        lo in 0i64..30,
+        width in 1i64..15,
+    ) {
+        let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
+        let mut hv = Harness::new(VTable::new(schema()));
+        let mut hn = Harness::new(NvTable::create(&heap, schema()).unwrap());
+        for op in &ops {
+            hv.apply(op);
+            hn.apply(op);
+        }
+        let snap = hv.ts;
+        let (lo_v, hi_v) = (Value::Int(lo), Value::Int(lo + width));
+        let a = hv.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
+        let b = hn.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
+        prop_assert_eq!(a, b);
+        let a = hv.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
+        let b = hn.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

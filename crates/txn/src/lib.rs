@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Snapshot-isolation MVCC transaction manager.
+//!
+//! The manager owns timestamp allocation and the transaction lifecycle; the
+//! storage substrate (volatile or NVM) persists what its durability story
+//! requires, and the *engine* supplies the durable commit publish through
+//! [`CommitPublish`]:
+//!
+//! * Hyrise-NV backend — persist a single 8-byte global commit timestamp on
+//!   NVM. Because every row timestamp written in step 2 was flushed before
+//!   the publish, and recovery rolls back any row timestamp beyond the
+//!   published CTS, the publish is the commit's atomic linearization point
+//!   (the paper's ordering protocol).
+//! * Log-based baseline — append a commit record to the WAL and sync.
+//!
+//! Isolation level: snapshot isolation. Readers use the snapshot taken at
+//! `begin`; writers claim rows via pending end-timestamps (first claimant
+//! wins, losers abort with a write conflict).
+
+mod manager;
+mod transaction;
+
+pub use manager::{CommitPublish, NoopPublish, TxnManager};
+pub use transaction::{Transaction, TxnState, WriteOp};
+
+use std::fmt;
+
+/// Errors raised by the transaction layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The underlying storage operation failed.
+    Storage(storage::StorageError),
+    /// The transaction is not in a state that allows the operation
+    /// (e.g. writing after commit).
+    BadState {
+        /// State the transaction was found in.
+        state: TxnState,
+        /// Operation attempted.
+        op: &'static str,
+    },
+    /// Commit-timestamp space exhausted (practically unreachable).
+    TimestampOverflow,
+    /// The durable commit publish failed (WAL append/sync or NVM persist).
+    Publish(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Storage(e) => write!(f, "storage: {e}"),
+            TxnError::BadState { state, op } => {
+                write!(f, "transaction in state {state:?} cannot {op}")
+            }
+            TxnError::TimestampOverflow => write!(f, "commit timestamp space exhausted"),
+            TxnError::Publish(m) => write!(f, "commit publish failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<storage::StorageError> for TxnError {
+    fn from(e: storage::StorageError) -> Self {
+        TxnError::Storage(e)
+    }
+}
+
+/// Convenience result alias for transaction operations.
+pub type Result<T> = std::result::Result<T, TxnError>;
+
+/// True if the error is a write-write conflict (callers typically retry).
+pub fn is_conflict(e: &TxnError) -> bool {
+    matches!(
+        e,
+        TxnError::Storage(storage::StorageError::WriteConflict { .. })
+    )
+}

@@ -1,0 +1,121 @@
+//! Per-transaction state.
+
+use storage::RowId;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Open and accepting operations.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back (by the user or after a conflict).
+    Aborted,
+}
+
+/// One entry in a transaction's write set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// A new version this transaction inserted.
+    Insert {
+        /// Table the row belongs to (engine-assigned index).
+        table: usize,
+        /// Physical row id of the new version.
+        row: RowId,
+    },
+    /// A version this transaction invalidated (the delete half of an update,
+    /// or a plain delete).
+    Invalidate {
+        /// Table the row belongs to.
+        table: usize,
+        /// Physical row id of the invalidated version.
+        row: RowId,
+    },
+}
+
+/// A transaction handle: identity, snapshot, and write set.
+///
+/// The handle itself performs no storage access; the engine (or the
+/// [`crate::TxnManager`] helpers) applies operations to tables and records
+/// them here so commit/abort can walk the write set.
+#[derive(Debug)]
+pub struct Transaction {
+    /// Transaction id, embedded into pending MVCC markers.
+    pub tid: u64,
+    /// Snapshot timestamp: the transaction sees exactly the versions
+    /// committed at or before this CTS (plus its own writes).
+    pub snapshot: u64,
+    /// Ordered write set.
+    pub writes: Vec<WriteOp>,
+    /// Lifecycle state.
+    pub state: TxnState,
+}
+
+impl Transaction {
+    pub(crate) fn new(tid: u64, snapshot: u64) -> Transaction {
+        Transaction {
+            tid,
+            snapshot,
+            writes: Vec::new(),
+            state: TxnState::Active,
+        }
+    }
+
+    /// The pending MVCC marker this transaction stamps on rows it touches.
+    pub fn marker(&self) -> u64 {
+        storage::mvcc::pending(self.tid)
+    }
+
+    /// True while the transaction accepts operations.
+    pub fn is_active(&self) -> bool {
+        self.state == TxnState::Active
+    }
+
+    /// Record an insert in the write set.
+    pub fn record_insert(&mut self, table: usize, row: RowId) {
+        self.writes.push(WriteOp::Insert { table, row });
+    }
+
+    /// Record an invalidation in the write set.
+    pub fn record_invalidate(&mut self, table: usize, row: RowId) {
+        self.writes.push(WriteOp::Invalidate { table, row });
+    }
+
+    /// Number of recorded write operations.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if the transaction performed no writes.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_carries_tid() {
+        let t = Transaction::new(17, 5);
+        assert!(storage::mvcc::is_pending(t.marker()));
+        assert_eq!(storage::mvcc::pending_owner(t.marker()), 17);
+    }
+
+    #[test]
+    fn write_set_accumulates_in_order() {
+        let mut t = Transaction::new(1, 0);
+        assert!(t.is_read_only());
+        t.record_insert(0, 10);
+        t.record_invalidate(1, 3);
+        assert_eq!(t.write_count(), 2);
+        assert_eq!(
+            t.writes,
+            vec![
+                WriteOp::Insert { table: 0, row: 10 },
+                WriteOp::Invalidate { table: 1, row: 3 }
+            ]
+        );
+    }
+}

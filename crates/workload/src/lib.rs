@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Deterministic workload generators for the Hyrise-NV evaluation.
+//!
+//! Two families, mirroring the paper's demo setting (an enterprise
+//! order-processing load) and the standard key-value microbenchmark
+//! methodology:
+//!
+//! * [`tpcc`] — a TPC-C-flavoured order-processing workload: warehouse /
+//!   district / customer / orders tables, NewOrder and Payment
+//!   transactions.
+//! * [`ycsb`] — a YCSB-style single-table mixed workload with configurable
+//!   read/update/insert/scan mix and Zipfian or uniform key popularity.
+//!
+//! Generators are pure: they produce operation streams as data, seeded and
+//! reproducible; the benchmark harness applies them to a database.
+
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use tpcc::{TpccGenerator, TpccTables, TpccTxn};
+pub use ycsb::{Op, YcsbConfig, YcsbGenerator, YcsbMix};
+pub use zipf::Zipf;

@@ -1,0 +1,261 @@
+//! TPC-C-flavoured order-processing workload.
+//!
+//! A down-scoped TPC-C: four tables (warehouse, district, customer,
+//! orders) and the two write-heavy transaction profiles that dominate the
+//! benchmark mix — NewOrder and Payment — plus the read-only OrderStatus.
+//! This mirrors the enterprise order-processing setting the paper's demo
+//! uses, while staying deterministic and self-contained.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+/// Schemas of the four tables, with their catalogue names.
+#[derive(Debug, Clone)]
+pub struct TpccTables {
+    /// `warehouse(w_id, name, ytd)`.
+    pub warehouse: Schema,
+    /// `district(d_key, w_id, next_o_id, ytd)` — `d_key = w_id * 100 + d_id`.
+    pub district: Schema,
+    /// `customer(c_key, d_key, name, balance)` — `c_key` globally unique.
+    pub customer: Schema,
+    /// `orders(o_key, d_key, c_key, amount)` — `o_key` globally unique.
+    pub orders: Schema,
+}
+
+impl TpccTables {
+    /// Build the schema set.
+    pub fn new() -> TpccTables {
+        TpccTables {
+            warehouse: Schema::new(vec![
+                ColumnDef::new("w_id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("ytd", DataType::Double),
+            ]),
+            district: Schema::new(vec![
+                ColumnDef::new("d_key", DataType::Int),
+                ColumnDef::new("w_id", DataType::Int),
+                ColumnDef::new("next_o_id", DataType::Int),
+                ColumnDef::new("ytd", DataType::Double),
+            ]),
+            customer: Schema::new(vec![
+                ColumnDef::new("c_key", DataType::Int),
+                ColumnDef::new("d_key", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("balance", DataType::Double),
+            ]),
+            orders: Schema::new(vec![
+                ColumnDef::new("o_key", DataType::Int),
+                ColumnDef::new("d_key", DataType::Int),
+                ColumnDef::new("c_key", DataType::Int),
+                ColumnDef::new("amount", DataType::Double),
+            ]),
+        }
+    }
+
+    /// Table names in catalogue order.
+    pub fn names() -> [&'static str; 4] {
+        ["warehouse", "district", "customer", "orders"]
+    }
+}
+
+impl Default for TpccTables {
+    fn default() -> Self {
+        TpccTables::new()
+    }
+}
+
+/// One generated transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TpccTxn {
+    /// Insert an order for `(d_key, c_key)` and bump the district's
+    /// `next_o_id`.
+    NewOrder {
+        /// District composite key.
+        d_key: i64,
+        /// Customer composite key.
+        c_key: i64,
+        /// Order amount.
+        amount: f64,
+    },
+    /// Add `amount` to a warehouse's and district's ytd and subtract it
+    /// from the customer's balance.
+    Payment {
+        /// Warehouse id.
+        w_id: i64,
+        /// District composite key.
+        d_key: i64,
+        /// Customer composite key.
+        c_key: i64,
+        /// Payment amount.
+        amount: f64,
+    },
+    /// Read a customer's balance and their most recent orders.
+    OrderStatus {
+        /// Customer composite key.
+        c_key: i64,
+    },
+}
+
+impl TpccTxn {
+    /// Short label used by reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TpccTxn::NewOrder { .. } => "new_order",
+            TpccTxn::Payment { .. } => "payment",
+            TpccTxn::OrderStatus { .. } => "order_status",
+        }
+    }
+}
+
+/// Deterministic transaction stream over a fixed population.
+#[derive(Debug)]
+pub struct TpccGenerator {
+    /// Number of warehouses.
+    pub warehouses: i64,
+    /// Districts per warehouse.
+    pub districts_per_w: i64,
+    /// Customers per district.
+    pub customers_per_d: i64,
+    rng: SmallRng,
+}
+
+impl TpccGenerator {
+    /// Standard small population: `warehouses` × 10 districts × 30
+    /// customers.
+    pub fn new(warehouses: i64, seed: u64) -> TpccGenerator {
+        TpccGenerator {
+            warehouses: warehouses.max(1),
+            districts_per_w: 10,
+            customers_per_d: 30,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Composite district key.
+    pub fn d_key(w: i64, d: i64) -> i64 {
+        w * 100 + d
+    }
+
+    /// Composite customer key.
+    pub fn c_key(w: i64, d: i64, c: i64) -> i64 {
+        (w * 100 + d) * 1000 + c
+    }
+
+    /// Initial-population rows: (warehouse, district, customer) row sets.
+    #[allow(clippy::type_complexity)]
+    pub fn load_rows(&self) -> (Vec<Vec<Value>>, Vec<Vec<Value>>, Vec<Vec<Value>>) {
+        let mut ws = Vec::new();
+        let mut ds = Vec::new();
+        let mut cs = Vec::new();
+        for w in 0..self.warehouses {
+            ws.push(vec![
+                Value::Int(w),
+                Value::Text(format!("warehouse-{w}")),
+                Value::Double(0.0),
+            ]);
+            for d in 0..self.districts_per_w {
+                ds.push(vec![
+                    Value::Int(Self::d_key(w, d)),
+                    Value::Int(w),
+                    Value::Int(1),
+                    Value::Double(0.0),
+                ]);
+                for c in 0..self.customers_per_d {
+                    cs.push(vec![
+                        Value::Int(Self::c_key(w, d, c)),
+                        Value::Int(Self::d_key(w, d)),
+                        Value::Text(format!("cust-{w}-{d}-{c}")),
+                        Value::Double(1000.0),
+                    ]);
+                }
+            }
+        }
+        (ws, ds, cs)
+    }
+
+    /// Generate the next transaction with the classic-ish mix:
+    /// 45% NewOrder, 43% Payment, 12% OrderStatus.
+    pub fn next_txn(&mut self) -> TpccTxn {
+        let w = self.rng.gen_range(0..self.warehouses);
+        let d = self.rng.gen_range(0..self.districts_per_w);
+        let c = self.rng.gen_range(0..self.customers_per_d);
+        let d_key = Self::d_key(w, d);
+        let c_key = Self::c_key(w, d, c);
+        let r: f64 = self.rng.gen();
+        if r < 0.45 {
+            TpccTxn::NewOrder {
+                d_key,
+                c_key,
+                amount: self.rng.gen_range(1.0..300.0),
+            }
+        } else if r < 0.88 {
+            TpccTxn::Payment {
+                w_id: w,
+                d_key,
+                c_key,
+                amount: self.rng.gen_range(1.0..5000.0),
+            }
+        } else {
+            TpccTxn::OrderStatus { c_key }
+        }
+    }
+
+    /// Generate `n` transactions.
+    pub fn txns(&mut self, n: usize) -> Vec<TpccTxn> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_sizes() {
+        let g = TpccGenerator::new(2, 1);
+        let (ws, ds, cs) = g.load_rows();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(cs.len(), 600);
+        let t = TpccTables::new();
+        for r in &ws {
+            t.warehouse.check_row(r).unwrap();
+        }
+        for r in &ds {
+            t.district.check_row(r).unwrap();
+        }
+        for r in &cs {
+            t.customer.check_row(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn composite_keys_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..3 {
+            for d in 0..10 {
+                for c in 0..30 {
+                    assert!(seen.insert(TpccGenerator::c_key(w, d, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_roughly_matches() {
+        let mut g = TpccGenerator::new(4, 9);
+        let txns = g.txns(10_000);
+        let no = txns.iter().filter(|t| t.kind() == "new_order").count();
+        let pay = txns.iter().filter(|t| t.kind() == "payment").count();
+        assert!((4_000..5_000).contains(&no), "new_order {no}");
+        assert!((3_800..4_800).contains(&pay), "payment {pay}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = TpccGenerator::new(2, 5);
+        let mut b = TpccGenerator::new(2, 5);
+        assert_eq!(a.txns(50), b.txns(50));
+    }
+}

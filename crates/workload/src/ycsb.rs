@@ -1,0 +1,282 @@
+//! YCSB-style mixed key-value workload over one table
+//! `(key: Int, field: Text)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+use crate::zipf::Zipf;
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Point read of `key`.
+    Read {
+        /// Key to look up.
+        key: i64,
+    },
+    /// Update the row with `key` to carry `value`.
+    Update {
+        /// Key to update.
+        key: i64,
+        /// New field value.
+        value: String,
+    },
+    /// Insert a fresh row.
+    Insert {
+        /// New (unique) key.
+        key: i64,
+        /// Field value.
+        value: String,
+    },
+    /// Range scan starting at `key`, up to `len` rows.
+    Scan {
+        /// Start key (inclusive).
+        key: i64,
+        /// Maximum rows.
+        len: u64,
+    },
+}
+
+impl Op {
+    /// Short label used by reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Read { .. } => "read",
+            Op::Update { .. } => "update",
+            Op::Insert { .. } => "insert",
+            Op::Scan { .. } => "scan",
+        }
+    }
+}
+
+/// Operation mix (fractions must sum to ≤ 1; the remainder becomes reads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YcsbMix {
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+}
+
+impl YcsbMix {
+    /// Workload A: 50% reads / 50% updates.
+    pub const A: YcsbMix = YcsbMix {
+        update: 0.5,
+        insert: 0.0,
+        scan: 0.0,
+    };
+    /// Workload B: 95% reads / 5% updates.
+    pub const B: YcsbMix = YcsbMix {
+        update: 0.05,
+        insert: 0.0,
+        scan: 0.0,
+    };
+    /// Workload C: read-only.
+    pub const C: YcsbMix = YcsbMix {
+        update: 0.0,
+        insert: 0.0,
+        scan: 0.0,
+    };
+    /// Insert-heavy load phase mix (paper's write-dominated case).
+    pub const INSERT_HEAVY: YcsbMix = YcsbMix {
+        update: 0.1,
+        insert: 0.8,
+        scan: 0.0,
+    };
+    /// Workload E-flavoured: scan-heavy.
+    pub const E: YcsbMix = YcsbMix {
+        update: 0.0,
+        insert: 0.05,
+        scan: 0.95,
+    };
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Rows loaded before the measured phase.
+    pub record_count: u64,
+    /// Operation mix.
+    pub mix: YcsbMix,
+    /// Zipf skew (`None` = uniform key popularity).
+    pub zipf_theta: Option<f64>,
+    /// Payload string length.
+    pub value_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            record_count: 10_000,
+            mix: YcsbMix::A,
+            zipf_theta: Some(0.99),
+            value_len: 32,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic YCSB-style operation stream.
+#[derive(Debug)]
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    rng: SmallRng,
+    zipf: Option<Zipf>,
+    /// Keys 0..next_key exist (inserts extend the keyspace).
+    next_key: i64,
+}
+
+impl YcsbGenerator {
+    /// Build a generator; keys `0..record_count` are assumed loaded.
+    pub fn new(cfg: YcsbConfig) -> YcsbGenerator {
+        let zipf = cfg.zipf_theta.map(|t| Zipf::new(cfg.record_count.max(1), t));
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        YcsbGenerator {
+            next_key: cfg.record_count as i64,
+            cfg,
+            rng,
+            zipf,
+        }
+    }
+
+    /// The table schema used by this workload.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("key", DataType::Int),
+            ColumnDef::new("field", DataType::Text),
+        ])
+    }
+
+    /// Rows for the load phase: `(key, payload)` for keys `0..record_count`.
+    pub fn load_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.cfg.record_count as i64).map(move |k| {
+            vec![
+                Value::Int(k),
+                Value::Text(payload(k as u64, self.cfg.value_len)),
+            ]
+        })
+    }
+
+    fn pick_key(&mut self) -> i64 {
+        match &self.zipf {
+            Some(z) => z.sample(&mut self.rng) as i64,
+            None => self.rng.gen_range(0..self.cfg.record_count.max(1)) as i64,
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let r: f64 = self.rng.gen();
+        let m = self.cfg.mix;
+        if r < m.insert {
+            let key = self.next_key;
+            self.next_key += 1;
+            Op::Insert {
+                key,
+                value: payload(key as u64, self.cfg.value_len),
+            }
+        } else if r < m.insert + m.update {
+            let key = self.pick_key();
+            Op::Update {
+                key,
+                value: payload(self.rng.gen::<u64>(), self.cfg.value_len),
+            }
+        } else if r < m.insert + m.update + m.scan {
+            Op::Scan {
+                key: self.pick_key(),
+                len: 10 + self.rng.gen_range(0..90),
+            }
+        } else {
+            Op::Read {
+                key: self.pick_key(),
+            }
+        }
+    }
+
+    /// Generate a batch of `n` operations.
+    pub fn ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+/// Deterministic payload string for a key.
+pub fn payload(seed: u64, len: usize) -> String {
+    let mut s = String::with_capacity(len);
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    while s.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.push(char::from(b'a' + (x % 26) as u8));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = YcsbGenerator::new(YcsbConfig::default());
+        let mut b = YcsbGenerator::new(YcsbConfig::default());
+        assert_eq!(a.ops(100), b.ops(100));
+    }
+
+    #[test]
+    fn mix_fractions_respected() {
+        let cfg = YcsbConfig {
+            mix: YcsbMix::A,
+            zipf_theta: None,
+            ..Default::default()
+        };
+        let mut g = YcsbGenerator::new(cfg);
+        let ops = g.ops(10_000);
+        let updates = ops.iter().filter(|o| o.kind() == "update").count();
+        assert!((4_500..5_500).contains(&updates), "updates {updates}");
+        assert!(ops.iter().all(|o| o.kind() != "insert"));
+    }
+
+    #[test]
+    fn inserts_use_fresh_keys() {
+        let cfg = YcsbConfig {
+            record_count: 100,
+            mix: YcsbMix::INSERT_HEAVY,
+            ..Default::default()
+        };
+        let mut g = YcsbGenerator::new(cfg);
+        let mut seen = std::collections::HashSet::new();
+        for op in g.ops(1000) {
+            if let Op::Insert { key, .. } = op {
+                assert!(key >= 100);
+                assert!(seen.insert(key), "duplicate insert key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_rows_match_schema() {
+        let g = YcsbGenerator::new(YcsbConfig {
+            record_count: 10,
+            ..Default::default()
+        });
+        let schema = YcsbGenerator::schema();
+        let rows: Vec<_> = g.load_rows().collect();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            schema.check_row(r).unwrap();
+        }
+    }
+
+    #[test]
+    fn payload_deterministic_with_len() {
+        assert_eq!(payload(5, 16), payload(5, 16));
+        assert_ne!(payload(5, 16), payload(6, 16));
+        assert_eq!(payload(1, 64).len(), 64);
+    }
+}

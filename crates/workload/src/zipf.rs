@@ -1,0 +1,139 @@
+//! Zipfian sampling over `0..n` (YCSB-style popularity skew).
+//!
+//! Uses the classic Gray et al. "quickly generating billion-record
+//! synthetic databases" zipfian generator: O(1) per sample after O(1)
+//! setup, matching the YCSB reference implementation.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew `theta` (0 < theta < 1;
+/// YCSB's default is 0.99). Item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, Euler–Maclaurin style approximation for large
+        // n (keeps construction O(1)-ish for benchmark-sized domains).
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // ∫_{10000}^{n} x^-theta dx
+            let a = 10_000f64;
+            let b = n as f64;
+            head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one sample in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// The zeta(2, theta) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_domain() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_head() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head_hits = 0u64;
+        const N: u64 = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                head_hits += 1;
+            }
+        }
+        // Under theta=0.99 the top 1% of keys draw far more than 1% of
+        // accesses (YCSB-typical is ~60%+).
+        assert!(
+            head_hits > N / 3,
+            "head hits {head_hits}/{N} — skew too weak"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(500, 0.9);
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn large_domain_constructs() {
+        let z = Zipf::new(100_000_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(z.sample(&mut rng) < 100_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_rejected() {
+        let _ = Zipf::new(10, 1.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Compare the three durability backends on the same workload: write
+//! throughput, persistence-primitive counts, and restart cost — the
+//! trade-off space the paper positions Hyrise-NV in.
+//!
+//! Run: `cargo run --release -p hyrise-nv --example durability_tradeoffs`
+
+use std::time::Instant;
+
+use hyrise_nv::{Database, DurabilityConfig};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+const ROWS: i64 = 20_000;
+
+fn run(label: &str, config: DurabilityConfig) -> hyrise_nv::Result<()> {
+    let mut db = Database::create(config)?;
+    let t = db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::Int),
+            ColumnDef::new("v", DataType::Text),
+        ]),
+    )?;
+
+    let t0 = Instant::now();
+    let mut tx = db.begin();
+    for k in 0..ROWS {
+        db.insert(&mut tx, t, &[Value::Int(k), Value::Text(format!("v{k}"))])?;
+        if k % 64 == 63 {
+            db.commit(&mut tx)?;
+            tx = db.begin();
+        }
+    }
+    db.commit(&mut tx)?;
+    let wall = t0.elapsed().as_secs_f64();
+    let sim = db.simulated_ns() as f64 / 1e9;
+    let nvm = db.nvm_stats();
+    let wal = db.wal_stats();
+
+    let report = db.restart_after_crash()?;
+    let tx = db.begin();
+    // The volatile backend loses even the catalogue.
+    let survived = db.scan_all(&tx, t).map(|r| r.len()).unwrap_or(0);
+
+    println!("== {label} ==");
+    println!(
+        "  load: {:.0} inserts/s wall, {:.0} inserts/s modeled (wall+sim)",
+        ROWS as f64 / wall,
+        ROWS as f64 / (wall + sim)
+    );
+    if nvm.flush_calls > 0 {
+        println!(
+            "  NVM primitives: {:.1} flushes/insert, {:.1} fences/insert",
+            nvm.flush_calls as f64 / ROWS as f64,
+            nvm.fences as f64 / ROWS as f64
+        );
+    }
+    if wal.syncs > 0 {
+        println!(
+            "  WAL: {} records, {} syncs, {:.1} KiB",
+            wal.records,
+            wal.syncs,
+            wal.bytes as f64 / 1024.0
+        );
+    }
+    println!(
+        "  restart: {:?} — {survived}/{ROWS} rows survived\n",
+        report.total_wall()
+    );
+    Ok(())
+}
+
+fn main() -> hyrise_nv::Result<()> {
+    run(
+        "volatile (no durability — upper bound, loses everything)",
+        DurabilityConfig::Volatile,
+    )?;
+    run(
+        "log-based baseline (WAL + checkpoint)",
+        DurabilityConfig::wal_temp(),
+    )?;
+    run(
+        "Hyrise-NV (all primary data on simulated NVM)",
+        DurabilityConfig::nvm(1 << 30, nvm::LatencyModel::pcm()),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! The paper's headline demo: identical workloads on the NVM engine and
+//! the log-based baseline, then a power failure — compare recovery.
+//!
+//! Run: `cargo run --release -p hyrise-nv --example instant_restart`
+
+use std::time::Instant;
+
+use hyrise_nv::{Database, DurabilityConfig, TableId};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+const ROWS: i64 = 50_000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("payload", DataType::Text),
+    ])
+}
+
+fn populate(db: &mut Database) -> hyrise_nv::Result<TableId> {
+    let t = db.create_table("events", schema())?;
+    let mut tx = db.begin();
+    for k in 0..ROWS {
+        db.insert(
+            &mut tx,
+            t,
+            &[Value::Int(k), Value::Text(format!("event-payload-{k:08}"))],
+        )?;
+        if k % 512 == 511 {
+            db.commit(&mut tx)?;
+            tx = db.begin();
+        }
+    }
+    db.commit(&mut tx)?;
+    Ok(t)
+}
+
+fn demo(label: &str, config: DurabilityConfig) -> hyrise_nv::Result<()> {
+    println!("--- {label} ---");
+    let mut db = Database::create(config)?;
+    let t0 = Instant::now();
+    let t = populate(&mut db)?;
+    println!("loaded {ROWS} rows in {:?}", t0.elapsed());
+    // Fold the bulk into the read-optimized main partition — the paper's
+    // operating point: the write-optimized delta stays small because merges
+    // run continuously, and only the delta has size-dependent transient
+    // state.
+    db.merge(t)?;
+
+    println!("*** power failure ***");
+    let report = db.restart_after_crash()?;
+    print!("{}", report.render());
+
+    let tx = db.begin();
+    let n = db.scan_all(&tx, t)?.len();
+    println!("rows visible after restart: {n}\n");
+    assert_eq!(n as i64, ROWS);
+    Ok(())
+}
+
+fn main() -> hyrise_nv::Result<()> {
+    demo(
+        "Hyrise-NV (all data on simulated NVM)",
+        DurabilityConfig::nvm(1 << 30, nvm::LatencyModel::pcm()),
+    )?;
+    demo(
+        "log-based baseline (DRAM + WAL + checkpoint)",
+        DurabilityConfig::wal_temp(),
+    )?;
+    println!(
+        "The paper reports 53 s (log-based) vs < 1 s (Hyrise-NV) at 92.2 GB;\n\
+         at this scale the same shape appears as milliseconds vs microseconds-\n\
+         per-row-independent restart."
+    );
+    Ok(())
+}

@@ -1,0 +1,161 @@
+//! Enterprise order processing (the paper's demo setting): a TPC-C-
+//! flavoured workload with NewOrder/Payment transactions, a merge, a crash,
+//! and an instant restart — business continues where it left off.
+//!
+//! Run: `cargo run --release -p hyrise-nv --example order_processing`
+
+use hyrise_nv::{Database, DurabilityConfig, IndexKind, TableId};
+use storage::Value;
+use workload::{TpccGenerator, TpccTables, TpccTxn};
+
+struct Shop {
+    warehouse: TableId,
+    district: TableId,
+    customer: TableId,
+    orders: TableId,
+    next_o_key: i64,
+}
+
+fn setup(db: &mut Database, generator: &TpccGenerator) -> hyrise_nv::Result<Shop> {
+    let schemas = TpccTables::new();
+    let warehouse = db.create_table("warehouse", schemas.warehouse)?;
+    let district = db.create_table("district", schemas.district)?;
+    let customer = db.create_table("customer", schemas.customer)?;
+    let orders = db.create_table("orders", schemas.orders)?;
+    for (t, c) in [(warehouse, 0), (district, 0), (customer, 0), (orders, 2)] {
+        db.create_index(t, c, IndexKind::Hash)?;
+    }
+    let (ws, ds, cs) = generator.load_rows();
+    for (t, rows) in [(warehouse, ws), (district, ds), (customer, cs)] {
+        let mut tx = db.begin();
+        for row in rows {
+            db.insert(&mut tx, t, &row)?;
+        }
+        db.commit(&mut tx)?;
+    }
+    Ok(Shop {
+        warehouse,
+        district,
+        customer,
+        orders,
+        next_o_key: 0,
+    })
+}
+
+fn execute(db: &mut Database, shop: &mut Shop, txn: &TpccTxn) -> hyrise_nv::Result<bool> {
+    let mut tx = db.begin();
+    let result = match txn {
+        TpccTxn::NewOrder {
+            d_key,
+            c_key,
+            amount,
+        } => (|| {
+            let d = db.index_lookup(&tx, shop.district, 0, &Value::Int(*d_key))?[0].clone();
+            let mut dv = d.values.clone();
+            dv[2] = Value::Int(dv[2].as_int().unwrap() + 1);
+            db.update(&mut tx, shop.district, d.row, &dv)?;
+            let o = shop.next_o_key;
+            shop.next_o_key += 1;
+            db.insert(
+                &mut tx,
+                shop.orders,
+                &[
+                    Value::Int(o),
+                    Value::Int(*d_key),
+                    Value::Int(*c_key),
+                    Value::Double(*amount),
+                ],
+            )?;
+            Ok(())
+        })(),
+        TpccTxn::Payment {
+            w_id,
+            d_key,
+            c_key,
+            amount,
+        } => (|| {
+            for (t, key, col) in [
+                (shop.warehouse, *w_id, 2usize),
+                (shop.district, *d_key, 3),
+                (shop.customer, *c_key, 3),
+            ] {
+                let hit = db.index_lookup(&tx, t, 0, &Value::Int(key))?[0].clone();
+                let mut v = hit.values.clone();
+                let delta = if t == shop.customer { -amount } else { *amount };
+                v[col] = Value::Double(v[col].as_double().unwrap() + delta);
+                db.update(&mut tx, t, hit.row, &v)?;
+            }
+            Ok(())
+        })(),
+        TpccTxn::OrderStatus { c_key } => {
+            let _ = db.index_lookup(&tx, shop.customer, 0, &Value::Int(*c_key))?;
+            let _ = db.index_lookup(&tx, shop.orders, 2, &Value::Int(*c_key))?;
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => {
+            db.commit(&mut tx)?;
+            Ok(true)
+        }
+        Err(e) if hyrise_nv::is_conflict(&e) => {
+            db.abort(&mut tx)?;
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn total_order_volume(db: &mut Database, shop: &Shop) -> f64 {
+    let tx = db.begin();
+    db.aggregate(&tx, shop.orders, 3, hyrise_nv::Agg::Sum, None)
+        .unwrap()[0]
+        .value
+        .as_ref()
+        .and_then(|v| v.as_double())
+        .unwrap_or(0.0)
+}
+
+fn main() -> hyrise_nv::Result<()> {
+    let mut db = Database::create(DurabilityConfig::nvm(1 << 30, nvm::LatencyModel::pcm()))?;
+    let mut generator = TpccGenerator::new(4, 2026);
+    let mut shop = setup(&mut db, &generator)?;
+    println!("loaded {} customers", 4 * 10 * 30);
+
+    let mut committed = 0u64;
+    let mut conflicts = 0u64;
+    for txn in generator.txns(5_000) {
+        if execute(&mut db, &mut shop, &txn)? {
+            committed += 1;
+        } else {
+            conflicts += 1;
+        }
+    }
+    let volume_before = total_order_volume(&mut db, &shop);
+    println!("phase 1: {committed} committed, {conflicts} conflicts, order volume {volume_before:.2}");
+
+    // Consolidate the delta into the read-optimized main partition.
+    let stats = db.merge(shop.orders)?;
+    println!(
+        "merged orders: {} rows into main ({} dead versions dropped)",
+        stats.rows_merged, stats.rows_dropped
+    );
+
+    // Lights out.
+    println!("*** power failure ***");
+    let report = db.restart_after_crash()?;
+    print!("{}", report.render());
+    let volume_after = total_order_volume(&mut db, &shop);
+    assert!((volume_after - volume_before).abs() < 1e-6);
+    println!("order volume after restart: {volume_after:.2} (unchanged ✓)");
+
+    // Business continues immediately.
+    for txn in generator.txns(1_000) {
+        execute(&mut db, &mut shop, &txn)?;
+    }
+    println!(
+        "phase 2 done; total orders now {}",
+        db.row_count(shop.orders)?
+    );
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! Property-based crash-consistency fuzzing.
+//!
+//! Random operation sequences run against the engine alongside an
+//! in-memory oracle. A crash is injected (optionally with random cache-line
+//! eviction) and after recovery the engine must contain exactly the oracle
+//! state of the committed prefix: every committed transaction durable,
+//! no uncommitted effect visible, MVCC invariants intact.
+
+use std::collections::BTreeMap;
+
+use hyrise_nv::{Database, DurabilityConfig, IndexKind};
+use proptest::prelude::*;
+use storage::{ColumnDef, DataType, Schema, Value};
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Insert { key: i64 },
+    Update { key: i64, version: u32 },
+    Delete { key: i64 },
+}
+
+#[derive(Debug, Clone)]
+struct FuzzTxn {
+    ops: Vec<FuzzOp>,
+    commit: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        (0i64..40).prop_map(|key| FuzzOp::Insert { key }),
+        ((0i64..40), any::<u32>()).prop_map(|(key, version)| FuzzOp::Update { key, version }),
+        (0i64..40).prop_map(|key| FuzzOp::Delete { key }),
+    ]
+}
+
+fn txn_strategy() -> impl Strategy<Value = FuzzTxn> {
+    (proptest::collection::vec(op_strategy(), 1..6), any::<bool>())
+        .prop_map(|(ops, commit)| FuzzTxn { ops, commit })
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("ver", DataType::Int),
+    ])
+}
+
+/// Oracle: committed key → latest committed version.
+type Oracle = BTreeMap<i64, i64>;
+
+/// Apply transactions "insert-if-absent / update / delete" style so the
+/// oracle stays a map; returns the committed state.
+fn apply_all(
+    db: &mut Database,
+    t: hyrise_nv::TableId,
+    txns: &[FuzzTxn],
+    oracle: &mut Oracle,
+) -> hyrise_nv::Result<()> {
+    for txn in txns {
+        let mut shadow = oracle.clone();
+        let mut tx = db.begin();
+        for op in &txn.ops {
+            match op {
+                FuzzOp::Insert { key } => {
+                    if !shadow.contains_key(key) {
+                        db.insert(&mut tx, t, &[Value::Int(*key), Value::Int(0)])?;
+                        shadow.insert(*key, 0);
+                    }
+                }
+                FuzzOp::Update { key, version } => {
+                    let hits = db.scan_eq(&tx, t, 0, &Value::Int(*key))?;
+                    if let Some(hit) = hits.first() {
+                        let row = hit.row;
+                        db.update(
+                            &mut tx,
+                            t,
+                            row,
+                            &[Value::Int(*key), Value::Int(*version as i64)],
+                        )?;
+                        shadow.insert(*key, *version as i64);
+                    }
+                }
+                FuzzOp::Delete { key } => {
+                    let hits = db.scan_eq(&tx, t, 0, &Value::Int(*key))?;
+                    if let Some(hit) = hits.first() {
+                        let row = hit.row;
+                        db.delete(&mut tx, t, row)?;
+                        shadow.remove(key);
+                    }
+                }
+            }
+        }
+        if txn.commit {
+            db.commit(&mut tx)?;
+            *oracle = shadow;
+        } else {
+            db.abort(&mut tx)?;
+        }
+    }
+    Ok(())
+}
+
+fn engine_state(db: &mut Database, t: hyrise_nv::TableId) -> Oracle {
+    let tx = db.begin();
+    db.scan_all(&tx, t)
+        .unwrap()
+        .into_iter()
+        .map(|r| {
+            (
+                r.values[0].as_int().unwrap(),
+                r.values[1].as_int().unwrap(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn nvm_crash_recovery_matches_oracle(
+        txns in proptest::collection::vec(txn_strategy(), 1..20),
+        eviction_seed in any::<u64>(),
+        evict in any::<bool>(),
+    ) {
+        let mut db = Database::create(DurabilityConfig::Nvm {
+            capacity: 64 << 20,
+            latency: nvm::LatencyModel::zero(),
+        }).unwrap();
+        let t = db.create_table("t", schema()).unwrap();
+        db.create_index(t, 0, IndexKind::Hash).unwrap();
+        let mut oracle = Oracle::new();
+        apply_all(&mut db, t, &txns, &mut oracle).unwrap();
+
+        let policy = if evict {
+            nvm::CrashPolicy::RandomEviction { p: 0.5, seed: eviction_seed }
+        } else {
+            nvm::CrashPolicy::DropUnflushed
+        };
+        db.restart(policy).unwrap();
+        prop_assert_eq!(engine_state(&mut db, t), oracle.clone());
+
+        // Index agreement after recovery.
+        let tx = db.begin();
+        for (k, v) in &oracle {
+            let hits = db.index_lookup(&tx, t, 0, &Value::Int(*k)).unwrap();
+            prop_assert_eq!(hits.len(), 1, "key {} must have one visible version", k);
+            prop_assert_eq!(hits[0].values[1].clone(), Value::Int(*v));
+        }
+    }
+
+    #[test]
+    fn wal_crash_recovery_matches_oracle(
+        txns in proptest::collection::vec(txn_strategy(), 1..15),
+    ) {
+        let mut db = Database::create(DurabilityConfig::wal_temp()).unwrap();
+        let t = db.create_table("t", schema()).unwrap();
+        let mut oracle = Oracle::new();
+        apply_all(&mut db, t, &txns, &mut oracle).unwrap();
+        db.restart_after_crash().unwrap();
+        prop_assert_eq!(engine_state(&mut db, t), oracle);
+    }
+
+    #[test]
+    fn merge_then_crash_preserves_state(
+        txns in proptest::collection::vec(txn_strategy(), 2..12),
+        split in 0usize..12,
+    ) {
+        let mut db = Database::create(DurabilityConfig::Nvm {
+            capacity: 64 << 20,
+            latency: nvm::LatencyModel::zero(),
+        }).unwrap();
+        let t = db.create_table("t", schema()).unwrap();
+        let split = split.min(txns.len());
+        let mut oracle = Oracle::new();
+        apply_all(&mut db, t, &txns[..split], &mut oracle).unwrap();
+        db.merge(t).unwrap();
+        prop_assert_eq!(engine_state(&mut db, t), oracle.clone());
+        apply_all(&mut db, t, &txns[split..], &mut oracle).unwrap();
+        db.restart_after_crash().unwrap();
+        prop_assert_eq!(engine_state(&mut db, t), oracle);
+    }
+
+    #[test]
+    fn ycsb_style_sequence_survives_eviction_crashes(
+        ops in proptest::collection::vec((0u8..3, 0i64..25), 5..60),
+        seed in any::<u64>(),
+    ) {
+        // Flat single-op transactions, heavier volume, always-evict crash.
+        let mut db = Database::create(DurabilityConfig::Nvm {
+            capacity: 64 << 20,
+            latency: nvm::LatencyModel::zero(),
+        }).unwrap();
+        let t = db.create_table("t", schema()).unwrap();
+        let mut oracle = Oracle::new();
+        for (kind, key) in &ops {
+            let txn = FuzzTxn {
+                ops: vec![match kind {
+                    0 => FuzzOp::Insert { key: *key },
+                    1 => FuzzOp::Update { key: *key, version: (*key as u32) * 7 },
+                    _ => FuzzOp::Delete { key: *key },
+                }],
+                commit: true,
+            };
+            apply_all(&mut db, t, &[txn], &mut oracle).unwrap();
+        }
+        db.restart(nvm::CrashPolicy::RandomEviction { p: 0.3, seed }).unwrap();
+        prop_assert_eq!(engine_state(&mut db, t), oracle);
+    }
+}
+
+#[test]
+fn double_restart_idempotent() {
+    let mut db = Database::create(DurabilityConfig::nvm_default()).unwrap();
+    let t = db.create_table("t", schema()).unwrap();
+    let mut tx = db.begin();
+    for k in 0..20 {
+        db.insert(&mut tx, t, &[Value::Int(k), Value::Int(0)]).unwrap();
+    }
+    db.commit(&mut tx).unwrap();
+    db.restart_after_crash().unwrap();
+    let s1 = engine_state(&mut db, t);
+    db.restart_after_crash().unwrap();
+    let s2 = engine_state(&mut db, t);
+    assert_eq!(s1, s2);
+    assert_eq!(s1.len(), 20);
+}
+
+#[test]
+fn crash_immediately_after_create_table() {
+    let mut db = Database::create(DurabilityConfig::nvm_default()).unwrap();
+    let _t = db.create_table("t", schema()).unwrap();
+    let report = db.restart_after_crash().unwrap();
+    assert_eq!(report.rows_recovered, 0);
+    assert_eq!(db.table_count(), 1, "DDL must be durable");
+}
+
+#[test]
+fn crash_with_empty_database() {
+    let mut db = Database::create(DurabilityConfig::nvm_default()).unwrap();
+    let report = db.restart_after_crash().unwrap();
+    assert_eq!(report.rows_recovered, 0);
+    assert_eq!(db.table_count(), 0);
+    // Still usable afterwards.
+    let t = db.create_table("t", schema()).unwrap();
+    let mut tx = db.begin();
+    db.insert(&mut tx, t, &[Value::Int(1), Value::Int(0)]).unwrap();
+    db.commit(&mut tx).unwrap();
+}
