@@ -1,117 +1,168 @@
-//! Criterion micro-benchmarks of the hot primitives underneath the
-//! experiments: NVM persist, bit-packed scan, dictionary intern, index
-//! probe, and the full engine commit path.
+//! Micro-benchmarks of the hot primitives underneath the experiments:
+//! NVM persist, bit-packed scan, dictionary intern, index probe, and the
+//! full engine commit path.
+//!
+//! Self-contained timing harness (`harness = false`): each case is warmed
+//! up, then timed over a fixed iteration budget; median-of-5 runs are
+//! reported in ns/op. Run with `cargo bench -p hyrise-nv-bench`.
 
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyrise_nv::{Database, DurabilityConfig, IndexKind};
 use nvm::{LatencyModel, NvmHeap, NvmRegion};
 use storage::{bitpack, ColumnDef, DataType, Schema, TableStore, VTable, Value};
 
-fn bench_nvm_persist(c: &mut Criterion) {
-    let region = NvmRegion::new(1 << 20, LatencyModel::zero());
-    let mut g = c.benchmark_group("nvm_persist");
-    g.bench_function("write_pod_u64", |b| {
-        b.iter(|| region.write_pod(128, black_box(&42u64)).unwrap())
-    });
-    g.bench_function("persist_8B", |b| {
-        b.iter(|| {
-            region.write_pod(128, black_box(&42u64)).unwrap();
-            region.persist(128, 8).unwrap();
-        })
-    });
-    g.bench_function("persist_4KiB", |b| {
-        let buf = [7u8; 4096];
-        b.iter(|| {
-            region.write_bytes(4096, black_box(&buf)).unwrap();
-            region.persist(4096, 4096).unwrap();
-        })
-    });
-    g.finish();
+/// Time `iters` calls of `f`, median of 5 runs, as ns/op.
+fn time_ns_per_op(iters: u64, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut runs = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        runs.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[2]
 }
 
-fn bench_bitpack(c: &mut Criterion) {
+fn report(group: &str, name: &str, ns: f64) {
+    println!("{group:<18} {name:<32} {ns:>12.1} ns/op");
+}
+
+fn bench_nvm_persist() {
+    let region = NvmRegion::new(1 << 20, LatencyModel::zero());
+    report(
+        "nvm_persist",
+        "write_pod_u64",
+        time_ns_per_op(100_000, || region.write_pod(128, black_box(&42u64)).unwrap()),
+    );
+    report(
+        "nvm_persist",
+        "persist_8B",
+        time_ns_per_op(100_000, || {
+            region.write_pod(128, black_box(&42u64)).unwrap();
+            region.persist(128, 8).unwrap();
+        }),
+    );
+    let buf = [7u8; 4096];
+    report(
+        "nvm_persist",
+        "persist_4KiB",
+        time_ns_per_op(20_000, || {
+            region.write_bytes(4096, black_box(&buf)).unwrap();
+            region.persist(4096, 4096).unwrap();
+        }),
+    );
+}
+
+fn bench_bitpack() {
     let ids: Vec<u64> = (0..100_000u64).map(|i| i % 1000).collect();
     let packed = bitpack::BitPacked::from_ids(&ids, 1000);
-    let mut g = c.benchmark_group("bitpack");
-    g.bench_function("pack_100k", |b| {
-        b.iter(|| bitpack::BitPacked::from_ids(black_box(&ids), 1000))
-    });
-    g.bench_function("scan_100k", |b| {
-        b.iter(|| {
+    report(
+        "bitpack",
+        "pack_100k",
+        time_ns_per_op(100, || {
+            black_box(bitpack::BitPacked::from_ids(black_box(&ids), 1000));
+        }),
+    );
+    report(
+        "bitpack",
+        "scan_100k",
+        time_ns_per_op(100, || {
             let mut hits = 0u64;
             for i in 0..packed.len() {
                 if packed.get(i) == 500 {
                     hits += 1;
                 }
             }
-            black_box(hits)
-        })
-    });
-    g.finish();
+            black_box(hits);
+        }),
+    );
 }
 
-fn bench_dictionary(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dictionary");
-    g.bench_function("delta_intern_insert", |b| {
+fn bench_dictionary() {
+    {
         let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]);
         let mut table = VTable::new(schema);
         let mut i = 0i64;
-        b.iter(|| {
-            table
-                .insert_version(&[Value::Int(black_box(i % 4096))], 1)
-                .unwrap();
-            i += 1;
-        })
-    });
-    g.bench_function("main_dict_binary_search_scan", |b| {
+        report(
+            "dictionary",
+            "delta_intern_insert",
+            time_ns_per_op(50_000, || {
+                table
+                    .insert_version(&[Value::Int(black_box(i % 4096))], 1)
+                    .unwrap();
+                i += 1;
+            }),
+        );
+    }
+    {
         let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]);
         let mut table = VTable::new(schema);
         for i in 0..50_000i64 {
             table.insert_version(&[Value::Int(i % 500)], 1).unwrap();
         }
         table.merge(1).unwrap();
-        b.iter(|| table.scan_eq(0, &Value::Int(black_box(250)), 10, 99).unwrap())
-    });
-    g.finish();
+        report(
+            "dictionary",
+            "main_dict_binary_search_scan",
+            time_ns_per_op(500, || {
+                black_box(table.scan_eq(0, &Value::Int(black_box(250)), 10, 99).unwrap());
+            }),
+        );
+    }
 }
 
-fn bench_nv_index_probe(c: &mut Criterion) {
+fn bench_nv_index_probe() {
     let region = Arc::new(NvmRegion::new(256 << 20, LatencyModel::zero()));
     let heap = NvmHeap::format(region).unwrap();
     let idx = index::NvHashIndex::create(&heap, 0, 1 << 16).unwrap();
     for i in 0..100_000u64 {
         idx.insert(&Value::Int((i % 10_000) as i64), i).unwrap();
     }
-    c.bench_function("nv_hash_index_probe", |b| {
-        b.iter(|| idx.lookup(&Value::Int(black_box(5000))).unwrap())
-    });
+    report(
+        "nv_hash_index",
+        "probe",
+        time_ns_per_op(20_000, || {
+            black_box(idx.lookup(&Value::Int(black_box(5000))).unwrap());
+        }),
+    );
 }
 
-fn bench_nv_ordered_index(c: &mut Criterion) {
+fn bench_nv_ordered_index() {
     let region = Arc::new(NvmRegion::new(256 << 20, LatencyModel::zero()));
     let heap = NvmHeap::format(region).unwrap();
     let idx = index::NvOrderedIndex::create(&heap, 0, DataType::Int).unwrap();
     for i in 0..50_000i64 {
         idx.insert(&Value::Int(i * 7 % 10_000), i as u64).unwrap();
     }
-    let mut g = c.benchmark_group("nv_ordered_index");
-    g.bench_function("point_probe", |b| {
-        b.iter(|| idx.lookup(&Value::Int(black_box(5000))).unwrap())
-    });
-    g.bench_function("range_100", |b| {
-        b.iter(|| {
-            idx.lookup_range(Some(&Value::Int(black_box(4000))), Some(&Value::Int(4100)))
-                .unwrap()
-        })
-    });
-    g.finish();
+    report(
+        "nv_ordered_index",
+        "point_probe",
+        time_ns_per_op(20_000, || {
+            black_box(idx.lookup(&Value::Int(black_box(5000))).unwrap());
+        }),
+    );
+    report(
+        "nv_ordered_index",
+        "range_100",
+        time_ns_per_op(2_000, || {
+            black_box(
+                idx.lookup_range(Some(&Value::Int(black_box(4000))), Some(&Value::Int(4100)))
+                    .unwrap(),
+            );
+        }),
+    );
 }
 
-fn bench_commit_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("commit_path");
-    g.sample_size(20);
+fn bench_commit_path() {
     for (name, config) in [
         ("volatile", DurabilityConfig::Volatile),
         ("wal", DurabilityConfig::wal_temp()),
@@ -129,26 +180,26 @@ fn bench_commit_path(c: &mut Criterion) {
             .unwrap();
         db.create_index(t, 0, IndexKind::Hash).unwrap();
         let mut i = 0i64;
-        g.bench_with_input(BenchmarkId::new("insert_commit", name), &(), |b, ()| {
-            b.iter(|| {
+        report(
+            "commit_path",
+            &format!("insert_commit/{name}"),
+            time_ns_per_op(5_000, || {
                 let mut tx = db.begin();
                 db.insert(&mut tx, t, &[Value::Int(i), Value::Text(format!("v{}", i % 64))])
                     .unwrap();
                 db.commit(&mut tx).unwrap();
                 i += 1;
-            })
-        });
+            }),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nvm_persist,
-    bench_bitpack,
-    bench_dictionary,
-    bench_nv_index_probe,
-    bench_nv_ordered_index,
-    bench_commit_path
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<18} {:<32} {:>12}", "group", "bench", "time");
+    bench_nvm_persist();
+    bench_bitpack();
+    bench_dictionary();
+    bench_nv_index_probe();
+    bench_nv_ordered_index();
+    bench_commit_path();
+}

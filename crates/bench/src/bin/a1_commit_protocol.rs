@@ -14,10 +14,9 @@ use std::sync::Arc;
 
 use benchkit::{print_table, write_json, Row};
 use nvm::{CrashPolicy, LatencyModel, NvmHeap, NvmRegion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use storage::nv::NvTable;
 use storage::{mvcc, ColumnDef, DataType, Schema, TableStore, Value};
+use util::rng::{Rng, SmallRng};
 
 const TXNS: u64 = 40;
 
@@ -121,7 +120,7 @@ fn main() {
         let mut crashes_with_loss = 0u64;
         for seed in 0..seeds {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let stop_after = rng.gen_range(1..TXNS * 2);
+            let stop_after = rng.gen_range_u64(1, TXNS * 2);
             let region = Arc::new(NvmRegion::new(64 << 20, LatencyModel::zero()));
             let (reported, root, cts_cell) = run_until_crash(&region, variant, stop_after);
             let v = violations(&region, &reported, root, cts_cell);

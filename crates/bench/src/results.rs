@@ -5,7 +5,7 @@ use std::io::Write;
 use std::path::Path;
 
 /// One result row: ordered `(column, value)` pairs.
-#[derive(Debug, Clone, Default, serde::Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Row {
     /// Ordered cells.
     pub cells: BTreeMap<String, String>,
@@ -73,9 +73,10 @@ pub fn write_json(name: &str, rows: &[Row]) {
     match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
         Ok(mut f) => {
             for row in rows {
-                if let Ok(line) = serde_json::to_string(&row.cells) {
-                    let _ = writeln!(f, "{line}");
-                }
+                let line = util::json::object(
+                    row.cells.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+                );
+                let _ = writeln!(f, "{line}");
             }
         }
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

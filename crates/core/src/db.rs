@@ -11,7 +11,7 @@ use crate::backend_vol::VolatileBackend;
 use crate::backend_wal::WalBackend;
 use crate::config::{DurabilityConfig, IndexKind};
 use crate::error::{EngineError, Result};
-use crate::report::{timed_phase, RecoveryReport};
+use crate::report::{timed_phase, IntegrityReport, RecoveryReport};
 
 /// Handle to a table in the catalogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -554,43 +554,7 @@ impl Database {
             Backend::Nv(b) => {
                 let region = b.region().clone();
                 region.crash(policy);
-                let clock = || region.clock().now_ns();
-
-                // Phase 1: map the region + allocator recovery scan.
-                let (heap, alloc_report) =
-                    timed_phase(&mut report.phases, "heap map + allocator scan", clock, || {
-                        nvm::NvmHeap::open(region.clone()).map_err(EngineError::Nvm)
-                    })?;
-                report.heap_blocks_scanned = alloc_report.blocks_scanned;
-
-                // Phase 2: catalogue + tables (transient probe rebuild) +
-                // index attach/rebuild.
-                let mut nb =
-                    timed_phase(&mut report.phases, "catalogue + transient rebuild", clock, || {
-                        NvBackend::attach(heap)
-                    })?;
-                let (attached, rebuilt) = nb.index_counts();
-                report.indexes_attached = attached;
-                report.indexes_rebuilt = rebuilt;
-
-                // Phase 3: registry-driven undo pass — repairs exactly the
-                // rows of transactions in flight at the crash, O(in-flight
-                // writes), never O(rows).
-                let last_cts = nb.last_cts()?;
-                let repaired =
-                    timed_phase(&mut report.phases, "mvcc undo pass", clock, || {
-                        let NvBackend {
-                            registry, tables, ..
-                        } = &mut nb;
-                        let rec = registry.recover(tables, last_cts)?;
-                        Ok::<u64, EngineError>(rec.repaired)
-                    })?;
-                report.mvcc_words_repaired = repaired;
-                report.last_cts = last_cts;
-                report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
-
-                self.mgr = TxnManager::recovered(last_cts);
-                self.backend = Backend::Nv(nb);
+                self.recover_nv(region, &mut report)?;
             }
             Backend::Wal(b) => {
                 // Power failure: the in-memory tables and any unsynced log
@@ -676,6 +640,135 @@ impl Database {
             }
         }
         Ok(report)
+    }
+
+    /// The shared NVM recovery path: map the region, re-attach the
+    /// catalogue, run the registry undo pass. The crash itself (policy or
+    /// scheduled) must already have been materialized on `region`.
+    fn recover_nv(
+        &mut self,
+        region: std::sync::Arc<nvm::NvmRegion>,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        let clock = || region.clock().now_ns();
+
+        // Phase 1: map the region + allocator recovery scan.
+        let (heap, alloc_report) =
+            timed_phase(&mut report.phases, "heap map + allocator scan", clock, || {
+                nvm::NvmHeap::open(region.clone()).map_err(EngineError::Nvm)
+            })?;
+        report.heap_blocks_scanned = alloc_report.blocks_scanned;
+
+        // Phase 2: catalogue + tables (transient probe rebuild) + index
+        // attach/rebuild.
+        let mut nb = timed_phase(
+            &mut report.phases,
+            "catalogue + transient rebuild",
+            clock,
+            || NvBackend::attach(heap),
+        )?;
+        let (attached, rebuilt) = nb.index_counts();
+        report.indexes_attached = attached;
+        report.indexes_rebuilt = rebuilt;
+
+        // Phase 3: registry-driven undo pass — repairs exactly the rows of
+        // transactions in flight at the crash, O(in-flight writes), never
+        // O(rows).
+        let last_cts = nb.last_cts()?;
+        let repaired = timed_phase(&mut report.phases, "mvcc undo pass", clock, || {
+            let NvBackend {
+                registry, tables, ..
+            } = &mut nb;
+            let rec = registry.recover(tables, last_cts)?;
+            Ok::<u64, EngineError>(rec.repaired)
+        })?;
+        report.mvcc_words_repaired = repaired;
+        report.last_cts = last_cts;
+        report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
+
+        self.mgr = TxnManager::recovered(last_cts);
+        self.backend = Backend::Nv(nb);
+        Ok(())
+    }
+
+    /// Materialize a crash point armed on the NVM region (see
+    /// [`nvm::NvmRegion::arm_crash`]) and recover from the surviving
+    /// image. The whole recovery runs under the persist-trace linter:
+    /// any byte it reads whose last store never reached the medium is a
+    /// missing-flush bug, reported in the returned report's
+    /// `lint_findings`. The trace is closed afterwards, restoring the
+    /// default synchronous persistence semantics.
+    pub fn restart_scheduled(&mut self) -> Result<RecoveryReport> {
+        let region = match &self.backend {
+            Backend::Nv(b) => b.region().clone(),
+            _ => {
+                return Err(EngineError::Catalog(
+                    "scheduled crashes require the NVM backend".into(),
+                ))
+            }
+        };
+        let outcome = region.finalize_scheduled_crash().map_err(EngineError::Nvm)?;
+        let mut report = RecoveryReport {
+            mode: self.mode(),
+            scheduled: Some(outcome),
+            ..Default::default()
+        };
+        let recovered = self.recover_nv(region.clone(), &mut report);
+        report.lint_findings = region.take_lint_findings();
+        let _ = region.trace_stop();
+        recovered?;
+        Ok(report)
+    }
+
+    /// Post-recovery integrity check composing the crash-torture
+    /// invariants: the heap walk (no block stuck mid-protocol), per-table
+    /// MVCC cleanliness at the durable watermark, and index↔table
+    /// agreement. Cheap enough to run after every scheduled crash; on the
+    /// WAL and volatile backends only the MVCC check applies.
+    pub fn verify_integrity(&self) -> Result<IntegrityReport> {
+        let last_cts = self.mgr.last_committed();
+        let mut rep = IntegrityReport {
+            last_cts,
+            ..Default::default()
+        };
+        match &self.backend {
+            Backend::Nv(b) => {
+                for blk in b.heap().walk().map_err(EngineError::Nvm)? {
+                    rep.heap_blocks += 1;
+                    match blk.state {
+                        nvm::AllocState::Allocated | nvm::AllocState::Free => {}
+                        _ => rep.heap_limbo_blocks += 1,
+                    }
+                }
+                for t in &b.tables {
+                    rep.mvcc
+                        .absorb(&t.verify_mvcc(last_cts).map_err(EngineError::Storage)?);
+                }
+                for (t, set) in b.tables.iter().zip(&b.indexes) {
+                    for idx in &set.hash {
+                        rep.index
+                            .absorb(&idx.verify_against(t).map_err(EngineError::Storage)?);
+                    }
+                    for idx in &set.ordered {
+                        rep.index
+                            .absorb(&idx.verify_against(t).map_err(EngineError::Storage)?);
+                    }
+                }
+            }
+            Backend::Wal(b) => {
+                for t in &b.tables {
+                    rep.mvcc
+                        .absorb(&t.verify_mvcc(last_cts).map_err(EngineError::Storage)?);
+                }
+            }
+            Backend::Volatile(b) => {
+                for t in &b.tables {
+                    rep.mvcc
+                        .absorb(&t.verify_mvcc(last_cts).map_err(EngineError::Storage)?);
+                }
+            }
+        }
+        Ok(rep)
     }
 }
 

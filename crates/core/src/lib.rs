@@ -58,7 +58,7 @@ pub use config::{DurabilityConfig, IndexKind, WalConfig};
 pub use db::{Database, TableId};
 pub use error::{is_conflict, EngineError, Result};
 pub use query::{Agg, AggRow};
-pub use report::{PhaseTiming, RecoveryReport};
+pub use report::{IntegrityReport, PhaseTiming, RecoveryReport};
 pub use txn_registry::{RegistryRecovery, TxnRegistry, REGISTRY_SLOTS};
 
 /// Maximum number of tables the persistent catalogue supports.

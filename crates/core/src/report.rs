@@ -1,6 +1,10 @@
-//! Recovery reporting: per-phase wall-clock and simulated-time breakdown.
+//! Recovery reporting: per-phase wall-clock and simulated-time breakdown,
+//! plus the post-recovery integrity verdict used by the crash-torture
+//! harness.
 
 use std::time::Duration;
+
+use nvm::{CrashOutcome, LintFinding};
 
 /// One timed restart phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +39,13 @@ pub struct RecoveryReport {
     pub indexes_attached: u64,
     /// Last durable commit timestamp restored.
     pub last_cts: u64,
+    /// The scheduled-crash outcome, when the restart came through
+    /// [`crate::Database::restart_scheduled`] (None for policy crashes).
+    pub scheduled: Option<CrashOutcome>,
+    /// Missing-flush bugs the persist-trace linter caught during this
+    /// recovery: reads of bytes whose last store never reached the medium.
+    /// Only populated on scheduled-crash restarts.
+    pub lint_findings: Vec<LintFinding>,
 }
 
 impl RecoveryReport {
@@ -67,7 +78,55 @@ impl RecoveryReport {
                 p.name, p.wall, p.simulated_ns
             );
         }
+        for f in &self.lint_findings {
+            let _ = writeln!(s, "  LINT: {f}");
+        }
         s
+    }
+}
+
+/// Post-recovery integrity verdict composing the torture harness's
+/// structural invariants: allocator state, MVCC cleanliness at the durable
+/// watermark, and index↔table agreement. Built by
+/// [`crate::Database::verify_integrity`].
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    /// Heap blocks walked (NVM backend only).
+    pub heap_blocks: u64,
+    /// Blocks still stuck mid-protocol (`Reserved`/`Activating`/
+    /// `Deactivating`) — allocator recovery must leave none.
+    pub heap_limbo_blocks: u64,
+    /// MVCC timestamp check folded across all tables.
+    pub mvcc: storage::MvccCheck,
+    /// Index↔table agreement folded across all persistent indexes.
+    pub index: index::IndexCheck,
+    /// The durable commit watermark the checks ran against.
+    pub last_cts: u64,
+}
+
+impl IntegrityReport {
+    /// True when every invariant holds.
+    pub fn is_clean(&self) -> bool {
+        self.heap_limbo_blocks == 0 && self.mvcc.is_clean() && self.index.is_clean()
+    }
+
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "integrity@cts={}: {} heap blocks ({} limbo), {} rows ({} pending, {} future), \
+             {} index entries ({} dangling, {} stale, {} missing) => {}",
+            self.last_cts,
+            self.heap_blocks,
+            self.heap_limbo_blocks,
+            self.mvcc.rows,
+            self.mvcc.pending_markers,
+            self.mvcc.future_timestamps,
+            self.index.entries,
+            self.index.dangling,
+            self.index.stale_keys,
+            self.index.missing_rows,
+            if self.is_clean() { "CLEAN" } else { "VIOLATED" }
+        )
     }
 }
 

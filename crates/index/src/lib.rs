@@ -31,6 +31,37 @@ use std::hash::{Hash, Hasher};
 
 use storage::Value;
 
+/// Result of checking a persistent index against its base table (the
+/// index↔table agreement invariant of the crash-torture harness). A clean
+/// index has zeroes in every counter except `entries`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCheck {
+    /// Entries walked in the index.
+    pub entries: u64,
+    /// Entries pointing at row ids beyond the table's row count.
+    pub dangling: u64,
+    /// Entries whose stored key (hash) disagrees with the row's current
+    /// column value.
+    pub stale_keys: u64,
+    /// Physical table rows the index cannot find by their key.
+    pub missing_rows: u64,
+}
+
+impl IndexCheck {
+    /// True when the index and table agree.
+    pub fn is_clean(&self) -> bool {
+        self.dangling == 0 && self.stale_keys == 0 && self.missing_rows == 0
+    }
+
+    /// Fold another index's check into this one.
+    pub fn absorb(&mut self, other: &IndexCheck) {
+        self.entries += other.entries;
+        self.dangling += other.dangling;
+        self.stale_keys += other.stale_keys;
+        self.missing_rows += other.missing_rows;
+    }
+}
+
 /// The 64-bit key hash shared by the volatile and persistent hash indexes
 /// (stable across runs of the same build; FNV-1a over the value's tagged
 /// bytes).
@@ -55,6 +86,23 @@ pub fn key_hash(v: &Value) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_check_absorb_and_clean() {
+        let mut a = IndexCheck {
+            entries: 3,
+            ..Default::default()
+        };
+        assert!(a.is_clean());
+        a.absorb(&IndexCheck {
+            entries: 2,
+            dangling: 1,
+            stale_keys: 0,
+            missing_rows: 0,
+        });
+        assert_eq!(a.entries, 5);
+        assert!(!a.is_clean());
+    }
 
     #[test]
     fn key_hash_stable_and_discriminating() {

@@ -227,6 +227,51 @@ impl NvHashIndex {
         Ok(())
     }
 
+    /// Check index↔table agreement: every entry must point at an in-bounds
+    /// row whose current key hashes to the entry's stored hash, and every
+    /// physical table row must be reachable through a lookup of its key.
+    /// Used by the crash-torture harness after each recovery.
+    pub fn verify_against(&self, table: &dyn storage::TableStore) -> Result<crate::IndexCheck> {
+        let region = self.heap.region();
+        let nrows = table.row_count();
+        let mut check = crate::IndexCheck::default();
+        for b in 0..self.nbuckets {
+            let mut cur: u64 = region.read_pod(self.buckets + b * 8)?;
+            let mut hops = 0u64;
+            while cur != 0 {
+                if hops > 1 << 32 {
+                    return Err(StorageError::Corrupt {
+                        reason: "index chain cycle",
+                    });
+                }
+                hops += 1;
+                check.entries += 1;
+                let h: u64 = region.read_pod(cur + E_HASH)?;
+                let row: u64 = region.read_pod(cur + E_ROW)?;
+                if row >= nrows {
+                    check.dangling += 1;
+                } else if key_hash(&table.value(row, self.column)?) != h {
+                    check.stale_keys += 1;
+                }
+                cur = region.read_pod(cur + E_NEXT)?;
+            }
+        }
+        for row in 0..nrows {
+            // Aborted inserts stay physically present but invisible; the
+            // crash recovery that aborted them may legitimately predate the
+            // index-entry publish, so they are exempt from the agreement
+            // check.
+            if table.begin_ts(row)? == storage::mvcc::TS_ABORTED {
+                continue;
+            }
+            let v = table.value(row, self.column)?;
+            if !self.lookup(&v)?.contains(&row) {
+                check.missing_rows += 1;
+            }
+        }
+        Ok(check)
+    }
+
     /// Bulk-build a fresh index over every physical row of `table`'s
     /// indexed column (used at merge time; the result replaces the old
     /// index).

@@ -1,28 +1,31 @@
-//! Differential property tests: persistent indexes vs in-memory models,
-//! including crash/reopen cycles.
+//! Differential randomized tests: persistent indexes vs in-memory models,
+//! including crash/reopen cycles. Seeded in-tree RNG, so every case
+//! reproduces exactly.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use index::{NvHashIndex, NvOrderedIndex};
 use nvm::{CrashPolicy, LatencyModel, NvmHeap, NvmRegion};
-use proptest::prelude::*;
 use storage::{DataType, Value};
+use util::rng::{Rng, SmallRng};
 
 fn heap() -> NvmHeap {
     NvmHeap::format(Arc::new(NvmRegion::new(1 << 24, LatencyModel::zero()))).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// The skip list agrees with a BTreeMap model on every point and range
-    /// probe, before and after a crash.
-    #[test]
-    fn ordered_index_matches_btreemap(
-        keys in proptest::collection::vec(-50i64..50, 1..120),
-        probes in proptest::collection::vec((-60i64..60, 0i64..30), 1..20),
-    ) {
+/// The skip list agrees with a BTreeMap model on every point and range
+/// probe, before and after a crash.
+#[test]
+fn ordered_index_matches_btreemap() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x0DE2 ^ case);
+        let keys: Vec<i64> = (0..rng.gen_range_usize(1, 120))
+            .map(|_| rng.gen_range_i64(-50, 50))
+            .collect();
+        let probes: Vec<(i64, i64)> = (0..rng.gen_range_usize(1, 20))
+            .map(|_| (rng.gen_range_i64(-60, 60), rng.gen_range_i64(0, 30)))
+            .collect();
         let h = heap();
         let idx = NvOrderedIndex::create(&h, 0, DataType::Int).unwrap();
         let desc = idx.desc_offset();
@@ -46,20 +49,31 @@ proptest! {
                 .flat_map(|(_, rows)| rows.iter().copied())
                 .collect();
             want.sort();
-            prop_assert_eq!(got, want, "range [{}, {})", lo, hi);
+            assert_eq!(got, want, "case {case} range [{lo}, {hi})");
 
             let mut got = idx.lookup(&Value::Int(*lo)).unwrap();
             got.sort();
             let want = model.get(lo).cloned().unwrap_or_default();
-            prop_assert_eq!(got, want, "point {}", lo);
+            assert_eq!(got, want, "case {case} point {lo}");
         }
     }
+}
 
-    /// Text-keyed skip list agrees with a BTreeMap<String, _> model.
-    #[test]
-    fn ordered_text_index_matches_model(
-        keys in proptest::collection::vec("[a-e]{1,4}", 1..60),
-    ) {
+/// Text-keyed skip list agrees with a BTreeMap<String, _> model.
+#[test]
+fn ordered_text_index_matches_model() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E87 ^ case);
+        // Short strings over a 5-letter alphabet, like the `[a-e]{1,4}`
+        // pattern this replaces: plenty of duplicates and shared prefixes.
+        let keys: Vec<String> = (0..rng.gen_range_usize(1, 60))
+            .map(|_| {
+                let len = rng.gen_range_usize(1, 5);
+                (0..len)
+                    .map(|_| (b'a' + rng.gen_range_u64(0, 5) as u8) as char)
+                    .collect()
+            })
+            .collect();
         let h = heap();
         let idx = NvOrderedIndex::create(&h, 0, DataType::Text).unwrap();
         let mut model: BTreeMap<String, Vec<u64>> = BTreeMap::new();
@@ -70,20 +84,24 @@ proptest! {
         for k in model.keys() {
             let mut got = idx.lookup(&Value::Text(k.clone())).unwrap();
             got.sort();
-            prop_assert_eq!(&got, &model[k]);
+            assert_eq!(&got, &model[k], "case {case} key {k}");
         }
         // Full ordered walk covers everything exactly once.
         let all = idx.lookup_range(None, None).unwrap();
-        prop_assert_eq!(all.len(), keys.len());
+        assert_eq!(all.len(), keys.len(), "case {case}");
     }
+}
 
-    /// Hash and ordered indexes agree with each other on point probes under
-    /// identical histories, across a crash with random eviction.
-    #[test]
-    fn hash_and_ordered_agree(
-        keys in proptest::collection::vec(0i64..40, 1..100),
-        seed in any::<u64>(),
-    ) {
+/// Hash and ordered indexes agree with each other on point probes under
+/// identical histories, across a crash with random eviction.
+#[test]
+fn hash_and_ordered_agree() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA9EE ^ case);
+        let keys: Vec<i64> = (0..rng.gen_range_usize(1, 100))
+            .map(|_| rng.gen_range_i64(0, 40))
+            .collect();
+        let seed = rng.next_u64();
         let h = heap();
         let hash = NvHashIndex::create(&h, 0, 64).unwrap();
         let ord = NvOrderedIndex::create(&h, 0, DataType::Int).unwrap();
@@ -101,7 +119,7 @@ proptest! {
             let mut b = ord.lookup(&Value::Int(k)).unwrap();
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b, "key {}", k);
+            assert_eq!(a, b, "case {case} key {k}");
         }
     }
 }

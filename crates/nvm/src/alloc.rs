@@ -49,6 +49,10 @@ pub(crate) mod hdr {
     pub const HEAP_START: u64 = 24;
     pub const BUMP: u64 = 32;
     pub const ROOT: u64 = 40;
+    /// FNV-1a checksum over the six preceding header words.
+    pub const CHECKSUM: u64 = 48;
+    /// Byte length of the header prefix the checksum covers.
+    pub const CHECKSUM_COVERS: usize = 48;
 }
 
 /// Block lifecycle states stored in the low bits of the header size word.
@@ -137,6 +141,23 @@ pub(crate) struct Allocator {
 }
 
 impl Allocator {
+    /// Checksum of the current (volatile) header field values.
+    fn header_checksum(region: &NvmRegion) -> Result<u64> {
+        let mut buf = [0u8; hdr::CHECKSUM_COVERS];
+        region.read_bytes(0, &mut buf)?;
+        Ok(util::hash::fnv1a(&buf))
+    }
+
+    /// Recompute the header checksum and persist the whole header line.
+    /// The checksum shares the first cache line with the fields it covers,
+    /// so the update reaches the medium atomically: recovery sees either
+    /// the old consistent header or the new one, never a torn mix.
+    fn seal_header(region: &NvmRegion) -> Result<()> {
+        let sum = Self::header_checksum(region)?;
+        region.write_pod(hdr::CHECKSUM, &sum)?;
+        region.persist(0, CACHE_LINE)
+    }
+
     /// Format a virgin region: write the region header durably and return an
     /// empty allocator.
     pub fn format(region: &NvmRegion) -> Result<Allocator> {
@@ -147,7 +168,7 @@ impl Allocator {
         region.write_pod(hdr::HEAP_START, &heap_start)?;
         region.write_pod(hdr::BUMP, &heap_start)?;
         region.write_pod(hdr::ROOT, &0u64)?;
-        region.persist(0, CACHE_LINE)?;
+        Self::seal_header(region)?;
         Ok(Allocator {
             heap_start,
             bump: heap_start,
@@ -162,6 +183,11 @@ impl Allocator {
             return Err(NvmError::BadHeader {
                 reason: "magic mismatch (region not formatted?)",
             });
+        }
+        let stored = region.read_pod::<u64>(hdr::CHECKSUM)?;
+        let computed = Self::header_checksum(region)?;
+        if stored != computed {
+            return Err(NvmError::HeaderChecksum { stored, computed });
         }
         if region.read_pod::<u64>(hdr::VERSION)? != REGION_VERSION {
             return Err(NvmError::BadHeader {
@@ -315,7 +341,7 @@ impl Allocator {
         )?;
         region.persist(block_off, CACHE_LINE)?;
         region.write_pod(hdr::BUMP, &new_bump)?;
-        region.persist(hdr::BUMP, 8)?;
+        Self::seal_header(region)?;
         self.bump = new_bump;
         Ok(block_off)
     }
@@ -424,7 +450,7 @@ impl Allocator {
     /// root object; 0 clears it).
     pub fn set_root(&self, region: &NvmRegion, payload_off: u64) -> Result<()> {
         region.write_pod(hdr::ROOT, &payload_off)?;
-        region.persist(hdr::ROOT, 8)
+        Self::seal_header(region)
     }
 
     /// Read the durable root pointer.
@@ -668,6 +694,31 @@ mod tests {
         alloc.activate(&region, p, None, None).unwrap();
         alloc.set_root(&region, p).unwrap();
         region.crash(CrashPolicy::DropUnflushed);
+        let (alloc2, _) = Allocator::open(&region).unwrap();
+        assert_eq!(alloc2.root(&region).unwrap(), p);
+    }
+
+    #[test]
+    fn torn_root_detected_by_checksum() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        alloc.set_root(&region, p).unwrap();
+        // A buggy writer scribbles the root word without resealing the
+        // header, and the torn line reaches the medium.
+        region.write_pod(hdr::ROOT, &0xDEAD_BEEFu64).unwrap();
+        region.persist(0, CACHE_LINE).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+        match Allocator::open(&region) {
+            Err(NvmError::HeaderChecksum { stored, computed }) => {
+                assert_ne!(stored, computed);
+            }
+            Err(other) => panic!("expected HeaderChecksum error, got {other:?}"),
+            Ok(_) => panic!("expected HeaderChecksum error, got Ok"),
+        }
+        // Repairing through the sealed path makes the region openable again.
+        region.write_pod(hdr::ROOT, &p).unwrap();
+        Allocator::seal_header(&region).unwrap();
         let (alloc2, _) = Allocator::open(&region).unwrap();
         assert_eq!(alloc2.root(&region).unwrap(), p);
     }

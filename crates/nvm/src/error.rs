@@ -42,6 +42,20 @@ pub enum NvmError {
         /// Description of the corruption.
         reason: &'static str,
     },
+    /// The region header checksum does not match its fields: the header
+    /// (including the durable root pointer) is torn or corrupt.
+    HeaderChecksum {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed over the header fields.
+        computed: u64,
+    },
+    /// A persist-trace operation was used outside the state it requires
+    /// (e.g. arming a crash with no recording active).
+    TraceState {
+        /// What was wrong.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for NvmError {
@@ -66,6 +80,11 @@ impl fmt::Display for NvmError {
             NvmError::CorruptHeap { offset, reason } => {
                 write!(f, "corrupt heap at offset {offset}: {reason}")
             }
+            NvmError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "region header checksum mismatch: stored {stored:#018x}, computed {computed:#018x} (torn or corrupt header)"
+            ),
+            NvmError::TraceState { reason } => write!(f, "persist-trace state error: {reason}"),
         }
     }
 }

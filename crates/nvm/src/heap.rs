@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use util::sync::Mutex;
 
 use crate::alloc::{Allocator, AllocatorRecovery, BlockInfo};
 use crate::region::NvmRegion;

@@ -24,6 +24,15 @@
 //! Everything observable by recovery code goes through the persistent image,
 //! so property tests can crash at adversarial points and verify invariants —
 //! something real NVM hardware cannot do deterministically.
+//!
+//! For systematic crash testing, a region can record a **persist trace**
+//! ([`NvmRegion::trace_start`]): every store/flush/fence becomes a numbered
+//! event, flushes buffer until the next fence, and a [`CrashPoint`] armed
+//! via [`NvmRegion::arm_crash`] crashes the run deterministically at any
+//! fence boundary — or mid-epoch with an adversarial surviving subset
+//! ([`MidEpochSurvival`]). After the crash is materialized, a
+//! missing-flush **linter** reports any recovery read that touches a line
+//! whose last store never reached the medium ([`LintFinding`]).
 
 mod alloc;
 mod error;
@@ -36,7 +45,9 @@ mod pslab;
 mod pvar;
 mod pvec;
 mod region;
+mod schedule;
 mod stats;
+mod trace;
 
 pub use alloc::{AllocState, AllocatorRecovery, BlockInfo, ALLOC_BLOCK_HEADER};
 pub use error::{NvmError, Result};
@@ -49,4 +60,6 @@ pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;
 pub use pvec::{PVec, PVEC_HEADER};
 pub use region::{CrashPolicy, NvmRegion};
+pub use schedule::{CrashOutcome, CrashPoint, CrashSchedule, MidEpochSurvival};
 pub use stats::{NvmStats, StatsSnapshot};
+pub use trace::{LintFinding, PersistTrace, StoreStamp, TraceConfig, TraceEvent};

@@ -1,14 +1,18 @@
 //! The simulated NVM region: two images, dirty-line tracking, crash
-//! injection.
+//! injection, and (optionally) persist-trace recording with scheduled,
+//! deterministic crashes.
 
-use parking_lot::RwLock;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use util::rng::{Rng, SmallRng};
+use util::sync::{Mutex, RwLock};
 
 use crate::latency::{LatencyModel, SimClock};
 use crate::layout::{line_span, CACHE_LINE};
 use crate::pod::Pod;
+use crate::schedule::{CrashOutcome, CrashPoint};
 use crate::stats::{NvmStats, StatsSnapshot};
+use crate::trace::{LintFinding, Mode, PersistTrace, Recorder, TraceConfig};
 use crate::{NvmError, Result};
 
 /// What happens to dirty-but-unflushed cache lines when power is lost.
@@ -82,6 +86,11 @@ pub struct NvmRegion {
     clock: SimClock,
     latency: LatencyModel,
     capacity: u64,
+    /// Persist-trace recorder; `None` outside recording/lint sessions.
+    recorder: Mutex<Option<Recorder>>,
+    /// Fast-path flag mirroring `recorder.is_some()` so untraced regions
+    /// never take the recorder lock.
+    traced: AtomicBool,
 }
 
 impl NvmRegion {
@@ -100,6 +109,8 @@ impl NvmRegion {
             clock: SimClock::new(),
             latency,
             capacity,
+            recorder: Mutex::new(None),
+            traced: AtomicBool::new(false),
         }
     }
 
@@ -156,9 +167,15 @@ impl NvmRegion {
         img.volatile[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
         let (a, b) = line_span(off, bytes.len() as u64);
         img.mark_dirty(a, b);
+        drop(img);
         self.stats
             .bytes_written
             .fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        if self.traced.load(Ordering::Relaxed) {
+            if let Some(rec) = self.recorder.lock().as_mut() {
+                rec.on_store(off, bytes.len() as u64);
+            }
+        }
         Ok(())
     }
 
@@ -170,9 +187,11 @@ impl NvmRegion {
         self.check(off, buf.len() as u64)?;
         let img = self.images.read();
         buf.copy_from_slice(&img.volatile[off as usize..off as usize + buf.len()]);
+        drop(img);
         self.stats
             .bytes_read
             .fetch_add(buf.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.lint_read(off, buf.len() as u64);
         Ok(())
     }
 
@@ -190,9 +209,10 @@ impl NvmRegion {
         self.stats
             .bytes_read
             .fetch_add(T::SIZE as u64, std::sync::atomic::Ordering::Relaxed);
-        Ok(T::from_bytes(
-            &img.volatile[off as usize..off as usize + T::SIZE],
-        ))
+        let v = T::from_bytes(&img.volatile[off as usize..off as usize + T::SIZE]);
+        drop(img);
+        self.lint_read(off, T::SIZE as u64);
+        Ok(v)
     }
 
     /// Run `f` over a borrowed slice of the volatile image. This is the bulk
@@ -203,25 +223,69 @@ impl NvmRegion {
         self.stats
             .bytes_read
             .fetch_add(len, std::sync::atomic::Ordering::Relaxed);
-        Ok(f(&img.volatile[off as usize..(off + len) as usize]))
+        let r = f(&img.volatile[off as usize..(off + len) as usize]);
+        drop(img);
+        self.lint_read(off, len);
+        Ok(r)
     }
 
     /// Flush (write back) every dirty cache line covering `[off, off+len)`.
     /// Charges `flush_line_ns` per line actually written back.
+    ///
+    /// While a persist trace is recording, the write-back is *deferred*:
+    /// the dirty lines are snapshotted into a pending buffer that the next
+    /// [`NvmRegion::fence`] drains to the medium, giving fences real
+    /// durability semantics for the crash scheduler.
     pub fn flush(&self, off: u64, len: u64) -> Result<()> {
         if len == 0 {
             return Ok(());
         }
         self.check(off, len)?;
-        let mut img = self.images.write();
+        let mode = if self.traced.load(Ordering::Relaxed) {
+            self.recorder.lock().as_ref().map(|r| r.mode())
+        } else {
+            None
+        };
         let (a, b) = line_span(off, len);
-        let mut written = 0u64;
-        for line in a..=b {
-            if img.write_back(line) {
-                written += 1;
+        let written = match mode {
+            Some(Mode::Recording) => {
+                // Snapshot + defer: lines leave the dirty set (they are "in
+                // flight" to the medium) but only persist at the fence.
+                let mut img = self.images.write();
+                let mut snaps: Vec<(u64, Box<[u8]>)> = Vec::new();
+                for line in a..=b {
+                    if img.is_dirty(line) {
+                        let start = (line * CACHE_LINE) as usize;
+                        let end = start + CACHE_LINE as usize;
+                        snaps.push((line, img.volatile[start..end].into()));
+                        img.clear_dirty(line);
+                    }
+                }
+                drop(img);
+                let n = snaps.len() as u64;
+                if let Some(rec) = self.recorder.lock().as_mut() {
+                    rec.on_flush(snaps);
+                }
+                n
             }
-        }
-        drop(img);
+            Some(Mode::Blackout) => {
+                // Power is already gone: the doomed execution still pays
+                // the latency, but nothing reaches the medium and the
+                // dirty set is left alone.
+                let img = self.images.read();
+                (a..=b).filter(|l| img.is_dirty(*l)).count() as u64
+            }
+            _ => {
+                let mut img = self.images.write();
+                let mut written = 0u64;
+                for line in a..=b {
+                    if img.write_back(line) {
+                        written += 1;
+                    }
+                }
+                written
+            }
+        };
         self.stats
             .flush_calls
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -232,15 +296,30 @@ impl NvmRegion {
         Ok(())
     }
 
-    /// Issue a store fence. In this synchronous simulator the flush itself
-    /// already reached the medium, so the fence only charges latency and
-    /// counts — but protocols must still call it where hardware would need
-    /// it, and the accounting of experiment E5 reports it.
+    /// Issue a store fence. In the default synchronous simulator the flush
+    /// itself already reached the medium, so the fence only charges latency
+    /// and counts — but protocols must still call it where hardware would
+    /// need it, and the accounting of experiment E5 reports it. While a
+    /// persist trace is recording, the fence is what drains buffered
+    /// flushes to the medium (and where an armed crash point trips).
     pub fn fence(&self) {
         self.stats
             .fences
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.clock.charge(self.latency.fence_ns);
+        if self.traced.load(Ordering::Relaxed) {
+            let survivors = match self.recorder.lock().as_mut() {
+                Some(rec) => rec.on_fence(),
+                None => return,
+            };
+            if !survivors.is_empty() {
+                let mut img = self.images.write();
+                for p in &survivors {
+                    let start = (p.line * CACHE_LINE) as usize;
+                    img.persistent[start..start + CACHE_LINE as usize].copy_from_slice(&p.data);
+                }
+            }
+        }
     }
 
     /// `flush` + `fence` — the common "persist this range" idiom.
@@ -260,7 +339,28 @@ impl NvmRegion {
     /// Simulate a power failure: the volatile image is replaced by the
     /// persistent image. Under [`CrashPolicy::RandomEviction`], each dirty
     /// line first survives (is written back) with probability `p`.
+    ///
+    /// If a persist trace is active it is discarded: a direct crash keeps
+    /// the synchronous flush-reaches-medium semantics, so any flushed-but-
+    /// unfenced lines are drained to the medium first. Use
+    /// [`NvmRegion::arm_crash`] + [`NvmRegion::finalize_scheduled_crash`]
+    /// for fence-accurate scheduled crashes.
     pub fn crash(&self, policy: CrashPolicy) {
+        if self.traced.swap(false, Ordering::Relaxed) {
+            let pending = self
+                .recorder
+                .lock()
+                .take()
+                .map(|mut r| r.drain_pending())
+                .unwrap_or_default();
+            if !pending.is_empty() {
+                let mut img = self.images.write();
+                for p in &pending {
+                    let start = (p.line * CACHE_LINE) as usize;
+                    img.persistent[start..start + CACHE_LINE as usize].copy_from_slice(&p.data);
+                }
+            }
+        }
         let mut img = self.images.write();
         if let CrashPolicy::RandomEviction { p, seed } = policy {
             let mut rng = SmallRng::seed_from_u64(seed);
@@ -291,6 +391,147 @@ impl NvmRegion {
     pub fn dirty_lines(&self) -> u64 {
         let img = self.images.read();
         img.dirty.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    // ---- Persist-trace recording and scheduled crashes ----
+
+    /// Start recording a persist trace. Any lines already dirty are
+    /// stamped as epoch-0 stores so their loss stays attributable.
+    /// Replaces a previous trace, if one was active.
+    pub fn trace_start(&self, config: TraceConfig) {
+        let img = self.images.read();
+        let lines = self.capacity / CACHE_LINE;
+        let pre_dirty: Vec<u64> = (0..lines).filter(|l| img.is_dirty(*l)).collect();
+        drop(img);
+        *self.recorder.lock() = Some(Recorder::new(config, pre_dirty.into_iter()));
+        self.traced.store(true, Ordering::Relaxed);
+    }
+
+    /// True while a trace (recording, blackout, or lint phase) is active.
+    pub fn trace_active(&self) -> bool {
+        self.traced.load(Ordering::Relaxed)
+    }
+
+    /// Stop the trace and return it. Flushed-but-unfenced lines are
+    /// drained to the medium (synchronous semantics are restored).
+    /// Returns `None` if no trace was active.
+    pub fn trace_stop(&self) -> Option<PersistTrace> {
+        if !self.traced.swap(false, Ordering::Relaxed) {
+            return None;
+        }
+        let mut rec = self.recorder.lock().take()?;
+        let pending = rec.drain_pending();
+        if !pending.is_empty() {
+            let mut img = self.images.write();
+            for p in &pending {
+                let start = (p.line * CACHE_LINE) as usize;
+                img.persistent[start..start + CACHE_LINE as usize].copy_from_slice(&p.data);
+            }
+        }
+        Some(rec.into_trace())
+    }
+
+    /// Arm a deterministic crash point. Requires an active recording; the
+    /// point trips at its fence, after which the medium silently stops
+    /// accepting write-backs while the (doomed) execution continues.
+    pub fn arm_crash(&self, point: CrashPoint) -> Result<()> {
+        match self.recorder.lock().as_mut() {
+            Some(rec) if rec.mode() == Mode::Recording => {
+                rec.arm(point);
+                Ok(())
+            }
+            _ => Err(NvmError::TraceState {
+                reason: "arm_crash requires an active persist-trace recording",
+            }),
+        }
+    }
+
+    /// Fence number at which the armed crash point tripped, if it has.
+    pub fn crash_tripped(&self) -> Option<u64> {
+        if !self.traced.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.recorder.lock().as_ref().and_then(|r| r.tripped_at())
+    }
+
+    /// Fences recorded so far in the active trace.
+    pub fn trace_fences(&self) -> u64 {
+        self.recorder.lock().as_ref().map_or(0, |r| r.fences())
+    }
+
+    /// Materialize the scheduled crash: the volatile image is replaced by
+    /// the surviving persistent image and the trace switches into lint
+    /// mode, where recovery reads that touch never-persisted lines are
+    /// reported (see [`NvmRegion::take_lint_findings`]).
+    ///
+    /// If the armed point never tripped (the workload issued fewer fences
+    /// than scheduled) the crash happens here, at end of run, losing every
+    /// unfenced line.
+    pub fn finalize_scheduled_crash(&self) -> Result<CrashOutcome> {
+        if !self.traced.load(Ordering::Relaxed) {
+            return Err(NvmError::TraceState {
+                reason: "finalize_scheduled_crash requires an active persist trace",
+            });
+        }
+        // Replace the volatile image with the survivors and clear dirt,
+        // exactly like a power failure.
+        {
+            let mut img = self.images.write();
+            let cap = self.capacity as usize;
+            let Images {
+                volatile,
+                persistent,
+                ..
+            } = &mut *img;
+            volatile[..cap].copy_from_slice(&persistent[..cap]);
+            for w in img.dirty.iter_mut() {
+                *w = 0;
+            }
+        }
+        let hash = self.persistent_hash();
+        let mut guard = self.recorder.lock();
+        let rec = guard.as_mut().ok_or(NvmError::TraceState {
+            reason: "persist trace vanished during finalize",
+        })?;
+        let outcome = rec.finalize(hash);
+        self.stats
+            .scheduled_crashes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats
+            .crashes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// Drain the missing-flush findings collected since the scheduled
+    /// crash was materialized.
+    pub fn take_lint_findings(&self) -> Vec<LintFinding> {
+        self.recorder
+            .lock()
+            .as_mut()
+            .map(|r| r.take_findings())
+            .unwrap_or_default()
+    }
+
+    /// Lost lines not yet read (reported) or rewritten during recovery.
+    pub fn lint_lost_lines(&self) -> u64 {
+        self.recorder.lock().as_ref().map_or(0, |r| r.lost_lines())
+    }
+
+    /// FNV-1a fingerprint of the persistent image. Two runs with the same
+    /// workload, crash point, and seeds must produce the same hash — the
+    /// determinism check of the crash-torture harness.
+    pub fn persistent_hash(&self) -> u64 {
+        let img = self.images.read();
+        util::hash::fnv1a(&img.persistent)
+    }
+
+    fn lint_read(&self, off: u64, len: u64) {
+        if self.traced.load(Ordering::Relaxed) {
+            if let Some(rec) = self.recorder.lock().as_mut() {
+                rec.on_read(off, len);
+            }
+        }
     }
 }
 

@@ -21,6 +21,9 @@ pub struct NvmStats {
     pub bytes_read: AtomicU64,
     /// Number of crash events injected.
     pub crashes: AtomicU64,
+    /// Crashes materialized by the persist-trace scheduler (a subset of
+    /// `crashes`).
+    pub scheduled_crashes: AtomicU64,
 }
 
 impl NvmStats {
@@ -33,6 +36,7 @@ impl NvmStats {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
+            scheduled_crashes: self.scheduled_crashes.load(Ordering::Relaxed),
         }
     }
 
@@ -44,6 +48,7 @@ impl NvmStats {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.crashes.store(0, Ordering::Relaxed);
+        self.scheduled_crashes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -62,6 +67,8 @@ pub struct StatsSnapshot {
     pub bytes_read: u64,
     /// See [`NvmStats::crashes`].
     pub crashes: u64,
+    /// See [`NvmStats::scheduled_crashes`].
+    pub scheduled_crashes: u64,
 }
 
 impl StatsSnapshot {
@@ -74,6 +81,7 @@ impl StatsSnapshot {
             bytes_written: self.bytes_written - earlier.bytes_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
             crashes: self.crashes - earlier.crashes,
+            scheduled_crashes: self.scheduled_crashes - earlier.scheduled_crashes,
         }
     }
 }

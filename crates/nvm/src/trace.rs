@@ -1,0 +1,404 @@
+//! Persist-trace recording and the missing-flush linter.
+//!
+//! In recording mode the region logs every store, flush, and fence as a
+//! numbered event, and — crucially — *defers* write-back: a `flush` only
+//! snapshots the dirty lines into a pending buffer, and the following
+//! `fence` drains the buffer into the persistent image. This gives fences
+//! real durability meaning (unlike the default synchronous simulator,
+//! where flush alone reaches the medium), so a crash can be scheduled at
+//! any fence boundary or *inside* an epoch, with an adversarial subset of
+//! the in-flight lines surviving.
+//!
+//! Epochs: the stores issued after the k-th fence and before the (k+1)-th
+//! belong to epoch `k`; epoch 0 runs from `trace_start` to the first
+//! fence. Fence numbers are 1-based.
+//!
+//! After a scheduled crash is materialized the recorder switches into
+//! *lint* mode: it knows exactly which lines were stored but never made
+//! it to the medium (`lost` lines). Any read the recovery code performs
+//! that touches a lost line is a missing-flush bug — the recovering code
+//! is consuming bytes that a real power failure would have taken away —
+//! and is reported as a [`LintFinding`] carrying the epoch and sequence
+//! number of the store that was never persisted. A store to a lost line
+//! clears it (recovery re-initialized the bytes before reading them).
+
+use std::collections::HashMap;
+
+use crate::layout::line_span;
+use crate::schedule::{CrashOutcome, CrashPoint, MidEpochSurvival};
+use util::rng::{Rng, SmallRng};
+
+/// Recording options.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Keep the full event log (one entry per store / buffered flush /
+    /// fence). Disable for long torture runs where only the crash
+    /// scheduling and lint machinery are needed.
+    pub keep_events: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { keep_events: true }
+    }
+}
+
+/// When the last store to a line happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStamp {
+    /// Global store sequence number (1-based, one per store call).
+    pub seq: u64,
+    /// Epoch (completed fences at the time of the store).
+    pub epoch: u64,
+}
+
+/// One recorded persistence event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A store into the volatile image.
+    Store {
+        /// Global store sequence number.
+        seq: u64,
+        /// Epoch the store belongs to.
+        epoch: u64,
+        /// Byte offset of the store.
+        off: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// A dirty line buffered by a flush (awaiting the next fence).
+    Flush {
+        /// Epoch the flush was issued in.
+        epoch: u64,
+        /// Cache-line index.
+        line: u64,
+        /// Sequence number of the last store to that line.
+        store_seq: u64,
+    },
+    /// A fence: drains the pending buffer to the medium.
+    Fence {
+        /// 1-based fence number.
+        fence: u64,
+        /// Lines drained to the persistent image by this fence.
+        drained: u64,
+    },
+}
+
+/// Summary of a finished trace, returned by `trace_stop`.
+#[derive(Debug, Clone)]
+pub struct PersistTrace {
+    /// The event log (empty unless [`TraceConfig::keep_events`]).
+    pub events: Vec<TraceEvent>,
+    /// Total stores recorded.
+    pub stores: u64,
+    /// Total fences recorded (== number of completed epochs).
+    pub fences: u64,
+    /// Total dirty lines buffered by flushes.
+    pub flushed_lines: u64,
+}
+
+/// A missing-flush bug found during recovery.
+///
+/// The recovery code read bytes that were stored before the crash but
+/// never reached the medium: on real hardware those bytes would be
+/// arbitrary stale data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Offset of the read that tripped the linter.
+    pub read_off: u64,
+    /// Length of that read.
+    pub read_len: u64,
+    /// The lost cache line the read intersected.
+    pub line: u64,
+    /// Sequence number of the store whose effect never persisted.
+    pub store_seq: u64,
+    /// Epoch of that store.
+    pub store_epoch: u64,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "recovery read [{}, +{}) touches line {} whose store #{} (epoch {}) was never flushed+fenced",
+            self.read_off, self.read_len, self.line, self.store_seq, self.store_epoch
+        )
+    }
+}
+
+/// What the recorder is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Logging events; flushes buffer, fences drain.
+    Recording,
+    /// A scheduled crash has tripped: the medium no longer accepts
+    /// write-backs, but the (doomed) execution keeps running.
+    Blackout,
+    /// Post-crash: normal persistence again, reads checked against the
+    /// lost-line set.
+    Lint,
+}
+
+/// A flushed-but-unfenced cache line awaiting a drain.
+pub(crate) struct PendingLine {
+    pub line: u64,
+    pub data: Box<[u8]>,
+    pub seq: u64,
+}
+
+/// Recorder state hanging off an `NvmRegion`.
+pub(crate) struct Recorder {
+    pub config: TraceConfig,
+    pub mode: Mode,
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+    stores: u64,
+    fences: u64,
+    flushed_lines: u64,
+    /// Per-line stamp of the most recent store.
+    last_store: HashMap<u64, StoreStamp>,
+    /// Flushed lines waiting for the next fence.
+    pending: Vec<PendingLine>,
+    /// Per-line stamp of the newest store content on the medium.
+    persisted_seq: HashMap<u64, u64>,
+    armed: Option<CrashPoint>,
+    tripped_at: Option<u64>,
+    /// Lines whose last store never persisted (fixed at trip time).
+    lost: HashMap<u64, StoreStamp>,
+    findings: Vec<LintFinding>,
+}
+
+impl Recorder {
+    /// Start a trace. `pre_dirty` are lines already dirty when recording
+    /// began; they get epoch-0 stamps so that losing them is attributable.
+    pub fn new(config: TraceConfig, pre_dirty: impl Iterator<Item = u64>) -> Recorder {
+        let mut rec = Recorder {
+            config,
+            mode: Mode::Recording,
+            events: Vec::new(),
+            next_seq: 0,
+            stores: 0,
+            fences: 0,
+            flushed_lines: 0,
+            last_store: HashMap::new(),
+            pending: Vec::new(),
+            persisted_seq: HashMap::new(),
+            armed: None,
+            tripped_at: None,
+            lost: HashMap::new(),
+            findings: Vec::new(),
+        };
+        for line in pre_dirty {
+            rec.next_seq += 1;
+            rec.last_store
+                .insert(line, StoreStamp { seq: rec.next_seq, epoch: 0 });
+        }
+        rec
+    }
+
+    pub fn arm(&mut self, point: CrashPoint) {
+        self.armed = Some(point);
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub fn tripped_at(&self) -> Option<u64> {
+        self.tripped_at
+    }
+
+    pub fn fences(&self) -> u64 {
+        self.fences
+    }
+
+    /// A store wrote `[off, off+len)`.
+    pub fn on_store(&mut self, off: u64, len: u64) {
+        let (a, b) = line_span(off, len);
+        match self.mode {
+            Mode::Recording => {
+                self.next_seq += 1;
+                self.stores += 1;
+                let stamp = StoreStamp {
+                    seq: self.next_seq,
+                    epoch: self.fences,
+                };
+                for line in a..=b {
+                    self.last_store.insert(line, stamp);
+                }
+                if self.config.keep_events {
+                    self.events.push(TraceEvent::Store {
+                        seq: stamp.seq,
+                        epoch: stamp.epoch,
+                        off,
+                        len,
+                    });
+                }
+            }
+            // The doomed post-trip execution: nothing it stores matters.
+            Mode::Blackout => {}
+            // Recovery re-initialized these bytes; they are safe to read.
+            Mode::Lint => {
+                for line in a..=b {
+                    self.lost.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// A flush buffered these dirty-line snapshots.
+    pub fn on_flush(&mut self, snaps: Vec<(u64, Box<[u8]>)>) {
+        debug_assert_eq!(self.mode, Mode::Recording);
+        for (line, data) in snaps {
+            let seq = self.last_store.get(&line).map_or(0, |s| s.seq);
+            if self.config.keep_events {
+                self.events.push(TraceEvent::Flush {
+                    epoch: self.fences,
+                    line,
+                    store_seq: seq,
+                });
+            }
+            self.flushed_lines += 1;
+            self.pending.push(PendingLine { line, data, seq });
+        }
+    }
+
+    /// A fence. Returns the pending lines that reach the medium now (the
+    /// caller copies them into the persistent image). Trips the armed
+    /// crash point when its fence is reached.
+    pub fn on_fence(&mut self) -> Vec<PendingLine> {
+        match self.mode {
+            Mode::Recording => {
+                self.fences += 1;
+                let n = self.fences;
+                let pending = std::mem::take(&mut self.pending);
+                let (survivors, trip) = match self.armed {
+                    Some(CrashPoint::AtFence { fence }) if n >= fence => (pending, true),
+                    Some(CrashPoint::MidEpoch { epoch, survival }) if n > epoch => {
+                        (apply_survival(survival, pending), true)
+                    }
+                    _ => (pending, false),
+                };
+                for p in &survivors {
+                    let e = self.persisted_seq.entry(p.line).or_insert(0);
+                    *e = (*e).max(p.seq);
+                }
+                if self.config.keep_events {
+                    self.events.push(TraceEvent::Fence {
+                        fence: n,
+                        drained: survivors.len() as u64,
+                    });
+                }
+                if trip {
+                    self.tripped_at = Some(n);
+                    self.lost = self.compute_lost();
+                    self.mode = Mode::Blackout;
+                }
+                survivors
+            }
+            Mode::Blackout => {
+                // Keep counting so the doomed run's fence total is known.
+                self.fences += 1;
+                Vec::new()
+            }
+            Mode::Lint => Vec::new(),
+        }
+    }
+
+    /// Lines whose latest store content is not on the medium.
+    fn compute_lost(&self) -> HashMap<u64, StoreStamp> {
+        self.last_store
+            .iter()
+            .filter(|(line, stamp)| {
+                stamp.seq > self.persisted_seq.get(*line).copied().unwrap_or(0)
+            })
+            .map(|(line, stamp)| (*line, *stamp))
+            .collect()
+    }
+
+    /// Materialize the crash: freeze the lost set (if the armed point never
+    /// tripped, the crash happens here, after the last fence) and switch to
+    /// lint mode. Returns everything the outcome needs except the image
+    /// hash, which the caller supplies.
+    pub fn finalize(&mut self, image_hash: u64) -> CrashOutcome {
+        if self.mode == Mode::Recording {
+            // Crash-at-end: pending (flushed, unfenced) lines are lost too.
+            self.pending.clear();
+            self.lost = self.compute_lost();
+        }
+        self.mode = Mode::Lint;
+        self.pending.clear();
+        CrashOutcome {
+            point: self.armed,
+            tripped_at_fence: self.tripped_at,
+            fences_seen: self.fences,
+            stores_seen: self.stores,
+            lost_lines: self.lost.len() as u64,
+            image_hash,
+        }
+    }
+
+    /// A read of `[off, off+len)` during lint mode. Each lost line is
+    /// reported once (the first read wins).
+    pub fn on_read(&mut self, off: u64, len: u64) {
+        if self.mode != Mode::Lint || self.lost.is_empty() || len == 0 {
+            return;
+        }
+        let (a, b) = line_span(off, len);
+        for line in a..=b {
+            if let Some(stamp) = self.lost.remove(&line) {
+                self.findings.push(LintFinding {
+                    read_off: off,
+                    read_len: len,
+                    line,
+                    store_seq: stamp.seq,
+                    store_epoch: stamp.epoch,
+                });
+            }
+        }
+    }
+
+    pub fn take_findings(&mut self) -> Vec<LintFinding> {
+        std::mem::take(&mut self.findings)
+    }
+
+    /// Number of lost lines not yet read or rewritten.
+    pub fn lost_lines(&self) -> u64 {
+        self.lost.len() as u64
+    }
+
+    pub fn into_trace(self) -> PersistTrace {
+        PersistTrace {
+            events: self.events,
+            stores: self.stores,
+            fences: self.fences,
+            flushed_lines: self.flushed_lines,
+        }
+    }
+
+    /// Drain the pending buffer unconditionally (used by direct `crash()`
+    /// calls, which keep the synchronous flush-reaches-medium semantics).
+    pub fn drain_pending(&mut self) -> Vec<PendingLine> {
+        let pending = std::mem::take(&mut self.pending);
+        for p in &pending {
+            let e = self.persisted_seq.entry(p.line).or_insert(0);
+            *e = (*e).max(p.seq);
+        }
+        pending
+    }
+}
+
+/// Apply a mid-epoch survival policy to the in-flight lines.
+fn apply_survival(survival: MidEpochSurvival, pending: Vec<PendingLine>) -> Vec<PendingLine> {
+    match survival {
+        MidEpochSurvival::None => Vec::new(),
+        MidEpochSurvival::All => pending,
+        MidEpochSurvival::Random { p, seed } => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            pending
+                .into_iter()
+                .filter(|_| rng.gen_bool(p.clamp(0.0, 1.0)))
+                .collect()
+        }
+    }
+}

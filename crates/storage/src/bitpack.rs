@@ -130,7 +130,7 @@ impl BitPacked {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use util::rng::{Rng, SmallRng};
 
     #[test]
     fn width_boundaries() {
@@ -175,30 +175,38 @@ mod tests {
         assert_eq!(rebuilt, bp);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(width in 1u32..=32, ids in proptest::collection::vec(any::<u64>(), 0..200)) {
+    #[test]
+    fn randomized_roundtrip_all_widths() {
+        let mut rng = SmallRng::seed_from_u64(0xB17_9AC4);
+        for case in 0..200u64 {
+            let width = 1 + (case % 32) as u32;
             let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let ids: Vec<u64> = ids.into_iter().map(|v| v & mask).collect();
+            let n = rng.gen_range_usize(0, 200);
+            let ids: Vec<u64> = (0..n).map(|_| rng.next_u64() & mask).collect();
             let packed = pack_all(&ids, width);
             for (i, &v) in ids.iter().enumerate() {
-                prop_assert_eq!(unpack_at(&packed, width, i as u64), v);
+                assert_eq!(unpack_at(&packed, width, i as u64), v, "width {width} idx {i}");
             }
         }
+    }
 
-        #[test]
-        fn prop_random_overwrites(width in 1u32..=20,
-                                  ops in proptest::collection::vec((0u64..64, any::<u64>()), 1..100)) {
+    #[test]
+    fn randomized_overwrites_match_model() {
+        let mut rng = SmallRng::seed_from_u64(0x0E_55E7);
+        for case in 0..200u64 {
+            let width = 1 + (case % 20) as u32;
             let mask = (1u64 << width) - 1;
             let mut model = vec![0u64; 64];
             let mut words = vec![0u64; words_for(64, width) as usize];
-            for (i, v) in ops {
-                let v = v & mask;
+            let nops = rng.gen_range_usize(1, 100);
+            for _ in 0..nops {
+                let i = rng.gen_range_u64(0, 64);
+                let v = rng.next_u64() & mask;
                 model[i as usize] = v;
                 pack_at(&mut words, width, i, v);
             }
             for i in 0..64u64 {
-                prop_assert_eq!(unpack_at(&words, width, i), model[i as usize]);
+                assert_eq!(unpack_at(&words, width, i), model[i as usize]);
             }
         }
     }

@@ -34,7 +34,7 @@ mod vtable;
 
 pub use error::{Result, StorageError};
 pub use schema::{ColumnDef, Schema};
-pub use table_ops::{MergeStats, ScanResult, TableStore};
+pub use table_ops::{MergeStats, MvccCheck, ScanResult, TableStore};
 pub use value::{DataType, Value};
 pub use vtable::{VDelta, VMain, VTable};
 

@@ -1,6 +1,6 @@
 //! The table interface shared by the volatile and NVM storage variants.
 
-use crate::{ColumnId, Result, RowId, Schema, Value};
+use crate::{mvcc, ColumnId, Result, RowId, Schema, Value};
 
 /// Outcome of a delta→main merge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -102,4 +102,57 @@ pub trait TableStore: Send {
     /// visible at `snapshot` (which must see no pending markers — merges run
     /// on a quiesced table). Row ids are re-assigned.
     fn merge(&mut self, snapshot: u64) -> Result<MergeStats>;
+
+    /// Walk every MVCC timestamp word and check it against the quiesced,
+    /// recovered-state invariants at `last_cts`: no pending markers may
+    /// remain, and no committed timestamp may exceed the durably published
+    /// watermark (an effect "from the future" is an uncommitted leak).
+    /// The crash-torture harness runs this after every recovery.
+    fn verify_mvcc(&self, last_cts: u64) -> Result<MvccCheck> {
+        let mut check = MvccCheck::default();
+        for row in 0..self.row_count() {
+            check.rows += 1;
+            let begin = self.begin_ts(row)?;
+            let end = self.end_ts(row)?;
+            if mvcc::is_pending(begin) || mvcc::is_pending(end) {
+                check.pending_markers += 1;
+                continue;
+            }
+            if mvcc::is_committed(begin) && begin > last_cts {
+                check.future_timestamps += 1;
+            }
+            if mvcc::is_committed(end) && end > last_cts {
+                check.future_timestamps += 1;
+            }
+        }
+        Ok(check)
+    }
+}
+
+/// Result of [`TableStore::verify_mvcc`]: a clean table has zeroes in both
+/// violation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MvccCheck {
+    /// Physical rows walked.
+    pub rows: u64,
+    /// Rows still carrying a pending transaction marker — the recovery
+    /// undo pass should have repaired every one of these.
+    pub pending_markers: u64,
+    /// Committed begin/end timestamps greater than the published
+    /// `last_cts` — effects of transactions that never durably committed.
+    pub future_timestamps: u64,
+}
+
+impl MvccCheck {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.pending_markers == 0 && self.future_timestamps == 0
+    }
+
+    /// Fold another table's check into this one.
+    pub fn absorb(&mut self, other: &MvccCheck) {
+        self.rows += other.rows;
+        self.pending_markers += other.pending_markers;
+        self.future_timestamps += other.future_timestamps;
+    }
 }

@@ -5,10 +5,10 @@
 use std::sync::Arc;
 
 use nvm::{CrashPolicy, LatencyModel, NvmHeap, NvmRegion};
-use proptest::prelude::*;
 use storage::mvcc::{self, TS_INF};
 use storage::nv::NvTable;
 use storage::{ColumnDef, DataType, Schema, TableStore, VTable, Value};
+use util::rng::{Rng, SmallRng};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -38,13 +38,21 @@ enum MOp {
     Merge,
 }
 
-fn mop() -> impl Strategy<Value = MOp> {
-    prop_oneof![
-        4 => (0i64..30).prop_map(|k| MOp::Insert { k }),
-        2 => (0i64..30).prop_map(|k| MOp::Delete { k }),
-        1 => (0i64..30).prop_map(|k| MOp::AbortedInsert { k }),
-        1 => Just(MOp::Merge),
-    ]
+/// Weighted random op: 4:2:1:1 insert/delete/aborted-insert/merge, as the
+/// proptest strategy this replaces used.
+fn mop(rng: &mut SmallRng) -> MOp {
+    let k = rng.gen_range_i64(0, 30);
+    match rng.gen_range_u64(0, 8) {
+        0..=3 => MOp::Insert { k },
+        4 | 5 => MOp::Delete { k },
+        6 => MOp::AbortedInsert { k },
+        _ => MOp::Merge,
+    }
+}
+
+fn op_seq(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<MOp> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| mop(rng)).collect()
 }
 
 struct Harness<T: TableStore> {
@@ -170,13 +178,13 @@ impl<T: TableStore> Harness<T> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// The volatile table tracks the model exactly, at the latest snapshot
-    /// and at every historical one.
-    #[test]
-    fn vtable_matches_model(ops in proptest::collection::vec(mop(), 1..60)) {
+/// The volatile table tracks the model exactly, at the latest snapshot
+/// and at every historical one.
+#[test]
+fn vtable_matches_model() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7AB1E ^ case);
+        let ops = op_seq(&mut rng, 1, 60);
         let mut h = Harness::new(VTable::new(schema()));
         let mut merge_points = vec![];
         for op in &ops {
@@ -184,23 +192,25 @@ proptest! {
                 merge_points.push(h.ts);
             }
             h.apply(op);
-            prop_assert_eq!(h.visible_table(h.ts), h.visible_model(h.ts));
+            assert_eq!(h.visible_table(h.ts), h.visible_model(h.ts), "case {case}");
         }
         // Historical snapshots since the last merge also agree (merges
         // discard pre-merge history).
         let floor = merge_points.last().copied().unwrap_or(0);
         for snap in floor..=h.ts {
-            prop_assert_eq!(h.visible_table(snap), h.visible_model(snap));
+            assert_eq!(h.visible_table(snap), h.visible_model(snap), "case {case}");
         }
     }
+}
 
-    /// The NVM table behaves identically AND survives a crash at the end
-    /// with no change to committed state.
-    #[test]
-    fn nvtable_matches_model_and_survives_crash(
-        ops in proptest::collection::vec(mop(), 1..40),
-        seed in any::<u64>(),
-    ) {
+/// The NVM table behaves identically AND survives a crash at the end
+/// with no change to committed state.
+#[test]
+fn nvtable_matches_model_and_survives_crash() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x27AB1E ^ case);
+        let ops = op_seq(&mut rng, 1, 40);
+        let seed = rng.next_u64();
         let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
         let table = NvTable::create(&heap, schema()).unwrap();
         let root = table.root_offset();
@@ -209,7 +219,7 @@ proptest! {
             h.apply(op);
         }
         let expected = h.visible_model(h.ts);
-        prop_assert_eq!(h.visible_table(h.ts), expected.clone());
+        assert_eq!(h.visible_table(h.ts), expected.clone(), "case {case}");
 
         let ts = h.ts;
         drop(h);
@@ -227,17 +237,19 @@ proptest! {
             })
             .collect();
         got.sort();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// Range scans agree between the two table variants after identical
-    /// histories (cross-implementation differential test).
-    #[test]
-    fn scan_parity_between_variants(
-        ops in proptest::collection::vec(mop(), 1..40),
-        lo in 0i64..30,
-        width in 1i64..15,
-    ) {
+/// Range scans agree between the two table variants after identical
+/// histories (cross-implementation differential test).
+#[test]
+fn scan_parity_between_variants() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5CA9 ^ case);
+        let ops = op_seq(&mut rng, 1, 40);
+        let lo = rng.gen_range_i64(0, 30);
+        let width = rng.gen_range_i64(1, 15);
         let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
         let mut hv = Harness::new(VTable::new(schema()));
         let mut hn = Harness::new(NvTable::create(&heap, schema()).unwrap());
@@ -249,9 +261,9 @@ proptest! {
         let (lo_v, hi_v) = (Value::Int(lo), Value::Int(lo + width));
         let a = hv.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
         let b = hn.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
         let a = hv.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
         let b = hn.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -1,0 +1,155 @@
+//! Little-endian byte encoding/decoding for the WAL codecs.
+//!
+//! A minimal stand-in for the `bytes` crate: [`ByteBuf`] accumulates writes
+//! into a `Vec<u8>`; [`BufRead`] consumes from a `&[u8]` cursor exactly the
+//! way `bytes::Buf` does (the slice itself is the cursor).
+
+/// Growable little-endian byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct ByteBuf(Vec<u8>);
+
+impl ByteBuf {
+    /// Empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> ByteBuf {
+        ByteBuf(Vec::with_capacity(cap))
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64`, little-endian IEEE-754 bits.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.0.extend_from_slice(s);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Finish, yielding the accumulated bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Borrow the accumulated bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Cursor-style little-endian reads off a `&[u8]`.
+///
+/// Implemented for `&[u8]` so a `&mut &[u8]` advances through the slice as
+/// it reads, mirroring `bytes::Buf`. The `get_*` methods panic when the
+/// slice is too short — callers must check [`BufRead::remaining`] first,
+/// exactly as with `bytes`.
+pub trait BufRead {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl BufRead for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut b = ByteBuf::with_capacity(64);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_i64_le(-42);
+        b.put_f64_le(0.25);
+        b.put_slice(b"xyz");
+        let v = b.into_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 0.25);
+        assert_eq!(r, b"xyz");
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+}

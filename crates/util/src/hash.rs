@@ -1,0 +1,53 @@
+//! FNV-1a hashing: cheap, deterministic fingerprints.
+//!
+//! Used for the NVM region header checksum (torn-root detection) and for
+//! whole-image fingerprints in the crash scheduler's determinism checks.
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, data)
+}
+
+/// Continue an FNV-1a hash from a prior state (for chunked input).
+pub fn fnv1a_continue(mut state: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        state ^= b as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// FNV-1a over a sequence of `u64` words (little-endian byte order).
+pub fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for w in words {
+        state = fnv1a_continue(state, &w.to_le_bytes());
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn word_hash_sensitive_to_every_word() {
+        let a = fnv1a_words(&[1, 2, 3]);
+        assert_ne!(a, fnv1a_words(&[1, 2, 4]));
+        assert_ne!(a, fnv1a_words(&[0, 2, 3]));
+        assert_eq!(a, fnv1a_words(&[1, 2, 3]));
+    }
+}

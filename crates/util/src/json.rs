@@ -1,0 +1,58 @@
+//! Minimal JSON emission for benchmark result archival.
+//!
+//! Only what `results/*.jsonl` needs: string-to-string objects with
+//! correctly escaped keys and values.
+
+/// Escape `s` as the contents of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize ordered `(key, value)` string pairs as one JSON object.
+pub fn object<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":\"");
+        out.push_str(&escape(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_formatting() {
+        let s = object([("a", "1"), ("b", "x\"y")]);
+        assert_eq!(s, r#"{"a":"1","b":"x\"y"}"#);
+        assert_eq!(object([]), "{}");
+    }
+}

@@ -14,8 +14,9 @@
 //! The file is written to a temp name and renamed, so a crash during
 //! checkpointing leaves the previous checkpoint intact.
 
-use bytes::{Buf, BufMut, BytesMut};
 use std::path::Path;
+
+use util::buf::{BufRead, ByteBuf};
 
 use storage::bitpack::BitPacked;
 use storage::{Schema, TableStore, VDelta, VMain, VTable};
@@ -51,7 +52,7 @@ pub fn write_checkpoint(
     last_cts: u64,
     covered_log_pos: u64,
 ) -> Result<u64> {
-    let mut b = BytesMut::with_capacity(1 << 16);
+    let mut b = ByteBuf::with_capacity(1 << 16);
     b.put_u64_le(CKPT_MAGIC);
     b.put_u64_le(CKPT_VERSION);
     b.put_u64_le(last_cts);
@@ -63,11 +64,11 @@ pub fn write_checkpoint(
         encode_main(&mut b, t.main());
         encode_delta(&mut b, t.delta());
     }
-    let crc = crc32(&b);
+    let crc = crc32(b.as_slice());
     b.put_u32_le(crc);
 
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &b)?;
+    std::fs::write(&tmp, b.as_slice())?;
     let f = std::fs::File::open(&tmp)?;
     f.sync_all()?;
     std::fs::rename(&tmp, path)?;
@@ -120,7 +121,7 @@ pub fn load_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<VTable>)> {
     ))
 }
 
-fn put_bytes(b: &mut BytesMut, bytes: &[u8]) {
+fn put_bytes(b: &mut ByteBuf, bytes: &[u8]) {
     b.put_u32_le(bytes.len() as u32);
     b.put_slice(bytes);
 }
@@ -138,7 +139,7 @@ fn take_bytes(b: &mut &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-fn encode_main(b: &mut BytesMut, m: &VMain) {
+fn encode_main(b: &mut ByteBuf, m: &VMain) {
     b.put_u64_le(m.rows());
     b.put_u32_le(m.dicts.len() as u32);
     for c in 0..m.dicts.len() {
@@ -213,7 +214,7 @@ fn decode_main(b: &mut &[u8], ncols: usize) -> Result<VMain> {
     })
 }
 
-fn encode_delta(b: &mut BytesMut, d: &VDelta) {
+fn encode_delta(b: &mut ByteBuf, d: &VDelta) {
     b.put_u64_le(d.rows());
     b.put_u32_le(d.dicts.len() as u32);
     for c in 0..d.dicts.len() {

@@ -4,8 +4,8 @@
 //! `[type: u8][tid: u64][payload]`. Values use a tagged encoding:
 //! `Int` → `0, i64 LE`; `Double` → `1, f64 LE`; `Text` → `2, u32 len, bytes`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use storage::{DataType, Value};
+use util::buf::{BufRead, ByteBuf};
 
 use crate::{Result, WalError};
 
@@ -73,8 +73,8 @@ impl LogRecord {
     }
 
     /// Serialize the record body (without framing).
-    pub fn encode_body(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64);
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut b = ByteBuf::with_capacity(64);
         match self {
             LogRecord::Insert {
                 tid,
@@ -113,17 +113,17 @@ impl LogRecord {
                 b.put_u64_le(*cts);
             }
         }
-        b.freeze()
+        b.into_vec()
     }
 
     /// Serialize with framing (`len`, `crc`, body).
-    pub fn encode_framed(&self) -> Bytes {
+    pub fn encode_framed(&self) -> Vec<u8> {
         let body = self.encode_body();
-        let mut out = BytesMut::with_capacity(body.len() + 8);
+        let mut out = ByteBuf::with_capacity(body.len() + 8);
         out.put_u32_le(body.len() as u32);
         out.put_u32_le(crc32(&body));
-        out.extend_from_slice(&body);
-        out.freeze()
+        out.put_slice(&body);
+        out.into_vec()
     }
 
     /// Decode a record body.
@@ -193,7 +193,7 @@ impl LogRecord {
     }
 }
 
-pub(crate) fn encode_value(b: &mut BytesMut, v: &Value) {
+pub(crate) fn encode_value(b: &mut ByteBuf, v: &Value) {
     b.put_u8(v.data_type().tag());
     match v {
         Value::Int(i) => b.put_i64_le(*i),

@@ -6,9 +6,8 @@
 //! This mirrors the enterprise order-processing setting the paper's demo
 //! uses, while staying deterministic and self-contained.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use storage::{ColumnDef, DataType, Schema, Value};
+use util::rng::{Rng, SmallRng};
 
 /// Schemas of the four tables, with their catalogue names.
 #[derive(Debug, Clone)]
@@ -177,24 +176,24 @@ impl TpccGenerator {
     /// Generate the next transaction with the classic-ish mix:
     /// 45% NewOrder, 43% Payment, 12% OrderStatus.
     pub fn next_txn(&mut self) -> TpccTxn {
-        let w = self.rng.gen_range(0..self.warehouses);
-        let d = self.rng.gen_range(0..self.districts_per_w);
-        let c = self.rng.gen_range(0..self.customers_per_d);
+        let w = self.rng.gen_range_i64(0, self.warehouses);
+        let d = self.rng.gen_range_i64(0, self.districts_per_w);
+        let c = self.rng.gen_range_i64(0, self.customers_per_d);
         let d_key = Self::d_key(w, d);
         let c_key = Self::c_key(w, d, c);
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.gen_f64();
         if r < 0.45 {
             TpccTxn::NewOrder {
                 d_key,
                 c_key,
-                amount: self.rng.gen_range(1.0..300.0),
+                amount: self.rng.gen_range_f64(1.0, 300.0),
             }
         } else if r < 0.88 {
             TpccTxn::Payment {
                 w_id: w,
                 d_key,
                 c_key,
-                amount: self.rng.gen_range(1.0..5000.0),
+                amount: self.rng.gen_range_f64(1.0, 5000.0),
             }
         } else {
             TpccTxn::OrderStatus { c_key }

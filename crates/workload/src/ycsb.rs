@@ -1,9 +1,8 @@
 //! YCSB-style mixed key-value workload over one table
 //! `(key: Int, field: Text)`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use storage::{ColumnDef, DataType, Schema, Value};
+use util::rng::{Rng, SmallRng};
 
 use crate::zipf::Zipf;
 
@@ -165,13 +164,13 @@ impl YcsbGenerator {
     fn pick_key(&mut self) -> i64 {
         match &self.zipf {
             Some(z) => z.sample(&mut self.rng) as i64,
-            None => self.rng.gen_range(0..self.cfg.record_count.max(1)) as i64,
+            None => self.rng.gen_range_u64(0, self.cfg.record_count.max(1)) as i64,
         }
     }
 
     /// Generate the next operation.
     pub fn next_op(&mut self) -> Op {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.gen_f64();
         let m = self.cfg.mix;
         if r < m.insert {
             let key = self.next_key;
@@ -184,12 +183,12 @@ impl YcsbGenerator {
             let key = self.pick_key();
             Op::Update {
                 key,
-                value: payload(self.rng.gen::<u64>(), self.cfg.value_len),
+                value: payload(self.rng.next_u64(), self.cfg.value_len),
             }
         } else if r < m.insert + m.update + m.scan {
             Op::Scan {
                 key: self.pick_key(),
-                len: 10 + self.rng.gen_range(0..90),
+                len: 10 + self.rng.gen_range_u64(0, 90),
             }
         } else {
             Op::Read {

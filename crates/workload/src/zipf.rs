@@ -4,7 +4,7 @@
 //! synthetic databases" zipfian generator: O(1) per sample after O(1)
 //! setup, matching the YCSB reference implementation.
 
-use rand::Rng;
+use util::rng::Rng;
 
 /// Zipfian distribution over `0..n` with skew `theta` (0 < theta < 1;
 /// YCSB's default is 0.99). Item 0 is the most popular.
@@ -62,7 +62,7 @@ impl Zipf {
 
     /// Draw one sample in `0..n`.
     pub fn sample(&self, rng: &mut impl Rng) -> u64 {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -83,8 +83,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use util::rng::SmallRng;
 
     #[test]
     fn samples_in_domain() {

@@ -1,16 +1,22 @@
-//! Property-based crash-consistency fuzzing.
+//! Randomized crash-consistency fuzzing.
 //!
-//! Random operation sequences run against the engine alongside an
-//! in-memory oracle. A crash is injected (optionally with random cache-line
-//! eviction) and after recovery the engine must contain exactly the oracle
-//! state of the committed prefix: every committed transaction durable,
-//! no uncommitted effect visible, MVCC invariants intact.
+//! Seeded random operation sequences run against the engine alongside an
+//! in-memory oracle. A crash is injected — at the end of the run (optionally
+//! with random cache-line eviction) or *mid-run* through the persist-trace
+//! crash scheduler — and after recovery the engine must contain exactly the
+//! oracle state of the durable committed prefix: every published commit
+//! durable, no uncommitted effect visible, MVCC invariants intact.
 
 use std::collections::BTreeMap;
 
 use hyrise_nv::{Database, DurabilityConfig, IndexKind};
-use proptest::prelude::*;
+use nvm::{CrashSchedule, TraceConfig};
 use storage::{ColumnDef, DataType, Schema, Value};
+use util::rng::{Rng, SmallRng};
+
+/// Key universe — wide enough that runs mix fresh inserts with updates and
+/// deletes of existing keys rather than hammering a handful of rows.
+const KEY_SPACE: i64 = 500;
 
 #[derive(Debug, Clone)]
 enum FuzzOp {
@@ -25,17 +31,29 @@ struct FuzzTxn {
     commit: bool,
 }
 
-fn op_strategy() -> impl Strategy<Value = FuzzOp> {
-    prop_oneof![
-        (0i64..40).prop_map(|key| FuzzOp::Insert { key }),
-        ((0i64..40), any::<u32>()).prop_map(|(key, version)| FuzzOp::Update { key, version }),
-        (0i64..40).prop_map(|key| FuzzOp::Delete { key }),
-    ]
+fn gen_op(rng: &mut SmallRng) -> FuzzOp {
+    let key = rng.gen_range_i64(0, KEY_SPACE);
+    match rng.gen_range_u64(0, 3) {
+        0 => FuzzOp::Insert { key },
+        1 => FuzzOp::Update {
+            key,
+            version: rng.next_u64() as u32,
+        },
+        _ => FuzzOp::Delete { key },
+    }
 }
 
-fn txn_strategy() -> impl Strategy<Value = FuzzTxn> {
-    (proptest::collection::vec(op_strategy(), 1..6), any::<bool>())
-        .prop_map(|(ops, commit)| FuzzTxn { ops, commit })
+fn gen_txn(rng: &mut SmallRng) -> FuzzTxn {
+    let n = rng.gen_range_usize(1, 6);
+    FuzzTxn {
+        ops: (0..n).map(|_| gen_op(rng)).collect(),
+        commit: rng.gen_bool(0.75),
+    }
+}
+
+fn gen_txns(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<FuzzTxn> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n).map(|_| gen_txn(rng)).collect()
 }
 
 fn schema() -> Schema {
@@ -45,16 +63,27 @@ fn schema() -> Schema {
     ])
 }
 
+fn nvm_db() -> Database {
+    Database::create(DurabilityConfig::Nvm {
+        capacity: 32 << 20,
+        latency: nvm::LatencyModel::zero(),
+    })
+    .unwrap()
+}
+
 /// Oracle: committed key → latest committed version.
 type Oracle = BTreeMap<i64, i64>;
 
 /// Apply transactions "insert-if-absent / update / delete" style so the
-/// oracle stays a map; returns the committed state.
+/// oracle stays a map. When `snaps` is given, the oracle state after every
+/// commit is recorded together with its commit timestamp (the
+/// committed-prefix ledger the mid-run crash tests check against).
 fn apply_all(
     db: &mut Database,
     t: hyrise_nv::TableId,
     txns: &[FuzzTxn],
     oracle: &mut Oracle,
+    mut snaps: Option<&mut Vec<(u64, Oracle)>>,
 ) -> hyrise_nv::Result<()> {
     for txn in txns {
         let mut shadow = oracle.clone();
@@ -91,8 +120,11 @@ fn apply_all(
             }
         }
         if txn.commit {
-            db.commit(&mut tx)?;
+            let cts = db.commit(&mut tx)?;
             *oracle = shadow;
+            if let Some(snaps) = snaps.as_deref_mut() {
+                snaps.push((cts, oracle.clone()));
+            }
         } else {
             db.abort(&mut tx)?;
         }
@@ -114,101 +146,165 @@ fn engine_state(db: &mut Database, t: hyrise_nv::TableId) -> Oracle {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+#[test]
+fn nvm_crash_recovery_matches_oracle() {
+    for case in 0u64..24 {
+        let mut rng = SmallRng::seed_from_u64(0xF0 << 8 | case);
+        let txns = gen_txns(&mut rng, 1, 20);
+        let evict = rng.gen_bool(0.5);
+        let eviction_seed = rng.next_u64();
 
-    #[test]
-    fn nvm_crash_recovery_matches_oracle(
-        txns in proptest::collection::vec(txn_strategy(), 1..20),
-        eviction_seed in any::<u64>(),
-        evict in any::<bool>(),
-    ) {
-        let mut db = Database::create(DurabilityConfig::Nvm {
-            capacity: 64 << 20,
-            latency: nvm::LatencyModel::zero(),
-        }).unwrap();
+        let mut db = nvm_db();
         let t = db.create_table("t", schema()).unwrap();
         db.create_index(t, 0, IndexKind::Hash).unwrap();
         let mut oracle = Oracle::new();
-        apply_all(&mut db, t, &txns, &mut oracle).unwrap();
+        apply_all(&mut db, t, &txns, &mut oracle, None).unwrap();
 
         let policy = if evict {
-            nvm::CrashPolicy::RandomEviction { p: 0.5, seed: eviction_seed }
+            nvm::CrashPolicy::RandomEviction {
+                p: 0.5,
+                seed: eviction_seed,
+            }
         } else {
             nvm::CrashPolicy::DropUnflushed
         };
         db.restart(policy).unwrap();
-        prop_assert_eq!(engine_state(&mut db, t), oracle.clone());
+        assert_eq!(engine_state(&mut db, t), oracle, "case {case}");
 
         // Index agreement after recovery.
         let tx = db.begin();
         for (k, v) in &oracle {
             let hits = db.index_lookup(&tx, t, 0, &Value::Int(*k)).unwrap();
-            prop_assert_eq!(hits.len(), 1, "key {} must have one visible version", k);
-            prop_assert_eq!(hits[0].values[1].clone(), Value::Int(*v));
+            assert_eq!(hits.len(), 1, "case {case}: key {k} must have one visible version");
+            assert_eq!(hits[0].values[1], Value::Int(*v), "case {case}: key {k}");
+        }
+        let integrity = db.verify_integrity().unwrap();
+        assert!(integrity.is_clean(), "case {case}: {}", integrity.render());
+    }
+}
+
+/// Crash *mid-run* at sampled fence boundaries / mid-epoch survival
+/// subsets: the recovered state must equal the oracle ledger entry at the
+/// durably published commit timestamp — no more (uncommitted leak), no
+/// less (lost commit) — and every structural invariant must hold.
+#[test]
+fn mid_run_scheduled_crashes_match_committed_prefix() {
+    for case in 0u64..6 {
+        let mut rng = SmallRng::seed_from_u64(0x5C_4ED ^ case);
+        let txns = gen_txns(&mut rng, 8, 24);
+
+        // Reference run: learn the workload's fence count.
+        let total_fences = {
+            let mut db = nvm_db();
+            let t = db.create_table("t", schema()).unwrap();
+            db.create_index(t, 0, IndexKind::Hash).unwrap();
+            let region = db.nv_backend().unwrap().region().clone();
+            region.trace_start(TraceConfig { keep_events: false });
+            let mut oracle = Oracle::new();
+            apply_all(&mut db, t, &txns, &mut oracle, None).unwrap();
+            region.trace_stop().unwrap().fences
+        };
+        assert!(total_fences > 0, "case {case}: workload issued no fences");
+
+        for (i, point) in CrashSchedule::sample(total_fences, 8, 0xD00 ^ case)
+            .into_iter()
+            .enumerate()
+        {
+            let mut db = nvm_db();
+            let t = db.create_table("t", schema()).unwrap();
+            db.create_index(t, 0, IndexKind::Hash).unwrap();
+            let region = db.nv_backend().unwrap().region().clone();
+            region.trace_start(TraceConfig { keep_events: false });
+            region.arm_crash(point).unwrap();
+
+            let mut oracle = Oracle::new();
+            let mut snaps: Vec<(u64, Oracle)> = vec![(0, Oracle::new())];
+            apply_all(&mut db, t, &txns, &mut oracle, Some(&mut snaps)).unwrap();
+
+            let report = db.restart_scheduled().unwrap();
+            let expected = snaps
+                .iter()
+                .rev()
+                .find(|(cts, _)| *cts <= report.last_cts)
+                .map(|(_, o)| o.clone())
+                .unwrap();
+            assert_eq!(
+                engine_state(&mut db, t),
+                expected,
+                "case {case} point {i} ({point:?}): recovered state must be the \
+                 committed prefix at cts {}",
+                report.last_cts
+            );
+            let integrity = db.verify_integrity().unwrap();
+            assert!(
+                integrity.is_clean(),
+                "case {case} point {i} ({point:?}): {}",
+                integrity.render()
+            );
         }
     }
+}
 
-    #[test]
-    fn wal_crash_recovery_matches_oracle(
-        txns in proptest::collection::vec(txn_strategy(), 1..15),
-    ) {
+#[test]
+fn wal_crash_recovery_matches_oracle() {
+    for case in 0u64..16 {
+        let mut rng = SmallRng::seed_from_u64(0x3A1 ^ case);
+        let txns = gen_txns(&mut rng, 1, 15);
         let mut db = Database::create(DurabilityConfig::wal_temp()).unwrap();
         let t = db.create_table("t", schema()).unwrap();
         let mut oracle = Oracle::new();
-        apply_all(&mut db, t, &txns, &mut oracle).unwrap();
+        apply_all(&mut db, t, &txns, &mut oracle, None).unwrap();
         db.restart_after_crash().unwrap();
-        prop_assert_eq!(engine_state(&mut db, t), oracle);
+        assert_eq!(engine_state(&mut db, t), oracle, "case {case}");
     }
+}
 
-    #[test]
-    fn merge_then_crash_preserves_state(
-        txns in proptest::collection::vec(txn_strategy(), 2..12),
-        split in 0usize..12,
-    ) {
-        let mut db = Database::create(DurabilityConfig::Nvm {
-            capacity: 64 << 20,
-            latency: nvm::LatencyModel::zero(),
-        }).unwrap();
+#[test]
+fn merge_then_crash_preserves_state() {
+    for case in 0u64..12 {
+        let mut rng = SmallRng::seed_from_u64(0x4E6E ^ case);
+        let txns = gen_txns(&mut rng, 2, 12);
+        let split = rng.gen_range_usize(0, txns.len() + 1);
+        let mut db = nvm_db();
         let t = db.create_table("t", schema()).unwrap();
-        let split = split.min(txns.len());
         let mut oracle = Oracle::new();
-        apply_all(&mut db, t, &txns[..split], &mut oracle).unwrap();
+        apply_all(&mut db, t, &txns[..split], &mut oracle, None).unwrap();
         db.merge(t).unwrap();
-        prop_assert_eq!(engine_state(&mut db, t), oracle.clone());
-        apply_all(&mut db, t, &txns[split..], &mut oracle).unwrap();
+        assert_eq!(engine_state(&mut db, t), oracle, "case {case} post-merge");
+        apply_all(&mut db, t, &txns[split..], &mut oracle, None).unwrap();
         db.restart_after_crash().unwrap();
-        prop_assert_eq!(engine_state(&mut db, t), oracle);
+        assert_eq!(engine_state(&mut db, t), oracle, "case {case}");
     }
+}
 
-    #[test]
-    fn ycsb_style_sequence_survives_eviction_crashes(
-        ops in proptest::collection::vec((0u8..3, 0i64..25), 5..60),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn ycsb_style_sequence_survives_eviction_crashes() {
+    for case in 0u64..16 {
+        let mut rng = SmallRng::seed_from_u64(0x9C5B ^ case);
         // Flat single-op transactions, heavier volume, always-evict crash.
-        let mut db = Database::create(DurabilityConfig::Nvm {
-            capacity: 64 << 20,
-            latency: nvm::LatencyModel::zero(),
-        }).unwrap();
+        let nops = rng.gen_range_usize(5, 60);
+        let mut db = nvm_db();
         let t = db.create_table("t", schema()).unwrap();
         let mut oracle = Oracle::new();
-        for (kind, key) in &ops {
+        for _ in 0..nops {
+            let key = rng.gen_range_i64(0, KEY_SPACE);
             let txn = FuzzTxn {
-                ops: vec![match kind {
-                    0 => FuzzOp::Insert { key: *key },
-                    1 => FuzzOp::Update { key: *key, version: (*key as u32) * 7 },
-                    _ => FuzzOp::Delete { key: *key },
+                ops: vec![match rng.gen_range_u64(0, 3) {
+                    0 => FuzzOp::Insert { key },
+                    1 => FuzzOp::Update {
+                        key,
+                        version: (key as u32) * 7,
+                    },
+                    _ => FuzzOp::Delete { key },
                 }],
                 commit: true,
             };
-            apply_all(&mut db, t, &[txn], &mut oracle).unwrap();
+            apply_all(&mut db, t, &[txn], &mut oracle, None).unwrap();
         }
-        db.restart(nvm::CrashPolicy::RandomEviction { p: 0.3, seed }).unwrap();
-        prop_assert_eq!(engine_state(&mut db, t), oracle);
+        let seed = rng.next_u64();
+        db.restart(nvm::CrashPolicy::RandomEviction { p: 0.3, seed })
+            .unwrap();
+        assert_eq!(engine_state(&mut db, t), oracle, "case {case}");
     }
 }
 
