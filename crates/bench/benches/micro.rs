@@ -41,7 +41,9 @@ fn bench_nvm_persist() {
     report(
         "nvm_persist",
         "write_pod_u64",
-        time_ns_per_op(100_000, || region.write_pod(128, black_box(&42u64)).unwrap()),
+        time_ns_per_op(100_000, || {
+            region.write_pod(128, black_box(&42u64)).unwrap()
+        }),
     );
     report(
         "nvm_persist",
@@ -114,7 +116,11 @@ fn bench_dictionary() {
             "dictionary",
             "main_dict_binary_search_scan",
             time_ns_per_op(500, || {
-                black_box(table.scan_eq(0, &Value::Int(black_box(250)), 10, 99).unwrap());
+                black_box(
+                    table
+                        .scan_eq(0, &Value::Int(black_box(250)), 10, 99)
+                        .unwrap(),
+                );
             }),
         );
     }
@@ -185,8 +191,12 @@ fn bench_commit_path() {
             &format!("insert_commit/{name}"),
             time_ns_per_op(5_000, || {
                 let mut tx = db.begin();
-                db.insert(&mut tx, t, &[Value::Int(i), Value::Text(format!("v{}", i % 64))])
-                    .unwrap();
+                db.insert(
+                    &mut tx,
+                    t,
+                    &[Value::Int(i), Value::Text(format!("v{}", i % 64))],
+                )
+                .unwrap();
                 db.commit(&mut tx).unwrap();
                 i += 1;
             }),

@@ -35,11 +35,8 @@ fn run_until_crash(
     stop_after: u64,
 ) -> (Vec<(u64, u64)>, u64, u64) {
     let heap = NvmHeap::format(region.clone()).unwrap();
-    let mut table = NvTable::create(
-        &heap,
-        Schema::new(vec![ColumnDef::new("k", DataType::Int)]),
-    )
-    .unwrap();
+    let mut table =
+        NvTable::create(&heap, Schema::new(vec![ColumnDef::new("k", DataType::Int)])).unwrap();
     let cts_cell = heap.alloc(8).unwrap();
     heap.set_root(cts_cell).unwrap(); // root → cts cell for rediscovery
     let r = heap.region().clone();

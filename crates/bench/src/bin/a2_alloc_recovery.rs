@@ -24,7 +24,10 @@ fn main() {
 
     let mut rows_out = Vec::new();
     for &n in sizes {
-        let region = Arc::new(NvmRegion::new((n * 256).max(64 << 20), LatencyModel::zero()));
+        let region = Arc::new(NvmRegion::new(
+            (n * 256).max(64 << 20),
+            LatencyModel::zero(),
+        ));
         let heap = NvmHeap::format(region.clone()).unwrap();
         for i in 0..n {
             // A mix of live, freed, and reserved blocks, as a real heap

@@ -64,11 +64,8 @@ fn full_scan_undo_us(n: u64) -> f64 {
         LatencyModel::zero(),
     )))
     .expect("format");
-    let mut t = NvTable::create(
-        &heap,
-        Schema::new(vec![ColumnDef::new("k", DataType::Int)]),
-    )
-    .expect("create");
+    let mut t = NvTable::create(&heap, Schema::new(vec![ColumnDef::new("k", DataType::Int)]))
+        .expect("create");
     for i in 0..n {
         let r = t
             .insert_version(&[Value::Int(i as i64)], storage::mvcc::pending(1))

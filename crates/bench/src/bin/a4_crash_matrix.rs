@@ -60,7 +60,8 @@ fn run_workload(db: &mut Database, t: TableId, seed: u64, txns: usize) -> Vec<(u
             match rng.gen_range_u64(0, 3) {
                 0 => {
                     if let std::collections::btree_map::Entry::Vacant(e) = shadow.entry(key) {
-                        db.insert(&mut tx, t, &[Value::Int(key), Value::Int(0)]).unwrap();
+                        db.insert(&mut tx, t, &[Value::Int(key), Value::Int(0)])
+                            .unwrap();
                         e.insert(0);
                     }
                 }
@@ -166,7 +167,9 @@ fn main() {
     let classes: Vec<(&str, Vec<CrashPoint>)> = vec![
         (
             "at-fence",
-            (0..per_class).map(|i| CrashPoint::AtFence { fence: fence_at(i) }).collect(),
+            (0..per_class)
+                .map(|i| CrashPoint::AtFence { fence: fence_at(i) })
+                .collect(),
         ),
         (
             "mid-none",
@@ -193,7 +196,10 @@ fn main() {
                 .map(|p| match p {
                     CrashPoint::AtFence { fence } => CrashPoint::MidEpoch {
                         epoch: fence - 1,
-                        survival: MidEpochSurvival::Random { p: 0.5, seed: fence },
+                        survival: MidEpochSurvival::Random {
+                            p: 0.5,
+                            seed: fence,
+                        },
                     },
                     mid => mid,
                 })

@@ -45,7 +45,10 @@ fn main() {
             Row::new()
                 .with("rows", n)
                 .with("backend", "hyrise-nv")
-                .with("restart_ms", format!("{:.3}", report.total_wall().as_secs_f64() * 1e3))
+                .with(
+                    "restart_ms",
+                    format!("{:.3}", report.total_wall().as_secs_f64() * 1e3),
+                )
                 .with("replayed", 0)
                 .with("recovered_rows", report.rows_recovered),
         );
@@ -62,7 +65,10 @@ fn main() {
             db.insert(
                 &mut tx,
                 t,
-                &[storage::Value::Int(k), storage::Value::Text(workload::ycsb::payload(k as u64, 32))],
+                &[
+                    storage::Value::Int(k),
+                    storage::Value::Text(workload::ycsb::payload(k as u64, 32)),
+                ],
             )
             .expect("insert");
             count += 1;
@@ -77,7 +83,10 @@ fn main() {
             Row::new()
                 .with("rows", n)
                 .with("backend", "log-based")
-                .with("restart_ms", format!("{:.3}", report.total_wall().as_secs_f64() * 1e3))
+                .with(
+                    "restart_ms",
+                    format!("{:.3}", report.total_wall().as_secs_f64() * 1e3),
+                )
                 .with("replayed", report.log_records_replayed)
                 .with("recovered_rows", report.rows_recovered),
         );

@@ -73,7 +73,11 @@ fn run(config: DurabilityConfig, rows: u64, ticks: usize, crash_at: usize) -> Ve
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (rows, ticks) = if quick { (2_000u64, 8) } else { (20_000u64, 20) };
+    let (rows, ticks) = if quick {
+        (2_000u64, 8)
+    } else {
+        (20_000u64, 20)
+    };
     let crash_at = ticks / 2;
 
     let mut all = Vec::new();

@@ -29,7 +29,11 @@ fn configs() -> Vec<(&'static str, DurabilityConfig)> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (records, op_count) = if quick { (2_000, 2_000) } else { (20_000, 20_000) };
+    let (records, op_count) = if quick {
+        (2_000, 2_000)
+    } else {
+        (20_000, 20_000)
+    };
 
     let mixes: Vec<(&str, YcsbMix)> = vec![
         ("A 50r/50u", YcsbMix::A),

@@ -17,7 +17,11 @@ use workload::{YcsbConfig, YcsbGenerator, YcsbMix};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (records, op_count) = if quick { (2_000, 2_000) } else { (10_000, 15_000) };
+    let (records, op_count) = if quick {
+        (2_000, 2_000)
+    } else {
+        (10_000, 15_000)
+    };
 
     let factors: &[u64] = &[0, 1, 2, 4, 8];
     let mixes: Vec<(&str, YcsbMix)> = vec![
@@ -56,8 +60,14 @@ fn main() {
                 Row::new()
                     .with("mix", *mix_name)
                     .with("flush_ns", latency.flush_line_ns)
-                    .with("kops_modeled", format!("{:.1}", op_count as f64 / (wall + sim) / 1e3))
-                    .with("sim_share_pct", format!("{:.1}", 100.0 * sim / (wall + sim))),
+                    .with(
+                        "kops_modeled",
+                        format!("{:.1}", op_count as f64 / (wall + sim) / 1e3),
+                    )
+                    .with(
+                        "sim_share_pct",
+                        format!("{:.1}", 100.0 * sim / (wall + sim)),
+                    ),
             );
         }
     }

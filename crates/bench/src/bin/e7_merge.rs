@@ -73,10 +73,7 @@ fn main() {
                     .with("rows_merged", stats.rows_merged)
                     .with("scan_before_ms", format!("{scan_before:.3}"))
                     .with("scan_after_ms", format!("{scan_after:.3}"))
-                    .with(
-                        "scan_speedup",
-                        format!("{:.2}x", scan_before / scan_after),
-                    ),
+                    .with("scan_speedup", format!("{:.2}x", scan_before / scan_after)),
             );
         }
     }

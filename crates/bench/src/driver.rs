@@ -180,10 +180,9 @@ pub fn run_tpcc_txn(db: &mut Database, h: &mut TpccHandles, txn: &TpccTxn) -> Re
         } => {
             let mut tx = db.begin();
             let out: Result<()> = (|| {
-                for (table, key, ytd_col) in [
-                    (h.warehouse, *w_id, 2usize),
-                    (h.district, *d_key, 3usize),
-                ] {
+                for (table, key, ytd_col) in
+                    [(h.warehouse, *w_id, 2usize), (h.district, *d_key, 3usize)]
+                {
                     let hits = db.index_lookup(&tx, table, 0, &Value::Int(key))?;
                     let hit = hits.first().ok_or_else(|| {
                         hyrise_nv::EngineError::Catalog(format!("row {key} missing"))

@@ -70,12 +70,15 @@ pub fn write_json(name: &str, rows: &[Row]) {
         return;
     }
     let path = dir.join(format!("{name}.jsonl"));
-    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         Ok(mut f) => {
             for row in rows {
-                let line = util::json::object(
-                    row.cells.iter().map(|(k, v)| (k.as_str(), v.as_str())),
-                );
+                let line =
+                    util::json::object(row.cells.iter().map(|(k, v)| (k.as_str(), v.as_str())));
                 let _ = writeln!(f, "{line}");
             }
         }

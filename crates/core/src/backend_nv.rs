@@ -19,10 +19,12 @@ use std::sync::Arc;
 
 use index::{NvHashIndex, NvOrderedIndex};
 use nvm::{AllocatorRecovery, LatencyModel, NvmHeap, NvmRegion};
+use storage::mvcc::TS_INF;
 use storage::nv::{read_string, store_string, NvTable};
-use storage::{Schema, TableStore};
+use storage::{Schema, TableStore, VTable};
 
 use crate::error::{EngineError, Result};
+use crate::shadow_wal::ShadowWal;
 use crate::txn_registry::TxnRegistry;
 use crate::{MAX_INDEXES_PER_TABLE, MAX_TABLES};
 
@@ -38,8 +40,8 @@ const IDX_ENTRIES: u64 = 8;
 const IDX_ENTRY_STRIDE: u64 = 24;
 const IDX_BLOCK_SIZE: u64 = IDX_ENTRIES + MAX_INDEXES_PER_TABLE as u64 * IDX_ENTRY_STRIDE;
 
-const KIND_HASH: u64 = 0;
-const KIND_ORDERED: u64 = 1;
+pub(crate) const KIND_HASH: u64 = 0;
+pub(crate) const KIND_ORDERED: u64 = 1;
 
 /// Per-table index sets — all persistent on this backend.
 pub(crate) struct NvTableIndexes {
@@ -57,6 +59,97 @@ pub struct NvBackend {
     pub(crate) names: Vec<String>,
     pub(crate) indexes: Vec<NvTableIndexes>,
     pub(crate) registry: TxnRegistry,
+    /// Shadow redo log (recovery rung 2); None on the plain NVM backend.
+    pub(crate) shadow: Option<ShadowWal>,
+}
+
+/// Catalogue decode with per-table failure isolation — the raw material of
+/// the recovery ladder. Catalogue-level damage (unreadable root, implausible
+/// counts, corrupt name strings, registry) stays a hard error; a table whose
+/// tree fails to open is recorded per slot so rung 2 can rebuild exactly the
+/// broken tables.
+pub(crate) struct AttachParts {
+    pub heap: NvmHeap,
+    pub catalog: u64,
+    pub names: Vec<String>,
+    pub roots: Vec<u64>,
+    pub idx_blocks: Vec<u64>,
+    pub tables: Vec<std::result::Result<NvTable, EngineError>>,
+    pub registry: TxnRegistry,
+    pub last_cts: u64,
+}
+
+/// One persistent index registration read from the catalogue.
+pub(crate) struct IndexEntrySpec {
+    pub kind: u64,
+    pub column: usize,
+    pub desc: u64,
+    /// Catalogue offset of this entry (for the desc swap on rebuild).
+    pub entry_base: u64,
+}
+
+impl AttachParts {
+    /// Decode the index registrations of table `t` (descriptors are not
+    /// opened — the ladder decides per entry whether to attach or rebuild).
+    pub fn index_entries(&self, t: usize) -> Result<Vec<IndexEntrySpec>> {
+        let r = self.heap.region();
+        let idx_block = self.idx_blocks[t];
+        let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        if icount as usize > MAX_INDEXES_PER_TABLE {
+            return Err(EngineError::Catalog("implausible index count".into()));
+        }
+        let mut out = Vec::with_capacity(icount as usize);
+        for i in 0..icount {
+            let ib = idx_block + IDX_ENTRIES + i * IDX_ENTRY_STRIDE;
+            out.push(IndexEntrySpec {
+                kind: r.read_pod(ib)?,
+                column: r.read_pod::<u64>(ib + 8)? as usize,
+                desc: r.read_pod(ib + 16)?,
+                entry_base: ib,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Durably swap table `t`'s root to a rebuilt tree. The old tree stays
+    /// allocated but unreachable — quarantined rather than freed, since its
+    /// block metadata cannot be trusted after a media fault.
+    pub fn swap_table_root(&mut self, t: usize, new_root: u64) -> Result<()> {
+        let base = self.catalog + CAT_ENTRIES + t as u64 * CAT_ENTRY_STRIDE;
+        let r = self.heap.region();
+        r.write_pod(base + 8, &new_root)?;
+        r.persist(base + 8, 8)?;
+        self.roots[t] = new_root;
+        Ok(())
+    }
+
+    /// Durably swap an index entry's descriptor to a rebuilt index (same
+    /// publish idiom as the post-merge rebuild). The old structure is
+    /// quarantined, not destroyed.
+    pub fn swap_index_desc(&self, e: &IndexEntrySpec, new_desc: u64) -> Result<()> {
+        let r = self.heap.region();
+        r.write_pod(e.entry_base + 16, &new_desc)?;
+        r.persist(e.entry_base + 16, 8)?;
+        Ok(())
+    }
+
+    /// Assemble the backend once every table slot is healthy and the index
+    /// sets are attached.
+    pub fn into_backend(self, indexes: Vec<NvTableIndexes>) -> Result<NvBackend> {
+        let mut tables = Vec::with_capacity(self.tables.len());
+        for t in self.tables {
+            tables.push(t?);
+        }
+        Ok(NvBackend {
+            heap: self.heap,
+            catalog: self.catalog,
+            tables,
+            names: self.names,
+            indexes,
+            registry: self.registry,
+            shadow: None,
+        })
+    }
 }
 
 impl NvBackend {
@@ -79,6 +172,7 @@ impl NvBackend {
             names: Vec::new(),
             indexes: Vec::new(),
             registry,
+            shadow: None,
         })
     }
 
@@ -92,60 +186,89 @@ impl NvBackend {
 
     /// Re-attach catalogue, tables, and indexes over an already-recovered
     /// heap (the restart path times this separately from the allocator
-    /// scan).
+    /// scan). The first per-table failure is a hard error — this is the
+    /// fast rung-0 path; the ladder uses [`NvBackend::attach_parts`].
     pub fn attach(heap: NvmHeap) -> Result<NvBackend> {
+        let parts = Self::attach_parts(heap)?;
+        let mut indexes = Vec::with_capacity(parts.tables.len());
+        for t in 0..parts.tables.len() {
+            let mut set = NvTableIndexes {
+                hash: Vec::new(),
+                ordered: Vec::new(),
+            };
+            for e in parts.index_entries(t)? {
+                match e.kind {
+                    KIND_HASH => set.hash.push(NvHashIndex::open(&parts.heap, e.desc)?),
+                    KIND_ORDERED => set.ordered.push(NvOrderedIndex::open(&parts.heap, e.desc)?),
+                    _ => return Err(EngineError::Catalog("unknown index kind".into())),
+                }
+            }
+            indexes.push(set);
+        }
+        parts.into_backend(indexes)
+    }
+
+    /// Decode the catalogue with per-table failure isolation (see
+    /// [`AttachParts`]). Indexes are left unopened.
+    pub(crate) fn attach_parts(heap: NvmHeap) -> Result<AttachParts> {
         let catalog = heap.root()?;
         if catalog == 0 {
             return Err(EngineError::Catalog("no catalogue root in region".into()));
         }
         let r = heap.region().clone();
+        let last_cts: u64 = r.read_pod(catalog + CAT_LAST_CTS)?;
         let ntables: u64 = r.read_pod(catalog + CAT_NTABLES)?;
         if ntables as usize > MAX_TABLES {
             return Err(EngineError::Catalog("implausible table count".into()));
         }
         let mut tables = Vec::with_capacity(ntables as usize);
         let mut names = Vec::with_capacity(ntables as usize);
-        let mut indexes = Vec::with_capacity(ntables as usize);
+        let mut roots = Vec::with_capacity(ntables as usize);
+        let mut idx_blocks = Vec::with_capacity(ntables as usize);
         for t in 0..ntables {
             let base = catalog + CAT_ENTRIES + t * CAT_ENTRY_STRIDE;
             let name_ptr: u64 = r.read_pod(base)?;
             let table_root: u64 = r.read_pod(base + 8)?;
             let idx_block: u64 = r.read_pod(base + 16)?;
             names.push(read_string(&heap, name_ptr).map_err(EngineError::Storage)?);
-            let table = NvTable::open(&heap, table_root)?;
-            let mut set = NvTableIndexes {
-                hash: Vec::new(),
-                ordered: Vec::new(),
-            };
-            let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
-            if icount as usize > MAX_INDEXES_PER_TABLE {
-                return Err(EngineError::Catalog("implausible index count".into()));
-            }
-            for i in 0..icount {
-                let ib = idx_block + IDX_ENTRIES + i * IDX_ENTRY_STRIDE;
-                let kind: u64 = r.read_pod(ib)?;
-                let column: u64 = r.read_pod(ib + 8)?;
-                let desc: u64 = r.read_pod(ib + 16)?;
-                let _ = column;
-                match kind {
-                    KIND_HASH => set.hash.push(NvHashIndex::open(&heap, desc)?),
-                    KIND_ORDERED => set.ordered.push(NvOrderedIndex::open(&heap, desc)?),
-                    _ => return Err(EngineError::Catalog("unknown index kind".into())),
-                }
-            }
-            tables.push(table);
-            indexes.push(set);
+            roots.push(table_root);
+            idx_blocks.push(idx_block);
+            tables.push(NvTable::open(&heap, table_root).map_err(EngineError::Storage));
         }
         let registry_ptr: u64 = r.read_pod(catalog + CAT_REGISTRY)?;
         let registry = TxnRegistry::open(&heap, registry_ptr)?;
-        Ok(NvBackend {
+        Ok(AttachParts {
             heap,
             catalog,
-            tables,
             names,
-            indexes,
+            roots,
+            idx_blocks,
+            tables,
             registry,
+            last_cts,
         })
+    }
+
+    /// Rebuild one table's NVM tree from a replayed DRAM image (rung 2).
+    /// Physical row ids are reproduced in order, so surviving registry
+    /// entries and freshly rebuilt indexes stay aligned.
+    pub(crate) fn rebuild_table_from(heap: &NvmHeap, src: &VTable) -> Result<NvTable> {
+        let mut nt = NvTable::create(heap, src.schema().clone())?;
+        for row in 0..src.row_count() {
+            let values = src.row_values(row)?;
+            let begin = src.begin_ts(row)?;
+            let got = nt.insert_version(&values, begin)?;
+            if got != row {
+                return Err(EngineError::Catalog(
+                    "row id drift during WAL table rebuild".into(),
+                ));
+            }
+            let end = src.end_ts(row)?;
+            if end != TS_INF {
+                nt.commit_invalidate(row, end)?;
+            }
+        }
+        Ok(nt)
     }
 
     /// Counts of (persistently re-attached, DRAM-rebuilt) indexes. On this
@@ -191,6 +314,39 @@ impl NvBackend {
         Ok(())
     }
 
+    /// Run the commit protocol: stamp the transaction's writes, sync the
+    /// shadow log (when configured) and only then durably publish the
+    /// commit timestamp to NVM — the ordering that keeps the shadow log a
+    /// superset of the published state.
+    pub(crate) fn commit_txn(
+        &mut self,
+        mgr: &mut txn::TxnManager,
+        tx: &mut txn::Transaction,
+    ) -> Result<u64> {
+        let NvBackend {
+            heap,
+            catalog,
+            tables,
+            registry,
+            shadow,
+            ..
+        } = self;
+        let mut publisher = ShadowedNvPublisher {
+            heap: heap.clone(),
+            catalog: *catalog,
+            shadow: shadow.as_mut(),
+        };
+        let cts = {
+            let mut refs: Vec<&mut dyn TableStore> = tables
+                .iter_mut()
+                .map(|t| t as &mut dyn TableStore)
+                .collect();
+            mgr.commit(tx, &mut refs, &mut publisher)?
+        };
+        registry.release(tx.tid)?;
+        Ok(cts)
+    }
+
     /// Create a table and durably register it.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<usize> {
         if self.tables.len() >= MAX_TABLES {
@@ -199,7 +355,9 @@ impl NvBackend {
             )));
         }
         if self.names.iter().any(|n| n == name) {
-            return Err(EngineError::Catalog(format!("duplicate table name {name:?}")));
+            return Err(EngineError::Catalog(format!(
+                "duplicate table name {name:?}"
+            )));
         }
         let table = NvTable::create(&self.heap, schema)?;
         let name_ptr = store_string(&self.heap, name).map_err(EngineError::Storage)?;
@@ -224,6 +382,21 @@ impl NvBackend {
             hash: Vec::new(),
             ordered: Vec::new(),
         });
+        // Re-baseline the shadow checkpoint so rung 2 knows the new table
+        // even when its NVM root is unreadable. DDL is a quiesced point, so
+        // the full-state export is valid. A crash between the NVM publish
+        // above and this write loses only an empty table from the fallback
+        // path.
+        let cts = self.last_cts()?;
+        let NvBackend {
+            shadow,
+            names,
+            tables,
+            ..
+        } = self;
+        if let Some(sw) = shadow {
+            sw.checkpoint_full(names, tables, cts)?;
+        }
         Ok(t as usize)
     }
 
@@ -278,7 +451,12 @@ impl NvBackend {
     }
 
     /// Notify indexes of a new row version.
-    pub fn index_insert(&mut self, table: usize, values: &[storage::Value], row: u64) -> Result<()> {
+    pub fn index_insert(
+        &mut self,
+        table: usize,
+        values: &[storage::Value],
+        row: u64,
+    ) -> Result<()> {
         for idx in &self.indexes[table].hash {
             idx.insert(&values[idx.column()], row)?;
         }
@@ -298,6 +476,11 @@ impl NvBackend {
         table: usize,
         snapshot: u64,
     ) -> Result<storage::table_ops::MergeStats> {
+        // Logged and synced *before* executing, so a rung-2 replay
+        // reproduces the post-merge row-id space that later records use.
+        if let Some(sw) = &mut self.shadow {
+            sw.log_merge_synced(table, snapshot)?;
+        }
         let stats = self.tables[table].merge(snapshot)?;
         let idx_block = self.idx_block(table)?;
         let r = self.heap.region().clone();
@@ -320,8 +503,7 @@ impl NvBackend {
                     )?;
                     r.write_pod(ib + 16, &new_idx.desc_offset())?;
                     r.persist(ib + 16, 8)?;
-                    let old =
-                        std::mem::replace(&mut self.indexes[table].hash[hash_slot], new_idx);
+                    let old = std::mem::replace(&mut self.indexes[table].hash[hash_slot], new_idx);
                     old.destroy()?;
                     hash_slot += 1;
                 }
@@ -333,10 +515,8 @@ impl NvBackend {
                     )?;
                     r.write_pod(ib + 16, &new_idx.desc_offset())?;
                     r.persist(ib + 16, 8)?;
-                    let old = std::mem::replace(
-                        &mut self.indexes[table].ordered[ordered_slot],
-                        new_idx,
-                    );
+                    let old =
+                        std::mem::replace(&mut self.indexes[table].ordered[ordered_slot], new_idx);
                     old.destroy()?;
                     ordered_slot += 1;
                 }
@@ -356,6 +536,30 @@ pub struct NvPublisher {
 
 impl txn::CommitPublish for NvPublisher {
     fn publish(&mut self, cts: u64, _txn: &txn::Transaction) -> txn::Result<()> {
+        let r = self.heap.region();
+        r.write_pod(self.catalog + CAT_LAST_CTS, &cts)
+            .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
+        r.persist(self.catalog + CAT_LAST_CTS, 8)
+            .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Commit publish used by [`NvBackend::commit_txn`]: shadow-log sync first
+/// (when configured), then the one-persist NVM publish. The order is the
+/// rung-2 invariant — a commit the NVM image claims must be in the log.
+struct ShadowedNvPublisher<'a> {
+    heap: NvmHeap,
+    catalog: u64,
+    shadow: Option<&'a mut ShadowWal>,
+}
+
+impl txn::CommitPublish for ShadowedNvPublisher<'_> {
+    fn publish(&mut self, cts: u64, txn: &txn::Transaction) -> txn::Result<()> {
+        if let Some(sw) = self.shadow.as_deref_mut() {
+            sw.log_commit_synced(txn.tid, cts)
+                .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
+        }
         let r = self.heap.region();
         r.write_pod(self.catalog + CAT_LAST_CTS, &cts)
             .map_err(|e| txn::TxnError::Publish(e.to_string()))?;

@@ -30,7 +30,9 @@ impl VolatileBackend {
     /// Create a table.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<usize> {
         if self.names.iter().any(|n| n == name) {
-            return Err(EngineError::Catalog(format!("duplicate table name {name:?}")));
+            return Err(EngineError::Catalog(format!(
+                "duplicate table name {name:?}"
+            )));
         }
         self.tables.push(VTable::new(schema));
         self.names.push(name.to_owned());

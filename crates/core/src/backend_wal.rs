@@ -68,7 +68,9 @@ impl WalBackend {
     /// checkpoint (the baseline's DDL persistence).
     pub fn create_table(&mut self, name: &str, schema: Schema, last_cts: u64) -> Result<usize> {
         if self.names.iter().any(|n| n == name) {
-            return Err(EngineError::Catalog(format!("duplicate table name {name:?}")));
+            return Err(EngineError::Catalog(format!(
+                "duplicate table name {name:?}"
+            )));
         }
         self.tables.push(VTable::new(schema));
         self.names.push(name.to_owned());
@@ -85,12 +87,8 @@ impl WalBackend {
         // Everything buffered must be on disk before the checkpoint can
         // claim to cover it.
         self.writer.sync()?;
-        let named: Vec<(String, &VTable)> = self
-            .names
-            .iter()
-            .cloned()
-            .zip(self.tables.iter())
-            .collect();
+        let named: Vec<(String, &VTable)> =
+            self.names.iter().cloned().zip(self.tables.iter()).collect();
         let bytes = wal::write_checkpoint(
             &self.paths.checkpoint(),
             &named,
@@ -141,11 +139,7 @@ impl WalBackend {
 
     /// Merge a table: logged (so replay reproduces row ids), then executed,
     /// then DRAM indexes rebuilt.
-    pub fn merge_table(
-        &mut self,
-        table: usize,
-        snapshot: u64,
-    ) -> Result<storage::MergeStats> {
+    pub fn merge_table(&mut self, table: usize, snapshot: u64) -> Result<storage::MergeStats> {
         self.writer.append(&LogRecord::Merge {
             table: table as u32,
             cts: snapshot,

@@ -36,10 +36,7 @@ impl WalConfig {
         static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         WalConfig {
-            dir: std::env::temp_dir().join(format!(
-                "hyrise-nv-wal-{}-{n}",
-                std::process::id()
-            )),
+            dir: std::env::temp_dir().join(format!("hyrise-nv-wal-{}-{n}", std::process::id())),
             sync_latency_ns: 10_000,
             sync_every_n_commits: 1,
         }
@@ -55,6 +52,22 @@ pub enum DurabilityConfig {
         capacity: u64,
         /// Latency model charged by persistence primitives.
         latency: LatencyModel,
+    },
+    /// Hyrise-NV plus a shadow write-ahead log: primary data on simulated
+    /// NVM exactly as [`DurabilityConfig::Nvm`], with every transaction also
+    /// logged to a file-backed WAL that is synced *before* the NVM commit
+    /// publish. The shadow log is never read on the fast restart path; it
+    /// exists solely as recovery rung 2 — when a table's NVM image fails
+    /// media verification, the engine rebuilds that table by bounded log
+    /// replay instead of losing it.
+    NvmWithWal {
+        /// NVM region capacity in bytes.
+        capacity: u64,
+        /// Latency model charged by persistence primitives.
+        latency: LatencyModel,
+        /// Shadow-log location and sync cost (charged to the same simulated
+        /// clock as the NVM primitives).
+        wal: WalConfig,
     },
     /// Log-based baseline: DRAM tables + WAL + checkpoints.
     Wal(WalConfig),
@@ -81,10 +94,20 @@ impl DurabilityConfig {
         DurabilityConfig::Wal(WalConfig::temp())
     }
 
+    /// NVM region plus a shadow WAL in a fresh temp directory.
+    pub fn nvm_with_wal(capacity: u64, latency: LatencyModel) -> DurabilityConfig {
+        DurabilityConfig::NvmWithWal {
+            capacity,
+            latency,
+            wal: WalConfig::temp(),
+        }
+    }
+
     /// Short name used in reports.
     pub fn mode_name(&self) -> &'static str {
         match self {
             DurabilityConfig::Nvm { .. } => "nvm",
+            DurabilityConfig::NvmWithWal { .. } => "nvm+wal",
             DurabilityConfig::Wal(_) => "wal",
             DurabilityConfig::Volatile => "volatile",
         }

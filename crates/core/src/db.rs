@@ -1,17 +1,20 @@
 //! The `Database` façade.
 
-use nvm::CrashPolicy;
+use index::{NvHashIndex, NvOrderedIndex};
+use nvm::{CrashPolicy, NvmHeap};
 use storage::mvcc;
+use storage::nv::MediaExtent;
 use storage::{RowId, ScanResult, Schema, TableStore, Value};
 use txn::{Transaction, TxnManager};
 use wal::LogWriter;
 
-use crate::backend_nv::NvBackend;
+use crate::backend_nv::{NvBackend, NvTableIndexes, KIND_HASH, KIND_ORDERED};
 use crate::backend_vol::VolatileBackend;
 use crate::backend_wal::WalBackend;
-use crate::config::{DurabilityConfig, IndexKind};
+use crate::config::{DurabilityConfig, IndexKind, WalConfig};
 use crate::error::{EngineError, Result};
 use crate::report::{timed_phase, IntegrityReport, RecoveryReport};
+use crate::shadow_wal::ShadowWal;
 
 /// Handle to a table in the catalogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,6 +43,17 @@ impl Database {
         let backend = match &config {
             DurabilityConfig::Nvm { capacity, latency } => {
                 Backend::Nv(NvBackend::create(*capacity, *latency)?)
+            }
+            DurabilityConfig::NvmWithWal {
+                capacity,
+                latency,
+                wal,
+            } => {
+                let mut b = NvBackend::create(*capacity, *latency)?;
+                let mut sw = ShadowWal::create(wal.clone(), b.region().clone())?;
+                sw.checkpoint_full(&b.names, &b.tables, 0)?;
+                b.shadow = Some(sw);
+                Backend::Nv(b)
             }
             DurabilityConfig::Wal(cfg) => Backend::Wal(WalBackend::create(cfg.clone())?),
             DurabilityConfig::Volatile => Backend::Volatile(VolatileBackend::create()),
@@ -73,11 +87,14 @@ impl Database {
         }
     }
 
-    /// WAL activity counters (zeroes for other backends).
+    /// WAL activity counters: the baseline's log on the WAL backend, the
+    /// shadow log on the NVM backend when one is configured, zeroes
+    /// otherwise.
     pub fn wal_stats(&self) -> wal::WalStats {
         match &self.backend {
             Backend::Wal(b) => b.wal_stats(),
-            _ => wal::WalStats::default(),
+            Backend::Nv(b) => b.shadow.as_ref().map(|sw| sw.stats()).unwrap_or_default(),
+            Backend::Volatile(_) => wal::WalStats::default(),
         }
     }
 
@@ -197,6 +214,9 @@ impl Database {
                 let got = b.tables[t].insert_version(values, marker)?;
                 debug_assert_eq!(got, row);
                 b.index_insert(t, values, got)?;
+                if let Some(sw) = &mut b.shadow {
+                    sw.log_insert(tx.tid, t, got, values)?;
+                }
                 got
             }
             Backend::Wal(b) => {
@@ -225,6 +245,9 @@ impl Database {
             Backend::Nv(b) => {
                 b.registry.record_invalidate(tx.tid, t, row)?;
                 b.tables[t].try_invalidate(row, marker)?;
+                if let Some(sw) = &mut b.shadow {
+                    sw.log_invalidate(tx.tid, t, row)?;
+                }
             }
             Backend::Wal(b) => {
                 b.tables[t].try_invalidate(row, marker)?;
@@ -253,19 +276,7 @@ impl Database {
     /// publish it, advance the committed state.
     pub fn commit(&mut self, tx: &mut Transaction) -> Result<u64> {
         match &mut self.backend {
-            Backend::Nv(b) => {
-                let mut publisher = b.publisher();
-                let cts = {
-                    let mut refs: Vec<&mut dyn TableStore> = b
-                        .tables
-                        .iter_mut()
-                        .map(|t| t as &mut dyn TableStore)
-                        .collect();
-                    self.mgr.commit(tx, &mut refs, &mut publisher)?
-                };
-                b.registry.release(tx.tid)?;
-                Ok(cts)
-            }
+            Backend::Nv(b) => b.commit_txn(&mut self.mgr, tx),
             Backend::Wal(b) => {
                 let WalBackend {
                     tables,
@@ -309,6 +320,9 @@ impl Database {
                     self.mgr.abort(tx, &mut refs)?;
                 }
                 b.registry.release(tx.tid)?;
+                if let Some(sw) = &mut b.shadow {
+                    sw.log_abort(tx.tid)?;
+                }
             }
             Backend::Wal(b) => {
                 {
@@ -401,8 +415,7 @@ impl Database {
             Backend::Nv(b) => {
                 if let Some(idx) = b.indexes[t].hash.iter().find(|i| i.column() == column) {
                     Some(idx.lookup(value)?)
-                } else if let Some(idx) =
-                    b.indexes[t].ordered.iter().find(|i| i.column() == column)
+                } else if let Some(idx) = b.indexes[t].ordered.iter().find(|i| i.column() == column)
                 {
                     Some(idx.lookup(value)?)
                 } else {
@@ -466,11 +479,7 @@ impl Database {
         self.check_table(table)?;
         let t = table.0;
         let candidates: Option<Vec<RowId>> = match &self.backend {
-            Backend::Nv(b) => match b.indexes[t]
-                .ordered
-                .iter()
-                .find(|i| i.column() == column)
-            {
+            Backend::Nv(b) => match b.indexes[t].ordered.iter().find(|i| i.column() == column) {
                 Some(idx) => Some(idx.lookup_range(lo, hi)?),
                 None => None,
             },
@@ -552,6 +561,10 @@ impl Database {
         };
         match &mut self.backend {
             Backend::Nv(b) => {
+                // Drop the shadow writer first: its buffered records reach
+                // the log file on drop, and the file — unlike NVM cache
+                // lines — survives the simulated power loss.
+                b.shadow = None;
                 let region = b.region().clone();
                 region.crash(policy);
                 self.recover_nv(region, &mut report)?;
@@ -577,9 +590,12 @@ impl Database {
                     }
                 })?;
                 let (mut tables, names, mut last_cts, covered) = match ckpt {
-                    Some((meta, tables)) => {
-                        (tables, meta.table_names, meta.last_cts, meta.covered_log_pos)
-                    }
+                    Some((meta, tables)) => (
+                        tables,
+                        meta.table_names,
+                        meta.last_cts,
+                        meta.covered_log_pos,
+                    ),
                     None => (Vec::new(), Vec::new(), 0, 0),
                 };
 
@@ -621,9 +637,11 @@ impl Database {
                     Ok::<(), EngineError>(())
                 })?;
                 // create_index re-populated index_specs.
-                report.indexes_rebuilt =
-                    (nb.indexes.iter().map(|s| s.hash.len() + s.ordered.len()).sum::<usize>())
-                        as u64;
+                report.indexes_rebuilt = (nb
+                    .indexes
+                    .iter()
+                    .map(|s| s.hash.len() + s.ordered.len())
+                    .sum::<usize>()) as u64;
                 report.last_cts = last_cts;
                 report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
 
@@ -632,9 +650,12 @@ impl Database {
             }
             Backend::Volatile(_) => {
                 // Everything is lost; the report records the data loss.
-                timed_phase(&mut report.phases, "data loss", || 0, || {
-                    Ok::<(), EngineError>(())
-                })?;
+                timed_phase(
+                    &mut report.phases,
+                    "data loss",
+                    || 0,
+                    || Ok::<(), EngineError>(()),
+                )?;
                 self.mgr = TxnManager::new();
                 self.backend = Backend::Volatile(VolatileBackend::create());
             }
@@ -645,35 +666,57 @@ impl Database {
     /// The shared NVM recovery path: map the region, re-attach the
     /// catalogue, run the registry undo pass. The crash itself (policy or
     /// scheduled) must already have been materialized on `region`.
+    ///
+    /// On the plain NVM backend this is the fast rung-0 restart: remap and
+    /// re-attach in O(metadata), no data is touched, any failure is fatal.
+    /// When a shadow WAL is configured ([`DurabilityConfig::NvmWithWal`]),
+    /// the full recovery ladder runs instead (see [`attach_with_ladder`]).
     fn recover_nv(
         &mut self,
         region: std::sync::Arc<nvm::NvmRegion>,
         report: &mut RecoveryReport,
     ) -> Result<()> {
         let clock = || region.clock().now_ns();
+        let shadow_cfg = match &self.config {
+            DurabilityConfig::NvmWithWal { wal, .. } => Some(wal.clone()),
+            _ => None,
+        };
+        let mut retries = 0u64;
 
         // Phase 1: map the region + allocator recovery scan.
-        let (heap, alloc_report) =
-            timed_phase(&mut report.phases, "heap map + allocator scan", clock, || {
-                nvm::NvmHeap::open(region.clone()).map_err(EngineError::Nvm)
-            })?;
+        let (heap, alloc_report) = timed_phase(
+            &mut report.phases,
+            "heap map + allocator scan",
+            clock,
+            || {
+                retry_poisoned(&mut retries, || {
+                    nvm::NvmHeap::open(region.clone()).map_err(EngineError::Nvm)
+                })
+            },
+        )?;
         report.heap_blocks_scanned = alloc_report.blocks_scanned;
 
-        // Phase 2: catalogue + tables (transient probe rebuild) + index
-        // attach/rebuild.
-        let mut nb = timed_phase(
-            &mut report.phases,
-            "catalogue + transient rebuild",
-            clock,
-            || NvBackend::attach(heap),
-        )?;
-        let (attached, rebuilt) = nb.index_counts();
-        report.indexes_attached = attached;
-        report.indexes_rebuilt = rebuilt;
+        // Phase 2: catalogue + tables + indexes — fast path or ladder.
+        let mut nb = match &shadow_cfg {
+            None => {
+                let nb = timed_phase(
+                    &mut report.phases,
+                    "catalogue + transient rebuild",
+                    clock,
+                    || NvBackend::attach(heap),
+                )?;
+                let (attached, rebuilt) = nb.index_counts();
+                report.indexes_attached = attached;
+                report.indexes_rebuilt = rebuilt;
+                nb
+            }
+            Some(cfg) => attach_with_ladder(heap, cfg, report, &mut retries, clock)?,
+        };
 
         // Phase 3: registry-driven undo pass — repairs exactly the rows of
         // transactions in flight at the crash, O(in-flight writes), never
-        // O(rows).
+        // O(rows). Idempotent over rung-2 rebuilt tables: replay already
+        // materialized their uncommitted rows as aborted tombstones.
         let last_cts = nb.last_cts()?;
         let repaired = timed_phase(&mut report.phases, "mvcc undo pass", clock, || {
             let NvBackend {
@@ -685,6 +728,23 @@ impl Database {
         report.mvcc_words_repaired = repaired;
         report.last_cts = last_cts;
         report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
+        report.poison_retries = retries;
+        if retries > 0 {
+            report.rung = report.rung.max(1);
+        }
+
+        // Re-attach the shadow log and re-baseline its checkpoint from the
+        // recovered state. The re-baseline is what keeps *future* rung-2
+        // replays row-id-aligned: the old log can hold insert records for
+        // rows that never became durable on NVM, and new row ids handed out
+        // after this restart would collide with that stale suffix.
+        if let Some(cfg) = shadow_cfg {
+            let mut sw = ShadowWal::reopen(cfg, region.clone())?;
+            timed_phase(&mut report.phases, "shadow re-baseline", clock, || {
+                sw.checkpoint_full(&nb.names, &nb.tables, last_cts)
+            })?;
+            nb.shadow = Some(sw);
+        }
 
         self.mgr = TxnManager::recovered(last_cts);
         self.backend = Backend::Nv(nb);
@@ -699,15 +759,23 @@ impl Database {
     /// `lint_findings`. The trace is closed afterwards, restoring the
     /// default synchronous persistence semantics.
     pub fn restart_scheduled(&mut self) -> Result<RecoveryReport> {
-        let region = match &self.backend {
-            Backend::Nv(b) => b.region().clone(),
+        let region = match &mut self.backend {
+            Backend::Nv(b) => {
+                let region = b.region().clone();
+                // Flush the shadow writer's buffer into the log file before
+                // materializing the crash (the file survives power loss).
+                b.shadow = None;
+                region
+            }
             _ => {
                 return Err(EngineError::Catalog(
                     "scheduled crashes require the NVM backend".into(),
                 ))
             }
         };
-        let outcome = region.finalize_scheduled_crash().map_err(EngineError::Nvm)?;
+        let outcome = region
+            .finalize_scheduled_crash()
+            .map_err(EngineError::Nvm)?;
         let mut report = RecoveryReport {
             mode: self.mode(),
             scheduled: Some(outcome),
@@ -770,6 +838,304 @@ impl Database {
         }
         Ok(rep)
     }
+
+    // ------------------------------------------------------------------
+    // Media-fault instrumentation
+    // ------------------------------------------------------------------
+
+    /// The labelled persistent extents of a table — fault-injection targets
+    /// for the media-torture harness (NVM backend only).
+    pub fn media_extents(&self, table: TableId) -> Result<Vec<MediaExtent>> {
+        self.check_table(table)?;
+        match &self.backend {
+            Backend::Nv(b) => b.tables[table.0]
+                .media_extents()
+                .map_err(EngineError::Storage),
+            _ => Err(EngineError::Unsupported(
+                "media extents require the NVM backend",
+            )),
+        }
+    }
+
+    /// On-demand media verification of every persistent structure: table
+    /// checksums plus MVCC timestamp plausibility, then index↔table
+    /// agreement. Returns the number of structures verified; any media
+    /// fault surfaces as a typed error (NVM backend only).
+    pub fn verify_media(&self) -> Result<u64> {
+        let b = match &self.backend {
+            Backend::Nv(b) => b,
+            _ => {
+                return Err(EngineError::Unsupported(
+                    "media verification requires the NVM backend",
+                ))
+            }
+        };
+        let last_cts = b.last_cts()?;
+        let mut n = 0u64;
+        for t in &b.tables {
+            n += t.verify_media(last_cts).map_err(EngineError::Storage)?;
+        }
+        for (t, set) in b.tables.iter().zip(&b.indexes) {
+            for idx in &set.hash {
+                let check = idx.verify_against(t).map_err(EngineError::Storage)?;
+                if !check.is_clean() {
+                    return Err(EngineError::Catalog(
+                        "hash index disagrees with its table".into(),
+                    ));
+                }
+                n += 1;
+            }
+            for idx in &set.ordered {
+                let check = idx.verify_against(t).map_err(EngineError::Storage)?;
+                if !check.is_clean() {
+                    return Err(EngineError::Catalog(
+                        "ordered index disagrees with its table".into(),
+                    ));
+                }
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// Recovery rungs 0–2 for the NVM-with-shadow backend: catalogue decode
+/// with per-table failure isolation, bounded retry of transiently poisoned
+/// reads (rung 1), media verification of every checksummed structure, WAL
+/// fallback replay for tables whose NVM image cannot be trusted (rung 2),
+/// and per-index verify-or-rebuild (rung 1).
+fn attach_with_ladder(
+    heap: NvmHeap,
+    wal_cfg: &WalConfig,
+    report: &mut RecoveryReport,
+    retries: &mut u64,
+    clock: impl Fn() -> u64 + Copy,
+) -> Result<NvBackend> {
+    use storage::nv::NvTable;
+
+    // Catalogue decode. Catalogue-level damage stays fatal: without the
+    // table registry nothing can be salvaged, not even from the log.
+    let mut parts = timed_phase(
+        &mut report.phases,
+        "catalogue + transient rebuild",
+        clock,
+        || retry_poisoned(retries, || NvBackend::attach_parts(heap.clone())),
+    )?;
+    let last_cts = parts.last_cts;
+
+    // Rung 1: transiently poisoned table opens get a bounded retry.
+    for t in 0..parts.tables.len() {
+        if matches!(&parts.tables[t], Err(e) if is_transient_poison(e)) {
+            let root = parts.roots[t];
+            let heap = &parts.heap;
+            let retried = retry_poisoned(retries, || {
+                NvTable::open(heap, root).map_err(EngineError::Storage)
+            });
+            parts.tables[t] = retried;
+        }
+    }
+
+    // Rung-0 detection: media-verify every table — block headers and
+    // checksummed payloads plus MVCC timestamp plausibility. A table whose
+    // image cannot be trusted goes on the rebuild list.
+    let mut unhealthy: Vec<usize> = Vec::new();
+    let mut verified = 0u64;
+    timed_phase(&mut report.phases, "media verification", clock, || {
+        for t in 0..parts.tables.len() {
+            match &parts.tables[t] {
+                Err(_) => unhealthy.push(t),
+                Ok(tab) => match retry_poisoned(retries, || {
+                    tab.verify_media(last_cts).map_err(EngineError::Storage)
+                }) {
+                    Ok(n) => verified += n,
+                    Err(_) => unhealthy.push(t),
+                },
+            }
+        }
+        Ok::<(), EngineError>(())
+    })?;
+    report.media_structures_verified = verified;
+
+    // Rung 2: rebuild broken tables from the shadow log, bounded at the
+    // published commit timestamp (the `log ⊇ published state` invariant).
+    // The old trees stay allocated but unreachable — quarantined, since
+    // their block metadata cannot be trusted after a media fault.
+    if !unhealthy.is_empty() {
+        let mut replayed = 0u64;
+        timed_phase(&mut report.phases, "wal fallback replay", clock, || {
+            let paths = wal::WalPaths::new(&wal_cfg.dir).map_err(wal::WalError::Io)?;
+            let (meta, mut skel) = wal::load_checkpoint(&paths.checkpoint())?;
+            let rep =
+                wal::replay_log_bounded(&paths.log(), meta.covered_log_pos, &mut skel, last_cts)?;
+            replayed = rep.records;
+            for &t in &unhealthy {
+                if t >= skel.len() {
+                    return Err(EngineError::Catalog(
+                        "shadow checkpoint is missing a table the catalogue lists".into(),
+                    ));
+                }
+                let nt = NvBackend::rebuild_table_from(&parts.heap, &skel[t])?;
+                parts.swap_table_root(t, nt.root_offset())?;
+                parts.tables[t] = Ok(nt);
+            }
+            Ok(())
+        })?;
+        report.rung = 2;
+        report.log_records_replayed = replayed;
+        report.structures_rebuilt += unhealthy.len() as u64;
+        report.blocks_quarantined += unhealthy.len() as u64;
+    }
+
+    // Index verify-or-rebuild. Indexes of rebuilt tables are rebuilt
+    // unconditionally — their old entries point into the quarantined tree.
+    // Healthy tables keep their indexes unless attach or verification
+    // against the table fails.
+    let mut indexes: Vec<NvTableIndexes> = Vec::new();
+    let mut attached = 0u64;
+    let mut rebuilt = 0u64;
+    timed_phase(&mut report.phases, "index verify + attach", clock, || {
+        for t in 0..parts.tables.len() {
+            let table = match &parts.tables[t] {
+                Ok(tab) => tab,
+                Err(_) => {
+                    return Err(EngineError::Catalog(
+                        "table slot left unhealthy after ladder".into(),
+                    ))
+                }
+            };
+            let force = unhealthy.contains(&t);
+            let mut set = NvTableIndexes {
+                hash: Vec::new(),
+                ordered: Vec::new(),
+            };
+            for e in parts.index_entries(t)? {
+                match e.kind {
+                    KIND_HASH => {
+                        let ok = if force {
+                            None
+                        } else {
+                            attach_hash(&parts, table, &e, retries)
+                        };
+                        match ok {
+                            Some(idx) => {
+                                attached += 1;
+                                set.hash.push(idx);
+                            }
+                            None => {
+                                let nbuckets = (table.row_count() * 2).max(1024);
+                                let idx = NvHashIndex::build_from(
+                                    &parts.heap,
+                                    table,
+                                    e.column,
+                                    nbuckets,
+                                )?;
+                                parts.swap_index_desc(&e, idx.desc_offset())?;
+                                rebuilt += 1;
+                                set.hash.push(idx);
+                            }
+                        }
+                    }
+                    KIND_ORDERED => {
+                        let ok = if force {
+                            None
+                        } else {
+                            attach_ordered(&parts, table, &e, retries)
+                        };
+                        match ok {
+                            Some(idx) => {
+                                attached += 1;
+                                set.ordered.push(idx);
+                            }
+                            None => {
+                                let idx = NvOrderedIndex::build_from(&parts.heap, table, e.column)?;
+                                parts.swap_index_desc(&e, idx.desc_offset())?;
+                                rebuilt += 1;
+                                set.ordered.push(idx);
+                            }
+                        }
+                    }
+                    _ => return Err(EngineError::Catalog("unknown index kind".into())),
+                }
+            }
+            indexes.push(set);
+        }
+        Ok(())
+    })?;
+    if rebuilt > 0 {
+        report.rung = report.rung.max(1);
+        report.structures_rebuilt += rebuilt;
+        report.blocks_quarantined += rebuilt;
+    }
+    report.indexes_attached = attached;
+    report.indexes_rebuilt = rebuilt;
+
+    parts.into_backend(indexes)
+}
+
+/// Attach + verify one persistent hash index; `None` means "rebuild it".
+fn attach_hash(
+    parts: &crate::backend_nv::AttachParts,
+    table: &storage::nv::NvTable,
+    e: &crate::backend_nv::IndexEntrySpec,
+    retries: &mut u64,
+) -> Option<NvHashIndex> {
+    retry_poisoned(retries, || {
+        let idx = NvHashIndex::open(&parts.heap, e.desc).map_err(EngineError::Storage)?;
+        let check = idx.verify_against(table).map_err(EngineError::Storage)?;
+        Ok((idx, check))
+    })
+    .ok()
+    .and_then(|(idx, check)| check.is_clean().then_some(idx))
+}
+
+/// Attach + verify one persistent ordered index; `None` means "rebuild it".
+fn attach_ordered(
+    parts: &crate::backend_nv::AttachParts,
+    table: &storage::nv::NvTable,
+    e: &crate::backend_nv::IndexEntrySpec,
+    retries: &mut u64,
+) -> Option<NvOrderedIndex> {
+    retry_poisoned(retries, || {
+        let idx = NvOrderedIndex::open(&parts.heap, e.desc).map_err(EngineError::Storage)?;
+        let check = idx.verify_against(table).map_err(EngineError::Storage)?;
+        Ok((idx, check))
+    })
+    .ok()
+    .and_then(|(idx, check)| check.is_clean().then_some(idx))
+}
+
+/// Bounded retry for transiently poisoned NVM reads (recovery rung 1): the
+/// fault model clears a transient poison after a bounded number of failing
+/// reads, so a handful of retries repairs it in place. Permanent poison,
+/// checksum mismatches, and every other error pass straight through.
+fn retry_poisoned<T>(retries: &mut u64, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    const MAX_RETRIES: u64 = 8;
+    let mut attempt = 0;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient_poison(&e) && attempt < MAX_RETRIES => {
+                attempt += 1;
+                *retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// True when the error is a transiently poisoned read that a bounded retry
+/// can clear.
+fn is_transient_poison(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::Nvm(nvm::NvmError::PoisonedRead {
+            permanent: false,
+            ..
+        }) | EngineError::Storage(storage::StorageError::Nvm(nvm::NvmError::PoisonedRead {
+            permanent: false,
+            ..
+        }))
+    )
 }
 
 /// Durable commit publish for the WAL backend: append a commit record; sync

@@ -49,6 +49,7 @@ mod db;
 mod error;
 mod query;
 mod report;
+mod shadow_wal;
 mod txn_registry;
 
 pub use backend_nv::NvBackend;

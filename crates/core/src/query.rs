@@ -229,8 +229,12 @@ mod tests {
         let (mut db, t) = db_with_data();
         // Uncommitted insert must not count for other transactions.
         let mut writer = db.begin();
-        db.insert(&mut writer, t, &["east".into(), Value::Int(999), Value::Double(0.0)])
-            .unwrap();
+        db.insert(
+            &mut writer,
+            t,
+            &["east".into(), Value::Int(999), Value::Double(0.0)],
+        )
+        .unwrap();
         let reader = db.begin();
         let sum = db.aggregate(&reader, t, 1, Agg::Sum, None).unwrap();
         assert_eq!(sum[0].value, Some(Value::Int(105)));

@@ -39,6 +39,21 @@ pub struct RecoveryReport {
     pub indexes_attached: u64,
     /// Last durable commit timestamp restored.
     pub last_cts: u64,
+    /// Highest recovery-ladder rung climbed: 0 = plain remap, 1 = retries
+    /// and/or index rebuilds repaired everything, 2 = at least one table
+    /// came back through shadow-WAL replay.
+    pub rung: u8,
+    /// Bounded retries spent re-reading transiently poisoned lines.
+    pub poison_retries: u64,
+    /// Corrupt NVM structures left allocated but unreachable (old table
+    /// trees and index structures replaced by rebuilds).
+    pub blocks_quarantined: u64,
+    /// Structures rebuilt by the ladder (tables via WAL replay, indexes via
+    /// `build_from`).
+    pub structures_rebuilt: u64,
+    /// Persistent structures that passed media verification (checksummed
+    /// extents plus timestamp-plausibility checks).
+    pub media_structures_verified: u64,
     /// The scheduled-crash outcome, when the restart came through
     /// [`crate::Database::restart_scheduled`] (None for policy crashes).
     pub scheduled: Option<CrashOutcome>,
@@ -65,12 +80,20 @@ impl RecoveryReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "restart [{}]: {:?} wall, {} rows, last_cts={}",
+            "restart [{}]: {:?} wall, {} rows, last_cts={}, rung {}",
             self.mode,
             self.total_wall(),
             self.rows_recovered,
-            self.last_cts
+            self.last_cts,
+            self.rung
         );
+        if self.poison_retries + self.blocks_quarantined + self.structures_rebuilt > 0 {
+            let _ = writeln!(
+                s,
+                "  ladder: {} poison retries, {} structures rebuilt, {} blocks quarantined",
+                self.poison_retries, self.structures_rebuilt, self.blocks_quarantined
+            );
+        }
         for p in &self.phases {
             let _ = writeln!(
                 s,

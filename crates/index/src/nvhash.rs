@@ -6,7 +6,7 @@
 //! Desc block (40 B): nbuckets | buckets_ptr | column | pool_head | pool_used
 //! Buckets: array of u64 — head entry offset per bucket (0 = empty)
 //! Pool block: next_pool u64, then POOL_ENTRIES × entry
-//! Entry (24 B): next u64 | key_hash u64 | row u64
+//! Entry (32 B): next u64 | key_hash u64 | row u64 | checksum u64
 //! ```
 //!
 //! Entries are sub-allocated from **pool blocks** of [`POOL_ENTRIES`]
@@ -43,7 +43,15 @@ const D_POOL_USED: u64 = 32;
 const E_NEXT: u64 = 0;
 const E_HASH: u64 = 8;
 const E_ROW: u64 = 16;
-const ENTRY_SIZE: u64 = 24;
+/// FNV-1a checksum over the three preceding words. Every word of an entry —
+/// including `next`, since chains only ever grow at the bucket head — is
+/// write-once before the bucket publish, so the seal never goes stale.
+const E_SUM: u64 = 24;
+const ENTRY_SIZE: u64 = 32;
+
+fn entry_sum(next: u64, hash: u64, row: u64) -> u64 {
+    util::hash::fnv1a_words(&[next, hash, row])
+}
 /// Pool block: one next-pointer word, then the entries.
 const POOL_HDR: u64 = 8;
 const POOL_BYTES: u64 = POOL_HDR + POOL_ENTRIES * ENTRY_SIZE;
@@ -151,6 +159,7 @@ impl NvHashIndex {
         region.write_pod(entry + E_NEXT, &old_head)?;
         region.write_pod(entry + E_HASH, &hash)?;
         region.write_pod(entry + E_ROW, &row)?;
+        region.write_pod(entry + E_SUM, &entry_sum(old_head, hash, row))?;
         region.persist(entry, ENTRY_SIZE)?;
         // Publish: line-atomic 8-byte store of the bucket head.
         region.write_pod(slot, &entry)?;
@@ -248,6 +257,17 @@ impl NvHashIndex {
                 check.entries += 1;
                 let h: u64 = region.read_pod(cur + E_HASH)?;
                 let row: u64 = region.read_pod(cur + E_ROW)?;
+                let next: u64 = region.read_pod(cur + E_NEXT)?;
+                let stored: u64 = region.read_pod(cur + E_SUM)?;
+                let computed = entry_sum(next, h, row);
+                if stored != computed {
+                    return Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch {
+                        what: "hash index entry",
+                        offset: cur,
+                        stored,
+                        computed,
+                    }));
+                }
                 if row >= nrows {
                     check.dangling += 1;
                 } else if key_hash(&table.value(row, self.column)?) != h {
@@ -343,7 +363,9 @@ mod tests {
         idx.insert(&Value::Int(1), 10).unwrap();
         // Claim a slot and write the entry, but never publish the bucket.
         let e = idx.alloc_entry().unwrap();
-        h.region().write_pod(e + E_HASH, &key_hash(&Value::Int(1))).unwrap();
+        h.region()
+            .write_pod(e + E_HASH, &key_hash(&Value::Int(1)))
+            .unwrap();
         h.region().persist(e, ENTRY_SIZE).unwrap();
         h.region().crash(CrashPolicy::DropUnflushed);
         let (h2, _) = NvmHeap::open(h.region().clone()).unwrap();
@@ -405,5 +427,36 @@ mod tests {
         }
         let idx = NvHashIndex::build_from(&h, &t, 0, 64).unwrap();
         assert_eq!(idx.lookup(&Value::Int(3)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn entry_checksum_detects_scribbled_row() {
+        use storage::{ColumnDef, DataType, Schema, TableStore, VTable};
+        let h = heap();
+        let mut t = VTable::new(Schema::new(vec![ColumnDef::new("k", DataType::Int)]));
+        for i in 0..20i64 {
+            t.insert_version(&[Value::Int(i)], 1).unwrap();
+        }
+        let idx = NvHashIndex::build_from(&h, &t, 0, 64).unwrap();
+        let clean = idx.verify_against(&t).unwrap();
+        assert_eq!(clean.dangling + clean.stale_keys + clean.missing_rows, 0);
+        // Corrupt a published entry's row word without resealing.
+        let region = h.region();
+        let entry = (0..idx.nbuckets)
+            .find_map(|b| {
+                let head: u64 = region.read_pod(idx.buckets + b * 8).unwrap();
+                (head != 0).then_some(head)
+            })
+            .expect("nonempty bucket");
+        let row: u64 = region.read_pod(entry + E_ROW).unwrap();
+        region.write_pod(entry + E_ROW, &(row ^ 1)).unwrap();
+        region.persist(entry + E_ROW, 8).unwrap();
+        match idx.verify_against(&t) {
+            Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch { what, offset, .. })) => {
+                assert_eq!(what, "hash index entry");
+                assert_eq!(offset, entry);
+            }
+            other => panic!("expected entry checksum mismatch, got {other:?}"),
+        }
     }
 }

@@ -6,8 +6,8 @@
 //! ```text
 //! Desc block: head[MAX_HEIGHT] | column | count | pool_head | pool_used
 //!             | key blob PVec<u8> header
-//! Node (fixed 88 B, pooled): key u64 | row u64 | height u64
-//!                            | next[MAX_HEIGHT] u64
+//! Node (fixed 96 B, pooled): key u64 | row u64 | height u64
+//!                            | next[MAX_HEIGHT] u64 | checksum u64
 //! ```
 //!
 //! Keys are stored order-preservingly: `Int` via sign-flip encoding,
@@ -41,7 +41,16 @@ const NODE_KEY: u64 = 0;
 const NODE_ROW: u64 = 8;
 const NODE_HEIGHT: u64 = 16;
 const NODE_NEXT: u64 = 24;
-const NODE_SIZE: u64 = NODE_NEXT + MAX_HEIGHT * 8;
+/// FNV-1a checksum over the node's *immutable* words (key, row, height).
+/// The `next` tower is excluded: later inserts rewrite those slots in place,
+/// and resealing on every neighbour splice would break the single-store
+/// publish protocol.
+const NODE_SUM: u64 = NODE_NEXT + MAX_HEIGHT * 8;
+const NODE_SIZE: u64 = NODE_SUM + 8;
+
+fn node_sum(key: u64, row: u64, height: u64) -> u64 {
+    util::hash::fnv1a_words(&[key, row, height])
+}
 
 const D_HEAD: u64 = 0; // MAX_HEIGHT words
 const D_COLUMN: u64 = D_HEAD + MAX_HEIGHT * 8;
@@ -63,7 +72,11 @@ fn encode_fixed(v: &Value) -> Option<u64> {
             let bits = d.to_bits();
             // Standard monotone transform: flip all bits for negatives,
             // flip the sign bit for positives.
-            Some(if bits >> 63 == 1 { !bits } else { bits ^ (1 << 63) })
+            Some(if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            })
         }
         Value::Text(_) => None,
     }
@@ -185,7 +198,9 @@ impl NvOrderedIndex {
 
     /// Deterministic pseudo-random tower height from the entry count.
     fn height_for(&self, count: u64) -> u64 {
-        let mut x = count.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA24B_1741);
+        let mut x = count
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xA24B_1741);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 33;
@@ -260,6 +275,7 @@ impl NvOrderedIndex {
         region.write_pod(node + NODE_KEY, &key)?;
         region.write_pod(node + NODE_ROW, &row)?;
         region.write_pod(node + NODE_HEIGHT, &height)?;
+        region.write_pod(node + NODE_SUM, &node_sum(key, row, height))?;
         for l in 0..MAX_HEIGHT {
             let succ: u64 = if l < height {
                 region.read_pod(self.next_slot(preds[l as usize], l))?
@@ -368,6 +384,17 @@ impl NvOrderedIndex {
             check.entries += 1;
             let key: u64 = region.read_pod(cur + NODE_KEY)?;
             let row: u64 = region.read_pod(cur + NODE_ROW)?;
+            let height: u64 = region.read_pod(cur + NODE_HEIGHT)?;
+            let stored: u64 = region.read_pod(cur + NODE_SUM)?;
+            let computed = node_sum(key, row, height);
+            if stored != computed {
+                return Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch {
+                    what: "ordered index node",
+                    offset: cur,
+                    stored,
+                    computed,
+                }));
+            }
             if row >= nrows {
                 check.dangling += 1;
             } else {
@@ -599,5 +626,32 @@ mod tests {
             .lookup_range(Some(&Value::Int(10)), Some(&Value::Int(15)))
             .unwrap();
         assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn node_checksum_detects_scribbled_row() {
+        use storage::{ColumnDef, Schema, TableStore, VTable};
+        let h = heap();
+        let mut t = VTable::new(Schema::new(vec![ColumnDef::new("k", DataType::Int)]));
+        for i in 0..20i64 {
+            t.insert_version(&[Value::Int(i)], 1).unwrap();
+        }
+        let idx = NvOrderedIndex::build_from(&h, &t, 0).unwrap();
+        let clean = idx.verify_against(&t).unwrap();
+        assert_eq!(clean.dangling + clean.stale_keys + clean.missing_rows, 0);
+        // Corrupt the first level-0 node's row word without resealing.
+        let region = h.region();
+        let node: u64 = region.read_pod(idx.desc + D_HEAD).unwrap();
+        assert_ne!(node, 0);
+        let row: u64 = region.read_pod(node + NODE_ROW).unwrap();
+        region.write_pod(node + NODE_ROW, &(row ^ 1)).unwrap();
+        region.persist(node + NODE_ROW, 8).unwrap();
+        match idx.verify_against(&t) {
+            Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch { what, offset, .. })) => {
+                assert_eq!(what, "ordered index node");
+                assert_eq!(offset, node);
+            }
+            other => panic!("expected node checksum mismatch, got {other:?}"),
+        }
     }
 }

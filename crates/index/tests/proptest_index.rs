@@ -110,7 +110,8 @@ fn hash_and_ordered_agree() {
             hash.insert(&Value::Int(*k), row as u64).unwrap();
             ord.insert(&Value::Int(*k), row as u64).unwrap();
         }
-        h.region().crash(CrashPolicy::RandomEviction { p: 0.5, seed });
+        h.region()
+            .crash(CrashPolicy::RandomEviction { p: 0.5, seed });
         let (h2, _) = NvmHeap::open(h.region().clone()).unwrap();
         let hash = NvHashIndex::open(&h2, hd).unwrap();
         let ord = NvOrderedIndex::open(&h2, od).unwrap();

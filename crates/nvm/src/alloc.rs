@@ -98,6 +98,11 @@ mod bh {
     pub const LINK_VAL: u64 = 16;
     /// Block offset of a block this activation replaces (0 = none).
     pub const REPLACES: u64 = 24;
+    /// FNV-1a checksum over the four preceding header words. Shares the
+    /// header cache line, so every reseal is still a single atomic persist.
+    pub const CHECKSUM: u64 = 32;
+    /// Byte length of the header prefix the checksum covers.
+    pub const CHECKSUM_COVERS: usize = 32;
 }
 
 /// Description of one heap block, as returned by [`crate::NvmHeap::walk`].
@@ -210,7 +215,41 @@ impl Allocator {
         Ok((alloc, report))
     }
 
+    /// Block offset for a payload offset, rejecting offsets that would
+    /// underflow into the region header (a symptom of a corrupt pointer).
+    fn block_of(payload_off: u64) -> Result<u64> {
+        payload_off
+            .checked_sub(ALLOC_BLOCK_HEADER)
+            .filter(|_| payload_off >= ALLOC_BLOCK_HEADER + CACHE_LINE)
+            .ok_or(NvmError::CorruptHeap {
+                offset: payload_off,
+                reason: "payload offset points inside the region header",
+            })
+    }
+
+    /// Recompute the block-header checksum and persist the header line.
+    /// Called at every header transition; the checksum shares the line with
+    /// the words it covers, so the update is atomic on the medium.
+    fn seal_block(region: &NvmRegion, block_off: u64) -> Result<()> {
+        let mut buf = [0u8; bh::CHECKSUM_COVERS];
+        region.read_bytes(block_off, &mut buf)?;
+        region.write_pod(block_off + bh::CHECKSUM, &util::hash::fnv1a(&buf))?;
+        region.persist(block_off, CACHE_LINE)
+    }
+
     fn read_header(&self, region: &NvmRegion, block_off: u64) -> Result<(u64, AllocState)> {
+        let mut buf = [0u8; bh::CHECKSUM_COVERS];
+        region.read_bytes(block_off, &mut buf)?;
+        let stored = region.read_pod::<u64>(block_off + bh::CHECKSUM)?;
+        let computed = util::hash::fnv1a(&buf);
+        if stored != computed {
+            return Err(NvmError::ChecksumMismatch {
+                what: "alloc block header",
+                offset: block_off,
+                stored,
+                computed,
+            });
+        }
         let word = region.read_pod::<u64>(block_off + bh::SIZE_STATE)?;
         let size = word >> STATE_BITS;
         let state = AllocState::from_tag(word & STATE_MASK).ok_or(NvmError::CorruptHeap {
@@ -220,9 +259,18 @@ impl Allocator {
         Ok((size, state))
     }
 
-    fn write_state(&self, region: &NvmRegion, block_off: u64, size: u64, state: AllocState) -> Result<()> {
-        region.write_pod(block_off + bh::SIZE_STATE, &(size << STATE_BITS | state as u64))?;
-        region.persist(block_off, CACHE_LINE)
+    fn write_state(
+        &self,
+        region: &NvmRegion,
+        block_off: u64,
+        size: u64,
+        state: AllocState,
+    ) -> Result<()> {
+        region.write_pod(
+            block_off + bh::SIZE_STATE,
+            &(size << STATE_BITS | state as u64),
+        )?;
+        Self::seal_block(region, block_off)
     }
 
     /// Recovery scan: walk `[heap_start, bump)`, redo interrupted
@@ -232,7 +280,10 @@ impl Allocator {
         let mut off = self.heap_start;
         while off < self.bump {
             let (size, state) = self.read_header(region, off)?;
-            if size < ALLOC_BLOCK_HEADER + CACHE_LINE || off + size > self.bump || size % CACHE_LINE != 0 {
+            if size < ALLOC_BLOCK_HEADER + CACHE_LINE
+                || off + size > self.bump
+                || size % CACHE_LINE != 0
+            {
                 return Err(NvmError::CorruptHeap {
                     offset: off,
                     reason: "implausible block size",
@@ -321,7 +372,7 @@ impl Allocator {
             block_off + bh::SIZE_STATE,
             &(total << STATE_BITS | AllocState::Reserved as u64),
         )?;
-        region.persist(block_off, CACHE_LINE)?;
+        Self::seal_block(region, block_off)?;
         Ok(block_off + ALLOC_BLOCK_HEADER)
     }
 
@@ -339,7 +390,7 @@ impl Allocator {
             block_off + bh::SIZE_STATE,
             &(total << STATE_BITS | AllocState::Reserved as u64),
         )?;
-        region.persist(block_off, CACHE_LINE)?;
+        Self::seal_block(region, block_off)?;
         region.write_pod(hdr::BUMP, &new_bump)?;
         Self::seal_header(region)?;
         self.bump = new_bump;
@@ -356,7 +407,7 @@ impl Allocator {
         link: Option<(u64, u64)>,
         replaces: Option<u64>,
     ) -> Result<()> {
-        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let block_off = Self::block_of(payload_off)?;
         let (size, state) = self.read_header(region, block_off)?;
         if state != AllocState::Reserved {
             return Err(NvmError::BadBlockState {
@@ -368,7 +419,7 @@ impl Allocator {
         let (link_addr, link_val) = link.unwrap_or((0, 0));
         let replaces_block = match replaces {
             Some(p) => {
-                let rb = p - ALLOC_BLOCK_HEADER;
+                let rb = Self::block_of(p)?;
                 let (_, rstate) = self.read_header(region, rb)?;
                 if rstate != AllocState::Allocated {
                     return Err(NvmError::BadBlockState {
@@ -389,7 +440,7 @@ impl Allocator {
             block_off + bh::SIZE_STATE,
             &(size << STATE_BITS | AllocState::Activating as u64),
         )?;
-        region.persist(block_off, CACHE_LINE)?;
+        Self::seal_block(region, block_off)?;
         // Step 2: the link store.
         if link_addr != 0 {
             region.write_pod(link_addr, &link_val)?;
@@ -414,7 +465,7 @@ impl Allocator {
         payload_off: u64,
         unlink: Option<(u64, u64)>,
     ) -> Result<()> {
-        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let block_off = Self::block_of(payload_off)?;
         let (size, state) = self.read_header(region, block_off)?;
         if state != AllocState::Allocated && state != AllocState::Reserved {
             return Err(NvmError::BadBlockState {
@@ -430,7 +481,7 @@ impl Allocator {
                 block_off + bh::SIZE_STATE,
                 &(size << STATE_BITS | AllocState::Deactivating as u64),
             )?;
-            region.persist(block_off, CACHE_LINE)?;
+            Self::seal_block(region, block_off)?;
             region.write_pod(addr, &val)?;
             region.persist(addr, 8)?;
         }
@@ -441,9 +492,13 @@ impl Allocator {
 
     /// Usable payload capacity of the block at `payload_off`.
     pub fn payload_capacity(&self, region: &NvmRegion, payload_off: u64) -> Result<u64> {
-        let block_off = payload_off - ALLOC_BLOCK_HEADER;
+        let block_off = Self::block_of(payload_off)?;
         let (size, _) = self.read_header(region, block_off)?;
-        Ok(size - ALLOC_BLOCK_HEADER)
+        size.checked_sub(ALLOC_BLOCK_HEADER)
+            .ok_or(NvmError::CorruptHeap {
+                offset: block_off,
+                reason: "block size smaller than its header",
+            })
     }
 
     /// Set the durable root pointer (payload offset of the application's
@@ -584,7 +639,7 @@ mod tests {
                 &(size << STATE_BITS | AllocState::Activating as u64),
             )
             .unwrap();
-        region.persist(block, CACHE_LINE).unwrap();
+        Allocator::seal_block(&region, block).unwrap();
         region.crash(CrashPolicy::DropUnflushed);
 
         let (_a, report) = Allocator::open(&region).unwrap();
@@ -612,7 +667,7 @@ mod tests {
                 &(size << STATE_BITS | AllocState::Deactivating as u64),
             )
             .unwrap();
-        region.persist(block, CACHE_LINE).unwrap();
+        Allocator::seal_block(&region, block).unwrap();
         region.crash(CrashPolicy::DropUnflushed);
 
         let (_a, report) = Allocator::open(&region).unwrap();
@@ -626,7 +681,9 @@ mod tests {
         let slot = alloc.reserve(&region, 8).unwrap();
         alloc.activate(&region, slot, None, None).unwrap();
         let old = alloc.reserve(&region, 64).unwrap();
-        alloc.activate(&region, old, Some((slot, old)), None).unwrap();
+        alloc
+            .activate(&region, old, Some((slot, old)), None)
+            .unwrap();
         let newp = alloc.reserve(&region, 64).unwrap();
         alloc
             .activate(&region, newp, Some((slot, newp)), Some(old))
@@ -673,7 +730,10 @@ mod tests {
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
-        assert!((1..16).contains(&n), "allocated {n} blocks from a 4 KiB region");
+        assert!(
+            (1..16).contains(&n),
+            "allocated {n} blocks from a 4 KiB region"
+        );
     }
 
     #[test]
@@ -724,6 +784,67 @@ mod tests {
     }
 
     #[test]
+    fn scribbled_block_header_detected() {
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 16).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        // A media fault flips the size word without resealing.
+        let block = p - ALLOC_BLOCK_HEADER;
+        let word = region.read_pod::<u64>(block + bh::SIZE_STATE).unwrap();
+        region
+            .write_pod(block + bh::SIZE_STATE, &(word ^ 0x40))
+            .unwrap();
+        region.persist(block, CACHE_LINE).unwrap();
+        region.crash(CrashPolicy::DropUnflushed);
+        match Allocator::open(&region) {
+            Err(NvmError::ChecksumMismatch { what, offset, .. }) => {
+                assert_eq!(what, "alloc block header");
+                assert_eq!(offset, block);
+            }
+            Err(other) => panic!("expected ChecksumMismatch, got {other:?}"),
+            Ok(_) => panic!("expected ChecksumMismatch, got Ok"),
+        }
+    }
+
+    #[test]
+    fn bitflip_fault_in_header_detected() {
+        use crate::fault::{FaultClass, FaultSpec};
+        let (region, mut alloc) = setup();
+        let p = alloc.reserve(&region, 16).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        let block = p - ALLOC_BLOCK_HEADER;
+        region
+            .inject_fault(&FaultSpec {
+                class: FaultClass::BitFlip { bits: 16 },
+                offset: block,
+                seed: 7,
+            })
+            .unwrap();
+        // The flips land in the header line; some hit the checksum word or a
+        // covered word (deterministic for this seed), so detection fires.
+        match Allocator::open(&region) {
+            Err(NvmError::ChecksumMismatch { what, .. }) => {
+                assert_eq!(what, "alloc block header");
+            }
+            Err(other) => panic!("expected ChecksumMismatch, got {other:?}"),
+            Ok(_) => panic!("expected ChecksumMismatch, got Ok"),
+        }
+    }
+
+    #[test]
+    fn bogus_payload_offset_rejected() {
+        let (region, mut alloc) = setup();
+        assert!(matches!(
+            alloc.free(&region, 8, None),
+            Err(NvmError::CorruptHeap { .. })
+        ));
+        assert!(matches!(
+            alloc.payload_capacity(&region, 0),
+            Err(NvmError::CorruptHeap { .. })
+        ));
+    }
+
+    #[test]
     fn walk_matches_allocations() {
         let (region, mut alloc) = setup();
         let mut live = Vec::new();
@@ -736,11 +857,17 @@ mod tests {
         let blocks = alloc.walk(&region).unwrap();
         assert_eq!(blocks.len(), 10);
         assert_eq!(
-            blocks.iter().filter(|b| b.state == AllocState::Allocated).count(),
+            blocks
+                .iter()
+                .filter(|b| b.state == AllocState::Allocated)
+                .count(),
             9
         );
         assert_eq!(
-            blocks.iter().filter(|b| b.state == AllocState::Free).count(),
+            blocks
+                .iter()
+                .filter(|b| b.state == AllocState::Free)
+                .count(),
             1
         );
     }

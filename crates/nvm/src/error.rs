@@ -56,6 +56,29 @@ pub enum NvmError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// A read touched a poisoned cache line (simulated uncorrectable media
+    /// error). Transient poison clears after a bounded number of retries;
+    /// permanent poison never does — the line must be rewritten.
+    PoisonedRead {
+        /// Byte offset of the failing access.
+        offset: u64,
+        /// Cache-line index carrying the poison.
+        line: u64,
+        /// True if no amount of retrying will succeed.
+        permanent: bool,
+    },
+    /// A persistent structure's stored checksum does not match the bytes it
+    /// covers: the medium returned wrong data (bit rot, torn line, scribble).
+    ChecksumMismatch {
+        /// Which structure failed verification.
+        what: &'static str,
+        /// Byte offset of the structure.
+        offset: u64,
+        /// Checksum stored on the medium.
+        stored: u64,
+        /// Checksum recomputed over the covered bytes.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for NvmError {
@@ -85,6 +108,24 @@ impl fmt::Display for NvmError {
                 "region header checksum mismatch: stored {stored:#018x}, computed {computed:#018x} (torn or corrupt header)"
             ),
             NvmError::TraceState { reason } => write!(f, "persist-trace state error: {reason}"),
+            NvmError::PoisonedRead {
+                offset,
+                line,
+                permanent,
+            } => write!(
+                f,
+                "poisoned read at offset {offset} (cache line {line}, {})",
+                if *permanent { "permanent" } else { "transient" }
+            ),
+            NvmError::ChecksumMismatch {
+                what,
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {what} at offset {offset}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
         }
     }
 }

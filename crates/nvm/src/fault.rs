@@ -1,0 +1,98 @@
+//! Seeded media-fault injection.
+//!
+//! PR 1's crash scheduler answers "which *stores* survive a power
+//! failure?"; this module answers the orthogonal question "what if the
+//! medium itself lies?". A [`FaultSpec`] names a deterministic corruption
+//! of the persistent image — bit rot, a torn cache line, a scribbled
+//! block, or an uncorrectable-read poison — applied through
+//! [`crate::NvmRegion::inject_fault`]. Faults mutate *both* images (the
+//! damage is on the medium, so it survives [`crate::NvmRegion::crash`]),
+//! and they compose with the [`crate::CrashPoint`] scheduler: arm a crash,
+//! materialize it, then inject media faults into the surviving image
+//! before recovery runs.
+//!
+//! The same `(class, offset, seed)` triple always produces the same
+//! damage, so every torture failure replays from its artifact alone.
+
+use std::fmt;
+
+/// A class of media fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultClass {
+    /// Flip `bits` randomly chosen bits within the cache line containing
+    /// the target offset (models bit rot / disturb errors).
+    BitFlip {
+        /// Number of bits to flip (1 = single-bit upset).
+        bits: u32,
+    },
+    /// A torn cache line: a random contiguous span inside the target line
+    /// is replaced with stale garbage, as if only part of the line's
+    /// write-back completed before the media lost power internally.
+    TornLine,
+    /// Overwrite `len` bytes starting at the target offset with random
+    /// garbage (models a misdirected write / firmware scribble).
+    ScribbledBlock {
+        /// Bytes to scribble.
+        len: u64,
+    },
+    /// Poison the target cache line: reads fail with a transient
+    /// [`crate::NvmError::PoisonedRead`] for the first `failures`
+    /// attempts, then succeed (models a correctable-after-retry error).
+    PoisonTransient {
+        /// Number of reads that fail before the line recovers.
+        failures: u32,
+    },
+    /// Poison the target cache line permanently: every read fails until
+    /// software rewrites the whole line (models an uncorrectable error
+    /// cleared only by a full-line store).
+    PoisonPermanent,
+}
+
+impl FaultClass {
+    /// Short stable name used in artifact filenames and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::BitFlip { .. } => "bitflip",
+            FaultClass::TornLine => "tornline",
+            FaultClass::ScribbledBlock { .. } => "scribble",
+            FaultClass::PoisonTransient { .. } => "poison-transient",
+            FaultClass::PoisonPermanent => "poison-permanent",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::BitFlip { bits } => write!(f, "bitflip({bits})"),
+            FaultClass::TornLine => write!(f, "tornline"),
+            FaultClass::ScribbledBlock { len } => write!(f, "scribble({len}B)"),
+            FaultClass::PoisonTransient { failures } => {
+                write!(f, "poison-transient({failures})")
+            }
+            FaultClass::PoisonPermanent => write!(f, "poison-permanent"),
+        }
+    }
+}
+
+/// One deterministic media fault: a class, a target byte offset, and the
+/// seed driving any randomness inside the mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What kind of damage.
+    pub class: FaultClass,
+    /// Target byte offset in the region.
+    pub offset: u64,
+    /// Seed for the damage pattern (bit positions, garbage bytes…).
+    pub seed: u64,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {:#x} (seed {:#x})",
+            self.class, self.offset, self.seed
+        )
+    }
+}

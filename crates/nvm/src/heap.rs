@@ -98,7 +98,9 @@ impl NvmHeap {
 
     /// Usable payload capacity of a block.
     pub fn payload_capacity(&self, payload_off: u64) -> Result<u64> {
-        self.alloc.lock().payload_capacity(&self.region, payload_off)
+        self.alloc
+            .lock()
+            .payload_capacity(&self.region, payload_off)
     }
 
     /// Set the durable root pointer.

@@ -22,9 +22,25 @@ use crate::{NvmError, Result};
 /// Byte size of the persistent header of a `PVec` (`len`, `cap`, `data`).
 pub const PVEC_HEADER: u64 = 24;
 
+/// Packed publish word: `(fnv1a32(element bytes 0..len) << 32) | len`.
+/// Packing the running checksum into the high half of the length word keeps
+/// the publish a single 8-byte (line-atomic) store — no window in which a
+/// crash could tear length and checksum apart — while letting media faults
+/// in the elements, the length, or the checksum itself be detected at scan
+/// time.
 const F_LEN: u64 = 0;
 const F_CAP: u64 = 8;
 const F_DATA: u64 = 16;
+
+#[inline]
+fn pack(len: u64, sum: u32) -> u64 {
+    ((sum as u64) << 32) | (len & 0xFFFF_FFFF)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u32) {
+    (word & 0xFFFF_FFFF, (word >> 32) as u32)
+}
 
 /// Typed handle to a persistent growable vector whose 24-byte header lives
 /// at a fixed NVM offset. Rebuild after restart with [`PVec::open`].
@@ -47,7 +63,7 @@ impl<T: Pod> PVec<T> {
     pub fn create(heap: &NvmHeap, hdr_off: u64, initial_cap: u64) -> Result<PVec<T>> {
         let region = heap.region();
         let cap = initial_cap.max(4);
-        region.write_pod(hdr_off + F_LEN, &0u64)?;
+        region.write_pod(hdr_off + F_LEN, &pack(0, util::hash::FNV32_OFFSET))?;
         region.write_pod(hdr_off + F_CAP, &cap)?;
         region.write_pod(hdr_off + F_DATA, &0u64)?;
         region.persist(hdr_off, PVEC_HEADER)?;
@@ -73,10 +89,16 @@ impl<T: Pod> PVec<T> {
         self.hdr
     }
 
+    /// Durable element count plus the running content checksum.
+    #[inline]
+    fn len_sum(&self, region: &NvmRegion) -> Result<(u64, u32)> {
+        Ok(unpack(region.read_pod(self.hdr + F_LEN)?))
+    }
+
     /// Durable element count.
     #[inline]
     pub fn len(&self, region: &NvmRegion) -> Result<u64> {
-        region.read_pod(self.hdr + F_LEN)
+        Ok(self.len_sum(region)?.0)
     }
 
     /// True when the vector holds no elements.
@@ -114,8 +136,20 @@ impl<T: Pod> PVec<T> {
         region.read_pod(self.elem_off(region, i)?)
     }
 
-    /// Overwrite element `i` in place and persist it. Used by MVCC metadata
-    /// updates (e.g. setting an end-timestamp on an existing version).
+    /// Recompute the content checksum over elements `[0, len)`.
+    fn recompute_sum(&self, region: &NvmRegion, len: u64) -> Result<u32> {
+        if len == 0 {
+            return Ok(util::hash::FNV32_OFFSET);
+        }
+        let data = self.data_offset(region)?;
+        region.with_slice(data, len * T::SIZE as u64, |bytes| {
+            util::hash::fnv1a32(bytes)
+        })
+    }
+
+    /// Overwrite element `i` in place and persist it, resealing the content
+    /// checksum (a full O(len) refold — in-place mutation is rare; the hot
+    /// MVCC paths use `PSlab`/`PArray` instead).
     pub fn store(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
         let len = self.len(region)?;
         if i >= len {
@@ -127,10 +161,14 @@ impl<T: Pod> PVec<T> {
         }
         let off = self.elem_off(region, i)?;
         region.write_pod(off, value)?;
-        region.persist(off, T::SIZE as u64)
+        region.persist(off, T::SIZE as u64)?;
+        let sum = self.recompute_sum(region, len)?;
+        region.write_pod(self.hdr + F_LEN, &pack(len, sum))?;
+        region.persist(self.hdr + F_LEN, 8)
     }
 
     /// Overwrite element `i` without persisting (caller batches flushes).
+    /// The content checksum is refolded in the volatile image.
     pub fn set_volatile(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
         let len = self.len(region)?;
         if i >= len {
@@ -140,14 +178,16 @@ impl<T: Pod> PVec<T> {
                 capacity: len,
             });
         }
-        region.write_pod(self.elem_off(region, i)?, value)
+        region.write_pod(self.elem_off(region, i)?, value)?;
+        let sum = self.recompute_sum(region, len)?;
+        region.write_pod(self.hdr + F_LEN, &pack(len, sum))
     }
 
     /// Append an element with the persist-then-publish protocol. Returns the
     /// element's index.
     pub fn push(&self, heap: &NvmHeap, value: &T) -> Result<u64> {
         let region = heap.region();
-        let len = self.len(region)?;
+        let (len, sum) = self.len_sum(region)?;
         let cap = self.capacity(region)?;
         if len == cap {
             self.grow(heap, (cap * 2).max(4))?;
@@ -155,7 +195,8 @@ impl<T: Pod> PVec<T> {
         let off = self.elem_off(region, len)?;
         region.write_pod(off, value)?;
         region.persist(off, T::SIZE as u64)?;
-        region.write_pod(self.hdr + F_LEN, &(len + 1))?;
+        let sum = util::hash::fnv1a32_continue(sum, value.as_bytes());
+        region.write_pod(self.hdr + F_LEN, &pack(len + 1, sum))?;
         region.persist(self.hdr + F_LEN, 8)?;
         Ok(len)
     }
@@ -176,10 +217,50 @@ impl<T: Pod> PVec<T> {
     }
 
     /// Durably publish a new length after a batch of
-    /// [`PVec::push_unpublished`] writes.
+    /// [`PVec::push_unpublished`] writes, folding the newly published
+    /// elements into the running content checksum.
     pub fn publish_len(&self, region: &NvmRegion, new_len: u64) -> Result<()> {
-        region.write_pod(self.hdr + F_LEN, &new_len)?;
+        let (len, sum) = self.len_sum(region)?;
+        let sum = if new_len >= len {
+            let delta = new_len - len;
+            if delta == 0 {
+                sum
+            } else {
+                let data = self.data_offset(region)?;
+                region.with_slice(
+                    data + len * T::SIZE as u64,
+                    delta * T::SIZE as u64,
+                    |bytes| util::hash::fnv1a32_continue(sum, bytes),
+                )?
+            }
+        } else {
+            self.recompute_sum(region, new_len)?
+        };
+        region.write_pod(self.hdr + F_LEN, &pack(new_len, sum))?;
         region.persist(self.hdr + F_LEN, 8)
+    }
+
+    /// Verify the published elements against the packed content checksum.
+    /// `what` names the structure in the error.
+    pub fn verify(&self, region: &NvmRegion, what: &'static str) -> Result<()> {
+        let (len, stored) = self.len_sum(region)?;
+        let cap = self.capacity(region)?;
+        if len > cap {
+            return Err(NvmError::CorruptHeap {
+                offset: self.hdr,
+                reason: "published length exceeds capacity",
+            });
+        }
+        let computed = self.recompute_sum(region, len)?;
+        if computed != stored {
+            return Err(NvmError::ChecksumMismatch {
+                what,
+                offset: self.hdr,
+                stored: stored as u64,
+                computed: computed as u64,
+            });
+        }
+        Ok(())
     }
 
     /// Grow the data block to at least `new_cap` elements.
@@ -194,8 +275,7 @@ impl<T: Pod> PVec<T> {
         let new_data = heap.reserve(new_cap * T::SIZE as u64)?;
         if len > 0 {
             let bytes = len * T::SIZE as u64;
-            let copied =
-                region.with_slice(old_data, bytes, |src| src.to_vec())?;
+            let copied = region.with_slice(old_data, bytes, |src| src.to_vec())?;
             region.write_bytes(new_data, &copied)?;
             region.persist(new_data, bytes)?;
         }
@@ -326,7 +406,10 @@ mod tests {
         h.region().crash(CrashPolicy::DropUnflushed);
         let (h2, _) = NvmHeap::open(h.region().clone()).unwrap();
         let v2 = PVec::<u64>::open(hdr);
-        assert_eq!(v2.to_vec(h2.region()).unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(
+            v2.to_vec(h2.region()).unwrap(),
+            (0..100).collect::<Vec<_>>()
+        );
     }
 
     #[test]

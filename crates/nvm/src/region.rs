@@ -2,11 +2,13 @@
 //! injection, and (optionally) persist-trace recording with scheduled,
 //! deterministic crashes.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use util::rng::{Rng, SmallRng};
 use util::sync::{Mutex, RwLock};
 
+use crate::fault::{FaultClass, FaultSpec};
 use crate::latency::{LatencyModel, SimClock};
 use crate::layout::{line_span, CACHE_LINE};
 use crate::pod::Pod;
@@ -91,6 +93,21 @@ pub struct NvmRegion {
     /// Fast-path flag mirroring `recorder.is_some()` so untraced regions
     /// never take the recorder lock.
     traced: AtomicBool,
+    /// Poisoned cache lines (media-fault injection); empty outside fault
+    /// sessions.
+    poison: Mutex<HashMap<u64, PoisonState>>,
+    /// Fast-path flag mirroring `!poison.is_empty()` so unfaulted regions
+    /// never take the poison lock on reads.
+    poisoned: AtomicBool,
+}
+
+/// State of one poisoned line.
+#[derive(Debug, Clone, Copy)]
+struct PoisonState {
+    /// Permanent poison never clears on retry.
+    permanent: bool,
+    /// Failed reads remaining before a transient poison clears.
+    remaining: u32,
 }
 
 impl NvmRegion {
@@ -111,6 +128,8 @@ impl NvmRegion {
             capacity,
             recorder: Mutex::new(None),
             traced: AtomicBool::new(false),
+            poison: Mutex::new(HashMap::new()),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -157,12 +176,67 @@ impl NvmRegion {
         }
     }
 
+    /// Fail the access if any cache line it covers is poisoned. A transient
+    /// poison burns one retry per failing read and clears when exhausted.
+    fn check_poison(&self, off: u64, len: u64) -> Result<()> {
+        if !self.poisoned.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let (a, b) = line_span(off, len);
+        let mut map = self.poison.lock();
+        for line in a..=b {
+            if let Some(state) = map.get_mut(&line) {
+                if state.permanent {
+                    return Err(NvmError::PoisonedRead {
+                        offset: off,
+                        line,
+                        permanent: true,
+                    });
+                }
+                state.remaining = state.remaining.saturating_sub(1);
+                if state.remaining == 0 {
+                    map.remove(&line);
+                    if map.is_empty() {
+                        self.poisoned.store(false, Ordering::Relaxed);
+                    }
+                }
+                return Err(NvmError::PoisonedRead {
+                    offset: off,
+                    line,
+                    permanent: false,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clear poison from every line fully overwritten by `[off, off+len)`:
+    /// a full-line store re-arms the ECC, as on real hardware.
+    fn scrub_poison(&self, off: u64, len: u64) {
+        if !self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        let first_full = off.div_ceil(CACHE_LINE);
+        let end_full = (off + len) / CACHE_LINE; // exclusive
+        if first_full >= end_full {
+            return;
+        }
+        let mut map = self.poison.lock();
+        for line in first_full..end_full {
+            map.remove(&line);
+        }
+        if map.is_empty() {
+            self.poisoned.store(false, Ordering::Relaxed);
+        }
+    }
+
     /// Store `bytes` at `off` in the volatile image.
     pub fn write_bytes(&self, off: u64, bytes: &[u8]) -> Result<()> {
         if bytes.is_empty() {
             return Ok(());
         }
         self.check(off, bytes.len() as u64)?;
+        self.scrub_poison(off, bytes.len() as u64);
         let mut img = self.images.write();
         img.volatile[off as usize..off as usize + bytes.len()].copy_from_slice(bytes);
         let (a, b) = line_span(off, bytes.len() as u64);
@@ -185,6 +259,7 @@ impl NvmRegion {
             return Ok(());
         }
         self.check(off, buf.len() as u64)?;
+        self.check_poison(off, buf.len() as u64)?;
         let img = self.images.read();
         buf.copy_from_slice(&img.volatile[off as usize..off as usize + buf.len()]);
         drop(img);
@@ -205,6 +280,7 @@ impl NvmRegion {
     #[inline]
     pub fn read_pod<T: Pod>(&self, off: u64) -> Result<T> {
         self.check(off, T::SIZE as u64)?;
+        self.check_poison(off, T::SIZE as u64)?;
         let img = self.images.read();
         self.stats
             .bytes_read
@@ -219,6 +295,7 @@ impl NvmRegion {
     /// read path: one lock acquisition for the whole scan.
     pub fn with_slice<R>(&self, off: u64, len: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         self.check(off, len)?;
+        self.check_poison(off, len)?;
         let img = self.images.read();
         self.stats
             .bytes_read
@@ -384,6 +461,95 @@ impl NvmRegion {
         self.stats
             .crashes
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    // ---- Media-fault injection ----
+
+    /// Apply a deterministic media fault (see [`FaultSpec`]). Corrupting
+    /// classes mutate **both** images — the damage lives on the medium, so
+    /// it survives [`NvmRegion::crash`] — without touching the dirty set
+    /// (the fault is not a store; flush/fence behave as before). Poison
+    /// classes register the target line in the poison map instead; reads
+    /// overlapping it fail with [`NvmError::PoisonedRead`] until the
+    /// poison clears (retry exhaustion or a full-line rewrite).
+    ///
+    /// The same spec against the same image always produces the same
+    /// damage.
+    pub fn inject_fault(&self, spec: &FaultSpec) -> Result<()> {
+        self.check(spec.offset, 1)?;
+        let line_start = (spec.offset / CACHE_LINE) * CACHE_LINE;
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ spec.offset.rotate_left(17));
+        match spec.class {
+            FaultClass::BitFlip { bits } => {
+                let mut img = self.images.write();
+                for _ in 0..bits.max(1) {
+                    let bit = rng.gen_range_u64(0, CACHE_LINE * 8);
+                    let byte = (line_start + bit / 8) as usize;
+                    let mask = 1u8 << (bit % 8);
+                    img.volatile[byte] ^= mask;
+                    img.persistent[byte] ^= mask;
+                }
+            }
+            FaultClass::TornLine => {
+                // A contiguous 8..=32-byte span of the line holds garbage.
+                let span = 8 + rng.gen_range_u64(0, 4) * 8;
+                let start =
+                    (line_start + rng.gen_range_u64(0, (CACHE_LINE - span) / 8 + 1) * 8) as usize;
+                let mut img = self.images.write();
+                for i in start..start + span as usize {
+                    let g = rng.next_u64() as u8;
+                    img.volatile[i] = g;
+                    img.persistent[i] = g;
+                }
+            }
+            FaultClass::ScribbledBlock { len } => {
+                let len = len.max(1).min(self.capacity - spec.offset);
+                let mut img = self.images.write();
+                for i in spec.offset as usize..(spec.offset + len) as usize {
+                    let g = rng.next_u64() as u8;
+                    img.volatile[i] = g;
+                    img.persistent[i] = g;
+                }
+            }
+            FaultClass::PoisonTransient { failures } => {
+                self.poison.lock().insert(
+                    spec.offset / CACHE_LINE,
+                    PoisonState {
+                        permanent: false,
+                        remaining: failures.max(1),
+                    },
+                );
+                self.poisoned.store(true, Ordering::Relaxed);
+            }
+            FaultClass::PoisonPermanent => {
+                self.poison.lock().insert(
+                    spec.offset / CACHE_LINE,
+                    PoisonState {
+                        permanent: true,
+                        remaining: 0,
+                    },
+                );
+                self.poisoned.store(true, Ordering::Relaxed);
+            }
+        }
+        self.stats
+            .faults_injected
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drop all outstanding poison (bit-level damage is not reversible).
+    pub fn clear_faults(&self) {
+        self.poison.lock().clear();
+        self.poisoned.store(false, Ordering::Relaxed);
+    }
+
+    /// Number of currently poisoned cache lines.
+    pub fn poisoned_lines(&self) -> u64 {
+        if !self.poisoned.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.poison.lock().len() as u64
     }
 
     /// Number of currently dirty (unflushed) cache lines. Test/diagnostic
@@ -666,5 +832,108 @@ mod tests {
         assert_eq!(r.dirty_lines(), 1);
         r.crash(CrashPolicy::DropUnflushed);
         assert_eq!(r.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn bitflip_corrupts_medium_and_survives_crash() {
+        let r = region();
+        r.write_pod(128, &0u64).unwrap();
+        r.persist(128, 8).unwrap();
+        r.inject_fault(&FaultSpec {
+            class: FaultClass::BitFlip { bits: 1 },
+            offset: 128,
+            seed: 7,
+        })
+        .unwrap();
+        r.crash(CrashPolicy::DropUnflushed);
+        let mut line = [0u8; 64];
+        r.read_bytes(128, &mut line).unwrap();
+        let ones: u32 = line.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one flipped bit survives the crash");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let image = |seed| {
+            let r = region();
+            r.write_bytes(256, &[0xAAu8; 128]).unwrap();
+            r.persist(256, 128).unwrap();
+            r.inject_fault(&FaultSpec {
+                class: FaultClass::ScribbledBlock { len: 96 },
+                offset: 256,
+                seed,
+            })
+            .unwrap();
+            r.persistent_hash()
+        };
+        assert_eq!(image(1), image(1));
+        assert_ne!(image(1), image(2));
+    }
+
+    #[test]
+    fn transient_poison_clears_after_retries() {
+        let r = region();
+        r.write_pod(192, &5u64).unwrap();
+        r.persist(192, 8).unwrap();
+        r.inject_fault(&FaultSpec {
+            class: FaultClass::PoisonTransient { failures: 2 },
+            offset: 192,
+            seed: 0,
+        })
+        .unwrap();
+        assert!(matches!(
+            r.read_pod::<u64>(192),
+            Err(NvmError::PoisonedRead {
+                permanent: false,
+                ..
+            })
+        ));
+        assert!(r.read_pod::<u64>(192).is_err());
+        assert_eq!(r.read_pod::<u64>(192).unwrap(), 5, "poison cleared");
+        assert_eq!(r.poisoned_lines(), 0);
+    }
+
+    #[test]
+    fn permanent_poison_cleared_only_by_full_line_rewrite() {
+        let r = region();
+        r.inject_fault(&FaultSpec {
+            class: FaultClass::PoisonPermanent,
+            offset: 320,
+            seed: 0,
+        })
+        .unwrap();
+        for _ in 0..10 {
+            assert!(matches!(
+                r.read_pod::<u64>(320),
+                Err(NvmError::PoisonedRead {
+                    permanent: true,
+                    ..
+                })
+            ));
+        }
+        // Partial-line store does not scrub…
+        r.write_pod(320, &1u64).unwrap();
+        assert!(r.read_pod::<u64>(320).is_err());
+        // …a full-line store does.
+        r.write_bytes(320, &[9u8; 64]).unwrap();
+        assert_eq!(r.read_pod::<u64>(320).unwrap(), u64::from_le_bytes([9; 8]));
+    }
+
+    #[test]
+    fn torn_line_damages_only_target_line() {
+        let r = region();
+        r.write_bytes(0, &[0x55u8; 192]).unwrap();
+        r.persist(0, 192).unwrap();
+        r.inject_fault(&FaultSpec {
+            class: FaultClass::TornLine,
+            offset: 64,
+            seed: 3,
+        })
+        .unwrap();
+        let mut buf = [0u8; 192];
+        r.read_bytes(0, &mut buf).unwrap();
+        assert!(buf[..64].iter().all(|b| *b == 0x55), "line 0 untouched");
+        assert!(buf[128..].iter().all(|b| *b == 0x55), "line 2 untouched");
+        assert!(buf[64..128].iter().any(|b| *b != 0x55), "line 1 damaged");
     }
 }

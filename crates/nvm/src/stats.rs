@@ -24,6 +24,8 @@ pub struct NvmStats {
     /// Crashes materialized by the persist-trace scheduler (a subset of
     /// `crashes`).
     pub scheduled_crashes: AtomicU64,
+    /// Media faults injected.
+    pub faults_injected: AtomicU64,
 }
 
 impl NvmStats {
@@ -37,6 +39,7 @@ impl NvmStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             scheduled_crashes: self.scheduled_crashes.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -49,6 +52,7 @@ impl NvmStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.crashes.store(0, Ordering::Relaxed);
         self.scheduled_crashes.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -69,6 +73,8 @@ pub struct StatsSnapshot {
     pub crashes: u64,
     /// See [`NvmStats::scheduled_crashes`].
     pub scheduled_crashes: u64,
+    /// See [`NvmStats::faults_injected`].
+    pub faults_injected: u64,
 }
 
 impl StatsSnapshot {
@@ -82,6 +88,7 @@ impl StatsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             crashes: self.crashes - earlier.crashes,
             scheduled_crashes: self.scheduled_crashes - earlier.scheduled_crashes,
+            faults_injected: self.faults_injected - earlier.faults_injected,
         }
     }
 }

@@ -190,8 +190,13 @@ impl Recorder {
         };
         for line in pre_dirty {
             rec.next_seq += 1;
-            rec.last_store
-                .insert(line, StoreStamp { seq: rec.next_seq, epoch: 0 });
+            rec.last_store.insert(
+                line,
+                StoreStamp {
+                    seq: rec.next_seq,
+                    epoch: 0,
+                },
+            );
         }
         rec
     }
@@ -309,9 +314,7 @@ impl Recorder {
     fn compute_lost(&self) -> HashMap<u64, StoreStamp> {
         self.last_store
             .iter()
-            .filter(|(line, stamp)| {
-                stamp.seq > self.persisted_seq.get(*line).copied().unwrap_or(0)
-            })
+            .filter(|(line, stamp)| stamp.seq > self.persisted_seq.get(*line).copied().unwrap_or(0))
             .map(|(line, stamp)| (*line, *stamp))
             .collect()
     }

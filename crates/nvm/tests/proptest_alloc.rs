@@ -84,7 +84,8 @@ fn pvec_crash_leaves_valid_prefix() {
         }
         // Unpublished garbage writes beyond the tail must never surface.
         let seed = rng.next_u64();
-        h.region().crash(CrashPolicy::RandomEviction { p: 0.5, seed });
+        h.region()
+            .crash(CrashPolicy::RandomEviction { p: 0.5, seed });
         let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
         let v2 = PVec::<u64>::open(hdr);
         let got = v2.to_vec(h.region()).unwrap();
@@ -108,7 +109,8 @@ fn pslab_grow_store_crash() {
             s.store(h.region(), i, &(i * 31 + 7)).unwrap();
         }
         let seed = rng.next_u64();
-        h.region().crash(CrashPolicy::RandomEviction { p: 0.3, seed });
+        h.region()
+            .crash(CrashPolicy::RandomEviction { p: 0.3, seed });
         let (_h2, _) = NvmHeap::open(h.region().clone()).unwrap();
         let s2 = PSlab::<u64>::open(hdr);
         let got = s2.prefix(h.region(), n).unwrap();

@@ -72,8 +72,16 @@ fn fenced_lines_survive_at_fence_crash() {
     let outcome = r.finalize_scheduled_crash().unwrap();
     assert_eq!(outcome.tripped_at_fence, Some(1));
     assert_eq!(outcome.fences_seen, 2);
-    assert_eq!(r.read_pod::<u64>(line_off(1)).unwrap(), 111, "fenced line durable");
-    assert_eq!(r.read_pod::<u64>(line_off(2)).unwrap(), 0, "post-crash line gone");
+    assert_eq!(
+        r.read_pod::<u64>(line_off(1)).unwrap(),
+        111,
+        "fenced line durable"
+    );
+    assert_eq!(
+        r.read_pod::<u64>(line_off(2)).unwrap(),
+        0,
+        "post-crash line gone"
+    );
 }
 
 #[test]
@@ -171,7 +179,11 @@ fn crash_falls_back_to_end_of_run_when_never_tripped() {
     assert_eq!(outcome.tripped_at_fence, None);
     assert_eq!(outcome.fences_seen, 1);
     assert_eq!(r.read_pod::<u64>(line_off(1)).unwrap(), 1);
-    assert_eq!(r.read_pod::<u64>(line_off(2)).unwrap(), 0, "unfenced line lost");
+    assert_eq!(
+        r.read_pod::<u64>(line_off(2)).unwrap(),
+        0,
+        "unfenced line lost"
+    );
 }
 
 #[test]
@@ -211,7 +223,7 @@ fn linter_flags_deliberately_missing_flush() {
     // Epoch 0: a correctly persisted value.
     r.write_pod(line_off(1), &0xC0FFEEu64).unwrap();
     r.persist(line_off(1), 8).unwrap(); // fence #1
-    // Epoch 1: the bug — stored, fenced, but the flush was forgotten.
+                                        // Epoch 1: the bug — stored, fenced, but the flush was forgotten.
     r.write_pod(line_off(2), &0xBAD_F00Du64).unwrap();
     r.fence(); // fence #2: trips; line 2 was never flushed
     let outcome = r.finalize_scheduled_crash().unwrap();

@@ -30,7 +30,11 @@ pub fn pack_at(words: &mut [u64], width: u32, i: u64, v: u64) {
     let bit = i * width as u64;
     let word = (bit / 64) as usize;
     let shift = (bit % 64) as u32;
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     words[word] = (words[word] & !(mask << shift)) | (v << shift);
     let spill = shift as u64 + width as u64;
     if spill > 64 {
@@ -47,7 +51,11 @@ pub fn unpack_at(words: &[u64], width: u32, i: u64) -> u64 {
     let bit = i * width as u64;
     let word = (bit / 64) as usize;
     let shift = (bit % 64) as u32;
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut v = (words[word] >> shift) & mask;
     let spill = shift as u64 + width as u64;
     if spill > 64 {
@@ -180,12 +188,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0xB17_9AC4);
         for case in 0..200u64 {
             let width = 1 + (case % 32) as u32;
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let n = rng.gen_range_usize(0, 200);
             let ids: Vec<u64> = (0..n).map(|_| rng.next_u64() & mask).collect();
             let packed = pack_all(&ids, width);
             for (i, &v) in ids.iter().enumerate() {
-                assert_eq!(unpack_at(&packed, width, i as u64), v, "width {width} idx {i}");
+                assert_eq!(
+                    unpack_at(&packed, width, i as u64),
+                    v,
+                    "width {width} idx {i}"
+                );
             }
         }
     }

@@ -64,7 +64,10 @@ impl fmt::Display for StorageError {
                 write!(f, "type mismatch in column {column}: expected {expected:?}")
             }
             StorageError::ArityMismatch { got, expected } => {
-                write!(f, "row arity mismatch: got {got} values, schema has {expected}")
+                write!(
+                    f,
+                    "row arity mismatch: got {got} values, schema has {expected}"
+                )
             }
             StorageError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range (table has {rows} rows)")

@@ -10,8 +10,20 @@
 //!                       end    PSlab<u64> header
 //!                       per column: dict PVec<u64> header + av PSlab<u32> header
 //! MainDesc            : row_count | end_ptr
-//!                       per column: dict_ptr | dict_len | av_ptr | av_words | width
+//!                       per column: dict_ptr | dict_len | av_ptr | av_words |
+//!                                   width | blob_ptr | blob_len | checksum
 //! ```
+//!
+//! The per-column checksum is an FNV-1a fingerprint over the column's
+//! immutable media — the descriptor words themselves, the sorted dictionary,
+//! the string blob, and the packed attribute vector — sealed once at merge
+//! time and verified by [`NvTable::verify_media`]. The *mutable* words (MVCC
+//! begin/end timestamps, the delta row counter) cannot carry content
+//! checksums without destroying single-word commit atomicity; they get
+//! plausibility checks instead (a timestamp must be pending, aborted,
+//! infinity, or ≤ the published last commit timestamp). A media fault that
+//! forges a plausible timestamp in a mutable word is therefore detected only
+//! indirectly — the documented residual gap of this fault model.
 //!
 //! Dictionary entry words hold the value directly for `Int`/`Double` and a
 //! string-block offset for `Text`.
@@ -61,7 +73,12 @@ const DD_COL_STRIDE: u64 = PVEC_HEADER + PSLAB_HEADER + PVEC_HEADER + 8; // dict
 const MD_ROWS: u64 = 0;
 const MD_END: u64 = 8;
 const MD_COLS: u64 = 16;
-const MD_COL_STRIDE: u64 = 48;
+const MD_COL_STRIDE: u64 = 64;
+/// Offset of the per-column checksum within a main column descriptor; the
+/// checksum covers the `MC_SUM_COVERS` descriptor bytes before it plus the
+/// dictionary, blob, and attribute-vector payloads.
+const MC_SUM: u64 = 56;
+const MC_SUM_COVERS: u64 = 56;
 
 fn delta_desc_size(ncols: usize) -> u64 {
     DD_COLS + ncols as u64 * DD_COL_STRIDE
@@ -101,6 +118,8 @@ struct MainCol {
     /// Text blob payload offset (0 for non-text columns); dictionary
     /// entries are local offsets into it.
     blob_ptr: u64,
+    /// Byte length of the text blob (0 for non-text columns).
+    blob_len: u64,
 }
 
 struct MainHandle {
@@ -236,11 +255,12 @@ impl NvTable {
                                 .try_into()
                                 .expect("4 bytes"),
                         ) as usize;
-                        let bytes = blob_bytes.get(at + 4..at + 4 + n).ok_or(
-                            StorageError::Corrupt {
-                                reason: "string run beyond blob",
-                            },
-                        )?;
+                        let bytes =
+                            blob_bytes
+                                .get(at + 4..at + 4 + n)
+                                .ok_or(StorageError::Corrupt {
+                                    reason: "string run beyond blob",
+                                })?;
                         Value::Text(
                             std::str::from_utf8(bytes)
                                 .map_err(|_| StorageError::Corrupt {
@@ -282,12 +302,14 @@ impl NvTable {
             let av_words: u64 = region.read_pod(base + 24)?;
             let width: u64 = region.read_pod(base + 32)?;
             let blob_ptr: u64 = region.read_pod(base + 40)?;
+            let blob_len: u64 = region.read_pod(base + 48)?;
             cols.push(MainCol {
                 dict_ptr,
                 dict_len,
                 av: PArray::at(av_ptr, av_words),
                 width: width as u32,
                 blob_ptr,
+                blob_len,
             });
         }
         Ok(MainHandle {
@@ -313,6 +335,15 @@ impl NvTable {
 
     fn main_rows_(&self) -> u64 {
         self.main.as_ref().map_or(0, |m| m.rows)
+    }
+
+    /// The main handle when a row split resolved to the main partition; a
+    /// missing handle then means the descriptors contradict each other
+    /// (damaged media), not a caller bug — so it is a typed error.
+    fn main_ref(&self) -> Result<&MainHandle> {
+        self.main.as_ref().ok_or(StorageError::Corrupt {
+            reason: "row maps to the main partition but no main descriptor exists",
+        })
     }
 
     fn split(&self, row: RowId) -> Result<(bool, u64)> {
@@ -417,7 +448,9 @@ impl NvTable {
     }
 
     fn delta_av_ids(&self, c: ColumnId) -> Result<Vec<u32>> {
-        Ok(self.delta.cols[c].av.prefix(self.region(), self.delta.rows)?)
+        Ok(self.delta.cols[c]
+            .av
+            .prefix(self.region(), self.delta.rows)?)
     }
 
     fn main_end_vec(&self) -> Result<Vec<u64>> {
@@ -466,7 +499,7 @@ impl NvTable {
         let region = self.heap.region().clone();
         let mut repaired = 0u64;
         if in_main {
-            let m = self.main.as_ref().expect("main row");
+            let m = self.main_ref()?;
             let e = m.end.get(&region, i)?;
             if mvcc::is_pending(e) || (mvcc::is_committed(e) && e > last_cts) {
                 m.end.store(&region, i, &TS_INF)?;
@@ -522,7 +555,55 @@ impl NvTable {
         }
         Ok(repaired)
     }
+}
 
+/// Fingerprint one main column's immutable media: the descriptor words
+/// before the checksum slot, then dictionary, blob, and attribute vector.
+fn main_col_sum(region: &NvmRegion, base: u64) -> Result<u64> {
+    let dict_ptr: u64 = region.read_pod(base)?;
+    let dict_len: u64 = region.read_pod(base + 8)?;
+    let av_ptr: u64 = region.read_pod(base + 16)?;
+    let av_words: u64 = region.read_pod(base + 24)?;
+    let blob_ptr: u64 = region.read_pod(base + 40)?;
+    let blob_len: u64 = region.read_pod(base + 48)?;
+    let mut sum = region.with_slice(base, MC_SUM_COVERS, util::hash::fnv1a)?;
+    if dict_len > 0 {
+        sum = region.with_slice(dict_ptr, dict_len * 8, |b| {
+            util::hash::fnv1a_continue(sum, b)
+        })?;
+    }
+    if blob_len > 0 {
+        sum = region.with_slice(blob_ptr, blob_len, |b| util::hash::fnv1a_continue(sum, b))?;
+    }
+    if av_words > 0 {
+        sum = region.with_slice(av_ptr, av_words * 8, |b| util::hash::fnv1a_continue(sum, b))?;
+    }
+    Ok(sum)
+}
+
+/// A timestamp word is *plausible* iff it is one of the states the MVCC
+/// protocol can legitimately leave behind: a pending marker, the aborted
+/// sentinel, infinity, or a commit timestamp no later than the published
+/// `last_cts`. Media faults that forge exactly one of these states evade the
+/// check (see the module docs); everything else is caught.
+fn plausible_ts(ts: u64, last_cts: u64) -> bool {
+    mvcc::is_pending(ts) || ts == mvcc::TS_ABORTED || ts == TS_INF || ts <= last_cts
+}
+
+/// One contiguous run of table media, as reported by
+/// [`NvTable::media_extents`] — the targeting map for fault-injection
+/// harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaExtent {
+    /// What the bytes hold (stable label, usable in artifacts).
+    pub what: &'static str,
+    /// Start offset in the region.
+    pub offset: u64,
+    /// Byte length.
+    pub len: u64,
+    /// Whether a content checksum covers the run (mutable runs are only
+    /// plausibility-checked).
+    pub checksummed: bool,
 }
 
 /// Decode a delta dictionary entry word into a value (text entries are
@@ -617,7 +698,7 @@ impl TableStore for NvTable {
         let (in_main, i) = self.split(row)?;
         let region = self.region();
         let current = if in_main {
-            self.main.as_ref().expect("main row").end.get(region, i)?
+            self.main_ref()?.end.get(region, i)?
         } else {
             self.delta.end.get(region, i)?
         };
@@ -625,7 +706,7 @@ impl TableStore for NvTable {
             return Err(StorageError::WriteConflict { row });
         }
         if in_main {
-            self.main.as_ref().expect("main row").end.store(region, i, &marker)?;
+            self.main_ref()?.end.store(region, i, &marker)?;
         } else {
             self.delta.end.store(region, i, &marker)?;
         }
@@ -636,7 +717,7 @@ impl TableStore for NvTable {
         let (in_main, i) = self.split(row)?;
         let region = self.region();
         if in_main {
-            self.main.as_ref().expect("main row").end.store(region, i, &TS_INF)?;
+            self.main_ref()?.end.store(region, i, &TS_INF)?;
         } else {
             self.delta.end.store(region, i, &TS_INF)?;
         }
@@ -667,7 +748,7 @@ impl TableStore for NvTable {
         let (in_main, i) = self.split(row)?;
         let region = self.region();
         if in_main {
-            self.main.as_ref().expect("main row").end.store(region, i, &cts)?;
+            self.main_ref()?.end.store(region, i, &cts)?;
         } else {
             self.delta.end.store(region, i, &cts)?;
         }
@@ -686,7 +767,7 @@ impl TableStore for NvTable {
     fn end_ts(&self, row: RowId) -> Result<u64> {
         let (in_main, i) = self.split(row)?;
         if in_main {
-            Ok(self.main.as_ref().expect("main row").end.get(self.region(), i)?)
+            Ok(self.main_ref()?.end.get(self.region(), i)?)
         } else {
             Ok(self.delta.end.get(self.region(), i)?)
         }
@@ -696,14 +777,17 @@ impl TableStore for NvTable {
         self.check_col(col)?;
         let (in_main, i) = self.split(row)?;
         if in_main {
-            let m = self.main.as_ref().expect("main row");
+            let m = self.main_ref()?;
             let mcol = &m.cols[col];
             // Read the (up to two) words covering the packed slot.
             let bit = i * mcol.width as u64;
             let w0 = bit / 64;
             let need_two = (bit % 64) + mcol.width as u64 > 64;
             let words = if need_two {
-                [m.cols[col].av.get(self.region(), w0)?, m.cols[col].av.get(self.region(), w0 + 1)?]
+                [
+                    m.cols[col].av.get(self.region(), w0)?,
+                    m.cols[col].av.get(self.region(), w0 + 1)?,
+                ]
             } else {
                 [m.cols[col].av.get(self.region(), w0)?, 0]
             };
@@ -730,13 +814,7 @@ impl TableStore for NvTable {
         self.visible_filter(0..self.row_count(), snapshot, tid)
     }
 
-    fn scan_eq(
-        &self,
-        col: ColumnId,
-        value: &Value,
-        snapshot: u64,
-        tid: u64,
-    ) -> Result<Vec<RowId>> {
+    fn scan_eq(&self, col: ColumnId, value: &Value, snapshot: u64, tid: u64) -> Result<Vec<RowId>> {
         self.check_col(col)?;
         let mut hits = Vec::new();
         if let Some(m) = &self.main {
@@ -897,6 +975,10 @@ impl TableStore for NvTable {
             region.write_pod(base + 24, &(words.len() as u64))?;
             region.write_pod(base + 32, &(width as u64))?;
             region.write_pod(base + 40, &blob_ptr)?;
+            region.write_pod(base + 48, &(blob_bytes.len() as u64))?;
+            // Seal the column: fingerprint the descriptor plus the payloads
+            // just written, before the pair swap makes any of it reachable.
+            region.write_pod(base + MC_SUM, &main_col_sum(&region, base)?)?;
         }
         region.persist(new_main, main_desc_size(ncols))?;
 
@@ -939,6 +1021,173 @@ impl TableStore for NvTable {
 }
 
 impl NvTable {
+    /// Scan-time media verification, separate from the fast restart path so
+    /// instant-restart latency is unaffected when callers skip it.
+    ///
+    /// Checks, in order: delta row counter against structure capacities;
+    /// per-column delta dictionary and string-blob content checksums; delta
+    /// attribute-vector value-ids against dictionary lengths; MVCC timestamp
+    /// plausibility against `last_cts`; per-column main checksums (the
+    /// descriptor, dictionary, blob, and attribute vector); main
+    /// end-timestamp plausibility. Returns the number of structures
+    /// verified; the first failure surfaces as a typed error naming the
+    /// structure.
+    pub fn verify_media(&self, last_cts: u64) -> Result<u64> {
+        let region = self.region();
+        let mut checked = 0u64;
+
+        // Delta row counter vs what the structures can actually hold.
+        let rows = self.delta.rows;
+        if rows > self.delta.begin.capacity(region)? || rows > self.delta.end.capacity(region)? {
+            return Err(StorageError::Corrupt {
+                reason: "delta row counter exceeds timestamp-array capacity",
+            });
+        }
+        checked += 1;
+
+        for col in &self.delta.cols {
+            col.dict.verify(region, "delta dictionary")?;
+            col.blob.verify(region, "delta string blob")?;
+            checked += 2;
+            if rows > col.av.capacity(region)? {
+                return Err(StorageError::Corrupt {
+                    reason: "delta row counter exceeds attribute-vector capacity",
+                });
+            }
+            let dict_len = col.dict.len(region)?;
+            for id in col.av.prefix(region, rows)? {
+                if (id as u64) >= dict_len {
+                    return Err(StorageError::Corrupt {
+                        reason: "delta attribute vector references a missing dictionary entry",
+                    });
+                }
+            }
+            checked += 1;
+        }
+
+        for b in self.delta_begin_vec()? {
+            if !plausible_ts(b, last_cts) {
+                return Err(StorageError::Corrupt {
+                    reason: "implausible delta begin timestamp",
+                });
+            }
+        }
+        for e in self.delta_end_vec()? {
+            if !plausible_ts(e, last_cts) {
+                return Err(StorageError::Corrupt {
+                    reason: "implausible delta end timestamp",
+                });
+            }
+        }
+        checked += 2;
+
+        if let Some(m) = &self.main {
+            let pair: u64 = region.read_pod(self.root + ROOT_PAIR)?;
+            let main_desc: u64 = region.read_pod(pair + PAIR_MAIN)?;
+            for c in 0..self.schema.len() as u64 {
+                let base = main_desc + MD_COLS + c * MD_COL_STRIDE;
+                let stored: u64 = region.read_pod(base + MC_SUM)?;
+                let computed = main_col_sum(region, base)?;
+                if stored != computed {
+                    return Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch {
+                        what: "main column",
+                        offset: base,
+                        stored,
+                        computed,
+                    }));
+                }
+                checked += 1;
+            }
+            for e in m.end.to_vec(region)? {
+                if !plausible_ts(e, last_cts) {
+                    return Err(StorageError::Corrupt {
+                        reason: "implausible main end timestamp",
+                    });
+                }
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+
+    /// Enumerate the table's media runs — offsets and lengths of every
+    /// persistent structure, labelled and flagged by whether a content
+    /// checksum covers it. Fault-injection harnesses use this to aim faults
+    /// at live data and to know which hits *must* be detected.
+    pub fn media_extents(&self) -> Result<Vec<MediaExtent>> {
+        let region = self.region();
+        let mut out = Vec::new();
+        let rows = self.delta.rows;
+
+        let b_data: u64 = region.read_pod(self.delta.begin.header_offset() + 8)?;
+        let e_data: u64 = region.read_pod(self.delta.end.header_offset() + 8)?;
+        out.push(MediaExtent {
+            what: "delta-begin",
+            offset: b_data,
+            len: rows * 8,
+            checksummed: false,
+        });
+        out.push(MediaExtent {
+            what: "delta-end",
+            offset: e_data,
+            len: rows * 8,
+            checksummed: false,
+        });
+
+        for col in &self.delta.cols {
+            out.push(MediaExtent {
+                what: "delta-dict",
+                offset: col.dict.data_offset(region)?,
+                len: col.dict.len(region)? * 8,
+                checksummed: true,
+            });
+            out.push(MediaExtent {
+                what: "delta-blob",
+                offset: col.blob.data_offset(region)?,
+                len: col.blob.len(region)?,
+                checksummed: true,
+            });
+            let av_data: u64 = region.read_pod(col.av.header_offset() + 8)?;
+            out.push(MediaExtent {
+                what: "delta-av",
+                offset: av_data,
+                len: rows * 4,
+                checksummed: false,
+            });
+        }
+
+        if let Some(m) = &self.main {
+            for col in &m.cols {
+                out.push(MediaExtent {
+                    what: "main-dict",
+                    offset: col.dict_ptr,
+                    len: col.dict_len * 8,
+                    checksummed: true,
+                });
+                out.push(MediaExtent {
+                    what: "main-av",
+                    offset: col.av.offset(),
+                    len: col.av.byte_len(),
+                    checksummed: true,
+                });
+                out.push(MediaExtent {
+                    what: "main-blob",
+                    offset: col.blob_ptr,
+                    len: col.blob_len,
+                    checksummed: true,
+                });
+            }
+            out.push(MediaExtent {
+                what: "main-end",
+                offset: m.end.offset(),
+                len: m.end.byte_len(),
+                checksummed: false,
+            });
+        }
+        out.retain(|e| e.len > 0);
+        Ok(out)
+    }
+
     fn free_delta_tree(&self, old_delta: u64, ncols: usize) -> Result<()> {
         let region = self.region();
         let heap = &self.heap;

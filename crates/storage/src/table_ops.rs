@@ -84,8 +84,7 @@ pub trait TableStore: Send {
     fn scan_visible(&self, snapshot: u64, tid: u64) -> Result<Vec<RowId>>;
 
     /// Row ids of visible versions whose column `col` equals `value`.
-    fn scan_eq(&self, col: ColumnId, value: &Value, snapshot: u64, tid: u64)
-        -> Result<Vec<RowId>>;
+    fn scan_eq(&self, col: ColumnId, value: &Value, snapshot: u64, tid: u64) -> Result<Vec<RowId>>;
 
     /// Row ids of visible versions with `lo <= col_value < hi` (either bound
     /// optional).

@@ -200,10 +200,12 @@ mod tests {
 
     #[test]
     fn total_order_on_doubles() {
-        let mut vals = [Value::Double(f64::NAN),
+        let mut vals = [
+            Value::Double(f64::NAN),
             Value::Double(1.0),
             Value::Double(f64::NEG_INFINITY),
-            Value::Double(-0.0)];
+            Value::Double(-0.0),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Double(f64::NEG_INFINITY));
         // NaN sorts last under total_cmp (positive NaN).

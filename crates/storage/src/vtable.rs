@@ -151,7 +151,12 @@ impl VTable {
         }
     }
 
-    fn visible_filter(&self, rows: impl Iterator<Item = RowId>, snapshot: u64, tid: u64) -> Vec<RowId> {
+    fn visible_filter(
+        &self,
+        rows: impl Iterator<Item = RowId>,
+        snapshot: u64,
+        tid: u64,
+    ) -> Vec<RowId> {
         rows.filter(|&r| {
             let (in_main, i) = self.split(r).expect("row from internal iteration");
             let (b, e) = if in_main {
@@ -302,13 +307,7 @@ impl TableStore for VTable {
         Ok(self.visible_filter(0..self.row_count(), snapshot, tid))
     }
 
-    fn scan_eq(
-        &self,
-        col: ColumnId,
-        value: &Value,
-        snapshot: u64,
-        tid: u64,
-    ) -> Result<Vec<RowId>> {
+    fn scan_eq(&self, col: ColumnId, value: &Value, snapshot: u64, tid: u64) -> Result<Vec<RowId>> {
         self.check_col(col)?;
         let mut hits = Vec::new();
         // Main: binary search the sorted dictionary, then scan the packed av.
@@ -399,7 +398,9 @@ impl TableStore for VTable {
                 .iter()
                 .map(|r| dict.binary_search(&r[c]).expect("value interned") as u64)
                 .collect();
-            new_main.avs.push(BitPacked::from_ids(&ids, dict.len() as u64));
+            new_main
+                .avs
+                .push(BitPacked::from_ids(&ids, dict.len() as u64));
             new_main.dicts.push(dict);
         }
         let merged = survivors.len() as u64;
@@ -485,7 +486,9 @@ mod tests {
         t.insert_version(&row(0, "v", 0.0), 2).unwrap();
         let hits = t.scan_eq(0, &Value::Int(0), 5, 99).unwrap();
         assert_eq!(hits.len(), 4); // 3 in main + 1 in delta
-        assert!(hits.iter().all(|&r| t.value(r, 0).unwrap() == Value::Int(0)));
+        assert!(hits
+            .iter()
+            .all(|&r| t.value(r, 0).unwrap() == Value::Int(0)));
     }
 
     #[test]
@@ -532,7 +535,8 @@ mod tests {
     #[test]
     fn merge_rejects_pending_rows() {
         let mut t = table();
-        t.insert_version(&row(1, "a", 0.0), mvcc::pending(4)).unwrap();
+        t.insert_version(&row(1, "a", 0.0), mvcc::pending(4))
+            .unwrap();
         assert!(t.merge(10).is_err());
     }
 
@@ -560,7 +564,9 @@ mod tests {
         let r1 = t.insert_version(&row(1, "old", 0.0), 1).unwrap();
         // "Update": invalidate old version, insert new one, commit at ts 5.
         t.try_invalidate(r1, mvcc::pending(2)).unwrap();
-        let r2 = t.insert_version(&row(1, "new", 0.0), mvcc::pending(2)).unwrap();
+        let r2 = t
+            .insert_version(&row(1, "new", 0.0), mvcc::pending(2))
+            .unwrap();
         t.commit_invalidate(r1, 5).unwrap();
         t.commit_insert(r2, 5).unwrap();
         // Snapshot 4 sees the old version; snapshot 5 the new one.
@@ -571,7 +577,9 @@ mod tests {
     #[test]
     fn aborted_insert_hidden() {
         let mut t = table();
-        let r = t.insert_version(&row(1, "a", 0.0), mvcc::pending(2)).unwrap();
+        let r = t
+            .insert_version(&row(1, "a", 0.0), mvcc::pending(2))
+            .unwrap();
         t.abort_insert(r).unwrap();
         assert!(t.scan_visible(100, 99).unwrap().is_empty());
     }

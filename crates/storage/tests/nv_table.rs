@@ -46,14 +46,19 @@ fn committed_rows_survive_crash_and_reopen() {
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
     for i in 0..50 {
-        let r = t.insert_version(&row(i, &format!("s{i}"), i as f64), mvcc::pending(1)).unwrap();
+        let r = t
+            .insert_version(&row(i, &format!("s{i}"), i as f64), mvcc::pending(1))
+            .unwrap();
         t.commit_insert(r, (i + 1) as u64).unwrap();
     }
     h.region().crash(CrashPolicy::DropUnflushed);
     let t2 = reopen(&h, root);
     assert_eq!(t2.row_count(), 50);
     for i in 0..50u64 {
-        assert_eq!(t2.row_values(i).unwrap(), row(i as i64, &format!("s{i}"), i as f64));
+        assert_eq!(
+            t2.row_values(i).unwrap(),
+            row(i as i64, &format!("s{i}"), i as f64)
+        );
         assert_eq!(t2.begin_ts(i).unwrap(), i + 1);
     }
 }
@@ -63,10 +68,13 @@ fn pending_rows_rolled_back_by_recover_mvcc() {
     let h = heap(1 << 22);
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
-    let r1 = t.insert_version(&row(1, "committed", 0.0), mvcc::pending(1)).unwrap();
+    let r1 = t
+        .insert_version(&row(1, "committed", 0.0), mvcc::pending(1))
+        .unwrap();
     t.commit_insert(r1, 5).unwrap();
     // Pending insert (txn never committed).
-    t.insert_version(&row(2, "pending", 0.0), mvcc::pending(2)).unwrap();
+    t.insert_version(&row(2, "pending", 0.0), mvcc::pending(2))
+        .unwrap();
     // Pending invalidation of the committed row.
     t.try_invalidate(r1, mvcc::pending(2)).unwrap();
 
@@ -76,7 +84,11 @@ fn pending_rows_rolled_back_by_recover_mvcc() {
     assert_eq!(repaired, 2);
     let vis = t2.scan_visible(5, 99).unwrap();
     assert_eq!(vis, vec![r1], "only the committed row is visible");
-    assert_eq!(t2.end_ts(r1).unwrap(), TS_INF, "pending invalidation undone");
+    assert_eq!(
+        t2.end_ts(r1).unwrap(),
+        TS_INF,
+        "pending invalidation undone"
+    );
 }
 
 #[test]
@@ -86,7 +98,9 @@ fn unpublished_commit_timestamps_rolled_back() {
     let h = heap(1 << 22);
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
-    let r = t.insert_version(&row(1, "x", 0.0), mvcc::pending(1)).unwrap();
+    let r = t
+        .insert_version(&row(1, "x", 0.0), mvcc::pending(1))
+        .unwrap();
     t.commit_insert(r, 9).unwrap(); // cts 9, but suppose last durable cts is 3
     h.region().crash(CrashPolicy::DropUnflushed);
     let mut t2 = reopen(&h, root);
@@ -143,8 +157,12 @@ fn scan_eq_and_range_parity_with_vtable() {
         .scan_range(0, Some(&Value::Int(2)), Some(&Value::Int(5)), 5, 99)
         .unwrap();
     assert_eq!(a, b, "range scan parity");
-    let a = nv.scan_range(2, None, Some(&Value::Double(3.0)), 5, 99).unwrap();
-    let b = v.scan_range(2, None, Some(&Value::Double(3.0)), 5, 99).unwrap();
+    let a = nv
+        .scan_range(2, None, Some(&Value::Double(3.0)), 5, 99)
+        .unwrap();
+    let b = v
+        .scan_range(2, None, Some(&Value::Double(3.0)), 5, 99)
+        .unwrap();
     assert_eq!(a, b, "double range parity");
 }
 
@@ -154,7 +172,9 @@ fn merge_survives_crash_after_swap() {
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
     for i in 0..30i64 {
-        let r = t.insert_version(&row(i, "m", 0.5), mvcc::pending(1)).unwrap();
+        let r = t
+            .insert_version(&row(i, "m", 0.5), mvcc::pending(1))
+            .unwrap();
         t.commit_insert(r, 2).unwrap();
     }
     // Invalidate ten rows before merging.
@@ -185,7 +205,9 @@ fn merge_reclaims_old_tree() {
     let h = heap(1 << 24);
     let mut t = NvTable::create(&h, schema()).unwrap();
     for i in 0..20i64 {
-        let r = t.insert_version(&row(i, &format!("v{i}"), 0.0), mvcc::pending(1)).unwrap();
+        let r = t
+            .insert_version(&row(i, &format!("v{i}"), 0.0), mvcc::pending(1))
+            .unwrap();
         t.commit_insert(r, 2).unwrap();
     }
     t.merge(5).unwrap();
@@ -216,10 +238,14 @@ fn update_chain_across_restart() {
     let h = heap(1 << 22);
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
-    let r1 = t.insert_version(&row(1, "v1", 0.0), mvcc::pending(1)).unwrap();
+    let r1 = t
+        .insert_version(&row(1, "v1", 0.0), mvcc::pending(1))
+        .unwrap();
     t.commit_insert(r1, 2).unwrap();
     t.try_invalidate(r1, mvcc::pending(2)).unwrap();
-    let r2 = t.insert_version(&row(1, "v2", 0.0), mvcc::pending(2)).unwrap();
+    let r2 = t
+        .insert_version(&row(1, "v2", 0.0), mvcc::pending(2))
+        .unwrap();
     t.commit_invalidate(r1, 5).unwrap();
     t.commit_insert(r2, 5).unwrap();
     h.region().crash(CrashPolicy::DropUnflushed);
@@ -248,7 +274,9 @@ fn dictionary_probe_rebuilt_after_reopen() {
     let mut t = NvTable::create(&h, schema()).unwrap();
     let root = t.root_offset();
     for i in 0..10i64 {
-        let r = t.insert_version(&row(i % 3, "dup", 0.0), mvcc::pending(1)).unwrap();
+        let r = t
+            .insert_version(&row(i % 3, "dup", 0.0), mvcc::pending(1))
+            .unwrap();
         t.commit_insert(r, 1).unwrap();
     }
     h.region().crash(CrashPolicy::DropUnflushed);
@@ -256,7 +284,9 @@ fn dictionary_probe_rebuilt_after_reopen() {
     // Probe maps must dedupe against recovered dictionaries: inserting an
     // existing value must not grow the dictionary.
     let hits_before = t2.scan_eq(0, &Value::Int(0), 10, 99).unwrap().len();
-    let r = t2.insert_version(&row(0, "dup", 0.0), mvcc::pending(2)).unwrap();
+    let r = t2
+        .insert_version(&row(0, "dup", 0.0), mvcc::pending(2))
+        .unwrap();
     t2.commit_insert(r, 2).unwrap();
     let hits_after = t2.scan_eq(0, &Value::Int(0), 10, 99).unwrap().len();
     assert_eq!(hits_after, hits_before + 1);
@@ -281,7 +311,8 @@ fn random_eviction_crashes_still_recover() {
             }
         }
         let last_cts = 19;
-        h.region().crash(CrashPolicy::RandomEviction { p: 0.5, seed });
+        h.region()
+            .crash(CrashPolicy::RandomEviction { p: 0.5, seed });
         let mut t2 = reopen(&h, root);
         t2.recover_mvcc(last_cts).unwrap();
         let vis = t2.scan_visible(last_cts, 99).unwrap();
@@ -293,5 +324,118 @@ fn random_eviction_crashes_still_recover() {
                 "seed {seed} row {r}"
             );
         }
+    }
+}
+
+#[test]
+fn verify_media_clean_table_passes() {
+    let h = heap(1 << 22);
+    let mut t = NvTable::create(&h, schema()).unwrap();
+    for i in 0..30i64 {
+        let r = t
+            .insert_version(&row(i, &format!("v{i}"), i as f64), mvcc::pending(1))
+            .unwrap();
+        t.commit_insert(r, (i + 1) as u64).unwrap();
+    }
+    t.merge(30).unwrap();
+    for i in 30..40i64 {
+        let r = t
+            .insert_version(&row(i, &format!("v{i}"), i as f64), mvcc::pending(1))
+            .unwrap();
+        t.commit_insert(r, (i + 1) as u64).unwrap();
+    }
+    let checked = t.verify_media(40).unwrap();
+    assert!(checked > 5, "verified {checked} structures");
+}
+
+#[test]
+fn verify_media_detects_scribbled_main_column() {
+    let h = heap(1 << 22);
+    let mut t = NvTable::create(&h, schema()).unwrap();
+    for i in 0..20i64 {
+        let r = t
+            .insert_version(&row(i, &format!("v{i}"), i as f64), mvcc::pending(1))
+            .unwrap();
+        t.commit_insert(r, (i + 1) as u64).unwrap();
+    }
+    t.merge(20).unwrap();
+    let dict = t
+        .media_extents()
+        .unwrap()
+        .into_iter()
+        .find(|e| e.what == "main-dict")
+        .expect("main dictionary extent");
+    assert!(dict.checksummed);
+    h.region()
+        .inject_fault(&nvm::FaultSpec {
+            class: nvm::FaultClass::ScribbledBlock { len: 16 },
+            offset: dict.offset,
+            seed: 0xD1C7,
+        })
+        .unwrap();
+    match t.verify_media(20) {
+        Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch { what, .. })) => {
+            assert_eq!(what, "main column");
+        }
+        other => panic!("expected main-column checksum mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn verify_media_detects_delta_dict_fault() {
+    let h = heap(1 << 22);
+    let mut t = NvTable::create(&h, schema()).unwrap();
+    for i in 0..10i64 {
+        let r = t
+            .insert_version(&row(i, &format!("v{i}"), i as f64), mvcc::pending(1))
+            .unwrap();
+        t.commit_insert(r, (i + 1) as u64).unwrap();
+    }
+    let dict = t
+        .media_extents()
+        .unwrap()
+        .into_iter()
+        .find(|e| e.what == "delta-dict")
+        .expect("delta dictionary extent");
+    h.region()
+        .inject_fault(&nvm::FaultSpec {
+            class: nvm::FaultClass::BitFlip { bits: 1 },
+            offset: dict.offset,
+            seed: 3,
+        })
+        .unwrap();
+    match t.verify_media(10) {
+        Err(StorageError::Nvm(nvm::NvmError::ChecksumMismatch { what, .. })) => {
+            assert_eq!(what, "delta dictionary");
+        }
+        other => panic!("expected delta-dict checksum mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn verify_media_flags_implausible_timestamp() {
+    let h = heap(1 << 22);
+    let mut t = NvTable::create(&h, schema()).unwrap();
+    let r = t
+        .insert_version(&row(1, "a", 0.0), mvcc::pending(1))
+        .unwrap();
+    t.commit_insert(r, 2).unwrap();
+    assert!(t.verify_media(2).is_ok());
+    // Forge a commit timestamp far beyond the published last_cts — the
+    // plausibility check must flag it even though no checksum covers it.
+    let begin = t
+        .media_extents()
+        .unwrap()
+        .into_iter()
+        .find(|e| e.what == "delta-begin")
+        .expect("delta begin extent");
+    assert!(!begin.checksummed);
+    h.region().write_pod(begin.offset, &999_999u64).unwrap();
+    h.region().persist(begin.offset, 8).unwrap();
+    match t.verify_media(2) {
+        Err(StorageError::Corrupt { reason }) => {
+            assert!(reason.contains("begin timestamp"), "{reason}");
+        }
+        other => panic!("expected implausible-timestamp error, got {other:?}"),
     }
 }

@@ -131,12 +131,11 @@ impl<T: TableStore> Harness<T> {
                     // Duplicate inserts mean several visible versions can
                     // carry the key; model and table share insertion order,
                     // so "first visible" matches on both sides.
-                    let rows = self
-                        .table
-                        .scan_eq(0, &Value::Int(*k), snapshot, 0)
-                        .unwrap();
+                    let rows = self.table.scan_eq(0, &Value::Int(*k), snapshot, 0).unwrap();
                     assert!(!rows.is_empty(), "model/table divergence before delete");
-                    self.table.try_invalidate(rows[0], mvcc::pending(self.ts)).unwrap();
+                    self.table
+                        .try_invalidate(rows[0], mvcc::pending(self.ts))
+                        .unwrap();
                     self.table.commit_invalidate(rows[0], self.ts).unwrap();
                     self.model[idx].end = self.ts;
                 }
@@ -211,7 +210,8 @@ fn nvtable_matches_model_and_survives_crash() {
         let mut rng = SmallRng::seed_from_u64(0x27AB1E ^ case);
         let ops = op_seq(&mut rng, 1, 40);
         let seed = rng.next_u64();
-        let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
+        let heap =
+            NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
         let table = NvTable::create(&heap, schema()).unwrap();
         let root = table.root_offset();
         let mut h = Harness::new(table);
@@ -223,7 +223,8 @@ fn nvtable_matches_model_and_survives_crash() {
 
         let ts = h.ts;
         drop(h);
-        heap.region().crash(CrashPolicy::RandomEviction { p: 0.4, seed });
+        heap.region()
+            .crash(CrashPolicy::RandomEviction { p: 0.4, seed });
         let (heap2, _) = NvmHeap::open(heap.region().clone()).unwrap();
         let mut t2 = NvTable::open(&heap2, root).unwrap();
         t2.recover_mvcc(ts).unwrap();
@@ -233,7 +234,10 @@ fn nvtable_matches_model_and_survives_crash() {
             .into_iter()
             .map(|row| {
                 let vals = t2.row_values(row).unwrap();
-                (vals[0].as_int().unwrap(), vals[1].as_text().unwrap().to_owned())
+                (
+                    vals[0].as_int().unwrap(),
+                    vals[1].as_text().unwrap().to_owned(),
+                )
             })
             .collect();
         got.sort();
@@ -250,7 +254,8 @@ fn scan_parity_between_variants() {
         let ops = op_seq(&mut rng, 1, 40);
         let lo = rng.gen_range_i64(0, 30);
         let width = rng.gen_range_i64(1, 15);
-        let heap = NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
+        let heap =
+            NvmHeap::format(Arc::new(NvmRegion::new(32 << 20, LatencyModel::zero()))).unwrap();
         let mut hv = Harness::new(VTable::new(schema()));
         let mut hn = Harness::new(NvTable::create(&heap, schema()).unwrap());
         for op in &ops {
@@ -259,11 +264,23 @@ fn scan_parity_between_variants() {
         }
         let snap = hv.ts;
         let (lo_v, hi_v) = (Value::Int(lo), Value::Int(lo + width));
-        let a = hv.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
-        let b = hn.table.scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0).unwrap();
+        let a = hv
+            .table
+            .scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0)
+            .unwrap();
+        let b = hn
+            .table
+            .scan_range(0, Some(&lo_v), Some(&hi_v), snap, 0)
+            .unwrap();
         assert_eq!(a, b, "case {case}");
-        let a = hv.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
-        let b = hn.table.scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0).unwrap();
+        let a = hv
+            .table
+            .scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0)
+            .unwrap();
+        let b = hn
+            .table
+            .scan_eq(1, &Value::Text(format!("v{lo}@1")), snap, 0)
+            .unwrap();
         assert_eq!(a, b, "case {case}");
     }
 }

@@ -154,9 +154,7 @@ impl TxnManager {
         for w in &txn.writes {
             match *w {
                 WriteOp::Insert { table, row } => tables[table].commit_insert(row, cts)?,
-                WriteOp::Invalidate { table, row } => {
-                    tables[table].commit_invalidate(row, cts)?
-                }
+                WriteOp::Invalidate { table, row } => tables[table].commit_invalidate(row, cts)?,
             }
         }
         publish.publish(cts, txn)?;
@@ -253,7 +251,8 @@ mod tests {
         let mut tx = mgr.begin();
         {
             let mut tabs: Vec<&mut dyn TableStore> = vec![&mut t];
-            mgr.update(&mut tx, &mut tabs, 0, seeded, &row(1, 20)).unwrap();
+            mgr.update(&mut tx, &mut tabs, 0, seeded, &row(1, 20))
+                .unwrap();
             mgr.abort(&mut tx, &mut tabs).unwrap();
         }
         let tx = mgr.begin();
@@ -303,9 +302,11 @@ mod tests {
         let mut tx_a = mgr.begin();
         let mut tx_b = mgr.begin();
         let mut tabs: Vec<&mut dyn TableStore> = vec![&mut t];
-        mgr.update(&mut tx_a, &mut tabs, 0, r, &row(1, 101)).unwrap();
+        mgr.update(&mut tx_a, &mut tabs, 0, r, &row(1, 101))
+            .unwrap();
         assert!(crate::is_conflict(
-            &mgr.update(&mut tx_b, &mut tabs, 0, r, &row(1, 102)).unwrap_err()
+            &mgr.update(&mut tx_b, &mut tabs, 0, r, &row(1, 102))
+                .unwrap_err()
         ));
         mgr.commit(&mut tx_a, &mut tabs, &mut NoopPublish).unwrap();
         mgr.abort(&mut tx_b, &mut tabs).unwrap();

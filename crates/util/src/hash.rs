@@ -31,6 +31,28 @@ pub fn fnv1a_words(words: &[u64]) -> u64 {
     state
 }
 
+/// 32-bit FNV-1a offset basis.
+pub const FNV32_OFFSET: u32 = 0x811C_9DC5;
+/// 32-bit FNV-1a prime.
+pub const FNV32_PRIME: u32 = 0x0100_0193;
+
+/// Continue a 32-bit FNV-1a hash from a prior state. The 32-bit variant is
+/// used where a checksum must share a single 64-bit word with the value it
+/// protects (packed `(checksum << 32) | payload` publish words that stay
+/// 8-byte-store atomic).
+pub fn fnv1a32_continue(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        state = state.wrapping_mul(FNV32_PRIME);
+    }
+    state
+}
+
+/// 32-bit FNV-1a over a byte slice.
+pub fn fnv1a32(data: &[u8]) -> u32 {
+    fnv1a32_continue(FNV32_OFFSET, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

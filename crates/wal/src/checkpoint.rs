@@ -207,11 +207,7 @@ fn decode_main(b: &mut &[u8], ncols: usize) -> Result<VMain> {
     for _ in 0..rows {
         end_ts.push(b.get_u64_le());
     }
-    Ok(VMain {
-        dicts,
-        avs,
-        end_ts,
-    })
+    Ok(VMain { dicts, avs, end_ts })
 }
 
 fn encode_delta(b: &mut ByteBuf, d: &VDelta) {
@@ -342,7 +338,8 @@ mod tests {
         // Probe maps were rebuilt: interning works.
         let mut t2m = tables.into_iter().next().unwrap();
         let before = t2m.delta().dicts[1].len();
-        t2m.insert_version(&[Value::Int(0), "d0".into()], 4).unwrap();
+        t2m.insert_version(&[Value::Int(0), "d0".into()], 4)
+            .unwrap();
         assert_eq!(t2m.delta().dicts[1].len(), before);
     }
 
@@ -366,13 +363,7 @@ mod tests {
         let t1 = build_table();
         let t2 = VTable::new(Schema::new(vec![ColumnDef::new("x", DataType::Double)]));
         let path = tmpfile("multi");
-        write_checkpoint(
-            &path,
-            &[("a".to_owned(), &t1), ("b".to_owned(), &t2)],
-            9,
-            0,
-        )
-        .unwrap();
+        write_checkpoint(&path, &[("a".to_owned(), &t1), ("b".to_owned(), &t2)], 9, 0).unwrap();
         let (meta, tables) = load_checkpoint(&path).unwrap();
         assert_eq!(meta.table_names, vec!["a", "b"]);
         assert_eq!(tables.len(), 2);

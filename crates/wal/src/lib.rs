@@ -27,7 +27,7 @@ mod writer;
 
 pub use checkpoint::{load_checkpoint, write_checkpoint, CheckpointMeta};
 pub use record::{crc32, LogRecord};
-pub use recovery::{replay_log, ReplayReport};
+pub use recovery::{replay_log, replay_log_bounded, ReplayReport};
 pub use writer::{LogReader, LogWriter, WalStats};
 
 use std::fmt;

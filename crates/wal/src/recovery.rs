@@ -10,6 +10,13 @@
 //!    physical row id, because later records reference rows by id),
 //!    invalidations apply only for committed transactions, and merge records
 //!    re-run the deterministic merge at the logged snapshot.
+//!
+//! Reader-level corruption (a CRC mismatch or garbled frame before the tail)
+//! does **not** abort replay: both passes stop at the same last-valid-prefix
+//! offset and the report records the early stop, so the caller can salvage
+//! every transaction the intact prefix covers. Semantic corruption — a record
+//! referencing an unknown table or replaying to a different physical row id —
+//! stays a hard error, because it means the log and the checkpoint disagree.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -38,10 +45,33 @@ pub struct ReplayReport {
     pub merges: u64,
     /// Highest commit timestamp seen.
     pub last_cts: u64,
+    /// True when replay hit reader-level corruption and stopped before the
+    /// physical end of the log.
+    pub stopped_early: bool,
+    /// Byte offset just past the last record that was replayed — the end of
+    /// the valid prefix. Equals the log length when `stopped_early` is false.
+    pub valid_prefix: u64,
 }
 
 /// Replay the log at `path` from byte offset `start` into `tables`.
 pub fn replay_log(path: &Path, start: u64, tables: &mut [VTable]) -> Result<ReplayReport> {
+    replay_log_bounded(path, start, tables, u64::MAX)
+}
+
+/// Replay like [`replay_log`], but treat any commit record with
+/// `cts > max_cts` as if the transaction never committed.
+///
+/// This is the rung-2 fallback's guard: when the primary NVM image fails
+/// media verification, the engine replays the shadow log capped at the
+/// image's *published* last commit timestamp, so a commit record whose
+/// publish store never reached the catalogue is discarded exactly as the
+/// crash recovery contract requires.
+pub fn replay_log_bounded(
+    path: &Path,
+    start: u64,
+    tables: &mut [VTable],
+    max_cts: u64,
+) -> Result<ReplayReport> {
     let mut report = ReplayReport::default();
 
     // Pass 1: commit outcomes.
@@ -49,12 +79,16 @@ pub fn replay_log(path: &Path, start: u64, tables: &mut [VTable]) -> Result<Repl
     let mut seen_tids: HashMap<u64, bool> = HashMap::new();
     {
         let mut reader = LogReader::open(path, start)?;
-        while let Some(rec) = reader.next_record()? {
+        while let Some(rec) = next_or_stop(&mut reader, &mut report)? {
             match rec {
                 LogRecord::Commit { tid, cts } => {
-                    committed.insert(tid, cts);
-                    seen_tids.insert(tid, true);
-                    report.last_cts = report.last_cts.max(cts);
+                    if cts <= max_cts {
+                        committed.insert(tid, cts);
+                        seen_tids.insert(tid, true);
+                        report.last_cts = report.last_cts.max(cts);
+                    } else {
+                        seen_tids.entry(tid).or_insert(false);
+                    }
                 }
                 LogRecord::Abort { tid } => {
                     seen_tids.entry(tid).or_insert(false);
@@ -69,9 +103,11 @@ pub fn replay_log(path: &Path, start: u64, tables: &mut [VTable]) -> Result<Repl
     report.committed_txns = committed.len() as u64;
     report.discarded_txns = seen_tids.values().filter(|c| !**c).count() as u64;
 
-    // Pass 2: apply.
+    // Pass 2: apply. Both passes decode the same bytes, so a corrupt record
+    // stops pass 2 at exactly the offset pass 1 stopped at — no committed
+    // transaction can straddle the cut.
     let mut reader = LogReader::open(path, start)?;
-    while let Some(rec) = reader.next_record()? {
+    while let Some(rec) = next_or_stop(&mut reader, &mut report)? {
         report.records += 1;
         match rec {
             LogRecord::Insert {
@@ -105,15 +141,32 @@ pub fn replay_log(path: &Path, start: u64, tables: &mut [VTable]) -> Result<Repl
                 report.merges += 1;
             }
         }
+        report.valid_prefix = reader.offset();
     }
+    report.valid_prefix = report.valid_prefix.max(start);
     Ok(report)
 }
 
+/// Read the next record, converting reader-level corruption into a clean
+/// end-of-log with `stopped_early` set. I/O errors stay hard.
+fn next_or_stop(reader: &mut LogReader, report: &mut ReplayReport) -> Result<Option<LogRecord>> {
+    match reader.next_record() {
+        Ok(rec) => Ok(rec),
+        Err(WalError::Corrupt { .. }) => {
+            report.stopped_early = true;
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn table_mut(tables: &mut [VTable], idx: u32) -> Result<&mut VTable> {
-    tables.get_mut(idx as usize).ok_or_else(|| WalError::Corrupt {
-        reason: format!("log references unknown table {idx}"),
-        offset: None,
-    })
+    tables
+        .get_mut(idx as usize)
+        .ok_or_else(|| WalError::Corrupt {
+            reason: format!("log references unknown table {idx}"),
+            offset: None,
+        })
 }
 
 #[cfg(test)]
@@ -269,5 +322,88 @@ mod tests {
         drop(w);
         let mut tables = vec![VTable::new(schema())];
         assert!(replay_log(&path, 0, &mut tables).is_err());
+    }
+
+    #[test]
+    fn truncated_tail_record_stops_at_valid_prefix() {
+        let path = tmplog("torntail");
+        let clock = Arc::new(SimClock::new());
+        let mut w = LogWriter::open(&path, clock, 0).unwrap();
+        w.append(&ins(1, 0, 10)).unwrap();
+        w.append(&LogRecord::Commit { tid: 1, cts: 1 }).unwrap();
+        w.append(&ins(2, 1, 20)).unwrap();
+        let commit2_at = w.append(&LogRecord::Commit { tid: 2, cts: 2 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Chop into the final commit record, as a crash mid-append would.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let mut tables = vec![VTable::new(schema())];
+        let report = replay_log(&path, 0, &mut tables).unwrap();
+        // txn 2's commit never became durable: its insert replays as a
+        // tombstone and the transaction counts as discarded.
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.discarded_txns, 1);
+        assert_eq!(report.rows_inserted, 2);
+        assert_eq!(report.last_cts, 1);
+        assert!(!report.stopped_early, "a torn tail is a normal end-of-log");
+        assert_eq!(report.valid_prefix, commit2_at);
+        assert_eq!(tables[0].scan_visible(1, 999).unwrap(), vec![0]);
+        assert_eq!(tables[0].value(0, 0).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn crc_corrupted_mid_log_record_stops_cleanly() {
+        let path = tmplog("midcrc");
+        let clock = Arc::new(SimClock::new());
+        let mut w = LogWriter::open(&path, clock, 0).unwrap();
+        w.append(&ins(1, 0, 10)).unwrap();
+        w.append(&LogRecord::Commit { tid: 1, cts: 1 }).unwrap();
+        w.sync().unwrap();
+        let prefix_end = w.position();
+        let bad_at = w.append(&ins(2, 1, 20)).unwrap();
+        w.append(&LogRecord::Commit { tid: 2, cts: 2 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Flip a byte inside txn 2's insert body; the commit record after it
+        // makes this mid-log corruption, not a torn tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[bad_at as usize + 9] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut tables = vec![VTable::new(schema())];
+        let report = replay_log(&path, 0, &mut tables).unwrap();
+        assert!(report.stopped_early);
+        assert_eq!(report.valid_prefix, prefix_end);
+        // Only the prefix's transaction survives; txn 2's commit record lies
+        // beyond the corrupt record and must not be applied.
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.rows_inserted, 1);
+        assert_eq!(report.last_cts, 1);
+        assert_eq!(tables[0].scan_visible(1, 999).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn bounded_replay_discards_commits_past_cap() {
+        let path = tmplog("bounded");
+        let clock = Arc::new(SimClock::new());
+        let mut w = LogWriter::open(&path, clock, 0).unwrap();
+        w.append(&ins(1, 0, 10)).unwrap();
+        w.append(&LogRecord::Commit { tid: 1, cts: 1 }).unwrap();
+        w.append(&ins(2, 1, 20)).unwrap();
+        w.append(&LogRecord::Commit { tid: 2, cts: 2 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let mut tables = vec![VTable::new(schema())];
+        let report = replay_log_bounded(&path, 0, &mut tables, 1).unwrap();
+        // txn 2 committed in the log but past the cap: treated as if the
+        // commit never happened (its publish never reached the NVM image).
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.discarded_txns, 1);
+        assert_eq!(report.last_cts, 1);
+        assert_eq!(tables[0].scan_visible(1, 999).unwrap(), vec![0]);
+        assert_eq!(tables[0].scan_visible(2, 999).unwrap(), vec![0]);
     }
 }

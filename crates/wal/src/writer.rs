@@ -40,10 +40,7 @@ impl LogWriter {
     /// Open (or create) the log at `path`, appending after any existing
     /// content.
     pub fn open(path: &Path, clock: Arc<SimClock>, sync_latency_ns: u64) -> Result<LogWriter> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         let position = file.seek(SeekFrom::End(0))?;
         Ok(LogWriter {
             file: BufWriter::new(file),
@@ -286,10 +283,7 @@ mod tests {
         bytes[10] ^= 0xFF; // corrupt first record body
         std::fs::write(&path, &bytes).unwrap();
         let mut r = LogReader::open(&path, 0).unwrap();
-        assert!(matches!(
-            r.next_record(),
-            Err(WalError::Corrupt { .. })
-        ));
+        assert!(matches!(r.next_record(), Err(WalError::Corrupt { .. })));
     }
 
     #[test]

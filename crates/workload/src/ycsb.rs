@@ -133,7 +133,9 @@ pub struct YcsbGenerator {
 impl YcsbGenerator {
     /// Build a generator; keys `0..record_count` are assumed loaded.
     pub fn new(cfg: YcsbConfig) -> YcsbGenerator {
-        let zipf = cfg.zipf_theta.map(|t| Zipf::new(cfg.record_count.max(1), t));
+        let zipf = cfg
+            .zipf_theta
+            .map(|t| Zipf::new(cfg.record_count.max(1), t));
         let rng = SmallRng::seed_from_u64(cfg.seed);
         YcsbGenerator {
             next_key: cfg.record_count as i64,

@@ -132,7 +132,9 @@ fn main() -> hyrise_nv::Result<()> {
         }
     }
     let volume_before = total_order_volume(&mut db, &shop);
-    println!("phase 1: {committed} committed, {conflicts} conflicts, order volume {volume_before:.2}");
+    println!(
+        "phase 1: {committed} committed, {conflicts} conflicts, order volume {volume_before:.2}"
+    );
 
     // Consolidate the delta into the read-optimized main partition.
     let stats = db.merge(shop.orders)?;

@@ -22,11 +22,7 @@ fn main() -> hyrise_nv::Result<()> {
 
     // Insert some rows transactionally.
     let mut tx = db.begin();
-    for (id, owner, balance) in [
-        (1, "alice", 120.0),
-        (2, "bob", 80.0),
-        (3, "carol", 500.0),
-    ] {
+    for (id, owner, balance) in [(1, "alice", 120.0), (2, "bob", 80.0), (3, "carol", 500.0)] {
         db.insert(
             &mut tx,
             accounts,

@@ -137,12 +137,7 @@ fn engine_state(db: &mut Database, t: hyrise_nv::TableId) -> Oracle {
     db.scan_all(&tx, t)
         .unwrap()
         .into_iter()
-        .map(|r| {
-            (
-                r.values[0].as_int().unwrap(),
-                r.values[1].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_int().unwrap()))
         .collect()
 }
 
@@ -175,7 +170,11 @@ fn nvm_crash_recovery_matches_oracle() {
         let tx = db.begin();
         for (k, v) in &oracle {
             let hits = db.index_lookup(&tx, t, 0, &Value::Int(*k)).unwrap();
-            assert_eq!(hits.len(), 1, "case {case}: key {k} must have one visible version");
+            assert_eq!(
+                hits.len(),
+                1,
+                "case {case}: key {k} must have one visible version"
+            );
             assert_eq!(hits[0].values[1], Value::Int(*v), "case {case}: key {k}");
         }
         let integrity = db.verify_integrity().unwrap();
@@ -314,7 +313,8 @@ fn double_restart_idempotent() {
     let t = db.create_table("t", schema()).unwrap();
     let mut tx = db.begin();
     for k in 0..20 {
-        db.insert(&mut tx, t, &[Value::Int(k), Value::Int(0)]).unwrap();
+        db.insert(&mut tx, t, &[Value::Int(k), Value::Int(0)])
+            .unwrap();
     }
     db.commit(&mut tx).unwrap();
     db.restart_after_crash().unwrap();
@@ -343,6 +343,7 @@ fn crash_with_empty_database() {
     // Still usable afterwards.
     let t = db.create_table("t", schema()).unwrap();
     let mut tx = db.begin();
-    db.insert(&mut tx, t, &[Value::Int(1), Value::Int(0)]).unwrap();
+    db.insert(&mut tx, t, &[Value::Int(1), Value::Int(0)])
+        .unwrap();
     db.commit(&mut tx).unwrap();
 }

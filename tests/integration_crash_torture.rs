@@ -112,8 +112,13 @@ fn apply_workload(
                 Op::Update { key, version } => {
                     let hits = db.scan_eq(&tx, t, 0, &Value::Int(*key)).unwrap();
                     if let Some(hit) = hits.first() {
-                        db.update(&mut tx, t, hit.row, &[Value::Int(*key), Value::Int(*version)])
-                            .unwrap();
+                        db.update(
+                            &mut tx,
+                            t,
+                            hit.row,
+                            &[Value::Int(*key), Value::Int(*version)],
+                        )
+                        .unwrap();
                         shadow.insert(*key, *version);
                     }
                 }
@@ -141,12 +146,7 @@ fn engine_state(db: &mut Database, t: hyrise_nv::TableId) -> Oracle {
     db.scan_all(&tx, t)
         .unwrap()
         .into_iter()
-        .map(|r| {
-            (
-                r.values[0].as_int().unwrap(),
-                r.values[1].as_int().unwrap(),
-            )
-        })
+        .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_int().unwrap()))
         .collect()
 }
 
@@ -196,8 +196,14 @@ fn replay(seed: u64, txns: &[Txn], point: CrashPoint) -> Result<Replay, Violatio
         })?;
     let got = engine_state(&mut db, t);
     if got != expected {
-        let missing: Vec<_> = expected.iter().filter(|(k, _)| !got.contains_key(*k)).collect();
-        let extra: Vec<_> = got.iter().filter(|(k, _)| !expected.contains_key(*k)).collect();
+        let missing: Vec<_> = expected
+            .iter()
+            .filter(|(k, _)| !got.contains_key(*k))
+            .collect();
+        let extra: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| !expected.contains_key(*k))
+            .collect();
         let inv = if extra.is_empty() {
             "committed-prefix-durability"
         } else {
@@ -258,7 +264,11 @@ fn results_path(name: &str) -> PathBuf {
 /// with a single targeted run.
 fn write_repro(seed: u64, original: CrashPoint, shrunk: CrashPoint, v: &Violation) {
     let path = results_path("crash_torture_repro.jsonl");
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let seed_s = seed.to_string();
         let original_s = format!("{original:?}");
         let shrunk_s = format!("{shrunk:?}");
@@ -286,7 +296,9 @@ fn shrink(seed: u64, txns: &[Txn], original: CrashPoint) -> (CrashPoint, Violati
             return (p, v);
         }
     }
-    let v = replay(seed, txns, original).err().expect("failure must reproduce");
+    let v = replay(seed, txns, original)
+        .err()
+        .expect("failure must reproduce");
     (original, v)
 }
 
@@ -366,8 +378,14 @@ fn scheduled_crashes_replay_deterministically() {
     for point in CrashSchedule::sample(total_fences, 6, seed) {
         let a = replay(seed, &txns, point).unwrap();
         let b = replay(seed, &txns, point).unwrap();
-        assert_eq!(a.image_hash, b.image_hash, "{point:?}: surviving image differs");
-        assert_eq!(a.last_cts, b.last_cts, "{point:?}: recovered watermark differs");
+        assert_eq!(
+            a.image_hash, b.image_hash,
+            "{point:?}: surviving image differs"
+        );
+        assert_eq!(
+            a.last_cts, b.last_cts,
+            "{point:?}: recovered watermark differs"
+        );
     }
 }
 
@@ -387,7 +405,10 @@ fn every_fence_boundary_of_short_workload_is_safe() {
     };
     for point in CrashSchedule::enumerate_fences(total_fences) {
         replay(seed, &txns, point).unwrap_or_else(|v| {
-            panic!("{point:?}: invariant `{}` violated: {}", v.invariant, v.detail)
+            panic!(
+                "{point:?}: invariant `{}` violated: {}",
+                v.invariant, v.detail
+            )
         });
     }
 }

@@ -185,10 +185,22 @@ fn index_lookup_agrees_with_scan() {
             assert_eq!(via_idx.len(), via_scan.len(), "{mode} key {k}");
         }
         let via_idx = db
-            .index_range_lookup(&tx, t, 2, Some(&Value::Double(2.0)), Some(&Value::Double(5.0)))
+            .index_range_lookup(
+                &tx,
+                t,
+                2,
+                Some(&Value::Double(2.0)),
+                Some(&Value::Double(5.0)),
+            )
             .unwrap();
         let via_scan = db
-            .scan_range(&tx, t, 2, Some(&Value::Double(2.0)), Some(&Value::Double(5.0)))
+            .scan_range(
+                &tx,
+                t,
+                2,
+                Some(&Value::Double(2.0)),
+                Some(&Value::Double(5.0)),
+            )
             .unwrap();
         assert_eq!(via_idx.len(), via_scan.len(), "{mode} range");
     }

@@ -98,7 +98,10 @@ fn uncommitted_transaction_invisible_after_restart_wal() {
 
 #[test]
 fn updates_and_deletes_survive_restart() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let mode = config.mode_name();
         let mut db = Database::create(config).unwrap();
         let t = db.create_table("t", schema()).unwrap();
@@ -118,13 +121,19 @@ fn updates_and_deletes_survive_restart() {
         assert_eq!(all.len(), 9, "{mode}");
         let three = db.scan_eq(&tx, t, 0, &Value::Int(3)).unwrap();
         assert_eq!(three[0].values[1], Value::Text("updated".into()), "{mode}");
-        assert!(db.scan_eq(&tx, t, 0, &Value::Int(7)).unwrap().is_empty(), "{mode}");
+        assert!(
+            db.scan_eq(&tx, t, 0, &Value::Int(7)).unwrap().is_empty(),
+            "{mode}"
+        );
     }
 }
 
 #[test]
 fn restart_after_merge_preserves_data() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let mode = config.mode_name();
         let mut db = Database::create(config).unwrap();
         let t = db.create_table("t", schema()).unwrap();
@@ -139,7 +148,10 @@ fn restart_after_merge_preserves_data() {
 
 #[test]
 fn indexes_usable_after_restart() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let mode = config.mode_name();
         let mut db = Database::create(config).unwrap();
         let t = db.create_table("t", schema()).unwrap();
@@ -165,7 +177,10 @@ fn indexes_usable_after_restart() {
 
 #[test]
 fn repeated_crash_restart_cycles() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let mode = config.mode_name();
         let mut db = Database::create(config).unwrap();
         let t = db.create_table("t", schema()).unwrap();
@@ -180,7 +195,11 @@ fn repeated_crash_restart_cycles() {
             let report = db.restart_after_crash().unwrap();
             assert_eq!(report.rows_recovered, expected, "{mode} round {round}");
             let tx = db.begin();
-            assert_eq!(db.scan_all(&tx, t).unwrap().len(), expected as usize, "{mode}");
+            assert_eq!(
+                db.scan_all(&tx, t).unwrap().len(),
+                expected as usize,
+                "{mode}"
+            );
         }
     }
 }
@@ -218,7 +237,10 @@ fn wal_replay_grows_with_data_size() {
         let report = db.restart_after_crash().unwrap();
         replayed.push(report.log_records_replayed);
     }
-    assert!(replayed[1] > replayed[0] * 3, "replay work scales with data: {replayed:?}");
+    assert!(
+        replayed[1] > replayed[0] * 3,
+        "replay work scales with data: {replayed:?}"
+    );
 }
 
 #[test]

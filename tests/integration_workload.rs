@@ -7,7 +7,9 @@ use workload::{Op, TpccGenerator, TpccTables, TpccTxn, YcsbConfig, YcsbGenerator
 
 fn ycsb_db(config: DurabilityConfig, records: u64) -> (Database, TableId, YcsbGenerator) {
     let mut db = Database::create(config).unwrap();
-    let t = db.create_table("usertable", YcsbGenerator::schema()).unwrap();
+    let t = db
+        .create_table("usertable", YcsbGenerator::schema())
+        .unwrap();
     db.create_index(t, 0, IndexKind::Hash).unwrap();
     db.create_index(t, 0, IndexKind::Ordered).unwrap();
     let cfg = YcsbConfig {
@@ -40,8 +42,13 @@ fn apply_op(db: &mut Database, t: TableId, op: &Op) {
             let hits = db.index_lookup(&tx, t, 0, &Value::Int(*key)).unwrap();
             if let Some(hit) = hits.first() {
                 let row = hit.row;
-                db.update(&mut tx, t, row, &[Value::Int(*key), Value::Text(value.clone())])
-                    .unwrap();
+                db.update(
+                    &mut tx,
+                    t,
+                    row,
+                    &[Value::Int(*key), Value::Text(value.clone())],
+                )
+                .unwrap();
                 db.commit(&mut tx).unwrap();
             } else {
                 db.abort(&mut tx).unwrap();
@@ -121,7 +128,10 @@ fn ycsb_state_identical_across_backends() {
 
 #[test]
 fn ycsb_run_survives_restart_on_durable_backends() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let mode = config.mode_name();
         let (mut db, t, mut generator) = ycsb_db(config, 400);
         for op in generator.ops(1000) {
@@ -132,7 +142,12 @@ fn ycsb_run_survives_restart_on_durable_backends() {
             .scan_all(&tx, t)
             .unwrap()
             .into_iter()
-            .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_text().unwrap().to_owned()))
+            .map(|r| {
+                (
+                    r.values[0].as_int().unwrap(),
+                    r.values[1].as_text().unwrap().to_owned(),
+                )
+            })
             .collect();
         before.sort();
         db.restart_after_crash().unwrap();
@@ -141,7 +156,12 @@ fn ycsb_run_survives_restart_on_durable_backends() {
             .scan_all(&tx, t)
             .unwrap()
             .into_iter()
-            .map(|r| (r.values[0].as_int().unwrap(), r.values[1].as_text().unwrap().to_owned()))
+            .map(|r| {
+                (
+                    r.values[0].as_int().unwrap(),
+                    r.values[1].as_text().unwrap().to_owned(),
+                )
+            })
             .collect();
         after.sort();
         assert_eq!(before, after, "{mode}");
@@ -178,7 +198,11 @@ fn tpcc_db(config: DurabilityConfig, warehouses: i64) -> (Database, Shop, TpccGe
     }
     let generator = TpccGenerator::new(warehouses, 11);
     let (ws, ds, cs) = generator.load_rows();
-    for (t, rows) in [(shop.warehouse, ws), (shop.district, ds), (shop.customer, cs)] {
+    for (t, rows) in [
+        (shop.warehouse, ws),
+        (shop.district, ds),
+        (shop.customer, cs),
+    ] {
         let mut tx = db.begin();
         for row in rows {
             db.insert(&mut tx, t, &row).unwrap();
@@ -192,7 +216,11 @@ fn run_tpcc(db: &mut Database, shop: &mut Shop, txn: &TpccTxn) -> bool {
     let mut tx = db.begin();
     let ok: hyrise_nv::Result<()> = (|| {
         match txn {
-            TpccTxn::NewOrder { d_key, c_key, amount } => {
+            TpccTxn::NewOrder {
+                d_key,
+                c_key,
+                amount,
+            } => {
                 let d = db.index_lookup(&tx, shop.district, 0, &Value::Int(*d_key))?[0].clone();
                 let mut dv = d.values.clone();
                 dv[2] = Value::Int(dv[2].as_int().unwrap() + 1);
@@ -202,10 +230,20 @@ fn run_tpcc(db: &mut Database, shop: &mut Shop, txn: &TpccTxn) -> bool {
                 db.insert(
                     &mut tx,
                     shop.orders,
-                    &[Value::Int(o), Value::Int(*d_key), Value::Int(*c_key), Value::Double(*amount)],
+                    &[
+                        Value::Int(o),
+                        Value::Int(*d_key),
+                        Value::Int(*c_key),
+                        Value::Double(*amount),
+                    ],
                 )?;
             }
-            TpccTxn::Payment { w_id, d_key, c_key, amount } => {
+            TpccTxn::Payment {
+                w_id,
+                d_key,
+                c_key,
+                amount,
+            } => {
                 for (t, key, col, sign) in [
                     (shop.warehouse, *w_id, 2usize, 1.0),
                     (shop.district, *d_key, 3, 1.0),
@@ -260,7 +298,10 @@ fn check_money_invariant(db: &mut Database, shop: &Shop, initial_balance_total: 
 
 #[test]
 fn tpcc_money_conserved_across_crash() {
-    for config in [DurabilityConfig::nvm_default(), DurabilityConfig::wal_temp()] {
+    for config in [
+        DurabilityConfig::nvm_default(),
+        DurabilityConfig::wal_temp(),
+    ] {
         let (mut db, mut shop, mut generator) = tpcc_db(config, 2);
         let initial: f64 = 2.0 * 10.0 * 30.0 * 1000.0;
         for txn in generator.txns(400) {
