@@ -93,7 +93,10 @@ impl AttachParts {
     /// opened — the ladder decides per entry whether to attach or rebuild).
     pub fn index_entries(&self, t: usize) -> Result<Vec<IndexEntrySpec>> {
         let r = self.heap.region();
-        let idx_block = self.idx_blocks[t];
+        let idx_block = *self
+            .idx_blocks
+            .get(t)
+            .ok_or_else(|| EngineError::Catalog(format!("table slot {t} out of range")))?;
         let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
         if icount as usize > MAX_INDEXES_PER_TABLE {
             return Err(EngineError::Catalog("implausible index count".into()));
@@ -115,11 +118,15 @@ impl AttachParts {
     /// allocated but unreachable — quarantined rather than freed, since its
     /// block metadata cannot be trusted after a media fault.
     pub fn swap_table_root(&mut self, t: usize, new_root: u64) -> Result<()> {
+        let slot = self
+            .roots
+            .get_mut(t)
+            .ok_or_else(|| EngineError::Catalog(format!("table slot {t} out of range")))?;
         let base = self.catalog + CAT_ENTRIES + t as u64 * CAT_ENTRY_STRIDE;
         let r = self.heap.region();
         r.write_pod(base + 8, &new_root)?;
         r.persist(base + 8, 8)?;
-        self.roots[t] = new_root;
+        *slot = new_root;
         Ok(())
     }
 
@@ -298,6 +305,54 @@ impl NvBackend {
     /// The persistent heap.
     pub fn heap(&self) -> &NvmHeap {
         &self.heap
+    }
+
+    /// `(offset, len)` of the catalogue's commit-timestamp word — the
+    /// publish word of the commit protocols (label `catalog-cts`).
+    pub fn cts_extent(&self) -> (u64, u64) {
+        (self.catalog + CAT_LAST_CTS, 8)
+    }
+
+    /// `(offset, len)` of the catalogue's table count — the publish word
+    /// of the `ddl-create-table` protocol (label `catalog-ntables`).
+    pub fn ntables_extent(&self) -> (u64, u64) {
+        (self.catalog + CAT_NTABLES, 8)
+    }
+
+    /// `(offset, len)` of catalogue entry `t` (name ptr, table root, index
+    /// block) — label `catalog-entry` of the `ddl-create-table` protocol.
+    pub fn entry_extent(&self, t: usize) -> (u64, u64) {
+        (
+            self.catalog + CAT_ENTRIES + t as u64 * CAT_ENTRY_STRIDE,
+            CAT_ENTRY_STRIDE,
+        )
+    }
+
+    /// `(offset, len)` of table `t`'s delta row counter — the publish word
+    /// of the `delta-append` protocol (label `delta-rows`).
+    pub fn table_rows_publish_extent(&self, t: usize) -> Option<(u64, u64)> {
+        self.tables.get(t).map(|tab| tab.rows_publish_extent())
+    }
+
+    /// `(offset, len)` of table `t`'s root pair pointer — the publish word
+    /// of the `merge-publish` protocol (label `table-pair`).
+    pub fn table_pair_publish_extent(&self, t: usize) -> Option<(u64, u64)> {
+        self.tables.get(t).map(|tab| tab.pair_publish_extent())
+    }
+
+    /// `(offset, len)` of table `table`'s persistent index count — the
+    /// publish word of the `index-register` protocol (label `index-count`).
+    pub fn idx_count_extent(&self, table: usize) -> Result<(u64, u64)> {
+        Ok((self.idx_block(table)? + IDX_COUNT, 8))
+    }
+
+    /// `(offset, len)` of index entry `i` of table `table` — label
+    /// `index-entry` of the `index-register` protocol.
+    pub fn idx_entry_extent(&self, table: usize, i: u64) -> Result<(u64, u64)> {
+        Ok((
+            self.idx_block(table)? + IDX_ENTRIES + i * IDX_ENTRY_STRIDE,
+            IDX_ENTRY_STRIDE,
+        ))
     }
 
     /// Durably published last commit timestamp.

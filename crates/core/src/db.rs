@@ -924,14 +924,12 @@ fn attach_with_ladder(
     let last_cts = parts.last_cts;
 
     // Rung 1: transiently poisoned table opens get a bounded retry.
-    for t in 0..parts.tables.len() {
-        if matches!(&parts.tables[t], Err(e) if is_transient_poison(e)) {
-            let root = parts.roots[t];
-            let heap = &parts.heap;
-            let retried = retry_poisoned(retries, || {
-                NvTable::open(heap, root).map_err(EngineError::Storage)
+    let retry_heap = parts.heap.clone();
+    for (slot, &root) in parts.tables.iter_mut().zip(parts.roots.iter()) {
+        if matches!(slot, Err(e) if is_transient_poison(e)) {
+            *slot = retry_poisoned(retries, || {
+                NvTable::open(&retry_heap, root).map_err(EngineError::Storage)
             });
-            parts.tables[t] = retried;
         }
     }
 
@@ -941,8 +939,8 @@ fn attach_with_ladder(
     let mut unhealthy: Vec<usize> = Vec::new();
     let mut verified = 0u64;
     timed_phase(&mut report.phases, "media verification", clock, || {
-        for t in 0..parts.tables.len() {
-            match &parts.tables[t] {
+        for (t, slot) in parts.tables.iter().enumerate() {
+            match slot {
                 Err(_) => unhealthy.push(t),
                 Ok(tab) => match retry_poisoned(retries, || {
                     tab.verify_media(last_cts).map_err(EngineError::Storage)
@@ -969,16 +967,19 @@ fn attach_with_ladder(
                 wal::replay_log_bounded(&paths.log(), meta.covered_log_pos, &mut skel, last_cts)?;
             replayed = rep.records;
             for &t in &unhealthy {
-                if t >= skel.len() {
-                    return Err(EngineError::Catalog(
+                let src = skel.get(t).ok_or_else(|| {
+                    EngineError::Catalog(
                         "shadow checkpoint is missing a table the catalogue lists".into(),
-                    ));
-                }
-                let nt = NvBackend::rebuild_table_from(&parts.heap, &skel[t])?;
+                    )
+                })?;
+                let nt = NvBackend::rebuild_table_from(&parts.heap, src)?;
                 parts.swap_table_root(t, nt.root_offset())?;
-                parts.tables[t] = Ok(nt);
+                let slot = parts.tables.get_mut(t).ok_or_else(|| {
+                    EngineError::Catalog("rebuilt table slot vanished from catalogue".into())
+                })?;
+                *slot = Ok(nt);
             }
-            Ok(())
+            Ok::<(), EngineError>(())
         })?;
         report.rung = 2;
         report.log_records_replayed = replayed;
@@ -994,8 +995,8 @@ fn attach_with_ladder(
     let mut attached = 0u64;
     let mut rebuilt = 0u64;
     timed_phase(&mut report.phases, "index verify + attach", clock, || {
-        for t in 0..parts.tables.len() {
-            let table = match &parts.tables[t] {
+        for (t, slot) in parts.tables.iter().enumerate() {
+            let table = match slot {
                 Ok(tab) => tab,
                 Err(_) => {
                     return Err(EngineError::Catalog(

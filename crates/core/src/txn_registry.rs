@@ -99,9 +99,9 @@ impl TxnRegistry {
     pub fn open(heap: &NvmHeap, base: u64) -> Result<TxnRegistry> {
         let region = heap.region();
         let mut caps = vec![0u64; REGISTRY_SLOTS as usize];
-        for s in 0..REGISTRY_SLOTS {
-            let writes: u64 = region.read_pod(base + s * SLOT_SIZE + S_WRITES)?;
-            caps[s as usize] = if writes == 0 {
+        for (s, cap) in caps.iter_mut().enumerate() {
+            let writes: u64 = region.read_pod(base + s as u64 * SLOT_SIZE + S_WRITES)?;
+            *cap = if writes == 0 {
                 0
             } else {
                 heap.payload_capacity(writes)? / ENTRY_SIZE

@@ -33,6 +33,12 @@
 //! ([`MidEpochSurvival`]). After the crash is materialized, a
 //! missing-flush **linter** reports any recovery read that touches a line
 //! whose last store never reached the medium ([`LintFinding`]).
+//!
+//! The persist-order protocols the engine relies on are declared as data in
+//! [`protocol_registry`]: each [`ProtocolSpec`] is an ordered
+//! store/flush/fence DAG ending in one publish point, statically validated
+//! for happens-before completeness and conformance-checked against recorded
+//! persist traces with [`check_trace`].
 
 mod alloc;
 mod error;
@@ -42,6 +48,7 @@ mod latency;
 mod layout;
 mod parray;
 mod pod;
+mod protocol;
 mod pslab;
 mod pvar;
 mod pvec;
@@ -58,6 +65,10 @@ pub use latency::{LatencyModel, SimClock};
 pub use layout::{align_up, line_index, CACHE_LINE};
 pub use parray::PArray;
 pub use pod::Pod;
+pub use protocol::{
+    check_trace, registry as protocol_registry, ConformanceReport, ConformanceViolation,
+    ProtocolSpec, ProtocolStep, RangeBinding, SpecError, StepId, StepKind,
+};
 pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;
 pub use pvec::{PVec, PVEC_HEADER};

@@ -19,7 +19,7 @@ pub unsafe trait Pod: Copy + 'static {
 
     /// View the value as raw bytes.
     fn as_bytes(&self) -> &[u8] {
-        // Safety: `Pod` guarantees no padding, so all bytes are initialized.
+        // SAFETY: `Pod` guarantees no padding, so all bytes are initialized.
         unsafe { std::slice::from_raw_parts(self as *const Self as *const u8, Self::SIZE) }
     }
 
@@ -30,7 +30,7 @@ pub unsafe trait Pod: Copy + 'static {
     /// Panics if `bytes.len() != Self::SIZE`.
     fn from_bytes(bytes: &[u8]) -> Self {
         assert_eq!(bytes.len(), Self::SIZE, "Pod::from_bytes length mismatch");
-        // Safety: `Pod` guarantees every bit pattern is valid, and
+        // SAFETY: `Pod` guarantees every bit pattern is valid, and
         // `read_unaligned` handles arbitrary alignment of the source.
         unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const Self) }
     }
@@ -39,7 +39,7 @@ pub unsafe trait Pod: Copy + 'static {
 macro_rules! impl_pod_prim {
     ($($t:ty),* $(,)?) => {
         $(
-            // Safety: primitive integers/floats have no padding and accept
+            // SAFETY: primitive integers/floats have no padding and accept
             // every bit pattern.
             unsafe impl Pod for $t {}
         )*
@@ -48,7 +48,7 @@ macro_rules! impl_pod_prim {
 
 impl_pod_prim!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
 
-// Safety: arrays of pods are pods (no padding between elements).
+// SAFETY: arrays of pods are pods (no padding between elements).
 unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 
 #[cfg(test)]

@@ -1,0 +1,1254 @@
+//! Persist-order protocol specifications and trace conformance checking.
+//!
+//! Every crash-consistency guarantee the engine makes rests on a small set
+//! of *commit/publish protocols*: ordered sequences of durable stores,
+//! cache-line flushes, and store fences that end in a single publish store
+//! which makes the preceding work reachable. Until now those orderings
+//! lived only in code and comments; this module makes them first-class
+//! data:
+//!
+//! * a [`ProtocolSpec`] declares a protocol as a happens-before DAG of
+//!   [`StepKind::Store`], [`StepKind::Flush`], [`StepKind::Fence`], and
+//!   [`StepKind::Publish`] steps;
+//! * [`ProtocolSpec::validate`] statically checks *happens-before
+//!   completeness*: every durable store must be dominated by a flush that
+//!   covers it and a following fence, all ordered before the publish
+//!   point, and the publish store itself must be flushed and fenced;
+//! * [`check_trace`] conformance-checks a recorded [`PersistTrace`]
+//!   against a spec, given [`RangeBinding`]s that map the spec's labels to
+//!   concrete byte ranges of the region — replacing the ad-hoc assertions
+//!   the crash-torture suites used to hand-roll.
+//!
+//! The declared protocols of the engine live in [`registry`]; `pmlint`
+//! validates all of them at lint time and the integration suite
+//! conformance-checks recorded traces of the real engine against them.
+
+use std::collections::HashMap;
+
+use crate::layout::line_span;
+use crate::trace::{PersistTrace, TraceEvent};
+
+/// Index of a step within its [`ProtocolSpec`].
+pub type StepId = usize;
+
+/// What one protocol step does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind {
+    /// A durable store into the labelled range. `checksummed` marks
+    /// publish-once payloads that must additionally be covered by a content
+    /// checksum registered in the media-extent map (lint rule
+    /// `publish-once-media`).
+    Store {
+        /// Stable label naming the target structure (matches the
+        /// media-extent labels where one exists).
+        label: &'static str,
+        /// The payload is sealed by a content checksum once published.
+        checksummed: bool,
+    },
+    /// A cache-line write-back covering the stores named in `covers`.
+    Flush {
+        /// Labels of the store/publish steps whose lines this flush covers.
+        covers: &'static [&'static str],
+    },
+    /// A store fence: drains every preceding flush to the medium.
+    Fence,
+    /// The publish point — the single store that makes everything before
+    /// it reachable (root swap, counter bump, timestamp publish).
+    Publish {
+        /// Label of the publish word.
+        label: &'static str,
+    },
+    /// A durability step outside the NVM trace (e.g. a shadow-log fsync).
+    /// Declared for ordering documentation; not observable in a persist
+    /// trace, so conformance checking skips it.
+    External {
+        /// What must become durable externally.
+        label: &'static str,
+    },
+}
+
+/// One node of a protocol's happens-before DAG.
+#[derive(Debug, Clone)]
+pub struct ProtocolStep {
+    /// What the step does.
+    pub kind: StepKind,
+    /// Steps (by index) that must happen before this one.
+    pub after: Vec<StepId>,
+    /// An optional step may be absent from a conforming trace (e.g. the
+    /// end-timestamp stamp of a commit that performed no deletes).
+    pub optional: bool,
+}
+
+impl ProtocolStep {
+    fn new(kind: StepKind, after: &[StepId]) -> ProtocolStep {
+        ProtocolStep {
+            kind,
+            after: after.to_vec(),
+            optional: false,
+        }
+    }
+
+    fn optional(kind: StepKind, after: &[StepId]) -> ProtocolStep {
+        ProtocolStep {
+            kind,
+            after: after.to_vec(),
+            optional: true,
+        }
+    }
+}
+
+/// A declared persist-order protocol: an ordered store/flush/fence DAG
+/// ending in one publish point.
+#[derive(Debug, Clone)]
+pub struct ProtocolSpec {
+    /// Stable protocol name (usable in artifacts and docs).
+    pub name: &'static str,
+    /// One-line description of what the protocol publishes.
+    pub what: &'static str,
+    /// The steps, in declaration order; `after` edges reference indices.
+    pub steps: Vec<ProtocolStep>,
+}
+
+/// A static defect in a [`ProtocolSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// An `after` edge references a step that does not exist.
+    DanglingEdge {
+        /// The step holding the bad edge.
+        step: StepId,
+        /// The missing target.
+        target: StepId,
+    },
+    /// The happens-before relation has a cycle.
+    Cycle,
+    /// The spec declares no publish point, or more than one.
+    PublishCount {
+        /// Number of publish steps found.
+        found: usize,
+    },
+    /// A flush covers a label no store or publish step declares.
+    UnknownCoverLabel {
+        /// The flush step.
+        step: StepId,
+        /// The label nothing declares.
+        label: &'static str,
+    },
+    /// A durable store is not dominated by a flush covering it plus a
+    /// following fence before the publish point.
+    UnpersistedStore {
+        /// Label of the store that can reach the publish point unflushed
+        /// or unfenced.
+        label: &'static str,
+    },
+    /// The publish store itself is never flushed and fenced.
+    UnpersistedPublish {
+        /// Label of the publish word.
+        label: &'static str,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::DanglingEdge { step, target } => {
+                write!(f, "step {step} orders after missing step {target}")
+            }
+            SpecError::Cycle => write!(f, "happens-before relation has a cycle"),
+            SpecError::PublishCount { found } => {
+                write!(f, "expected exactly one publish step, found {found}")
+            }
+            SpecError::UnknownCoverLabel { step, label } => {
+                write!(f, "flush step {step} covers unknown label {label:?}")
+            }
+            SpecError::UnpersistedStore { label } => write!(
+                f,
+                "store {label:?} is not dominated by flush+fence before the publish point"
+            ),
+            SpecError::UnpersistedPublish { label } => {
+                write!(f, "publish {label:?} is never flushed and fenced")
+            }
+        }
+    }
+}
+
+impl ProtocolSpec {
+    /// The label of the spec's publish step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no publish step; validated specs always do.
+    pub fn publish_label(&self) -> &'static str {
+        self.steps
+            .iter()
+            .find_map(|s| match s.kind {
+                StepKind::Publish { label } => Some(label),
+                _ => None,
+            })
+            .expect("validated spec has a publish step")
+    }
+
+    /// Labels of every durable store step, with their checksum flag.
+    pub fn store_labels(&self) -> Vec<(&'static str, bool)> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s.kind {
+                StepKind::Store { label, checksummed } => Some((label, checksummed)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Statically validate the spec for happens-before completeness.
+    ///
+    /// Checks, in order: every `after` edge resolves; the relation is
+    /// acyclic; there is exactly one publish step; every flush covers only
+    /// declared labels; every durable store is dominated by a covering
+    /// flush and a following fence, all happens-before the publish point;
+    /// and the publish store itself is followed by a covering flush and a
+    /// fence.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let n = self.steps.len();
+        for (i, s) in self.steps.iter().enumerate() {
+            for &t in &s.after {
+                if t >= n {
+                    return Err(SpecError::DanglingEdge { step: i, target: t });
+                }
+            }
+        }
+        let order = topo_order(&self.steps).ok_or(SpecError::Cycle)?;
+
+        let publishes: Vec<StepId> = self
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, StepKind::Publish { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if publishes.len() != 1 {
+            return Err(SpecError::PublishCount {
+                found: publishes.len(),
+            });
+        }
+        let publish = publishes[0];
+
+        let declared: Vec<&'static str> = self
+            .steps
+            .iter()
+            .filter_map(|s| match s.kind {
+                StepKind::Store { label, .. } | StepKind::Publish { label } => Some(label),
+                _ => None,
+            })
+            .collect();
+        for (i, s) in self.steps.iter().enumerate() {
+            if let StepKind::Flush { covers } = s.kind {
+                for label in covers {
+                    if !declared.contains(label) {
+                        return Err(SpecError::UnknownCoverLabel { step: i, label });
+                    }
+                }
+            }
+        }
+
+        // happens-before reachability: hb[a] holds the set of steps that
+        // `a` precedes (transitively).
+        let reach = reachability(&self.steps, &order);
+        let before = |a: StepId, b: StepId| reach[a][b];
+
+        // Every durable store needs store → flush(covering) → fence →
+        // publish, all ordered.
+        for (i, s) in self.steps.iter().enumerate() {
+            let StepKind::Store { label, .. } = s.kind else {
+                continue;
+            };
+            if !store_is_persisted_before(&self.steps, &before, i, label, Some(publish)) {
+                return Err(SpecError::UnpersistedStore { label });
+            }
+        }
+
+        // The publish store itself must be made durable (no deadline — it
+        // is the last step of the protocol).
+        let StepKind::Publish { label } = self.steps[publish].kind else {
+            unreachable!("publish index found above");
+        };
+        if !store_is_persisted_before(&self.steps, &before, publish, label, None) {
+            return Err(SpecError::UnpersistedPublish { label });
+        }
+        Ok(())
+    }
+}
+
+/// Does a flush covering `label` exist after step `store`, with a fence
+/// after the flush, and (when `deadline` is given) the fence ordered
+/// before the deadline step?
+fn store_is_persisted_before(
+    steps: &[ProtocolStep],
+    before: &impl Fn(StepId, StepId) -> bool,
+    store: StepId,
+    label: &'static str,
+    deadline: Option<StepId>,
+) -> bool {
+    for (fi, fs) in steps.iter().enumerate() {
+        let StepKind::Flush { covers } = fs.kind else {
+            continue;
+        };
+        if !covers.contains(&label) || !before(store, fi) {
+            continue;
+        }
+        for (zi, zs) in steps.iter().enumerate() {
+            if !matches!(zs.kind, StepKind::Fence) || !before(fi, zi) {
+                continue;
+            }
+            match deadline {
+                Some(d) => {
+                    if before(zi, d) {
+                        return true;
+                    }
+                }
+                None => return true,
+            }
+        }
+    }
+    false
+}
+
+/// Kahn topological order; `None` on a cycle.
+fn topo_order(steps: &[ProtocolStep]) -> Option<Vec<StepId>> {
+    let n = steps.len();
+    let mut indeg = vec![0usize; n];
+    for s in steps {
+        for &_t in &s.after {
+            // edge t -> current; indegree of current counts its `after`s
+        }
+    }
+    for (i, s) in steps.iter().enumerate() {
+        indeg[i] = s.after.len();
+    }
+    let mut ready: Vec<StepId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        order.push(i);
+        for (j, s) in steps.iter().enumerate() {
+            if s.after.contains(&i) {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Transitive happens-before matrix: `reach[a][b]` iff `a` precedes `b`.
+fn reachability(steps: &[ProtocolStep], order: &[StepId]) -> Vec<Vec<bool>> {
+    let n = steps.len();
+    let mut reach = vec![vec![false; n]; n];
+    // Process in topological order so predecessors' rows are complete.
+    for &j in order {
+        for &p in &steps[j].after {
+            reach[p][j] = true;
+            for row in reach.iter_mut() {
+                if row[p] {
+                    row[j] = true;
+                }
+            }
+        }
+    }
+    // Propagate once more to close over orderings discovered late (the
+    // loop above fills rows in topo order, so one pass suffices; this
+    // second pass is defensive and cheap at these sizes).
+    for k in 0..n {
+        let via = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (dst, &src) in row.iter_mut().zip(via.iter()) {
+                    *dst = *dst || src;
+                }
+            }
+        }
+    }
+    reach
+}
+
+// ---------------------------------------------------------------------------
+// Trace conformance
+// ---------------------------------------------------------------------------
+
+/// Binds a spec label to the concrete byte ranges it occupies in the
+/// region for one recorded run. Labels without a binding are skipped by
+/// the conformance checker (their offsets were not observable).
+#[derive(Debug, Clone)]
+pub struct RangeBinding {
+    /// The spec label (store or publish).
+    pub label: &'static str,
+    /// `(offset, len)` ranges; a label may be scattered (one range per
+    /// column, say).
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl RangeBinding {
+    /// Convenience constructor.
+    pub fn new(label: &'static str, ranges: Vec<(u64, u64)>) -> RangeBinding {
+        RangeBinding { label, ranges }
+    }
+}
+
+/// One conformance violation found in a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceViolation {
+    /// A bound durable store had not been flushed+fenced when the publish
+    /// store was issued — on real hardware the published state could
+    /// reference bytes that never reached the medium.
+    UnpersistedStoreAtPublish {
+        /// Label of the offending store.
+        label: &'static str,
+        /// The cache line still in flight.
+        line: u64,
+        /// Sequence number of the store.
+        store_seq: u64,
+        /// Sequence number of the publish store that overtook it.
+        publish_seq: u64,
+    },
+    /// A previous instance's publish store was still not durable when the
+    /// next publish was issued.
+    PublishNotPersisted {
+        /// Sequence number of the unpersisted publish store.
+        publish_seq: u64,
+    },
+    /// A bound store remained unpersisted at the end of the trace.
+    UnpersistedAtEnd {
+        /// Label of the store.
+        label: &'static str,
+        /// The cache line.
+        line: u64,
+        /// Sequence number of the store.
+        store_seq: u64,
+    },
+    /// A required, bound step produced no store event in the whole trace.
+    StepNeverObserved {
+        /// The label that never appeared.
+        label: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConformanceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConformanceViolation::UnpersistedStoreAtPublish {
+                label,
+                line,
+                store_seq,
+                publish_seq,
+            } => write!(
+                f,
+                "store #{store_seq} into {label:?} (line {line}) not flushed+fenced before publish store #{publish_seq}"
+            ),
+            ConformanceViolation::PublishNotPersisted { publish_seq } => {
+                write!(f, "publish store #{publish_seq} never became durable")
+            }
+            ConformanceViolation::UnpersistedAtEnd {
+                label,
+                line,
+                store_seq,
+            } => write!(
+                f,
+                "store #{store_seq} into {label:?} (line {line}) still unpersisted at end of trace"
+            ),
+            ConformanceViolation::StepNeverObserved { label } => {
+                write!(f, "required step {label:?} produced no store event")
+            }
+        }
+    }
+}
+
+/// Result of conformance-checking one trace against one spec.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Name of the spec checked.
+    pub spec: &'static str,
+    /// Publish store events observed (protocol instances).
+    pub publish_instances: u64,
+    /// Bound store events checked.
+    pub bound_stores_checked: u64,
+    /// Everything that violated the declared ordering.
+    pub violations: Vec<ConformanceViolation>,
+}
+
+impl ConformanceReport {
+    /// True when the trace conforms to the spec.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    Dirty,
+    InFlight,
+}
+
+struct TrackedLine {
+    label: &'static str,
+    seq: u64,
+    state: LineState,
+    is_publish: bool,
+}
+
+/// Conformance-check a recorded trace against a validated spec.
+///
+/// The checker replays the event log with per-cache-line persistence
+/// states. Stores that intersect a bound label's ranges are *tracked*:
+/// a flush of the line moves it in flight, a fence makes it durable. At
+/// every publish store event (a store intersecting the publish label's
+/// binding), any tracked line that is not durable is a violation — the
+/// publish overtook a store the spec orders before it. The publish line
+/// itself must be durable by the next publish (or end of trace).
+///
+/// Requires [`TraceConfig::keep_events`](crate::TraceConfig) recording.
+/// Unbound labels are skipped; bound, required labels with no store events
+/// at all are reported as [`ConformanceViolation::StepNeverObserved`].
+pub fn check_trace(
+    spec: &ProtocolSpec,
+    bindings: &[RangeBinding],
+    trace: &PersistTrace,
+) -> ConformanceReport {
+    let publish_label = spec.publish_label();
+    let publish_ranges: Vec<(u64, u64)> = bindings
+        .iter()
+        .filter(|b| b.label == publish_label)
+        .flat_map(|b| b.ranges.iter().copied())
+        .collect();
+    let store_bindings: Vec<&RangeBinding> = bindings
+        .iter()
+        .filter(|b| b.label != publish_label)
+        .collect();
+
+    let mut report = ConformanceReport {
+        spec: spec.name,
+        publish_instances: 0,
+        bound_stores_checked: 0,
+        violations: Vec::new(),
+    };
+    let mut tracked: HashMap<u64, TrackedLine> = HashMap::new();
+    let mut observed: HashMap<&'static str, u64> = HashMap::new();
+
+    let intersects =
+        |off: u64, len: u64, (ro, rl): (u64, u64)| rl > 0 && off < ro + rl && ro < off + len;
+
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::Store { seq, off, len, .. } => {
+                if len == 0 {
+                    continue;
+                }
+                let hits_publish = publish_ranges.iter().any(|&r| intersects(off, len, r));
+                if hits_publish {
+                    report.publish_instances += 1;
+                    *observed.entry(publish_label).or_insert(0) += 1;
+                    // Everything the spec orders before the publish must be
+                    // durable by now.
+                    for (line, t) in tracked.iter() {
+                        report.violations.push(if t.is_publish {
+                            ConformanceViolation::PublishNotPersisted { publish_seq: t.seq }
+                        } else {
+                            ConformanceViolation::UnpersistedStoreAtPublish {
+                                label: t.label,
+                                line: *line,
+                                store_seq: t.seq,
+                                publish_seq: seq,
+                            }
+                        });
+                    }
+                    tracked.retain(|_, t| t.is_publish);
+                    let (a, b) = line_span(off, len);
+                    for line in a..=b {
+                        tracked.insert(
+                            line,
+                            TrackedLine {
+                                label: publish_label,
+                                seq,
+                                state: LineState::Dirty,
+                                is_publish: true,
+                            },
+                        );
+                    }
+                    continue;
+                }
+                for binding in &store_bindings {
+                    if binding.ranges.iter().any(|&r| intersects(off, len, r)) {
+                        report.bound_stores_checked += 1;
+                        *observed.entry(binding.label).or_insert(0) += 1;
+                        let (a, b) = line_span(off, len);
+                        for line in a..=b {
+                            tracked.insert(
+                                line,
+                                TrackedLine {
+                                    label: binding.label,
+                                    seq,
+                                    state: LineState::Dirty,
+                                    is_publish: false,
+                                },
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+            TraceEvent::Flush { line, .. } => {
+                if let Some(t) = tracked.get_mut(&line) {
+                    if t.state == LineState::Dirty {
+                        t.state = LineState::InFlight;
+                    }
+                }
+            }
+            TraceEvent::Fence { .. } => {
+                tracked.retain(|_, t| t.state != LineState::InFlight);
+            }
+        }
+    }
+
+    // Whatever is still tracked never became durable inside the trace.
+    for (line, t) in &tracked {
+        report.violations.push(if t.is_publish {
+            ConformanceViolation::PublishNotPersisted { publish_seq: t.seq }
+        } else {
+            ConformanceViolation::UnpersistedAtEnd {
+                label: t.label,
+                line: *line,
+                store_seq: t.seq,
+            }
+        });
+    }
+
+    // Required steps that were bound but never seen.
+    for step in &spec.steps {
+        let StepKind::Store { label, .. } = step.kind else {
+            continue;
+        };
+        if step.optional {
+            continue;
+        }
+        let bound = store_bindings.iter().any(|b| b.label == label);
+        if bound && observed.get(label).copied().unwrap_or(0) == 0 {
+            report
+                .violations
+                .push(ConformanceViolation::StepNeverObserved { label });
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// The engine's declared protocols
+// ---------------------------------------------------------------------------
+
+/// Every persist-order protocol the engine implements, as validated,
+/// machine-checkable specs. `pmlint` validates each spec and checks that
+/// every checksummed label is registered in the media-extent map; the
+/// integration suite conformance-checks recorded traces against them.
+pub fn registry() -> Vec<ProtocolSpec> {
+    use StepKind::*;
+    vec![
+        // Commit: stamp MVCC words (each persisted), then one 8-byte
+        // publish of the commit timestamp in the catalogue.
+        ProtocolSpec {
+            name: "txn-commit-publish",
+            what: "commit-timestamp publish after per-row MVCC stamps",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "delta-begin",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["delta-begin"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::optional(
+                    Store {
+                        label: "delta-end",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["delta-end"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "catalog-cts",
+                    },
+                    &[2, 5],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["catalog-cts"],
+                    },
+                    &[6],
+                ),
+                ProtocolStep::new(Fence, &[7]),
+            ],
+        },
+        // Delta append: cells + MVCC words are written and flushed (one
+        // fence), then the row counter publishes the row.
+        ProtocolSpec {
+            name: "delta-append",
+            what: "row insert into the delta store, published by the row counter",
+            steps: vec![
+                ProtocolStep::optional(
+                    Store {
+                        label: "delta-dict",
+                        checksummed: true,
+                    },
+                    &[],
+                ),
+                ProtocolStep::optional(
+                    Store {
+                        label: "delta-blob",
+                        checksummed: true,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Store {
+                        label: "delta-av",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Store {
+                        label: "delta-begin",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Store {
+                        label: "delta-end",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &[
+                            "delta-dict",
+                            "delta-blob",
+                            "delta-av",
+                            "delta-begin",
+                            "delta-end",
+                        ],
+                    },
+                    &[0, 1, 2, 3, 4],
+                ),
+                ProtocolStep::new(Fence, &[5]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "delta-rows",
+                    },
+                    &[6],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["delta-rows"],
+                    },
+                    &[7],
+                ),
+                ProtocolStep::new(Fence, &[8]),
+            ],
+        },
+        // Merge: the new main tree (checksummed payloads) is fully durable
+        // before the pair pointer swaps to it.
+        ProtocolSpec {
+            name: "merge-publish",
+            what: "delta→main merge, published by the root pair swap",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "main-dict",
+                        checksummed: true,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Store {
+                        label: "main-av",
+                        checksummed: true,
+                    },
+                    &[],
+                ),
+                ProtocolStep::optional(
+                    Store {
+                        label: "main-blob",
+                        checksummed: true,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Store {
+                        label: "main-end",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::optional(
+                    Store {
+                        label: "merge-pair",
+                        checksummed: false,
+                    },
+                    &[0, 1, 2, 3],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &[
+                            "main-dict",
+                            "main-av",
+                            "main-blob",
+                            "main-end",
+                            "merge-pair",
+                        ],
+                    },
+                    &[4],
+                ),
+                ProtocolStep::new(Fence, &[5]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "table-pair",
+                    },
+                    &[6],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["table-pair"],
+                    },
+                    &[7],
+                ),
+                ProtocolStep::new(Fence, &[8]),
+            ],
+        },
+        // DDL: the catalogue entry (name, root, index block) is durable
+        // before the table count publishes it.
+        ProtocolSpec {
+            name: "ddl-create-table",
+            what: "CREATE TABLE, published by the catalogue table count",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "catalog-entry",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["catalog-entry"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "catalog-ntables",
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["catalog-ntables"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        },
+        // Index registration (create_index): entry slot durable before the
+        // per-table index count publishes it.
+        ProtocolSpec {
+            name: "index-register",
+            what: "persistent index registration, published by the index count",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "index-entry",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["index-entry"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "index-count",
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["index-count"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        },
+        // Index rebuild (post-merge or recovery rung 1): the freshly built
+        // structure is durable before the descriptor pointer swaps.
+        ProtocolSpec {
+            name: "index-desc-swap",
+            what: "index rebuild, published by the descriptor pointer swap",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "index-structure",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["index-structure"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "index-desc",
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["index-desc"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        },
+        // Shadow-WAL commit: the log is synced (external durability)
+        // strictly before the NVM commit-timestamp publish — the
+        // `log ⊇ published state` invariant rung 2 relies on.
+        ProtocolSpec {
+            name: "shadow-wal-commit",
+            what: "log-before-publish ordering of the shadow redo log",
+            steps: vec![
+                ProtocolStep::new(
+                    External {
+                        label: "shadow-log-sync",
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Publish {
+                        label: "catalog-cts",
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["catalog-cts"],
+                    },
+                    &[1],
+                ),
+                ProtocolStep::new(Fence, &[2]),
+            ],
+        },
+        // Recovery rung 2: the rebuilt table tree is durable before the
+        // catalogue root pointer swaps to it (quarantining the old tree).
+        ProtocolSpec {
+            name: "recovery-root-swap",
+            what: "rung-2 table rebuild, published by the catalogue root swap",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "rebuilt-table",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["rebuilt-table"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "catalog-table-root",
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["catalog-table-root"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LatencyModel, NvmRegion, TraceConfig};
+
+    #[test]
+    fn registry_specs_all_validate() {
+        for spec in registry() {
+            assert!(
+                spec.validate().is_ok(),
+                "spec {} failed validation: {:?}",
+                spec.name,
+                spec.validate()
+            );
+            // Every spec names its publish point.
+            let _ = spec.publish_label();
+        }
+        assert!(registry().len() >= 6, "at least six declared protocols");
+    }
+
+    #[test]
+    fn missing_fence_fails_validation() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-no-fence",
+            what: "store flushed but never fenced before publish",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "x",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(Flush { covers: &["x"] }, &[0]),
+                ProtocolStep::new(Publish { label: "p" }, &[1]),
+                ProtocolStep::new(Flush { covers: &["p"] }, &[2]),
+                ProtocolStep::new(Fence, &[3]),
+            ],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnpersistedStore { label: "x" })
+        );
+    }
+
+    #[test]
+    fn missing_flush_fails_validation() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-no-flush",
+            what: "store fenced but never flushed",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "x",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(Fence, &[0]),
+                ProtocolStep::new(Publish { label: "p" }, &[1]),
+                ProtocolStep::new(Flush { covers: &["p"] }, &[2]),
+                ProtocolStep::new(Fence, &[3]),
+            ],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnpersistedStore { label: "x" })
+        );
+    }
+
+    #[test]
+    fn unpersisted_publish_fails_validation() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-publish",
+            what: "publish never persisted",
+            steps: vec![ProtocolStep::new(Publish { label: "p" }, &[])],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::UnpersistedPublish { label: "p" })
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-cycle",
+            what: "a before b before a",
+            steps: vec![
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(Fence, &[0]),
+            ],
+        };
+        assert_eq!(spec.validate(), Err(SpecError::Cycle));
+    }
+
+    /// Helper: a simple "store then publish" spec bound to two lines.
+    fn simple_spec() -> ProtocolSpec {
+        use StepKind::*;
+        ProtocolSpec {
+            name: "test-simple",
+            what: "one store, one publish",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "payload",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["payload"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(Publish { label: "publish" }, &[2]),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["publish"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        }
+    }
+
+    fn bindings() -> Vec<RangeBinding> {
+        vec![
+            RangeBinding::new("payload", vec![(64, 8)]),
+            RangeBinding::new("publish", vec![(128, 8)]),
+        ]
+    }
+
+    #[test]
+    fn conforming_trace_is_clean() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(64, &1u64).unwrap();
+        r.persist(64, 8).unwrap();
+        r.write_pod(128, &2u64).unwrap();
+        r.persist(128, 8).unwrap();
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.publish_instances, 1);
+        assert_eq!(report.bound_stores_checked, 1);
+    }
+
+    #[test]
+    fn publish_overtaking_unflushed_store_is_flagged() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(64, &1u64).unwrap(); // never flushed
+        r.write_pod(128, &2u64).unwrap();
+        r.persist(128, 8).unwrap();
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            ConformanceViolation::UnpersistedStoreAtPublish {
+                label: "payload",
+                line: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn flushed_but_unfenced_store_is_flagged() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(64, &1u64).unwrap();
+        r.flush(64, 8).unwrap(); // no fence before publish
+        r.write_pod(128, &2u64).unwrap();
+        r.persist(128, 8).unwrap();
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert!(matches!(
+            report.violations[0],
+            ConformanceViolation::UnpersistedStoreAtPublish {
+                label: "payload",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unpublished_tail_store_is_flagged() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(64, &1u64).unwrap();
+        r.persist(64, 8).unwrap();
+        r.write_pod(128, &2u64).unwrap();
+        r.persist(128, 8).unwrap();
+        r.write_pod(64, &3u64).unwrap(); // dirty at end of trace
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert!(matches!(
+            report.violations[0],
+            ConformanceViolation::UnpersistedAtEnd {
+                label: "payload",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn required_step_never_observed_is_flagged() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(128, &2u64).unwrap();
+        r.persist(128, 8).unwrap();
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            ConformanceViolation::StepNeverObserved { label: "payload" }
+        )));
+    }
+
+    #[test]
+    fn multi_instance_commit_stream_conforms() {
+        // Ten instances of store+persist then publish+persist.
+        let r = NvmRegion::new(1 << 16, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        for i in 0..10u64 {
+            r.write_pod(64, &i).unwrap();
+            r.persist(64, 8).unwrap();
+            r.write_pod(128, &i).unwrap();
+            r.persist(128, 8).unwrap();
+        }
+        let trace = r.trace_stop().unwrap();
+        let report = check_trace(&simple_spec(), &bindings(), &trace);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.publish_instances, 10);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lint configuration: which files/fns are recovery- or replay-critical,
+//! and which tree-level rules run.
+
+/// One recovery/replay-critical scope: a file, optionally narrowed to a
+/// set of fns within it.
+#[derive(Debug, Clone)]
+pub struct CriticalScope {
+    /// Path suffix that selects the file (forward slashes).
+    pub file_suffix: String,
+    /// `None` = the whole file is critical; `Some(fns)` = only these fns.
+    pub fns: Option<Vec<String>>,
+}
+
+impl CriticalScope {
+    /// Whole-file critical scope.
+    pub fn whole_file(suffix: &str) -> CriticalScope {
+        CriticalScope {
+            file_suffix: suffix.to_owned(),
+            fns: None,
+        }
+    }
+
+    /// Critical scope narrowed to named fns.
+    pub fn fns(suffix: &str, fns: &[&str]) -> CriticalScope {
+        CriticalScope {
+            file_suffix: suffix.to_owned(),
+            fns: Some(fns.iter().map(|s| (*s).to_owned()).collect()),
+        }
+    }
+}
+
+/// Linter configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Recovery/replay-critical scopes (drives `recovery-unwrap`,
+    /// `recovery-panic`, `recovery-indexing`).
+    pub critical: Vec<CriticalScope>,
+    /// Run the tree-level `publish-once-media` rule against the nvm
+    /// protocol registry.
+    pub check_media_registry: bool,
+}
+
+impl Config {
+    /// An empty config: only the scope-free rules run (raw writes, Pod
+    /// layout, SAFETY comments, `get_unchecked`).
+    pub fn empty() -> Config {
+        Config {
+            critical: Vec::new(),
+            check_media_registry: false,
+        }
+    }
+
+    /// The workspace's critical-path map: the recovery ladder, catalogue
+    /// attach, WAL replay + checkpoint decode, and the shadow WAL — every
+    /// fn that runs against arbitrary post-crash bytes.
+    pub fn tree_default() -> Config {
+        Config {
+            critical: vec![
+                CriticalScope::whole_file("crates/wal/src/recovery.rs"),
+                CriticalScope::whole_file("crates/core/src/shadow_wal.rs"),
+                CriticalScope::fns(
+                    "crates/core/src/db.rs",
+                    &[
+                        "restart",
+                        "restart_scheduled",
+                        "recover_nv",
+                        "attach_with_ladder",
+                        "attach_hash",
+                        "attach_ordered",
+                        "retry_poisoned",
+                        "is_transient_poison",
+                    ],
+                ),
+                CriticalScope::fns(
+                    "crates/core/src/backend_nv.rs",
+                    &[
+                        "open",
+                        "attach",
+                        "attach_parts",
+                        "rebuild_table_from",
+                        "index_entries",
+                        "swap_table_root",
+                        "swap_index_desc",
+                        "into_backend",
+                    ],
+                ),
+                CriticalScope::fns("crates/core/src/txn_registry.rs", &["open", "recover"]),
+                CriticalScope::fns(
+                    "crates/wal/src/checkpoint.rs",
+                    &[
+                        "load_checkpoint",
+                        "take_bytes",
+                        "decode_main",
+                        "decode_delta",
+                    ],
+                ),
+            ],
+            check_media_registry: true,
+        }
+    }
+
+    /// Critical-fn lookup: `None` = file not critical, `Some(None)` =
+    /// whole file, `Some(Some(fns))` = only the named fns.
+    pub fn critical_fns(&self, path: &str) -> Option<Option<&Vec<String>>> {
+        let norm = path.replace('\\', "/");
+        self.critical
+            .iter()
+            .find(|c| norm.ends_with(&c.file_suffix))
+            .map(|c| c.fns.as_ref())
+    }
+}

@@ -1,0 +1,138 @@
+#![warn(missing_docs)]
+
+//! `pmlint` — static crash-consistency analysis for the workspace.
+//!
+//! Two halves, in the spirit of rustc's `tidy` (hand-rolled, zero
+//! registry dependencies):
+//!
+//! 1. **Protocol specs** — the persist-order protocols declared in
+//!    [`nvm::protocol_registry`] are statically validated for
+//!    happens-before completeness ([`validate_protocols`]), and the
+//!    checksummed labels they declare are cross-checked against the
+//!    `media_extents` targeting maps in the source tree
+//!    ([`media_findings`], rule `publish-once-media`).
+//! 2. **Source lints** — a token-level walk of every crate
+//!    ([`lint_source`], [`lint_tree`]) enforcing the rules documented in
+//!    [`rules`](crate): no raw NVM writes outside flush-annotated
+//!    helpers, no panicking constructs on recovery/replay-critical paths,
+//!    `Pod` layout discipline, `// SAFETY:` comments on every `unsafe`,
+//!    and no `get_unchecked`.
+//!
+//! The CLI (`cargo run -p pmlint -- --deny`) runs both halves over the
+//! workspace and exits non-zero on any finding.
+
+mod config;
+mod lexer;
+mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, CriticalScope};
+pub use rules::{lint_source, FileFacts, Finding};
+
+/// Statically validate every declared persist-order protocol spec.
+pub fn validate_protocols() -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for spec in nvm::protocol_registry() {
+        if let Err(e) = spec.validate() {
+            findings.push(Finding {
+                rule: "protocol-spec",
+                file: "crates/nvm/src/protocol.rs".to_owned(),
+                line: 1,
+                col: 1,
+                msg: format!(
+                    "protocol {:?} fails happens-before validation: {e}",
+                    spec.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Tree-level `publish-once-media` rule: every checksummed store label
+/// declared by a protocol spec must be registered (as a string literal)
+/// in some `media_extents` fn — otherwise the media verifier and the
+/// fault-injection suites silently skip the structure.
+pub fn media_findings(files: &[(String, FileFacts)]) -> Vec<Finding> {
+    let mut registered: BTreeSet<String> = BTreeSet::new();
+    let mut media_files: Vec<&str> = Vec::new();
+    for (path, facts) in files {
+        if let Some(labels) = &facts.media_labels {
+            registered.extend(labels.iter().cloned());
+            media_files.push(path);
+        }
+    }
+    let mut findings = Vec::new();
+    let anchor = media_files.first().copied().unwrap_or("<tree>").to_owned();
+    let mut checked: BTreeSet<&'static str> = BTreeSet::new();
+    for spec in nvm::protocol_registry() {
+        for (label, checksummed) in spec.store_labels() {
+            if checksummed && checked.insert(label) && !registered.contains(label) {
+                findings.push(Finding {
+                    rule: "publish-once-media",
+                    file: anchor.clone(),
+                    line: 1,
+                    col: 1,
+                    msg: format!(
+                        "checksummed protocol label {label:?} (spec {:?}) is not registered in any media_extents map",
+                        spec.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output and
+/// the linter's own seeded-violation fixtures.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<std::io::Result<Vec<_>>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace under `root`: every `.rs` file in `crates/`,
+/// `tests/`, and `examples/`, plus the protocol-spec and media-registry
+/// checks.
+pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in ["crates", "tests", "examples"] {
+        collect_rs_files(&root.join(sub), &mut files)?;
+    }
+    let mut findings = validate_protocols();
+    let mut facts = Vec::new();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let (mut f, file_facts) = lint_source(&rel, &source, cfg);
+        findings.append(&mut f);
+        facts.push((rel, file_facts));
+    }
+    if cfg.check_media_registry {
+        findings.append(&mut media_findings(&facts));
+    }
+    Ok(findings)
+}

@@ -1,0 +1,55 @@
+//! CLI entry point: `cargo run -p pmlint -- [--deny] [--root DIR]`.
+//!
+//! Lints the workspace and prints findings; with `--deny`, exits 1 when
+//! any finding survives (the CI contract).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("pmlint: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: pmlint [--deny] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pmlint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = pmlint::Config::tree_default();
+    let findings = match pmlint::lint_tree(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pmlint: cannot walk tree at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    let specs = nvm::protocol_registry().len();
+    println!(
+        "pmlint: {} finding(s); {} protocol spec(s) validated",
+        findings.len(),
+        specs
+    );
+    if deny && !findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,571 @@
+//! The lint rules, run over the token stream with a brace-depth context
+//! walker (fn/mod scopes, `#[cfg(test)]` suppression, critical-path
+//! scoping).
+//!
+//! Rules:
+//!
+//! * `raw-nvm-write` — raw pointer writes (`ptr::write`, `ptr::copy`,
+//!   `copy_nonoverlapping`, `write_volatile`, `write_unaligned`,
+//!   `from_raw_parts_mut`, `transmute`) outside fns annotated with a
+//!   `// pmlint: flush-helper` comment. All NVM stores must go through the
+//!   region API so the flush/fence discipline and the persist-trace
+//!   recorder see them.
+//! * `recovery-unwrap` — `.unwrap()` / `.expect(...)` on recovery- and
+//!   replay-critical paths. Recovery code faces arbitrary post-crash
+//!   bytes; it must return typed errors, never abort.
+//! * `recovery-panic` — `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` on critical paths.
+//! * `recovery-indexing` — panicking `container[index]` expressions on
+//!   critical paths (use `.get()` with a typed error instead).
+//! * `pod-repr-c` — `unsafe impl Pod for T` where `T`'s definition in the
+//!   same file lacks `#[repr(C)]` / `#[repr(transparent)]`.
+//! * `pod-padding-assert` — such impls without a `size_of::<T>` layout
+//!   assertion in the file (padding-freedom must be pinned by a const
+//!   assert, not assumed).
+//! * `unsafe-safety-comment` — any `unsafe` token without a `// SAFETY:`
+//!   comment (or `# Safety` doc section) directly above or on the line.
+//! * `no-get-unchecked` — `get_unchecked(_mut)` in non-test code.
+//!
+//! A ninth, tree-level rule (`publish-once-media`) lives in
+//! [`media_findings`](crate::media_findings): every checksummed store
+//! label declared in the nvm protocol registry must be registered in a
+//! `media_extents` targeting map.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One lint finding, anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Path of the offending file (as given to the linter).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.msg
+        )
+    }
+}
+
+/// Per-file facts needed by tree-level rules.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// `Some(labels)` when the file defines a `fn media_extents`; the set
+    /// holds every string literal inside that fn's body.
+    pub media_labels: Option<BTreeSet<String>>,
+}
+
+const RAW_WRITE_BARE: &[&str] = &[
+    "copy_nonoverlapping",
+    "write_volatile",
+    "write_unaligned",
+    "from_raw_parts_mut",
+    "transmute",
+];
+const RAW_WRITE_PTR_QUALIFIED: &[&str] = &["write", "write_bytes", "copy"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const GET_UNCHECKED: &[&str] = &["get_unchecked", "get_unchecked_mut"];
+/// Keywords that legitimately precede `[` (array/slice type or literal
+/// position rather than a panicking index expression).
+const INDEX_OK_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "return", "in", "as", "mut", "ref", "break", "continue", "move", "loop",
+    "while", "for", "where", "unsafe", "let", "dyn", "impl", "pub", "use", "box", "await", "yield",
+    "const", "static",
+];
+const POD_PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64", "usize",
+    "isize",
+];
+
+#[derive(Debug, Clone)]
+struct Scope {
+    /// Name of the fn that opened this scope (empty for non-fn scopes).
+    fn_name: String,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    test: bool,
+    /// On a recovery/replay-critical path per the config.
+    critical: bool,
+    /// Inside a `// pmlint: flush-helper` annotated fn.
+    flush_helper: bool,
+}
+
+struct PendingItem {
+    fn_name: String,
+    test: bool,
+    flush_helper: bool,
+    critical: bool,
+}
+
+struct PodImpl {
+    type_name: String,
+    line: u32,
+    col: u32,
+}
+
+struct TypeDef {
+    has_repr: bool,
+}
+
+/// Lint one file; returns findings plus tree-level facts.
+pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, FileFacts) {
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let lines: Vec<&str> = source.lines().collect();
+    let critical_fns = cfg.critical_fns(path);
+    let whole_file_critical = matches!(critical_fns, Some(None));
+
+    let mut findings = Vec::new();
+    let mut facts = FileFacts::default();
+    let mut scopes: Vec<Scope> = vec![Scope {
+        fn_name: String::new(),
+        test: false,
+        critical: whole_file_critical,
+        flush_helper: false,
+    }];
+    let mut pending: Option<PendingItem> = None;
+    let mut attr_test = false;
+    let mut attrs: Vec<Vec<String>> = Vec::new();
+    let mut pod_impls: Vec<PodImpl> = Vec::new();
+    let mut type_defs: HashMap<String, TypeDef> = HashMap::new();
+    let mut size_asserted: BTreeSet<String> = BTreeSet::new();
+    // Depth of the scope stack while inside `fn media_extents`.
+    let mut media_depth: Option<usize> = None;
+
+    let mut emit = |rule: &'static str, t: &Tok, msg: String| {
+        findings.push(Finding {
+            rule,
+            file: path.to_owned(),
+            line: t.line,
+            col: t.col,
+            msg,
+        });
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let scope = scopes.last().cloned().unwrap_or(Scope {
+            fn_name: String::new(),
+            test: false,
+            critical: whole_file_critical,
+            flush_helper: false,
+        });
+        let in_test = scope.test;
+        let in_critical = scope.critical && !in_test;
+
+        // ------- attributes: consume `#[...]` / `#![...]` wholesale ------
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct('!') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                let mut depth = 0usize;
+                let mut words = Vec::new();
+                while j < toks.len() {
+                    match toks[j].kind {
+                        TokKind::Punct('[') => depth += 1,
+                        TokKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Ident => words.push(toks[j].text.clone()),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if words.iter().any(|w| w == "test") {
+                    attr_test = true;
+                }
+                attrs.push(words);
+                i = j + 1;
+                continue;
+            }
+        }
+
+        match t.kind {
+            TokKind::Punct('{') => {
+                let parent = scope;
+                let next = match pending.take() {
+                    Some(p) => Scope {
+                        fn_name: p.fn_name,
+                        test: parent.test || p.test,
+                        critical: parent.critical || p.critical,
+                        flush_helper: parent.flush_helper || p.flush_helper,
+                    },
+                    None => parent,
+                };
+                if next.fn_name == "media_extents" && media_depth.is_none() {
+                    media_depth = Some(scopes.len());
+                    facts.media_labels.get_or_insert_with(BTreeSet::new);
+                }
+                scopes.push(next);
+            }
+            TokKind::Punct('}') => {
+                if scopes.len() > 1 {
+                    scopes.pop();
+                }
+                if media_depth.is_some_and(|d| scopes.len() <= d) {
+                    media_depth = None;
+                }
+            }
+            TokKind::Punct(';') => {
+                pending = None;
+                attr_test = false;
+                attrs.clear();
+            }
+            TokKind::Str if media_depth.is_some() => {
+                if let Some(labels) = facts.media_labels.as_mut() {
+                    labels.insert(t.text.clone());
+                }
+            }
+            TokKind::Ident => {
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let next = toks.get(i + 1);
+                match t.text.as_str() {
+                    "fn" => {
+                        if let Some(name) = next.filter(|n| n.kind == TokKind::Ident) {
+                            let critical = match &critical_fns {
+                                Some(Some(list)) => list.iter().any(|f| f == &name.text),
+                                Some(None) => true,
+                                None => false,
+                            };
+                            pending = Some(PendingItem {
+                                fn_name: name.text.clone(),
+                                test: attr_test,
+                                flush_helper: has_annotation(
+                                    &lexed.comments,
+                                    t.line,
+                                    "pmlint: flush-helper",
+                                ),
+                                critical,
+                            });
+                            attr_test = false;
+                            attrs.clear();
+                        }
+                    }
+                    "mod" | "impl" | "trait" => {
+                        pending = Some(PendingItem {
+                            fn_name: String::new(),
+                            test: attr_test,
+                            flush_helper: false,
+                            critical: false,
+                        });
+                        attr_test = false;
+                        attrs.clear();
+                    }
+                    "struct" | "enum" | "union" => {
+                        if let Some(name) = next.filter(|n| n.kind == TokKind::Ident) {
+                            let has_repr = attrs.iter().any(|a| {
+                                a.iter().any(|w| w == "repr")
+                                    && a.iter().any(|w| w == "C" || w == "transparent")
+                            });
+                            type_defs.insert(name.text.clone(), TypeDef { has_repr });
+                        }
+                        pending = Some(PendingItem {
+                            fn_name: String::new(),
+                            test: attr_test,
+                            flush_helper: false,
+                            critical: false,
+                        });
+                        attr_test = false;
+                        attrs.clear();
+                    }
+                    "unsafe" => {
+                        check_safety_comment(&lexed.comments, &lines, t, &mut emit);
+                        if let Some(imp) = parse_pod_impl(toks, i) {
+                            pod_impls.push(imp);
+                        }
+                    }
+                    "size_of" | "align_of" => {
+                        // `size_of::<T>` — whitelist T for the padding rule.
+                        if let Some(name) = generic_arg_ident(toks, i) {
+                            size_asserted.insert(name);
+                        }
+                    }
+                    "unwrap" | "expect" if in_critical && prev.is_some_and(|p| p.is_punct('.')) => {
+                        emit(
+                            "recovery-unwrap",
+                            t,
+                            format!(
+                                "`.{}()` in recovery/replay-critical fn `{}` — return a typed error instead",
+                                t.text, scope.fn_name
+                            ),
+                        );
+                    }
+                    name if PANIC_MACROS.contains(&name)
+                        && in_critical
+                        && next.is_some_and(|n| n.is_punct('!')) =>
+                    {
+                        emit(
+                            "recovery-panic",
+                            t,
+                            format!(
+                                "`{name}!` in recovery/replay-critical fn `{}` — recovery must not abort on bad bytes",
+                                scope.fn_name
+                            ),
+                        );
+                    }
+                    name if GET_UNCHECKED.contains(&name)
+                        && !in_test
+                        && !prev.is_some_and(|p| p.is_ident("fn")) =>
+                    {
+                        emit(
+                            "no-get-unchecked",
+                            t,
+                            format!("`{name}` bypasses bounds checks — banned outside tests"),
+                        );
+                    }
+                    name if RAW_WRITE_BARE.contains(&name)
+                        && !in_test
+                        && !scope.flush_helper
+                        && !prev.is_some_and(|p| p.is_ident("fn")) =>
+                    {
+                        emit(
+                            "raw-nvm-write",
+                            t,
+                            format!(
+                                "raw memory write `{name}` outside a `// pmlint: flush-helper` fn — all NVM stores must go through the region API"
+                            ),
+                        );
+                    }
+                    name if RAW_WRITE_PTR_QUALIFIED.contains(&name) => {
+                        let ptr_qualified = i >= 2
+                            && toks[i - 1].is_punct(':')
+                            && toks[i - 2].is_punct(':')
+                            && i >= 3
+                            && toks[i - 3].is_ident("ptr");
+                        if ptr_qualified && !in_test && !scope.flush_helper {
+                            emit(
+                                "raw-nvm-write",
+                                t,
+                                format!(
+                                    "raw memory write `ptr::{name}` outside a `// pmlint: flush-helper` fn — all NVM stores must go through the region API"
+                                ),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct('[') if in_critical => {
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let indexes = prev.is_some_and(|p| match p.kind {
+                    TokKind::Ident => !INDEX_OK_KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    _ => false,
+                });
+                if indexes {
+                    emit(
+                        "recovery-indexing",
+                        t,
+                        format!(
+                            "panicking index expression in recovery/replay-critical fn `{}` — use `.get()` with a typed error",
+                            scope.fn_name
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Pod layout rules, resolved against the file-wide defs.
+    for imp in &pod_impls {
+        let Some(def) = type_defs.get(&imp.type_name) else {
+            continue; // defined in another file — out of scope for a lexer
+        };
+        if !def.has_repr {
+            findings.push(Finding {
+                rule: "pod-repr-c",
+                file: path.to_owned(),
+                line: imp.line,
+                col: imp.col,
+                msg: format!(
+                    "`unsafe impl Pod for {}` but `{}` lacks #[repr(C)]/#[repr(transparent)] — field order is unstable",
+                    imp.type_name, imp.type_name
+                ),
+            });
+        }
+        if !size_asserted.contains(&imp.type_name) {
+            findings.push(Finding {
+                rule: "pod-padding-assert",
+                file: path.to_owned(),
+                line: imp.line,
+                col: imp.col,
+                msg: format!(
+                    "`unsafe impl Pod for {}` without a `size_of::<{}>` const assertion pinning padding-freedom",
+                    imp.type_name, imp.type_name
+                ),
+            });
+        }
+    }
+
+    (findings, facts)
+}
+
+/// Is `needle` present in a comment on `line` or within the comment /
+/// attribute block directly above it?
+fn has_annotation(comments: &HashMap<u32, String>, line: u32, needle: &str) -> bool {
+    if comments.get(&line).is_some_and(|c| c.contains(needle)) {
+        return true;
+    }
+    let mut l = line;
+    for _ in 0..6 {
+        if l <= 1 {
+            break;
+        }
+        l -= 1;
+        if let Some(c) = comments.get(&l) {
+            if c.contains(needle) {
+                return true;
+            }
+            continue; // part of the comment block — keep walking up
+        }
+        break;
+    }
+    false
+}
+
+/// `unsafe` must carry a `// SAFETY:` comment (or a `# Safety` doc
+/// section) on its line or in the comment/attribute block directly above.
+fn check_safety_comment(
+    comments: &HashMap<u32, String>,
+    lines: &[&str],
+    t: &Tok,
+    emit: &mut impl FnMut(&'static str, &Tok, String),
+) {
+    let ok_comment = |c: &str| c.contains("SAFETY:") || c.contains("# Safety");
+    if comments.get(&t.line).is_some_and(|c| ok_comment(c)) {
+        return;
+    }
+    let mut l = t.line;
+    while l > 1 {
+        l -= 1;
+        let raw = lines
+            .get(l as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or_default();
+        if raw.is_empty() {
+            break; // a blank line detaches the comment block
+        }
+        if raw.starts_with("//") {
+            if comments.get(&l).is_some_and(|c| ok_comment(c)) {
+                return;
+            }
+            continue;
+        }
+        if raw.starts_with("#[") || raw.starts_with("#![") {
+            continue; // attributes may sit between the comment and the item
+        }
+        break; // hit code — the comment block (if any) ended
+    }
+    emit(
+        "unsafe-safety-comment",
+        t,
+        "`unsafe` without a `// SAFETY:` comment justifying it".to_owned(),
+    );
+}
+
+/// At the index of an `unsafe` token, parse `unsafe impl [<…>] [path::]Pod
+/// for Type` and return the implementing type, skipping arrays, macro
+/// metavariables, and primitives.
+fn parse_pod_impl(toks: &[Tok], i: usize) -> Option<PodImpl> {
+    let mut j = i + 1;
+    if !toks.get(j)?.is_ident("impl") {
+        return None;
+    }
+    j += 1;
+    // Skip generic parameters `<...>` (handling `->` inside bounds).
+    if toks.get(j)?.is_punct('<') {
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') {
+                let arrow = j >= 1 && toks[j - 1].is_punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    // Path ending in `Pod`.
+    let mut trait_name = toks.get(j)?.clone();
+    if trait_name.kind != TokKind::Ident {
+        return None;
+    }
+    j += 1;
+    while toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        trait_name = toks.get(j + 2)?.clone();
+        j += 3;
+    }
+    if trait_name.text != "Pod" {
+        return None;
+    }
+    if !toks.get(j)?.is_ident("for") {
+        return None;
+    }
+    j += 1;
+    let target = toks.get(j)?;
+    if target.is_punct('[') || target.is_punct('$') {
+        return None; // array impl (element bound carries it) or macro var
+    }
+    if target.kind != TokKind::Ident {
+        return None;
+    }
+    // Take the last segment of a possible path.
+    let mut name = target.clone();
+    let mut k = j + 1;
+    while toks.get(k).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        name = toks.get(k + 2)?.clone();
+        k += 3;
+    }
+    if POD_PRIMITIVES.contains(&name.text.as_str()) {
+        return None;
+    }
+    Some(PodImpl {
+        type_name: name.text,
+        line: name.line,
+        col: name.col,
+    })
+}
+
+/// For `size_of :: < T >` at index `i`, return `T`.
+fn generic_arg_ident(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    if toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':') {
+        j += 2;
+    }
+    if !toks.get(j)?.is_punct('<') {
+        return None;
+    }
+    let t = toks.get(j + 1)?;
+    (t.kind == TokKind::Ident).then(|| t.text.clone())
+}

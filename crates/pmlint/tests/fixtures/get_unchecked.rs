@@ -1,0 +1,6 @@
+//! Seeded violation: `get_unchecked` outside tests.
+
+pub fn first(v: &[u8]) -> u8 {
+    // SAFETY: fixture - `v` is non-empty by contract.
+    unsafe { *v.get_unchecked(0) }
+}

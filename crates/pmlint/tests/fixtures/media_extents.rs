@@ -1,0 +1,10 @@
+//! Seeded violation: a media_extents map missing checksummed labels
+//! (`main-dict` and `main-blob` are absent).
+
+pub fn media_extents() -> Vec<(&'static str, bool)> {
+    vec![
+        ("delta-dict", true),
+        ("delta-blob", true),
+        ("main-av", true),
+    ]
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: `Pod` impl without a size_of const assertion.
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct WithRepr {
+    pub a: u64,
+    pub b: u64,
+}
+
+// SAFETY: fixture - every bit pattern of two u64 words is valid.
+unsafe impl Pod for WithRepr {}

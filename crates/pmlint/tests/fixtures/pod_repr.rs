@@ -1,0 +1,13 @@
+//! Seeded violation: `Pod` impl for a type without `#[repr(C)]`.
+
+#[derive(Clone, Copy)]
+pub struct NoRepr {
+    pub a: u64,
+    pub b: u32,
+    pub c: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<NoRepr>() == 16);
+
+// SAFETY: fixture - layout asserted above (but the repr is missing).
+unsafe impl Pod for NoRepr {}

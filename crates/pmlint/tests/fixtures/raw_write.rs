@@ -1,0 +1,16 @@
+//! Seeded violation: raw pointer write outside a flush-helper.
+
+pub fn unannotated(dst: *mut u8, v: u8) {
+    // SAFETY: fixture - the caller guarantees `dst` is valid.
+    unsafe {
+        std::ptr::write(dst, v);
+    }
+}
+
+// pmlint: flush-helper
+pub fn annotated(dst: *mut u8, v: u8) {
+    // SAFETY: fixture - the caller guarantees `dst` is valid.
+    unsafe {
+        std::ptr::write(dst, v);
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: panicking index expression on a critical path.
+
+pub fn recover(v: &[u32]) -> u32 {
+    v[0]
+}

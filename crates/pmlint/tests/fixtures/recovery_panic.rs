@@ -1,0 +1,8 @@
+//! Seeded violation: `panic!` on a recovery-critical path.
+
+pub fn recover(kind: u32) -> u32 {
+    match kind {
+        0 => 1,
+        _ => panic!("bad kind"),
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `.unwrap()` on a recovery-critical path.
+
+pub fn recover(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

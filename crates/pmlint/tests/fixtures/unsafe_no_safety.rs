@@ -1,0 +1,5 @@
+//! Seeded violation: `unsafe` without a SAFETY comment.
+
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

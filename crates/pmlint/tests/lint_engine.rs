@@ -1,0 +1,137 @@
+//! Lint-engine coverage: every rule is exercised by a fixture with one
+//! seeded violation, asserted with its exact source span, plus a
+//! zero-findings run over the real workspace tree.
+
+use std::path::Path;
+
+use pmlint::{lint_source, media_findings, Config, CriticalScope, Finding};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Config marking fn `recover` in the given fixture as recovery-critical.
+fn critical_cfg(file: &str) -> Config {
+    Config {
+        critical: vec![CriticalScope::fns(file, &["recover"])],
+        check_media_registry: false,
+    }
+}
+
+fn lint_fixture(name: &str, cfg: &Config) -> Vec<Finding> {
+    lint_source(name, &fixture(name), cfg).0
+}
+
+#[track_caller]
+fn assert_single(findings: &[Finding], rule: &str, line: u32, col: u32) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one finding, got: {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, rule, "wrong rule: {f:?}");
+    assert_eq!((f.line, f.col), (line, col), "wrong span: {f:?}");
+}
+
+#[test]
+fn detects_raw_nvm_write_and_honours_flush_helper() {
+    // The annotated twin of the violating fn must NOT be flagged.
+    let findings = lint_fixture("raw_write.rs", &Config::empty());
+    assert_single(&findings, "raw-nvm-write", 6, 19);
+}
+
+#[test]
+fn detects_unwrap_on_critical_path() {
+    let findings = lint_fixture("recovery_unwrap.rs", &critical_cfg("recovery_unwrap.rs"));
+    assert_single(&findings, "recovery-unwrap", 4, 7);
+}
+
+#[test]
+fn unwrap_is_allowed_outside_critical_scope() {
+    let findings = lint_fixture("recovery_unwrap.rs", &Config::empty());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn detects_panic_on_critical_path() {
+    let findings = lint_fixture("recovery_panic.rs", &critical_cfg("recovery_panic.rs"));
+    assert_single(&findings, "recovery-panic", 6, 14);
+}
+
+#[test]
+fn detects_indexing_on_critical_path() {
+    let findings = lint_fixture(
+        "recovery_indexing.rs",
+        &critical_cfg("recovery_indexing.rs"),
+    );
+    assert_single(&findings, "recovery-indexing", 4, 6);
+}
+
+#[test]
+fn detects_pod_impl_without_repr_c() {
+    let findings = lint_fixture("pod_repr.rs", &Config::empty());
+    assert_single(&findings, "pod-repr-c", 13, 21);
+}
+
+#[test]
+fn detects_pod_impl_without_padding_assert() {
+    let findings = lint_fixture("pod_padding.rs", &Config::empty());
+    assert_single(&findings, "pod-padding-assert", 11, 21);
+}
+
+#[test]
+fn detects_unsafe_without_safety_comment() {
+    let findings = lint_fixture("unsafe_no_safety.rs", &Config::empty());
+    assert_single(&findings, "unsafe-safety-comment", 4, 5);
+}
+
+#[test]
+fn detects_get_unchecked() {
+    let findings = lint_fixture("get_unchecked.rs", &Config::empty());
+    assert_single(&findings, "no-get-unchecked", 5, 17);
+}
+
+#[test]
+fn detects_unregistered_checksummed_labels() {
+    let (findings, facts) = lint_source(
+        "media_extents.rs",
+        &fixture("media_extents.rs"),
+        &Config::empty(),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+    let media = media_findings(&[("media_extents.rs".to_owned(), facts)]);
+    let missing: Vec<&str> = media
+        .iter()
+        .map(|f| {
+            assert_eq!(f.rule, "publish-once-media");
+            f.msg.as_str()
+        })
+        .collect();
+    assert_eq!(media.len(), 2, "{missing:?}");
+    assert!(media.iter().any(|f| f.msg.contains("\"main-dict\"")));
+    assert!(media.iter().any(|f| f.msg.contains("\"main-blob\"")));
+}
+
+#[test]
+fn protocol_registry_validates() {
+    assert!(pmlint::validate_protocols().is_empty());
+}
+
+#[test]
+fn clean_tree_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = pmlint::lint_tree(&root, &Config::tree_default()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "tree is expected to be lint-clean, found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -329,6 +329,18 @@ impl NvTable {
         &self.heap
     }
 
+    /// `(offset, len)` of the delta row counter — the publish word of the
+    /// `delta-append` persist-order protocol (label `delta-rows`).
+    pub fn rows_publish_extent(&self) -> (u64, u64) {
+        (self.delta.desc + DD_ROWS, 8)
+    }
+
+    /// `(offset, len)` of the root's descriptor-pair pointer — the publish
+    /// word of the `merge-publish` protocol (label `table-pair`).
+    pub fn pair_publish_extent(&self) -> (u64, u64) {
+        (self.root + ROOT_PAIR, 8)
+    }
+
     fn region(&self) -> &NvmRegion {
         self.heap.region()
     }

@@ -82,7 +82,11 @@ pub fn load_checkpoint(path: &Path) -> Result<(CheckpointMeta, Vec<VTable>)> {
         return Err(corrupt("checkpoint too short"));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let stored = u32::from_le_bytes(
+        crc_bytes
+            .try_into()
+            .map_err(|_| corrupt("checkpoint crc truncated"))?,
+    );
     if crc32(body) != stored {
         return Err(corrupt("checkpoint crc mismatch"));
     }
@@ -131,10 +135,10 @@ fn take_bytes(b: &mut &[u8]) -> Result<Vec<u8>> {
         return Err(corrupt("truncated length"));
     }
     let n = b.get_u32_le() as usize;
-    if b.remaining() < n {
-        return Err(corrupt("truncated bytes"));
-    }
-    let out = b[..n].to_vec();
+    let out = b
+        .get(..n)
+        .ok_or_else(|| corrupt("truncated bytes"))?
+        .to_vec();
     b.advance(n);
     Ok(out)
 }
