@@ -1,0 +1,67 @@
+//! P0 — pmlint whole-tree analysis must stay interactive.
+//!
+//! The v2 analyzer runs on every CI push and is meant to be part of the
+//! inner development loop, so its full-tree runtime (lex + HIR + call
+//! graph + both interprocedural fixpoints over all engine crates) is a
+//! budgeted quantity: the median of several runs must stay under 10
+//! seconds or this harness exits non-zero.
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin p0_pmlint_runtime`
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use benchkit::{print_table, write_json, Row};
+
+const RUNS: usize = 5;
+const BUDGET_SECS: f64 = 10.0;
+
+/// The workspace root: the cwd when run via cargo from the root, else
+/// two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut cfg = pmlint::Config::tree_default();
+    pmlint::load_suppressions(&root, &mut cfg);
+
+    let mut times = Vec::with_capacity(RUNS);
+    let mut findings = 0usize;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        match pmlint::lint_tree(&root, &cfg) {
+            Ok(f) => findings = f.len(),
+            Err(e) => {
+                eprintln!("p0_pmlint_runtime: lint_tree failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let worst = *times.last().unwrap();
+
+    let rows = vec![Row::new()
+        .with("bench", "pmlint_full_tree")
+        .with("runs", RUNS)
+        .with("median_s", format!("{median:.3}"))
+        .with("worst_s", format!("{worst:.3}"))
+        .with("budget_s", format!("{BUDGET_SECS:.1}"))
+        .with("findings", findings)];
+    print_table("p0_pmlint_runtime", &rows);
+    write_json("p0_pmlint_runtime", &rows);
+
+    if median > BUDGET_SECS {
+        eprintln!("p0_pmlint_runtime: median {median:.3}s exceeds the {BUDGET_SECS:.1}s budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -124,6 +124,7 @@ impl AttachParts {
             .ok_or_else(|| EngineError::Catalog(format!("table slot {t} out of range")))?;
         let base = self.catalog + CAT_ENTRIES + t as u64 * CAT_ENTRY_STRIDE;
         let r = self.heap.region();
+        // pmlint: publish(catalog-table-root)
         r.write_pod(base + 8, &new_root)?;
         r.persist(base + 8, 8)?;
         *slot = new_root;
@@ -135,6 +136,7 @@ impl AttachParts {
     /// quarantined, not destroyed.
     pub fn swap_index_desc(&self, e: &IndexEntrySpec, new_desc: u64) -> Result<()> {
         let r = self.heap.region();
+        // pmlint: publish(index-desc)
         r.write_pod(e.entry_base + 16, &new_desc)?;
         r.persist(e.entry_base + 16, 8)?;
         Ok(())
@@ -364,6 +366,7 @@ impl NvBackend {
     /// point (one 8-byte persist).
     pub fn publish_cts(&self, cts: u64) -> Result<()> {
         let r = self.heap.region();
+        // pmlint: publish(catalog-cts)
         r.write_pod(self.catalog + CAT_LAST_CTS, &cts)?;
         r.persist(self.catalog + CAT_LAST_CTS, 8)?;
         Ok(())
@@ -428,6 +431,7 @@ impl NvBackend {
         r.write_pod(base + 16, &idx_block)?;
         r.persist(base, CAT_ENTRY_STRIDE)?;
         // Publish.
+        // pmlint: publish(catalog-ntables)
         r.write_pod(self.catalog + CAT_NTABLES, &(t + 1))?;
         r.persist(self.catalog + CAT_NTABLES, 8)?;
 
@@ -477,6 +481,7 @@ impl NvBackend {
         r.write_pod(ib + 8, &(column as u64))?;
         r.write_pod(ib + 16, &idx.desc_offset())?;
         r.persist(ib, IDX_ENTRY_STRIDE)?;
+        // pmlint: publish(index-count)
         r.write_pod(idx_block + IDX_COUNT, &(count + 1))?;
         r.persist(idx_block + IDX_COUNT, 8)?;
         self.indexes[table].hash.push(idx);
@@ -499,6 +504,7 @@ impl NvBackend {
         r.write_pod(ib + 8, &(column as u64))?;
         r.write_pod(ib + 16, &oi.desc_offset())?;
         r.persist(ib, IDX_ENTRY_STRIDE)?;
+        // pmlint: publish(index-count)
         r.write_pod(idx_block + IDX_COUNT, &(count + 1))?;
         r.persist(idx_block + IDX_COUNT, 8)?;
         self.indexes[table].ordered.push(oi);

@@ -66,8 +66,9 @@ pub use layout::{align_up, line_index, CACHE_LINE};
 pub use parray::PArray;
 pub use pod::Pod;
 pub use protocol::{
-    check_trace, registry as protocol_registry, ConformanceReport, ConformanceViolation,
-    ProtocolSpec, ProtocolStep, RangeBinding, SpecError, StepId, StepKind,
+    check_trace, publish_labels, registry as protocol_registry, ConformanceReport,
+    ConformanceViolation, ProtocolSpec, ProtocolStep, PublishLabel, RangeBinding, SpecError,
+    StepId, StepKind,
 };
 pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;

@@ -71,6 +71,7 @@ impl<T: Pod> PArray<T> {
     }
 
     /// Write element `i` without persisting.
+    // pmlint: caller-flushes
     #[inline]
     pub fn set(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
         region.write_pod(self.elem_off(i), value)
@@ -106,6 +107,7 @@ impl<T: Pod> PArray<T> {
     }
 
     /// Bulk-write from a slice (caller persists).
+    // pmlint: caller-flushes
     pub fn copy_from_slice(&self, region: &NvmRegion, values: &[T]) -> Result<()> {
         assert_eq!(values.len() as u64, self.len, "length mismatch");
         for (i, v) in values.iter().enumerate() {

@@ -642,6 +642,34 @@ pub fn check_trace(
 // The engine's declared protocols
 // ---------------------------------------------------------------------------
 
+/// A publish label exported for static-analysis binding: the label of a
+/// spec's publish step plus the spec that declares it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishLabel {
+    /// Publish-step label (e.g. `"delta-rows"`).
+    pub label: &'static str,
+    /// Name of the declaring [`ProtocolSpec`].
+    pub spec: &'static str,
+}
+
+/// Every distinct publish label declared by the [`registry`], in
+/// first-declaration order. `pmlint` binds `// pmlint: publish(<label>)`
+/// source annotations against this set: unknown labels and labels with
+/// no annotated site are both findings.
+pub fn publish_labels() -> Vec<PublishLabel> {
+    let mut out: Vec<PublishLabel> = Vec::new();
+    for spec in registry() {
+        let label = spec.publish_label();
+        if !out.iter().any(|p| p.label == label) {
+            out.push(PublishLabel {
+                label,
+                spec: spec.name,
+            });
+        }
+    }
+    out
+}
+
 /// Every persist-order protocol the engine implements, as validated,
 /// machine-checkable specs. `pmlint` validates each spec and checks that
 /// every checksummed label is registered in the media-extent map; the

@@ -85,6 +85,7 @@ impl<T: Pod> PSlab<T> {
     }
 
     /// Write element `i` without persisting.
+    // pmlint: caller-flushes
     #[inline]
     pub fn set(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
         region.write_pod(self.elem_off(region, i)?, value)

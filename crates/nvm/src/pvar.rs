@@ -52,6 +52,7 @@ impl<T: Pod> PVar<T> {
     }
 
     /// Write without persisting (caller batches the flush).
+    // pmlint: caller-flushes
     #[inline]
     pub fn set(&self, region: &NvmRegion, value: &T) -> Result<()> {
         region.write_pod(self.off, value)

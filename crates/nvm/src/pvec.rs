@@ -169,6 +169,7 @@ impl<T: Pod> PVec<T> {
 
     /// Overwrite element `i` without persisting (caller batches flushes).
     /// The content checksum is refolded in the volatile image.
+    // pmlint: caller-flushes
     pub fn set_volatile(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
         let len = self.len(region)?;
         if i >= len {

@@ -271,6 +271,7 @@ impl NvmRegion {
     }
 
     /// Store a [`Pod`] value at `off`.
+    // pmlint: caller-flushes
     #[inline]
     pub fn write_pod<T: Pod>(&self, off: u64, value: &T) -> Result<()> {
         self.write_bytes(off, value.as_bytes())

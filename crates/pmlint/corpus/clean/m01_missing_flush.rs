@@ -1,0 +1,10 @@
+//! Clean twin of m01: the row store is flushed and fenced (one persist)
+//! before the publish store.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.persist(off, 8)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?;
+    region.persist(off + 64, 8)
+}

@@ -1,0 +1,15 @@
+//! Clean twin of m03: the caller persists the staged row before
+//! publishing, honouring the helper's caller-flushes contract.
+
+// pmlint: caller-flushes
+fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage(region, off, v)?;
+    region.persist(off, 8)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?;
+    region.persist(off + 64, 8)
+}

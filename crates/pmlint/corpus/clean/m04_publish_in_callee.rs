@@ -1,0 +1,14 @@
+//! Clean twin of m04: the caller persists its store before delegating
+//! to the publishing callee.
+
+fn publish_cts(region: &NvmRegion, off: u64) -> Result<()> {
+    // pmlint: publish(cts)
+    region.write_pod(off, &1u64)?;
+    region.persist(off, 8)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off + 8, &v)?;
+    region.persist(off + 8, 8)?;
+    publish_cts(region, off)
+}

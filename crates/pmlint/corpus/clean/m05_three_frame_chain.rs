@@ -1,0 +1,21 @@
+//! Clean twin of m05: the outermost frame persists the staged range
+//! before publishing.
+
+// pmlint: caller-flushes
+fn write_cell(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)
+}
+
+// pmlint: caller-flushes
+fn stage_rows(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    write_cell(region, off, v)?;
+    write_cell(region, off + 8, v)
+}
+
+pub fn commit_batch(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage_rows(region, off, v)?;
+    region.persist(off, 16)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?;
+    region.persist(off + 64, 8)
+}

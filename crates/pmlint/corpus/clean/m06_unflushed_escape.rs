@@ -1,0 +1,6 @@
+//! Clean twin of m06: the store is persisted before returning.
+
+pub fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,10 @@
+//! Clean twin of m08: flush before the fence, then publish.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    region.fence();
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?;
+    region.persist(off + 64, 8)
+}

@@ -1,0 +1,8 @@
+//! Clean twin of m09: a region-relative offset is persisted instead of
+//! a virtual address.
+
+pub fn persist_addr(region: &NvmRegion, off: u64, data_off: u64) -> Result<()> {
+    let addr = data_off + 64;
+    region.write_pod(off, &addr)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,8 @@
+//! Clean twin of m10: the chain starts from an offset, not a pointer.
+
+pub fn persist_addr(region: &NvmRegion, off: u64, data_off: u64) -> Result<()> {
+    let addr = data_off;
+    let slot = addr + 16;
+    region.write_pod(off, &slot)?;
+    region.persist(off, 8)
+}

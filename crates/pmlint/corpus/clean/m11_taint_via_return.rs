@@ -1,0 +1,11 @@
+//! Clean twin of m11: the helper returns a length, not an address.
+
+fn payload_len(buf: &[u8]) -> u64 {
+    buf.len() as u64
+}
+
+pub fn persist_addr(region: &NvmRegion, off: u64, buf: &[u8]) -> Result<()> {
+    let len = payload_len(buf);
+    region.write_pod(off, &len)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,11 @@
+//! Clean twin of m12: the helper records a region offset.
+
+// pmlint: caller-flushes
+fn record(region: &NvmRegion, off: u64, addr: u64) -> Result<()> {
+    region.write_pod(off, &addr)
+}
+
+pub fn persist_addr(region: &NvmRegion, off: u64, data_off: u64) -> Result<()> {
+    record(region, off, data_off)?;
+    region.persist(off, 8)
+}

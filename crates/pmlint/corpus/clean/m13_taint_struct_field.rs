@@ -1,0 +1,10 @@
+//! Clean twin of m13: the struct carries a region offset.
+
+pub fn persist_entry(region: &NvmRegion, off: u64, data_off: u64, buf: &[u8]) -> Result<()> {
+    let entry = DirEntry {
+        addr: data_off,
+        len: buf.len() as u64,
+    };
+    region.write_pod(off, &entry)?;
+    region.persist(off, 16)
+}

@@ -1,0 +1,7 @@
+//! Clean twin of m14: the annotation uses a registered label.
+
+pub fn publish_row(region: &NvmRegion, off: u64) -> Result<()> {
+    // pmlint: publish(cts)
+    region.write_pod(off, &1u64)?;
+    region.persist(off, 8)
+}

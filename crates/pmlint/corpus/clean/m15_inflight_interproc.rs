@@ -1,0 +1,16 @@
+//! Clean twin of m15: the caller fences the helper's in-flight flush
+//! before publishing.
+
+// pmlint: caller-flushes
+fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage(region, off, v)?;
+    region.fence();
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?;
+    region.persist(off + 64, 8)
+}

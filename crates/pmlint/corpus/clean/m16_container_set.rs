@@ -1,0 +1,9 @@
+//! Clean twin of m16: the container cell is stored durably (internal
+//! persist) before the publish.
+
+pub fn update_row(slab: &PSlab, region: &NvmRegion, off: u64, i: u64, v: u64) -> Result<()> {
+    slab.store(region, i, &v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off, &1u64)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,9 @@
+//! Seeded bug: the row store is never flushed before the publish store,
+//! so a crash after the publish can expose an unwritten row.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

@@ -1,0 +1,10 @@
+//! Seeded bug: the row store is flushed but never fenced, so the flush
+//! may still be in flight when the publish store lands.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

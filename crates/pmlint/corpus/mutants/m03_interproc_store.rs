@@ -1,0 +1,15 @@
+//! Seeded bug: a helper stages the row without persisting (annotated
+//! caller-flushes), but the caller publishes without honouring the
+//! contract — the violation spans two frames.
+
+// pmlint: caller-flushes
+fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage(region, off, v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

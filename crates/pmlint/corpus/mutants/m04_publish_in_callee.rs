@@ -1,0 +1,14 @@
+//! Seeded bug: the caller's dirty store reaches a publish point that
+//! lives inside a callee.
+
+fn publish_cts(region: &NvmRegion, off: u64) -> Result<()> {
+    // pmlint: publish(cts)
+    region.write_pod(off, &1u64)?;
+    region.persist(off, 8)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off + 8, &v)?;
+    publish_cts(region, off)?; //~ persist-order
+    region.persist(off + 8, 8)
+}

@@ -1,0 +1,20 @@
+//! Seeded bug: an unpersisted cell store travels through three frames
+//! (write_cell -> stage_rows -> commit_batch) before being published.
+
+// pmlint: caller-flushes
+fn write_cell(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)
+}
+
+// pmlint: caller-flushes
+fn stage_rows(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    write_cell(region, off, v)?;
+    write_cell(region, off + 8, v)
+}
+
+pub fn commit_batch(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage_rows(region, off, v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

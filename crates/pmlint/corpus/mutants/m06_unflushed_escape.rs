@@ -1,0 +1,6 @@
+//! Seeded bug: a public fn returns with a dirty NVM store and no
+//! caller-flushes contract — nothing forces the line to media.
+
+pub fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v) //~ unflushed-escape
+}

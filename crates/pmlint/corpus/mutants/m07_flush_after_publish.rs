@@ -1,0 +1,11 @@
+//! Seeded bug: the row is flushed and fenced only *after* the publish
+//! store — the order is inverted.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.flush(off, 8)?;
+    region.fence();
+    region.persist(off + 64, 8)
+}

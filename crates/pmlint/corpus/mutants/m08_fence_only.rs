@@ -1,0 +1,10 @@
+//! Seeded bug: a fence without a preceding flush orders nothing — the
+//! row line was never pushed out of the cache.
+
+pub fn publish_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.fence();
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

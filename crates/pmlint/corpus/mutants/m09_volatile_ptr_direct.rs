@@ -1,0 +1,8 @@
+//! Seeded bug: a DRAM virtual address is cast to u64 and persisted —
+//! it dangles after restart.
+
+pub fn persist_addr(region: &NvmRegion, off: u64, buf: &[u8]) -> Result<()> {
+    let addr = buf.as_ptr() as u64;
+    region.write_pod(off, &addr)?; //~ volatile-escape
+    region.persist(off, 8)
+}

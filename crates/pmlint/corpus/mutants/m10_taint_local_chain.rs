@@ -1,0 +1,9 @@
+//! Seeded bug: the DRAM address taint survives two local rebindings
+//! before reaching the persistent sink.
+
+pub fn persist_addr(region: &NvmRegion, off: u64, buf: &[u8]) -> Result<()> {
+    let addr = buf.as_ptr() as u64;
+    let slot = addr + 16;
+    region.write_pod(off, &slot)?; //~ volatile-escape
+    region.persist(off, 8)
+}

@@ -1,0 +1,12 @@
+//! Seeded bug: a helper launders the DRAM address through its return
+//! value; the caller persists it.
+
+fn dram_addr(buf: &[u8]) -> u64 {
+    buf.as_ptr() as u64
+}
+
+pub fn persist_addr(region: &NvmRegion, off: u64, buf: &[u8]) -> Result<()> {
+    let addr = dram_addr(buf);
+    region.write_pod(off, &addr)?; //~ volatile-escape
+    region.persist(off, 8)
+}

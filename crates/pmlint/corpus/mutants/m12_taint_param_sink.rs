@@ -1,0 +1,13 @@
+//! Seeded bug: the sink lives in a helper — the tainted address flows
+//! in through a parameter.
+
+// pmlint: caller-flushes
+fn record(region: &NvmRegion, off: u64, addr: u64) -> Result<()> {
+    region.write_pod(off, &addr) //~ volatile-escape
+}
+
+pub fn persist_addr(region: &NvmRegion, off: u64, buf: &mut [u8]) -> Result<()> {
+    let addr = buf.as_mut_ptr() as u64;
+    record(region, off, addr)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,11 @@
+//! Seeded bug: the DRAM address hides inside a Pod struct literal that
+//! is persisted whole.
+
+pub fn persist_entry(region: &NvmRegion, off: u64, buf: &[u8]) -> Result<()> {
+    let entry = DirEntry {
+        addr: buf.as_ptr() as u64,
+        len: buf.len() as u64,
+    };
+    region.write_pod(off, &entry)?; //~ volatile-escape
+    region.persist(off, 16)
+}

@@ -1,0 +1,8 @@
+//! Seeded bug: the publish annotation names a label no ProtocolSpec
+//! declares — the crash scheduler would never torture this site.
+
+pub fn publish_row(region: &NvmRegion, off: u64) -> Result<()> {
+    // pmlint: publish(row-count)
+    region.write_pod(off, &1u64)?; //~ publish-binding
+    region.persist(off, 8)
+}

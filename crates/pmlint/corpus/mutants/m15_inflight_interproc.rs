@@ -1,0 +1,15 @@
+//! Seeded bug: the helper flushes but never fences; the caller
+//! publishes while the row line may still be in flight.
+
+// pmlint: caller-flushes
+fn stage(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)
+}
+
+pub fn commit(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    stage(region, off, v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off + 64, &1u64)?; //~ persist-order
+    region.persist(off + 64, 8)
+}

@@ -1,0 +1,9 @@
+//! Seeded bug: a container-level volatile `set` (dirty by contract) is
+//! published without an intervening persist.
+
+pub fn update_row(slab: &PSlab, region: &NvmRegion, off: u64, i: u64, v: u64) -> Result<()> {
+    slab.set(region, i, &v)?;
+    // pmlint: publish(cts)
+    region.write_pod(off, &1u64)?; //~ persist-order
+    region.persist(off, 8)
+}

@@ -1,0 +1,212 @@
+//! Cross-crate call graph over the HIR.
+//!
+//! Resolution is name-based with two precision hints: a path qualifier
+//! (`NvTable::open` only matches fns inside `impl NvTable`) and, for
+//! `self.method(..)` calls, a preference for candidates in the caller's
+//! own impl block / file. Where several candidates survive, the analyses
+//! take the union of their summaries (sound for our purposes: a store
+//! that *might* escape unflushed is reported).
+
+use std::collections::HashMap;
+
+use crate::hir::{CallEvent, HirFn, HirProgram};
+
+/// std / core module qualifiers that can never name a workspace fn.
+const STD_MODULES: &[&str] = &[
+    "ptr", "mem", "std", "core", "alloc", "slice", "str", "io", "fs", "env", "process", "thread",
+    "cmp", "fmt", "hash", "iter", "time", "sync", "atomic", "ops", "convert", "array", "char",
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Call graph: callee candidates per fn name.
+pub struct CallGraph {
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph over every non-test fn in `prog`.
+    pub fn build(prog: &HirProgram) -> Self {
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for f in &prog.fns {
+            if f.is_test {
+                continue;
+            }
+            by_name.entry(f.name.clone()).or_default().push(f.id);
+        }
+        CallGraph { by_name }
+    }
+
+    /// Resolve a call event in `caller` to candidate fn ids.
+    ///
+    /// Returns an empty vec for unknown names (std / external calls) and
+    /// for explicitly foreign paths (`ptr::write`, `std::mem::swap`, …).
+    pub fn resolve(&self, prog: &HirProgram, caller: &HirFn, call: &CallEvent) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        // Foreign qualifier (`ptr::`, `std::`, `mem::`…) — never ours
+        // unless the qualifier names one of our impl types. `Self::` is
+        // the caller's own impl type.
+        if let Some(q) = call.qualifiers.last() {
+            let q: &str = if q == "Self" {
+                match caller.impl_type.as_deref() {
+                    Some(t) => t,
+                    None => return Vec::new(),
+                }
+            } else {
+                q.as_str()
+            };
+            let filtered: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| prog.fns[id].impl_type.as_deref() == Some(q))
+                .collect();
+            if !filtered.is_empty() {
+                return filtered;
+            }
+            if STD_MODULES.contains(&q) {
+                return Vec::new();
+            }
+            // Module-qualified free fn (`protocol::registry()`): match
+            // candidates without an impl type.
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| prog.fns[id].impl_type.is_none())
+                .collect();
+            if q.chars().next().is_some_and(|c| c.is_lowercase()) && !free.is_empty() {
+                return free;
+            }
+            return Vec::new();
+        }
+        // `self.method(..)`: prefer same impl type, then same file.
+        if call.recv.as_deref() == Some("self") {
+            let same_impl: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    prog.fns[id].impl_type.is_some() && prog.fns[id].impl_type == caller.impl_type
+                })
+                .collect();
+            if !same_impl.is_empty() {
+                return same_impl;
+            }
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| prog.fns[id].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+        }
+        // Method call on a non-self receiver: require the candidate to be
+        // a method (has self); free call: prefer free fns in the same
+        // file, else all free fns, else everything.
+        if call.recv.is_some() {
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| prog.fns[id].has_self)
+                .collect();
+            return methods;
+        }
+        let same_file_free: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| prog.fns[id].file == caller.file && !prog.fns[id].has_self)
+            .collect();
+        if !same_file_free.is_empty() {
+            return same_file_free;
+        }
+        let free: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| !prog.fns[id].has_self)
+            .collect();
+        if !free.is_empty() {
+            return free;
+        }
+        cands.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hir::build_program;
+
+    fn prog(files: &[(&str, &str)]) -> HirProgram {
+        build_program(
+            &files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn qualifier_selects_the_impl() {
+        let p = prog(&[(
+            "crates/a/src/lib.rs",
+            "impl Foo { fn open() {} } impl Bar { fn open() {} } fn use_it() { Foo::open(); }",
+        )]);
+        let g = CallGraph::build(&p);
+        let caller = p.fns.iter().find(|f| f.name == "use_it").unwrap();
+        let call = caller
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::hir::Event::Call(c) if c.name == "open" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        let r = g.resolve(&p, caller, call);
+        assert_eq!(r.len(), 1);
+        assert_eq!(p.fns[r[0]].impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn self_calls_prefer_the_same_impl() {
+        let p = prog(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl Foo { fn go(&self) { self.step(); } fn step(&self) {} }",
+            ),
+            ("crates/b/src/lib.rs", "impl Bar { fn step(&self) {} }"),
+        ]);
+        let g = CallGraph::build(&p);
+        let caller = p.fns.iter().find(|f| f.name == "go").unwrap();
+        let call = caller
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::hir::Event::Call(c) if c.name == "step" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        let r = g.resolve(&p, caller, call);
+        assert_eq!(r.len(), 1);
+        assert_eq!(p.fns[r[0]].impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn std_paths_resolve_to_nothing() {
+        let p = prog(&[(
+            "crates/a/src/lib.rs",
+            "fn f(a: *mut u8, b: u8) { unsafe { ptr::write(a, b) } } fn write(x: u8) {}",
+        )]);
+        let g = CallGraph::build(&p);
+        let caller = p.fns.iter().find(|f| f.name == "f").unwrap();
+        let call = caller
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::hir::Event::Call(c) if c.name == "write" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert!(g.resolve(&p, caller, call).is_empty());
+    }
+}

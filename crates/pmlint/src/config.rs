@@ -38,6 +38,13 @@ pub struct Config {
     /// Run the tree-level `publish-once-media` rule against the nvm
     /// protocol registry.
     pub check_media_registry: bool,
+    /// Run the interprocedural persist-order and taint analyses
+    /// (`persist-order`, `unflushed-escape`, `volatile-escape`,
+    /// `publish-binding`) over the engine crates.
+    pub check_dataflow: bool,
+    /// Suppressions: `(rule, path-suffix)` pairs dropped from the final
+    /// finding list (loaded from `pmlint.suppress`).
+    pub suppressions: Vec<(String, String)>,
 }
 
 impl Config {
@@ -47,6 +54,8 @@ impl Config {
         Config {
             critical: Vec::new(),
             check_media_registry: false,
+            check_dataflow: false,
+            suppressions: Vec::new(),
         }
     }
 
@@ -96,7 +105,30 @@ impl Config {
                 ),
             ],
             check_media_registry: true,
+            check_dataflow: true,
+            suppressions: Vec::new(),
         }
+    }
+
+    /// Parse a `pmlint.suppress` file: one `rule path-suffix` pair per
+    /// line, `#` comments and blank lines ignored.
+    pub fn parse_suppressions(text: &str) -> Vec<(String, String)> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                Some((it.next()?.to_owned(), it.next()?.to_owned()))
+            })
+            .collect()
+    }
+
+    /// Is `(rule, file)` suppressed?
+    pub fn is_suppressed(&self, rule: &str, file: &str) -> bool {
+        let norm = file.replace('\\', "/");
+        self.suppressions
+            .iter()
+            .any(|(r, suffix)| r == rule && norm.ends_with(suffix.as_str()))
     }
 
     /// Critical-fn lookup: `None` = file not critical, `Some(None)` =

@@ -1,0 +1,1068 @@
+//! Interprocedural crash-consistency dataflow.
+//!
+//! Two analyses over the HIR + call graph:
+//!
+//! * **persist-order reachability** — every NVM store must be flushed
+//!   *and* fenced before any publish site it can reach on a call path.
+//!   Publish sites are bound to the `nvm::protocol` registry's publish
+//!   labels via `// pmlint: publish(<label>)` annotations. Violations
+//!   are reported as call-chain diagnostics (rule `persist-order`);
+//!   functions that leave their own stores unflushed on return without a
+//!   `// pmlint: caller-flushes` contract are rule `unflushed-escape`.
+//! * **volatile-pointer escape** — a taint analysis flagging DRAM-owned
+//!   addresses (`as_ptr`/`into_raw`/`&x as *const _` cast to an integer)
+//!   that flow into persistent sinks (`write_pod` values, `pvec`/`pvar`/
+//!   `pslab`/`parray` writes), directly or through helper calls (rule
+//!   `volatile-escape`). A durable virtual address is meaningless after
+//!   restart, so persisting one silently breaks recovery.
+//!
+//! The persist lattice per pending store is `Dirty → InFlight →
+//! (durable)`: a `flush` moves Dirty stores to InFlight, a `fence`
+//! retires InFlight ones, `persist` does both. The walk is linear and
+//! path-insensitive (both branch arms appear to execute), a flush is
+//! assumed to cover every pending store (the tree flushes whole extents),
+//! and a fence anywhere in a callee counts — deliberate approximations
+//! that keep the clean tree clean while catching every ordering class in
+//! the seeded corpus. They are documented in DESIGN.md.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::callgraph::CallGraph;
+use crate::hir::{CallEvent, Event, HirFn, HirProgram, Span};
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+
+/// Rule: unflushed store reaches a publish site.
+pub const RULE_PERSIST_ORDER: &str = "persist-order";
+/// Rule: fn returns with its own dirty stores and no contract.
+pub const RULE_UNFLUSHED_ESCAPE: &str = "unflushed-escape";
+/// Rule: DRAM-derived address flows into a persistent sink.
+pub const RULE_VOLATILE_ESCAPE: &str = "volatile-escape";
+/// Rule: publish annotations must match the protocol registry.
+pub const RULE_PUBLISH_BINDING: &str = "publish-binding";
+
+/// Analysis configuration.
+pub struct AnalysisCtx {
+    /// Publish labels declared by the protocol registry.
+    pub known_labels: Vec<String>,
+    /// Require every known label to have an annotated site in tree.
+    pub check_publish_binding: bool,
+    /// File to anchor missing-label findings at.
+    pub labels_anchor: String,
+}
+
+impl AnalysisCtx {
+    /// Context for ad-hoc source sets (corpus, unit tests): the given
+    /// labels are known, and unannotated labels are not required.
+    pub fn bare(labels: &[&str]) -> Self {
+        AnalysisCtx {
+            known_labels: labels.iter().map(|s| s.to_string()).collect(),
+            check_publish_binding: false,
+            labels_anchor: "crates/nvm/src/protocol.rs".to_owned(),
+        }
+    }
+}
+
+/// A source position plus a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Site {
+    file: String,
+    line: u32,
+    col: u32,
+    what: String,
+}
+
+impl Site {
+    fn of(f: &HirFn, line: u32, col: u32, what: String) -> Self {
+        Site {
+            file: f.file.clone(),
+            line,
+            col,
+            what,
+        }
+    }
+    fn brief(&self) -> String {
+        format!("{} ({}:{})", self.what, self.file, self.line)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum StoreState {
+    /// Written, not flushed.
+    Dirty,
+    /// Flushed, not fenced.
+    InFlight,
+}
+
+#[derive(Debug, Clone)]
+struct PendingStore {
+    origin: Site,
+    origin_fn: usize,
+    state: StoreState,
+    /// Call-site frames from the origin outward (most recent last).
+    chain: Vec<Site>,
+}
+
+impl PendingStore {
+    fn key(&self) -> (String, u32, u32) {
+        (self.origin.file.clone(), self.origin.line, self.origin.col)
+    }
+}
+
+/// A publish point visible from a fn (its own or reached transitively).
+#[derive(Debug, Clone)]
+struct PubPoint {
+    label: String,
+    site: Site,
+    /// A flush covering pending stores happens between fn entry and this
+    /// publish.
+    flush_before: bool,
+    /// A fence happens between fn entry and this publish.
+    fence_before: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PersistSummary {
+    /// Fn executes a fence somewhere.
+    fences: bool,
+    /// Fn executes a flush (or persist) somewhere.
+    flushes: bool,
+    /// Publish points reachable from this fn (transitive).
+    publishes: Vec<PubPoint>,
+    /// Stores still pending when the fn returns.
+    escaping: Vec<PendingStore>,
+}
+
+impl PersistSummary {
+    fn digest(&self) -> String {
+        let mut pubs: Vec<String> = self
+            .publishes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}@{}:{}/{}{}",
+                    p.label, p.site.file, p.site.line, p.flush_before as u8, p.fence_before as u8
+                )
+            })
+            .collect();
+        pubs.sort();
+        let mut esc: Vec<String> = self
+            .escaping
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}:{}:{}/{:?}",
+                    e.origin.file, e.origin.line, e.origin.col, e.state
+                )
+            })
+            .collect();
+        esc.sort();
+        format!("{}|{}|{:?}|{:?}", self.fences, self.flushes, pubs, esc)
+    }
+}
+
+/// What a call site does to NVM, classified by name + arity + argument
+/// shape (`nvm` write-primitive intrinsics).
+enum Intrinsic {
+    /// Writes without persisting (caller must flush + fence).
+    DirtyStore { value_arg: Option<usize> },
+    /// Writes and persists internally (implies a fence).
+    DurableStore { value_arg: Option<usize> },
+    /// `flush(off, len)` — Dirty → InFlight for all pending.
+    Flush,
+    /// `fence()` — retires InFlight stores.
+    Fence,
+    /// `persist(off, len)` / `persist_all(region)` — flush + fence.
+    FlushFence,
+}
+
+fn last_arg(call: &CallEvent) -> Option<usize> {
+    call.args.len().checked_sub(1)
+}
+
+const REGIONISH: &[&str] = &["region", "heap", "reg", "r", "h", "nvm"];
+
+/// Does the arg at `idx` mention a region/heap handle?
+fn region_arg(f: &HirFn, call: &CallEvent, idx: usize) -> bool {
+    let Some(&(s, e)) = call.args.get(idx) else {
+        return false;
+    };
+    f.tokens[s..e].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (REGIONISH.contains(&t.text.as_str())
+                || t.text.ends_with("region")
+                || t.text.ends_with("heap"))
+    })
+}
+
+fn classify(f: &HirFn, call: &CallEvent) -> Option<Intrinsic> {
+    if !call.qualifiers.is_empty() {
+        return None; // `ptr::write`, `std::…` — never an nvm intrinsic
+    }
+    let n = call.args.len();
+    match call.name.as_str() {
+        "write_pod" | "write_bytes" if n == 2 => Some(Intrinsic::DirtyStore { value_arg: Some(1) }),
+        "flush" if n == 2 => Some(Intrinsic::Flush),
+        "fence" if n == 0 && call.recv.is_some() => Some(Intrinsic::Fence),
+        "persist" if n == 2 && call.recv.is_some() => Some(Intrinsic::FlushFence),
+        "persist_all" if call.recv.is_some() => Some(Intrinsic::FlushFence),
+        "set" if (n == 2 || n == 3) && region_arg(f, call, 0) => Some(Intrinsic::DirtyStore {
+            value_arg: last_arg(call),
+        }),
+        "set_volatile" | "copy_from_slice" if (n == 2 || n == 3) && region_arg(f, call, 0) => {
+            Some(Intrinsic::DirtyStore {
+                value_arg: last_arg(call),
+            })
+        }
+        "store" | "push" | "push_unpublished" | "publish_len" | "append_bytes"
+            if (n == 2 || n == 3) && region_arg(f, call, 0) =>
+        {
+            Some(Intrinsic::DurableStore {
+                value_arg: last_arg(call),
+            })
+        }
+        "set_root" if (n == 1 || n == 2) && call.recv.is_some() => Some(Intrinsic::DurableStore {
+            value_arg: last_arg(call),
+        }),
+        _ => None,
+    }
+}
+
+fn fn_disp(f: &HirFn) -> String {
+    match &f.impl_type {
+        Some(t) => format!("{}::{}", t, f.name),
+        None => f.name.clone(),
+    }
+}
+
+fn state_text(s: StoreState) -> &'static str {
+    match s {
+        StoreState::Dirty => "unflushed (dirty)",
+        StoreState::InFlight => "flushed but not fenced",
+    }
+}
+
+fn path_text(p: &PendingStore, publish: &Site) -> String {
+    let mut parts = vec![format!("store {}", p.origin.brief())];
+    for c in &p.chain {
+        parts.push(c.brief());
+    }
+    parts.push(publish.brief());
+    parts.join(" -> ")
+}
+
+const MAX_CHAIN: usize = 8;
+const MAX_ESCAPING: usize = 64;
+const MAX_ROUNDS: usize = 12;
+
+/// Linear persist walk of one fn. When `report` is set, emit findings
+/// against the converged `summaries`.
+fn walk_persist(
+    prog: &HirProgram,
+    graph: &CallGraph,
+    f: &HirFn,
+    summaries: &[PersistSummary],
+    report: Option<&mut Vec<Finding>>,
+) -> PersistSummary {
+    let mut pending: Vec<PendingStore> = Vec::new();
+    let mut fenced = false;
+    let mut flushed = false;
+    let mut out = PersistSummary::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut reported: BTreeSet<(String, u32, u32, String, u32)> = BTreeSet::new();
+    // (label,file,line) → (flush_before, fence_before); AND-merged so the
+    // weakest path wins.
+    let mut pubs: BTreeMap<(String, String, u32), (bool, bool, Site)> = BTreeMap::new();
+
+    let check_publish =
+        |pending: &[PendingStore],
+         label: &str,
+         site: &Site,
+         flush_before: bool,
+         fence_before: bool,
+         anchor: (u32, u32),
+         findings: &mut Vec<Finding>,
+         reported: &mut BTreeSet<(String, u32, u32, String, u32)>| {
+            for p in pending {
+                let violated = match p.state {
+                    StoreState::Dirty => !(flush_before && fence_before),
+                    StoreState::InFlight => !fence_before,
+                };
+                if !violated {
+                    continue;
+                }
+                let dk = (
+                    p.origin.file.clone(),
+                    p.origin.line,
+                    p.origin.col,
+                    site.file.clone(),
+                    site.line,
+                );
+                if !reported.insert(dk) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: RULE_PERSIST_ORDER,
+                    file: f.file.clone(),
+                    line: anchor.0,
+                    col: anchor.1,
+                    msg: format!(
+                        "NVM store {} reaches publish `{}` at {}:{} while {}; path: {}",
+                        p.origin.brief(),
+                        label,
+                        site.file,
+                        site.line,
+                        state_text(p.state),
+                        path_text(p, site),
+                    ),
+                });
+            }
+        };
+
+    for ev in &f.events {
+        let Event::Call(call) = ev else { continue };
+        // A publish annotation marks this statement as a publish point;
+        // pending stores are checked *before* the call's own effect.
+        if let Some(label) = &call.publish_label {
+            let site = Site::of(
+                f,
+                call.line,
+                call.col,
+                format!("publish `{label}` in `{}`", fn_disp(f)),
+            );
+            if report.is_some() {
+                check_publish(
+                    &pending,
+                    label,
+                    &site,
+                    flushed,
+                    fenced,
+                    (call.line, call.col),
+                    &mut findings,
+                    &mut reported,
+                );
+            }
+            let e = pubs
+                .entry((label.clone(), site.file.clone(), site.line))
+                .or_insert((flushed, fenced, site));
+            e.0 &= flushed;
+            e.1 &= fenced;
+        }
+        match classify(f, call) {
+            Some(Intrinsic::DirtyStore { .. }) => {
+                pending.push(PendingStore {
+                    origin: Site::of(
+                        f,
+                        call.line,
+                        call.col,
+                        format!("`{}` in `{}`", call.name, fn_disp(f)),
+                    ),
+                    origin_fn: f.id,
+                    state: StoreState::Dirty,
+                    chain: Vec::new(),
+                });
+            }
+            Some(Intrinsic::DurableStore { .. }) => {
+                // Internally persisted: acts as a fence for in-flight
+                // lines, leaves dirty ones dirty.
+                fenced = true;
+                pending.retain(|p| p.state == StoreState::Dirty);
+            }
+            Some(Intrinsic::Flush) => {
+                flushed = true;
+                for p in &mut pending {
+                    p.state = StoreState::InFlight;
+                }
+            }
+            Some(Intrinsic::Fence) => {
+                fenced = true;
+                pending.retain(|p| p.state == StoreState::Dirty);
+            }
+            Some(Intrinsic::FlushFence) => {
+                flushed = true;
+                fenced = true;
+                pending.clear();
+            }
+            None => {
+                let callees = graph.resolve(prog, f, call);
+                if callees.is_empty() {
+                    continue; // std / external: no NVM effect
+                }
+                let mut callee_fences = false;
+                let mut callee_flushes = false;
+                for &id in &callees {
+                    let s = &summaries[id];
+                    callee_fences |= s.fences;
+                    callee_flushes |= s.flushes;
+                    // Caller's pending stores vs the callee's publishes.
+                    for pp in &s.publishes {
+                        if report.is_some() {
+                            check_publish(
+                                &pending,
+                                &pp.label,
+                                &pp.site,
+                                pp.flush_before,
+                                pp.fence_before,
+                                (call.line, call.col),
+                                &mut findings,
+                                &mut reported,
+                            );
+                        }
+                        let fb = flushed || pp.flush_before;
+                        let nb = fenced || pp.fence_before;
+                        let e = pubs
+                            .entry((pp.label.clone(), pp.site.file.clone(), pp.site.line))
+                            .or_insert((fb, nb, pp.site.clone()));
+                        e.0 &= fb;
+                        e.1 &= nb;
+                    }
+                }
+                // Inherit the callee's escaping stores with an extended
+                // chain; they are now the caller's responsibility.
+                let frame = Site::of(
+                    f,
+                    call.line,
+                    call.col,
+                    format!("via call to `{}` in `{}`", call.name, fn_disp(f)),
+                );
+                let have: BTreeSet<(String, u32, u32)> = pending.iter().map(|p| p.key()).collect();
+                for &id in &callees {
+                    for esc in &summaries[id].escaping {
+                        if esc.chain.len() >= MAX_CHAIN || have.contains(&esc.key()) {
+                            continue;
+                        }
+                        if pending.len() >= MAX_ESCAPING {
+                            break;
+                        }
+                        let mut inherited = esc.clone();
+                        inherited.chain.push(frame.clone());
+                        pending.push(inherited);
+                    }
+                }
+                // The callee's own flush/fence effects apply after its
+                // publishes were checked against our pending state.
+                if callee_flushes {
+                    flushed = true;
+                    for p in &mut pending {
+                        p.state = StoreState::InFlight;
+                    }
+                }
+                if callee_fences {
+                    fenced = true;
+                    pending.retain(|p| p.state == StoreState::Dirty);
+                }
+            }
+        }
+    }
+
+    if let Some(sink) = report {
+        // Dirty stores born here that outlive the fn need an explicit
+        // caller-flushes contract.
+        if !f.caller_flushes && !f.flush_helper {
+            for p in pending
+                .iter()
+                .filter(|p| p.state == StoreState::Dirty && p.origin_fn == f.id)
+            {
+                findings.push(Finding {
+                    rule: RULE_UNFLUSHED_ESCAPE,
+                    file: f.file.clone(),
+                    line: p.origin.line,
+                    col: p.origin.col,
+                    msg: format!(
+                        "`{}` returns with NVM store {} unflushed; flush before returning or annotate the fn `// pmlint: caller-flushes`",
+                        fn_disp(f),
+                        p.origin.brief(),
+                    ),
+                });
+            }
+        }
+        sink.append(&mut findings);
+    }
+
+    out.fences = fenced;
+    out.flushes = flushed;
+    out.publishes = pubs
+        .into_iter()
+        .map(
+            |((label, _, _), (flush_before, fence_before, site))| PubPoint {
+                label,
+                site,
+                flush_before,
+                fence_before,
+            },
+        )
+        .collect();
+    pending.truncate(MAX_ESCAPING);
+    out.escaping = pending;
+    out
+}
+
+// ---------------------------------------------------------------------
+// Taint analysis
+// ---------------------------------------------------------------------
+
+/// Where a tainted value came from.
+#[derive(Debug, Clone, Default)]
+struct Origins {
+    /// Derived from a DRAM pointer in this fn.
+    local: bool,
+    /// Bitset of parameters whose taint this value carries.
+    params: u64,
+    /// Source site (for messages), when local.
+    src: Option<Site>,
+}
+
+impl Origins {
+    fn is_empty(&self) -> bool {
+        !self.local && self.params == 0
+    }
+    fn merge(&mut self, other: &Origins) {
+        self.local |= other.local;
+        self.params |= other.params;
+        if self.src.is_none() {
+            self.src = other.src.clone();
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct TaintSummary {
+    /// Returns a DRAM-derived integer made inside the fn.
+    returns_local: bool,
+    /// Returns taint when these params are tainted.
+    ret_from_params: u64,
+    /// Params that flow into a persistent sink inside the fn.
+    param_sinks: u64,
+    /// Sink site per param (for messages).
+    sink_sites: BTreeMap<u32, Site>,
+    /// Source site when `returns_local`.
+    ret_src: Option<Site>,
+}
+
+impl TaintSummary {
+    fn digest(&self) -> (bool, u64, u64) {
+        (self.returns_local, self.ret_from_params, self.param_sinks)
+    }
+}
+
+const INT_CASTS: &[&str] = &["usize", "u64", "u32", "i64", "i32", "u128", "isize"];
+const PTR_FNS: &[&str] = &["as_ptr", "as_mut_ptr", "into_raw"];
+
+/// Scan a token span for the DRAM-pointer-to-integer source pattern:
+/// an `as_ptr`/`as_mut_ptr`/`into_raw` call or an `as *const/mut` cast,
+/// combined with an `as <int>` cast. `as_ptr` on a region/heap handle is
+/// NVM-derived and excluded.
+fn span_source(f: &HirFn, span: Span) -> Option<Site> {
+    let toks = &f.tokens[span.0..span.1];
+    let mut int_cast = false;
+    let mut ptr_origin: Option<(u32, u32, String)> = None;
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_ident("as") {
+            if let Some(next) = toks.get(k + 1) {
+                if next.kind == TokKind::Ident && INT_CASTS.contains(&next.text.as_str()) {
+                    int_cast = true;
+                }
+                if next.is_punct('*') && ptr_origin.is_none() {
+                    ptr_origin = Some((t.line, t.col, "`as *const _` cast".to_owned()));
+                }
+            }
+        }
+        if t.kind == TokKind::Ident && PTR_FNS.contains(&t.text.as_str()) {
+            // `recv . as_ptr` — skip NVM-derived receivers.
+            let recv_ok =
+                if k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].kind == TokKind::Ident {
+                    let r = toks[k - 2].text.as_str();
+                    !(REGIONISH.contains(&r) || r.ends_with("region") || r.ends_with("heap"))
+                } else {
+                    true
+                };
+            if recv_ok && ptr_origin.is_none() {
+                ptr_origin = Some((t.line, t.col, format!("`{}` result", t.text)));
+            }
+        }
+    }
+    match (int_cast, ptr_origin) {
+        (true, Some((line, col, what))) => Some(Site::of(f, line, col, what)),
+        _ => None,
+    }
+}
+
+/// Evaluate the taint origins of an expression span.
+fn eval_span(
+    f: &HirFn,
+    span: Span,
+    tainted: &HashMap<String, Origins>,
+    params: &HashMap<String, u32>,
+    call_taints: &HashMap<usize, Origins>,
+) -> Origins {
+    let mut o = Origins::default();
+    for k in span.0..span.1 {
+        let t = &f.tokens[k];
+        if t.kind == TokKind::Ident {
+            if let Some(prev) = tainted.get(&t.text) {
+                o.merge(prev);
+                continue;
+            }
+            if let Some(&i) = params.get(&t.text) {
+                o.params |= 1u64 << i.min(63);
+            }
+        }
+        if let Some(ct) = call_taints.get(&k) {
+            o.merge(ct);
+        }
+    }
+    if let Some(src) = span_source(f, span) {
+        o.local = true;
+        if o.src.is_none() {
+            o.src = Some(src);
+        }
+    }
+    o
+}
+
+fn walk_taint(
+    prog: &HirProgram,
+    graph: &CallGraph,
+    f: &HirFn,
+    summaries: &[TaintSummary],
+    report: Option<&mut Vec<Finding>>,
+) -> TaintSummary {
+    let mut out = TaintSummary::default();
+    let mut tainted: HashMap<String, Origins> = HashMap::new();
+    let mut call_taints: HashMap<usize, Origins> = HashMap::new();
+    let params: HashMap<String, u32> = f
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.name.is_empty())
+        .map(|(i, p)| (p.name.clone(), i as u32))
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let sink_hit = |origins: &Origins,
+                    sink: Site,
+                    via: Option<&Site>,
+                    out: &mut TaintSummary,
+                    findings: &mut Vec<Finding>,
+                    reporting: bool| {
+        if origins.local && reporting {
+            let src = origins
+                .src
+                .as_ref()
+                .map(|s| s.brief())
+                .unwrap_or_else(|| "DRAM pointer cast".to_owned());
+            let via_txt = via
+                .map(|v| format!("; via {}", v.brief()))
+                .unwrap_or_default();
+            findings.push(Finding {
+                rule: RULE_VOLATILE_ESCAPE,
+                file: f.file.clone(),
+                line: sink.line,
+                col: sink.col,
+                msg: format!(
+                    "DRAM-derived address from {} flows into persistent sink {}{}; \
+                     persisted virtual addresses are dangling after restart — store an NvmRegion offset instead",
+                    src,
+                    sink.brief(),
+                    via_txt,
+                ),
+            });
+        }
+        let mut bits = origins.params;
+        while bits != 0 {
+            let i = bits.trailing_zeros();
+            bits &= bits - 1;
+            out.param_sinks |= 1u64 << i;
+            out.sink_sites.entry(i).or_insert_with(|| sink.clone());
+        }
+    };
+
+    let reporting = report.is_some();
+    for ev in &f.events {
+        match ev {
+            Event::Call(call) => {
+                let sink_site = |what: String| Site::of(f, call.line, call.col, what);
+                match classify(f, call) {
+                    Some(
+                        Intrinsic::DirtyStore {
+                            value_arg: Some(v), ..
+                        }
+                        | Intrinsic::DurableStore {
+                            value_arg: Some(v), ..
+                        },
+                    ) => {
+                        if let Some(&span) = call.args.get(v) {
+                            let o = eval_span(f, span, &tainted, &params, &call_taints);
+                            if !o.is_empty() {
+                                sink_hit(
+                                    &o,
+                                    sink_site(format!("`{}` in `{}`", call.name, fn_disp(f))),
+                                    None,
+                                    &mut out,
+                                    &mut findings,
+                                    reporting,
+                                );
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        let callees = graph.resolve(prog, f, call);
+                        if callees.is_empty() {
+                            continue;
+                        }
+                        let mut ret = Origins::default();
+                        for &id in &callees {
+                            let s = &summaries[id];
+                            let callee = &prog.fns[id];
+                            // Args flowing into the callee's sinks.
+                            let mut bits = s.param_sinks;
+                            while bits != 0 {
+                                let i = bits.trailing_zeros();
+                                bits &= bits - 1;
+                                if let Some(&span) = call.args.get(i as usize) {
+                                    let o = eval_span(f, span, &tainted, &params, &call_taints);
+                                    if !o.is_empty() {
+                                        let deep = s.sink_sites.get(&i).cloned();
+                                        sink_hit(
+                                            &o,
+                                            deep.unwrap_or_else(|| {
+                                                sink_site(format!(
+                                                    "sink inside `{}`",
+                                                    fn_disp(callee)
+                                                ))
+                                            }),
+                                            Some(&sink_site(format!(
+                                                "call to `{}` in `{}`",
+                                                call.name,
+                                                fn_disp(f)
+                                            ))),
+                                            &mut out,
+                                            &mut findings,
+                                            reporting,
+                                        );
+                                    }
+                                }
+                            }
+                            // Taint returned by the callee.
+                            if s.returns_local {
+                                ret.local = true;
+                                if ret.src.is_none() {
+                                    ret.src = s.ret_src.clone().or_else(|| {
+                                        Some(sink_site(format!("`{}` return value", call.name)))
+                                    });
+                                }
+                            }
+                            let mut bits = s.ret_from_params;
+                            while bits != 0 {
+                                let i = bits.trailing_zeros();
+                                bits &= bits - 1;
+                                if let Some(&span) = call.args.get(i as usize) {
+                                    let o = eval_span(f, span, &tainted, &params, &call_taints);
+                                    ret.merge(&o);
+                                }
+                            }
+                        }
+                        if !ret.is_empty() {
+                            call_taints.insert(call.tok_idx, ret);
+                        }
+                    }
+                }
+            }
+            Event::Let(l) => {
+                let o = eval_span(f, l.expr, &tainted, &params, &call_taints);
+                for name in &l.names {
+                    if o.is_empty() {
+                        tainted.remove(name);
+                    } else {
+                        tainted.insert(name.clone(), o.clone());
+                    }
+                }
+            }
+            Event::Return(r) => {
+                let o = eval_span(f, r.expr, &tainted, &params, &call_taints);
+                out.returns_local |= o.local;
+                out.ret_from_params |= o.params;
+                if out.ret_src.is_none() {
+                    out.ret_src = o.src;
+                }
+            }
+        }
+    }
+    if let Some(sink) = report {
+        sink.append(&mut findings);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Run both interprocedural analyses plus publish-binding over `prog`.
+pub fn analyze(prog: &HirProgram, ctx: &AnalysisCtx) -> Vec<Finding> {
+    let graph = CallGraph::build(prog);
+    let mut findings = Vec::new();
+
+    // Persist-order fixpoint.
+    let mut psums: Vec<PersistSummary> = vec![PersistSummary::default(); prog.fns.len()];
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for f in &prog.fns {
+            if f.is_test {
+                continue;
+            }
+            let next = walk_persist(prog, &graph, f, &psums, None);
+            if next.digest() != psums[f.id].digest() {
+                changed = true;
+            }
+            psums[f.id] = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+    for f in &prog.fns {
+        if f.is_test {
+            continue;
+        }
+        walk_persist(prog, &graph, f, &psums, Some(&mut findings));
+    }
+
+    // Taint fixpoint.
+    let mut tsums: Vec<TaintSummary> = vec![TaintSummary::default(); prog.fns.len()];
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for f in &prog.fns {
+            if f.is_test {
+                continue;
+            }
+            let next = walk_taint(prog, &graph, f, &tsums, None);
+            if next.digest() != tsums[f.id].digest() {
+                changed = true;
+            }
+            tsums[f.id] = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+    for f in &prog.fns {
+        if f.is_test {
+            continue;
+        }
+        walk_taint(prog, &graph, f, &tsums, Some(&mut findings));
+    }
+
+    // Publish-label binding.
+    let known: BTreeSet<&str> = ctx.known_labels.iter().map(|s| s.as_str()).collect();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for f in &prog.fns {
+        if f.is_test {
+            continue;
+        }
+        for ev in &f.events {
+            if let Event::Call(c) = ev {
+                if let Some(label) = &c.publish_label {
+                    seen.insert(label.clone());
+                    if !known.contains(label.as_str()) {
+                        findings.push(Finding {
+                            rule: RULE_PUBLISH_BINDING,
+                            file: f.file.clone(),
+                            line: c.line,
+                            col: c.col,
+                            msg: format!(
+                                "publish label `{label}` is not declared by any ProtocolSpec in nvm::protocol_registry()"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if ctx.check_publish_binding {
+        for label in &ctx.known_labels {
+            if !seen.contains(label) {
+                findings.push(Finding {
+                    rule: RULE_PUBLISH_BINDING,
+                    file: ctx.labels_anchor.clone(),
+                    line: 1,
+                    col: 1,
+                    msg: format!(
+                        "publish label `{label}` has no `// pmlint: publish({label})` annotated site in the tree"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stable order + dedupe.
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.msg).cmp(&(&b.file, b.line, b.col, b.rule, &b.msg))
+    });
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.col == b.col && a.msg == b.msg
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hir::build_program;
+
+    fn run(src: &str, labels: &[&str]) -> Vec<Finding> {
+        let prog = build_program(&[("crates/x/src/lib.rs".to_owned(), src.to_owned())]);
+        analyze(&prog, &AnalysisCtx::bare(labels))
+    }
+
+    #[test]
+    fn clean_store_flush_fence_publish() {
+        let f = run(
+            "fn commit(region: &R) {\n\
+             region.write_pod(8, &1u64);\n\
+             region.flush(8, 8);\n\
+             region.fence();\n\
+             // pmlint: publish(delta-rows)\n\
+             region.write_pod(0, &2u64);\n\
+             region.persist(0, 8);\n\
+             }",
+            &["delta-rows"],
+        );
+        assert!(f.is_empty(), "clean pattern must have no findings: {f:?}");
+    }
+
+    #[test]
+    fn missing_flush_before_publish_is_reported() {
+        let f = run(
+            "fn commit(region: &R) {\n\
+             region.write_pod(8, &1u64);\n\
+             region.fence();\n\
+             // pmlint: publish(delta-rows)\n\
+             region.write_pod(0, &2u64);\n\
+             region.persist(0, 8);\n\
+             }",
+            &["delta-rows"],
+        );
+        assert!(
+            f.iter().any(|x| x.rule == RULE_PERSIST_ORDER),
+            "expected persist-order: {f:?}"
+        );
+    }
+
+    #[test]
+    fn missing_fence_before_publish_is_reported() {
+        let f = run(
+            "fn commit(region: &R) {\n\
+             region.write_pod(8, &1u64);\n\
+             region.flush(8, 8);\n\
+             // pmlint: publish(delta-rows)\n\
+             region.write_pod(0, &2u64);\n\
+             region.persist(0, 8);\n\
+             }",
+            &["delta-rows"],
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.rule == RULE_PERSIST_ORDER)
+            .expect("expected persist-order");
+        assert!(hit.msg.contains("not fenced"), "{}", hit.msg);
+    }
+
+    #[test]
+    fn helper_store_caller_publish_chain() {
+        let f = run(
+            "// pmlint: caller-flushes\n\
+             fn stage(region: &R) { region.write_pod(8, &1u64); }\n\
+             fn commit(region: &R) {\n\
+             stage(region);\n\
+             // pmlint: publish(delta-rows)\n\
+             region.write_pod(0, &2u64);\n\
+             region.persist(0, 8);\n\
+             }",
+            &["delta-rows"],
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.rule == RULE_PERSIST_ORDER)
+            .expect("expected interprocedural persist-order");
+        assert!(
+            hit.msg.contains("stage"),
+            "chain names the helper: {}",
+            hit.msg
+        );
+        assert!(!f.iter().any(|x| x.rule == RULE_UNFLUSHED_ESCAPE));
+    }
+
+    #[test]
+    fn unannotated_escape_is_reported() {
+        let f = run("fn stage(region: &R) { region.write_pod(8, &1u64); }", &[]);
+        assert!(f.iter().any(|x| x.rule == RULE_UNFLUSHED_ESCAPE), "{f:?}");
+    }
+
+    #[test]
+    fn volatile_pointer_direct() {
+        let f = run(
+            "fn leak(region: &R, v: &Vec<u8>) {\n\
+             let p = v.as_ptr() as u64;\n\
+             region.write_pod(8, &p);\n\
+             region.persist(8, 8);\n\
+             }",
+            &[],
+        );
+        assert!(f.iter().any(|x| x.rule == RULE_VOLATILE_ESCAPE), "{f:?}");
+    }
+
+    #[test]
+    fn offsets_are_not_tainted() {
+        let f = run(
+            "fn ok(region: &R, off: u64) {\n\
+             let n = off + 8;\n\
+             region.write_pod(8, &n);\n\
+             region.persist(8, 8);\n\
+             }",
+            &[],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn taint_through_returning_helper() {
+        let f = run(
+            "fn addr(v: &Vec<u8>) -> u64 { v.as_ptr() as u64 }\n\
+             fn leak(region: &R, v: &Vec<u8>) {\n\
+             let p = addr(v);\n\
+             region.write_pod(8, &p);\n\
+             region.persist(8, 8);\n\
+             }",
+            &[],
+        );
+        assert!(f.iter().any(|x| x.rule == RULE_VOLATILE_ESCAPE), "{f:?}");
+    }
+
+    #[test]
+    fn taint_into_param_sink_helper() {
+        let f = run(
+            "fn stash(region: &R, a: u64) { region.write_pod(8, &a); region.persist(8, 8); }\n\
+             fn leak(region: &R, b: Box<u32>) {\n\
+             let a = Box::into_raw(b) as u64;\n\
+             stash(region, a);\n\
+             }",
+            &[],
+        );
+        assert!(f.iter().any(|x| x.rule == RULE_VOLATILE_ESCAPE), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_publish_label_is_reported() {
+        let f = run(
+            "fn commit(region: &R) {\n\
+             // pmlint: publish(no-such-label)\n\
+             region.write_pod(0, &2u64);\n\
+             region.persist(0, 8);\n\
+             }",
+            &["delta-rows"],
+        );
+        assert!(f.iter().any(|x| x.rule == RULE_PUBLISH_BINDING), "{f:?}");
+    }
+}

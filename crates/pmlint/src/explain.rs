@@ -1,0 +1,330 @@
+//! `pmlint --explain <rule>`: rationale, an example finding, and the fix
+//! pattern for every rule the linter ships.
+
+struct RuleDoc {
+    name: &'static str,
+    text: &'static str,
+}
+
+const DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        name: "persist-order",
+        text: r#"persist-order — unflushed store reaches a publish site
+
+WHY
+  Instant restart only works if every NVM store is durable (flushed with
+  clwb AND fenced with sfence) before the 8-byte publish store that makes
+  it reachable. A store that is dirty or merely in-flight at publish time
+  can be reordered past the publish by the memory system; a crash in that
+  window recovers a published structure with garbage inside it. This is
+  tracked interprocedurally: a helper's store escaping into a caller that
+  publishes is the same bug split across two fns.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:703:9: [persist-order] NVM store `set`
+  in `PVar::set` (crates/nvm/src/pvar.rs:57) reaches publish `delta-rows`
+  at crates/storage/src/nv/table.rs:703 while unflushed (dirty); path:
+  store `set` in `PVar::set` (pvar.rs:57) -> via call to `set` in
+  `NvTable::insert_version` (table.rs:685) -> publish `delta-rows` in
+  `NvTable::insert_version` (table.rs:703)
+
+FIX PATTERN
+  Before the publish store, flush every dirty extent and fence:
+      region.flush(off, len)?;   // one per touched extent
+      region.fence();
+      // pmlint: publish(<label>)
+      region.write_pod(publish_off, &value)?;
+      region.persist(publish_off, 8)?;
+  Publish sites are declared with `// pmlint: publish(<label>)` where
+  <label> is a publish label from nvm::protocol_registry()."#,
+    },
+    RuleDoc {
+        name: "unflushed-escape",
+        text: r#"unflushed-escape — fn returns with its own dirty NVM stores
+
+WHY
+  A fn that writes NVM and returns without flushing hands an invisible
+  obligation to every caller. That is sometimes intentional (batching
+  flushes across fields), but it must be an explicit contract or a caller
+  will eventually publish over a dirty line.
+
+EXAMPLE FINDING
+  crates/nvm/src/pvar.rs:57:9: [unflushed-escape] `PVar::set` returns
+  with NVM store `write_pod` in `PVar::set` (crates/nvm/src/pvar.rs:57)
+  unflushed; flush before returning or annotate the fn
+  `// pmlint: caller-flushes`
+
+FIX PATTERN
+  Either persist locally:
+      region.write_pod(off, &v)?;
+      region.persist(off, len)?;
+  or declare the batching contract on the fn:
+      /// Write without flushing; the caller batches flushes.
+      // pmlint: caller-flushes
+      pub fn set(&self, region: &NvmRegion, value: &T) -> Result<()> { … }
+  Annotated stores are still tracked: they must be flushed+fenced by the
+  caller before any publish site (rule persist-order)."#,
+    },
+    RuleDoc {
+        name: "volatile-escape",
+        text: r#"volatile-escape — DRAM-derived address flows into a persistent sink
+
+WHY
+  A persisted virtual address (Box/Vec pointer, &T cast to usize, raw
+  pointer cast to an integer) is meaningless after restart: the heap is
+  gone and the mapping address changes. Anything durable must reference
+  NVM data by NvmRegion *offset*, never by pointer. The taint analysis
+  tracks pointer-to-integer casts through locals, helper returns, and
+  helper parameters into `write_pod`/`pvec`/`pvar`/`pslab` sinks.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:512:9: [volatile-escape] DRAM-derived
+  address from `as_ptr` result (table.rs:508) flows into persistent sink
+  `write_pod` in `NvTable::stash` (table.rs:512); persisted virtual
+  addresses are dangling after restart — store an NvmRegion offset instead
+
+FIX PATTERN
+  Allocate in the region and store the offset:
+      let off = heap.alloc(len)?;          // NVM offset, stable
+      region.write_bytes(off, bytes)?;
+      region.write_pod(slot, &off)?;       // persist the offset
+  Never:
+      region.write_pod(slot, &(v.as_ptr() as u64))?;  // dangling"#,
+    },
+    RuleDoc {
+        name: "publish-binding",
+        text: r#"publish-binding — publish annotations must match the protocol registry
+
+WHY
+  The persist-order analysis is anchored at publish sites, bound to the
+  publish labels declared by nvm::protocol_registry() via
+  `// pmlint: publish(<label>)` annotations. An unknown label means the
+  annotation is stale or typo'd; a declared label with no annotated site
+  means a protocol's publish point is invisible to the analyzer — its
+  whole ordering check silently disappears.
+
+EXAMPLE FINDING
+  crates/core/src/backend_nv.rs:365:9: [publish-binding] publish label
+  `catalog-ctz` is not declared by any ProtocolSpec in
+  nvm::protocol_registry()
+
+FIX PATTERN
+  Use the exact label from the spec's Publish step:
+      // pmlint: publish(catalog-cts)
+      self.cts.store(r, &v)?;
+  and keep one annotated site in tree for every label returned by
+  nvm::publish_labels()."#,
+    },
+    RuleDoc {
+        name: "raw-nvm-write",
+        text: r#"raw-nvm-write — raw pointer store into mapped NVM outside a flush helper
+
+WHY
+  `ptr::write`/`copy_nonoverlapping`/volatile stores into the mapped
+  region bypass the flush/fence bookkeeping (and the persist-trace
+  recorder). All NVM mutation must go through the region's write helpers
+  so the crash scheduler sees every store.
+
+EXAMPLE FINDING
+  crates/nvm/src/region.rs:301:13: [raw-nvm-write] raw pointer write into
+  mapped NVM outside a `// pmlint: flush-helper` fn
+
+FIX PATTERN
+  Route the store through `NvmRegion::write_pod`/`write_bytes`, or — for
+  the primitive implementing those helpers — annotate the fn
+  `// pmlint: flush-helper` and keep flush+fence handling inside it."#,
+    },
+    RuleDoc {
+        name: "recovery-unwrap",
+        text: r#"recovery-unwrap — unwrap/expect on a recovery or replay path
+
+WHY
+  Recovery code runs against arbitrary post-crash bytes. An `unwrap()` on
+  that path turns torn data into a process abort — the database fails to
+  restart at all, which is strictly worse than detecting and healing.
+
+EXAMPLE FINDING
+  crates/wal/src/recovery.rs:88:30: [recovery-unwrap] `unwrap()` on
+  recovery-critical path
+
+FIX PATTERN
+  Propagate a typed error and let the recovery ladder fall back:
+      let hdr = decode_header(bytes).map_err(|_| RecoveryError::TornHeader)?;"#,
+    },
+    RuleDoc {
+        name: "recovery-panic",
+        text: r#"recovery-panic — panic!/assert!/unreachable! on a recovery path
+
+WHY
+  Same contract as recovery-unwrap: post-crash bytes are untrusted input.
+  Asserting on their shape aborts the restart instead of degrading to the
+  next rung of the recovery ladder (media-verify → WAL replay).
+
+EXAMPLE FINDING
+  crates/core/src/db.rs:412:9: [recovery-panic] `assert!` on
+  recovery-critical path
+
+FIX PATTERN
+  Convert the invariant to a checked error:
+      if off + len > region.len() { return Err(RecoveryError::Extent); }"#,
+    },
+    RuleDoc {
+        name: "recovery-indexing",
+        text: r#"recovery-indexing — unchecked slice indexing on a recovery path
+
+WHY
+  `bytes[a..b]` panics on out-of-range — and ranges read from post-crash
+  NVM can be torn to arbitrary values. Recovery must bounds-check every
+  extent it reads.
+
+EXAMPLE FINDING
+  crates/wal/src/checkpoint.rs:141:18: [recovery-indexing] unchecked
+  slice indexing on recovery-critical path
+
+FIX PATTERN
+      let chunk = bytes.get(a..b).ok_or(RecoveryError::Extent)?;"#,
+    },
+    RuleDoc {
+        name: "pod-repr-c",
+        text: r#"pod-repr-c — Pod type without #[repr(C)]
+
+WHY
+  Pod structs are persisted byte-for-byte. The default Rust repr may
+  reorder fields between compiler versions, silently corrupting every
+  existing NVM image on upgrade. `#[repr(C)]` pins the layout.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:60:1: [pod-repr-c] Pod impl for
+  `RowMeta` but struct is not #[repr(C)]
+
+FIX PATTERN
+      #[repr(C)]
+      #[derive(Clone, Copy)]
+      struct RowMeta { … }
+      unsafe impl Pod for RowMeta {}"#,
+    },
+    RuleDoc {
+        name: "pod-padding-assert",
+        text: r#"pod-padding-assert — Pod type without a size assertion
+
+WHY
+  Padding bytes in a persisted struct are undefined memory: they leak
+  heap contents into the image and break checksums. A const size
+  assertion (sum of field sizes == size_of::<T>()) proves there is none.
+
+EXAMPLE FINDING
+  crates/core/src/txn_registry.rs:33:1: [pod-padding-assert] Pod impl for
+  `TxnSlot` without a `size_of` padding assertion
+
+FIX PATTERN
+      const _: () = assert!(core::mem::size_of::<TxnSlot>() == 8 + 8 + 4 + 4);"#,
+    },
+    RuleDoc {
+        name: "unsafe-safety-comment",
+        text: r#"unsafe-safety-comment — unsafe block without a // SAFETY: comment
+
+WHY
+  Every unsafe block in a persistence engine encodes a memory-model
+  argument (aliasing, validity of mapped bytes, fence ordering). The
+  argument must be written down where the block is, or review and
+  maintenance degrade to guessing.
+
+EXAMPLE FINDING
+  crates/nvm/src/region.rs:240:9: [unsafe-safety-comment] `unsafe` block
+  without `// SAFETY:` comment
+
+FIX PATTERN
+      // SAFETY: `off + len` bounds-checked above; the mapping lives for
+      // the lifetime of `self`.
+      unsafe { … }"#,
+    },
+    RuleDoc {
+        name: "no-get-unchecked",
+        text: r#"no-get-unchecked — get_unchecked in engine code
+
+WHY
+  `get_unchecked` on data that can be influenced by post-crash bytes is
+  undefined behaviour waiting for a torn length field. The engine's hot
+  paths have bounds checks hoisted already; the unchecked variant buys
+  nothing measurable and costs memory safety.
+
+EXAMPLE FINDING
+  crates/index/src/nvhash.rs:210:24: [no-get-unchecked] `get_unchecked`
+  — use checked indexing
+
+FIX PATTERN
+      let e = self.slots.get(i).ok_or(IndexError::Slot)?;"#,
+    },
+    RuleDoc {
+        name: "publish-once-media",
+        text: r#"publish-once-media — checksummed protocol label missing from media map
+
+WHY
+  Every checksummed store label declared by a ProtocolSpec must be
+  registered in a `media_extents` map, or the media verifier and the
+  fault-injection suites silently skip that structure — its corruption
+  becomes undetectable.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:1:1: [publish-once-media] checksummed
+  protocol label "delta-rows" (spec "delta-append") is not registered in
+  any media_extents map
+
+FIX PATTERN
+  Add the label with its extent to the owning structure's media map:
+      fn media_extents(&self) -> Vec<(&'static str, Extent)> {
+          vec![("delta-rows", self.rows_publish_extent()), …]
+      }"#,
+    },
+    RuleDoc {
+        name: "protocol-spec",
+        text: r#"protocol-spec — a declared ProtocolSpec fails happens-before validation
+
+WHY
+  The persist-order protocols in nvm::protocol_registry() are validated
+  statically: acyclic, exactly one publish step, every store dominated by
+  a covering flush and a fence before the publish. A spec that fails is a
+  design bug — the code implementing it cannot be crash-consistent.
+
+EXAMPLE FINDING
+  crates/nvm/src/protocol.rs:1:1: [protocol-spec] protocol "delta-append"
+  fails happens-before validation: store "delta-rows" not covered by a
+  flush before publish
+
+FIX PATTERN
+  Fix the spec's step graph (add the missing Flush/Fence step or the
+  missing `after` edge) so it reflects the intended — correct — order,
+  then make the code match it."#,
+    },
+];
+
+/// Names of every rule with an `--explain` entry.
+pub fn explained_rules() -> Vec<&'static str> {
+    DOCS.iter().map(|d| d.name).collect()
+}
+
+/// The explanation text for `rule`, if it exists.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    DOCS.iter().find(|d| d.name == rule).map(|d| d.text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_why_example_and_fix() {
+        assert!(explained_rules().len() >= 14);
+        for rule in explained_rules() {
+            let text = explain(rule).unwrap();
+            assert!(text.contains("WHY"), "{rule} missing WHY");
+            assert!(text.contains("EXAMPLE FINDING"), "{rule} missing example");
+            assert!(text.contains("FIX PATTERN"), "{rule} missing fix");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_none() {
+        assert!(explain("no-such-rule").is_none());
+    }
+}

@@ -191,6 +191,31 @@ pub fn lex(source: &str) -> Lexed {
                         continue;
                     }
                 }
+                // Raw identifier `r#ident`: one Ident token whose text is
+                // the part after `r#` (so `r#fn` compares equal to "fn"
+                // nowhere, but HIR name matching still sees the name).
+                if c == b'r'
+                    && cur.peek_at(1) == Some(b'#')
+                    && cur.peek_at(2).map(is_ident_start).unwrap_or(false)
+                {
+                    cur.bump();
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if !is_ident_continue(ch) {
+                            break;
+                        }
+                        text.push(ch as char);
+                        cur.bump();
+                    }
+                    tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
                 let mut text = String::new();
                 while let Some(ch) = cur.peek() {
                     if !is_ident_continue(ch) {

@@ -21,15 +21,50 @@
 //! The CLI (`cargo run -p pmlint -- --deny`) runs both halves over the
 //! workspace and exits non-zero on any finding.
 
+mod callgraph;
 mod config;
+mod dataflow;
+mod explain;
+mod hir;
 mod lexer;
 mod rules;
+pub mod sarif;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use config::{Config, CriticalScope};
+pub use dataflow::{
+    analyze, AnalysisCtx, RULE_PERSIST_ORDER, RULE_PUBLISH_BINDING, RULE_UNFLUSHED_ESCAPE,
+    RULE_VOLATILE_ESCAPE,
+};
+pub use explain::{explain, explained_rules};
+pub use hir::{build_program, HirFn, HirProgram};
 pub use rules::{lint_source, FileFacts, Finding};
+
+/// Crates covered by the interprocedural analyses (the engine's
+/// persistence-relevant call graph).
+pub const ANALYZED_CRATES: &[&str] = &["nvm", "storage", "core", "txn", "wal", "index"];
+
+/// Run the interprocedural analyses over an explicit set of
+/// `(path, source)` pairs — the corpus-test entry point.
+pub fn analyze_sources(files: &[(String, String)], ctx: &AnalysisCtx) -> Vec<Finding> {
+    let prog = hir::build_program(files);
+    dataflow::analyze(&prog, ctx)
+}
+
+/// The analysis context for the real tree: publish labels from the nvm
+/// protocol registry, with binding required.
+pub fn tree_analysis_ctx() -> AnalysisCtx {
+    AnalysisCtx {
+        known_labels: nvm::publish_labels()
+            .iter()
+            .map(|p| p.label.to_owned())
+            .collect(),
+        check_publish_binding: true,
+        labels_anchor: "crates/nvm/src/protocol.rs".to_owned(),
+    }
+}
 
 /// Statically validate every declared persist-order protocol spec.
 pub fn validate_protocols() -> Vec<Finding> {
@@ -99,7 +134,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == "fixtures" || name.starts_with('.') {
+            if name == "target" || name == "fixtures" || name == "corpus" || name.starts_with('.') {
                 continue;
             }
             collect_rs_files(&path, out)?;
@@ -120,6 +155,7 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
     }
     let mut findings = validate_protocols();
     let mut facts = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in files {
         let source = std::fs::read_to_string(&path)?;
         let rel = path
@@ -129,10 +165,31 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
             .replace('\\', "/");
         let (mut f, file_facts) = lint_source(&rel, &source, cfg);
         findings.append(&mut f);
-        facts.push((rel, file_facts));
+        facts.push((rel.clone(), file_facts));
+        sources.push((rel, source));
     }
     if cfg.check_media_registry {
         findings.append(&mut media_findings(&facts));
     }
+    if cfg.check_dataflow {
+        let engine: Vec<(String, String)> = sources
+            .into_iter()
+            .filter(|(p, _)| {
+                ANALYZED_CRATES
+                    .iter()
+                    .any(|c| p.starts_with(&format!("crates/{c}/")))
+            })
+            .collect();
+        findings.append(&mut analyze_sources(&engine, &tree_analysis_ctx()));
+    }
+    findings.retain(|f| !cfg.is_suppressed(f.rule, &f.file));
     Ok(findings)
+}
+
+/// Load suppressions from `<root>/pmlint.suppress` into `cfg` (missing
+/// file = no suppressions).
+pub fn load_suppressions(root: &Path, cfg: &mut Config) {
+    if let Ok(text) = std::fs::read_to_string(root.join("pmlint.suppress")) {
+        cfg.suppressions.extend(Config::parse_suppressions(&text));
+    }
 }

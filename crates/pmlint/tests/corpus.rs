@@ -1,0 +1,186 @@
+//! Seeded-bug evaluation corpus: every mutant under `corpus/mutants/`
+//! carries `//~ <rule>` markers on the lines where the analyzer must
+//! report, and a corrected twin under `corpus/clean/` that must come
+//! back clean. The test asserts *exact* recall (every marker matched)
+//! and *exact* precision (no unmarked finding) on both halves.
+
+use std::path::{Path, PathBuf};
+
+use pmlint::{analyze_sources, AnalysisCtx, Finding};
+
+/// Labels the corpus protocol uses; `cts` is annotated in mutants,
+/// `root` exists so the known set is not a singleton.
+const CORPUS_LABELS: &[&str] = &["cts", "root"];
+
+fn corpus_dir(half: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(half)
+}
+
+fn corpus_files(half: &str) -> Vec<(String, String)> {
+    let dir = corpus_dir(half);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let name = format!(
+            "corpus/{half}/{}",
+            path.file_name().unwrap().to_string_lossy()
+        );
+        out.push((name, std::fs::read_to_string(&path).unwrap()));
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no corpus files under {}", dir.display());
+    out
+}
+
+/// Extract `//~ <rule>` markers as (line, rule) pairs.
+fn markers(source: &str) -> Vec<(u32, String)> {
+    source
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let (_, m) = l.split_once("//~")?;
+            Some((i as u32 + 1, m.trim().to_string()))
+        })
+        .collect()
+}
+
+fn analyze_one(name: &str, source: &str) -> Vec<Finding> {
+    analyze_sources(
+        &[(name.to_string(), source.to_string())],
+        &AnalysisCtx::bare(CORPUS_LABELS),
+    )
+}
+
+#[test]
+fn every_mutant_is_detected_exactly() {
+    let files = corpus_files("mutants");
+    assert!(
+        files.len() >= 15,
+        "corpus must hold at least 15 mutants, found {}",
+        files.len()
+    );
+    let mut detected = 0usize;
+    for (name, source) in &files {
+        let want = markers(source);
+        assert!(!want.is_empty(), "{name}: mutant has no //~ markers");
+        let got = analyze_one(name, source);
+        for (line, rule) in &want {
+            let hit = got.iter().find(|f| f.rule == *rule && f.line == *line);
+            assert!(
+                hit.is_some(),
+                "{name}: expected `{rule}` at line {line}, got:\n{}",
+                render(&got)
+            );
+        }
+        for f in &got {
+            assert!(
+                want.iter().any(|(l, r)| f.rule == *r && f.line == *l),
+                "{name}: unmarked finding (false positive in mutant):\n  {f}"
+            );
+        }
+        detected += 1;
+    }
+    assert!(detected >= 15, "only {detected} mutants detected");
+}
+
+/// The diagnostics must name both ends of the violation: the store and
+/// the publish point (persist-order) or the source and sink
+/// (volatile-escape) — that is what makes the report actionable.
+#[test]
+fn diagnostics_name_store_and_publish_or_sink_sites() {
+    for (name, source) in corpus_files("mutants") {
+        for f in analyze_one(&name, &source) {
+            match f.rule {
+                "persist-order" => {
+                    assert!(
+                        f.msg.contains("reaches publish") && f.msg.contains("path: store"),
+                        "{name}: persist-order diagnostic lacks store/publish path:\n  {f}"
+                    );
+                    assert!(
+                        f.msg.contains(&name),
+                        "{name}: diagnostic does not name the store site file:\n  {f}"
+                    );
+                }
+                "volatile-escape" => {
+                    assert!(
+                        f.msg.contains("flows into persistent sink")
+                            && (f.msg.contains("` result") || f.msg.contains("cast")),
+                        "{name}: volatile-escape diagnostic lacks source/sink:\n  {f}"
+                    );
+                }
+                "unflushed-escape" => {
+                    assert!(
+                        f.msg.contains("returns with NVM store"),
+                        "{name}: unflushed-escape diagnostic lacks store site:\n  {f}"
+                    );
+                }
+                "publish-binding" => {
+                    assert!(
+                        f.msg.contains("not declared"),
+                        "{name}: publish-binding diagnostic lacks label:\n  {f}"
+                    );
+                }
+                other => panic!("{name}: unexpected rule {other}: {f}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_clean_twin_has_zero_findings() {
+    let files = corpus_files("clean");
+    assert!(
+        files.len() >= 15,
+        "corpus must hold at least 15 clean twins, found {}",
+        files.len()
+    );
+    for (name, source) in &files {
+        assert!(
+            markers(source).is_empty(),
+            "{name}: clean twin must not carry //~ markers"
+        );
+        let got = analyze_one(name, source);
+        assert!(
+            got.is_empty(),
+            "{name}: clean twin is expected lint-clean, found:\n{}",
+            render(&got)
+        );
+    }
+}
+
+/// Interprocedural chains must show up in the path text.
+#[test]
+fn chain_diagnostics_name_intermediate_frames() {
+    let name = "corpus/mutants/m05_three_frame_chain.rs";
+    let source = std::fs::read_to_string(corpus_dir("mutants").join("m05_three_frame_chain.rs"))
+        .expect("m05 exists");
+    let got = analyze_one(name, &source);
+    let f = got
+        .iter()
+        .find(|f| f.rule == "persist-order")
+        .unwrap_or_else(|| panic!("m05: no persist-order finding:\n{}", render(&got)));
+    assert!(
+        f.msg.contains("via call to"),
+        "m05: chain diagnostic lacks intermediate frames:\n  {f}"
+    );
+    assert!(
+        f.msg.contains("write_cell"),
+        "m05: chain diagnostic does not name the origin fn:\n  {f}"
+    );
+}
+
+fn render(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "  (none)".to_owned();
+    }
+    findings
+        .iter()
+        .map(|f| format!("  {f}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -17,7 +17,7 @@ fn fixture(name: &str) -> String {
 fn critical_cfg(file: &str) -> Config {
     Config {
         critical: vec![CriticalScope::fns(file, &["recover"])],
-        check_media_registry: false,
+        ..Config::empty()
     }
 }
 

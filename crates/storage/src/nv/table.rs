@@ -700,6 +700,7 @@ impl TableStore for NvTable {
         region.fence();
 
         // 4. Publish the row.
+        // pmlint: publish(delta-rows)
         region.write_pod(self.delta.desc + DD_ROWS, &(idx + 1))?;
         region.persist(self.delta.desc + DD_ROWS, 8)?;
         self.delta.rows = idx + 1;
@@ -1003,6 +1004,7 @@ impl TableStore for NvTable {
         region.write_pod(pair + PAIR_DELTA, &new_delta)?;
         region.write_pod(pair + PAIR_MAIN, &new_main)?;
         region.persist(pair, PAIR_SIZE)?;
+        // pmlint: publish(table-pair)
         heap.activate(pair, Some((self.root + ROOT_PAIR, pair)), Some(old_pair))?;
 
         // 5. Reclaim the old tree (leaks only if we crash mid-free).
