@@ -527,41 +527,110 @@ impl NvBackend {
         Ok(())
     }
 
-    /// Merge a table and rebuild its indexes (row ids shift). Hash indexes
-    /// are rebuilt persistently and swapped in the catalogue (new index
-    /// built and registered before the old one is destroyed — a crash in
-    /// between leaks the old index until the next merge); ordered indexes
-    /// are rebuilt in DRAM.
+    /// Merge a table and rebuild its indexes (row ids shift), in the
+    /// exhaustion-safe order: plan the merge read-only, build every
+    /// replacement index against the planned post-merge row space, and
+    /// only then execute the merge and swap the descriptors. Every
+    /// fallible allocation happens before anything is published, so a
+    /// capacity failure at any point unwinds to a clean abort — old table
+    /// and old indexes fully intact. (A crash between the pair swap and
+    /// the descriptor swaps leaks the new indexes until the next merge.)
     pub fn merge_table(
         &mut self,
         table: usize,
         snapshot: u64,
     ) -> Result<storage::table_ops::MergeStats> {
-        // Logged and synced *before* executing, so a rung-2 replay
-        // reproduces the post-merge row-id space that later records use.
-        if let Some(sw) = &mut self.shadow {
-            sw.log_merge_synced(table, snapshot)?;
-        }
-        let stats = self.tables[table].merge(snapshot)?;
+        // Phase 1: plan (read-only) and build replacement indexes against
+        // the plan. Post-merge row ids are positions in the survivor list.
+        let plan = self.tables[table].merge_plan(snapshot)?;
         let idx_block = self.idx_block(table)?;
         let r = self.heap.region().clone();
         // Walk the catalogue entries so slot positions stay aligned.
         let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        let mut new_hash: Vec<NvHashIndex> = Vec::new();
+        let mut new_ordered: Vec<NvOrderedIndex> = Vec::new();
+        let destroy_new = |hash: Vec<NvHashIndex>, ordered: Vec<NvOrderedIndex>| {
+            for idx in hash {
+                let _ = idx.destroy();
+            }
+            for idx in ordered {
+                let _ = idx.destroy();
+            }
+        };
+        for i in 0..icount {
+            let ib = idx_block + IDX_ENTRIES + i * IDX_ENTRY_STRIDE;
+            let kind: u64 = r.read_pod(ib)?;
+            let column: u64 = r.read_pod(ib + 8)?;
+            let built: Result<()> = (|| {
+                match kind {
+                    KIND_HASH => {
+                        let nbuckets = (plan.rows().len() as u64 * 2).max(1024);
+                        new_hash.push(NvHashIndex::build_from_rows(
+                            &self.heap,
+                            column as usize,
+                            nbuckets,
+                            plan.rows(),
+                        )?);
+                    }
+                    KIND_ORDERED => {
+                        let dtype = self.tables[table].schema().column(column as usize)?.dtype;
+                        new_ordered.push(NvOrderedIndex::build_from_rows(
+                            &self.heap,
+                            column as usize,
+                            dtype,
+                            plan.rows(),
+                        )?);
+                    }
+                    _ => {}
+                }
+                Ok(())
+            })();
+            if let Err(e) = built {
+                destroy_new(new_hash, new_ordered);
+                return Err(e);
+            }
+        }
+
+        // Phase 2: log and execute. The merge record is synced *before*
+        // execution, so a rung-2 replay reproduces the post-merge row-id
+        // space that later records use.
+        if let Some(sw) = &mut self.shadow {
+            if let Err(e) = sw.log_merge_synced(table, snapshot) {
+                destroy_new(new_hash, new_ordered);
+                return Err(e);
+            }
+        }
+        let stats = match self.tables[table].merge_from_plan(plan) {
+            Ok(stats) => stats,
+            Err(e) => {
+                destroy_new(new_hash, new_ordered);
+                // The log now carries a merge record for a merge that never
+                // executed; re-baseline the checkpoint so bounded replay
+                // starts past it (best-effort — a wedged log already forces
+                // read-only until reclamation recreates it).
+                if let Some(sw) = &mut self.shadow {
+                    let _ = sw.checkpoint_full(&self.names, &self.tables, snapshot);
+                }
+                return Err(e.into());
+            }
+        };
+
+        // Phase 3: publish the replacement indexes — descriptor stores and
+        // frees only, no allocation left to fail.
+        let mut hash_new = new_hash.into_iter();
+        let mut ordered_new = new_ordered.into_iter();
         let mut hash_slot = 0usize;
         let mut ordered_slot = 0usize;
         for i in 0..icount {
             let ib = idx_block + IDX_ENTRIES + i * IDX_ENTRY_STRIDE;
             let kind: u64 = r.read_pod(ib)?;
-            let column: u64 = r.read_pod(ib + 8)?;
             match kind {
                 KIND_HASH => {
-                    let nbuckets = (self.tables[table].row_count() * 2).max(1024);
-                    let new_idx = NvHashIndex::build_from(
-                        &self.heap,
-                        &self.tables[table],
-                        column as usize,
-                        nbuckets,
-                    )?;
+                    let Some(new_idx) = hash_new.next() else {
+                        return Err(EngineError::Unsupported(
+                            "index catalogue changed during merge",
+                        ));
+                    };
                     r.write_pod(ib + 16, &new_idx.desc_offset())?;
                     r.persist(ib + 16, 8)?;
                     let old = std::mem::replace(&mut self.indexes[table].hash[hash_slot], new_idx);
@@ -569,11 +638,11 @@ impl NvBackend {
                     hash_slot += 1;
                 }
                 KIND_ORDERED => {
-                    let new_idx = NvOrderedIndex::build_from(
-                        &self.heap,
-                        &self.tables[table],
-                        column as usize,
-                    )?;
+                    let Some(new_idx) = ordered_new.next() else {
+                        return Err(EngineError::Unsupported(
+                            "index catalogue changed during merge",
+                        ));
+                    };
                     r.write_pod(ib + 16, &new_idx.desc_offset())?;
                     r.persist(ib + 16, 8)?;
                     let old =

@@ -13,6 +13,7 @@ use crate::backend_vol::VolatileBackend;
 use crate::backend_wal::WalBackend;
 use crate::config::{DurabilityConfig, IndexKind, WalConfig};
 use crate::error::{EngineError, Result};
+use crate::health::{HealthReport, HealthState, HealthTracker, ReclaimReport, Watermarks};
 use crate::report::{timed_phase, IntegrityReport, RecoveryReport};
 use crate::shadow_wal::ShadowWal;
 
@@ -35,11 +36,19 @@ pub struct Database {
     backend: Backend,
     mgr: TxnManager,
     config: DurabilityConfig,
+    health: HealthTracker,
 }
 
 impl Database {
-    /// Create a fresh database with the given durability configuration.
+    /// Create a fresh database with the given durability configuration and
+    /// the default degradation watermarks.
     pub fn create(config: DurabilityConfig) -> Result<Database> {
+        Self::create_with_watermarks(config, Watermarks::default())
+    }
+
+    /// Create a fresh database with explicit degradation watermarks (see
+    /// [`Watermarks`] for the state machine they steer).
+    pub fn create_with_watermarks(config: DurabilityConfig, marks: Watermarks) -> Result<Database> {
         let backend = match &config {
             DurabilityConfig::Nvm { capacity, latency } => {
                 Backend::Nv(NvBackend::create(*capacity, *latency)?)
@@ -62,7 +71,209 @@ impl Database {
             backend,
             mgr: TxnManager::new(),
             config,
+            health: HealthTracker::new(marks),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Health + admission control
+    // ------------------------------------------------------------------
+
+    /// `(high_water, capacity, free_bytes)` of the heap — zeroes off the
+    /// NVM backend.
+    fn heap_numbers(&self) -> (u64, u64, u64) {
+        match &self.backend {
+            Backend::Nv(b) => {
+                let s = b.heap().stats();
+                (s.high_water, s.capacity, s.free_bytes)
+            }
+            _ => (0, 0, 0),
+        }
+    }
+
+    /// Feed the state machine a fresh heap observation (utilization plus
+    /// shadow-log wedge state) and return the resulting state.
+    fn refresh_health(&mut self) -> HealthState {
+        let (wedged, utilization) = match &self.backend {
+            Backend::Nv(b) => (
+                b.shadow.as_ref().is_some_and(|sw| sw.is_wedged()),
+                b.heap().stats().utilization(),
+            ),
+            _ => (false, 0.0),
+        };
+        self.health.set_wal_wedged(wedged);
+        self.health.observe(utilization)
+    }
+
+    fn admit_write(&mut self) -> Result<()> {
+        self.refresh_health();
+        self.health.admit_write()
+    }
+
+    fn admit_ddl(&mut self) -> Result<()> {
+        self.refresh_health();
+        self.health.admit_ddl()
+    }
+
+    /// Error-path epilogue for every mutating operation: normalize
+    /// out-of-space failures into the typed capacity error, sweep the
+    /// reservations the failed protocol orphaned (restoring the
+    /// four-invariant clean heap), and re-derive the health state.
+    fn after_write<T>(&mut self, res: Result<T>) -> Result<T> {
+        res.map_err(|e| {
+            let e = e.normalize_capacity();
+            if e.is_capacity() {
+                self.health.note_capacity_abort();
+                if let Backend::Nv(b) = &self.backend {
+                    let _ = b.heap().reclaim_reserved();
+                }
+                self.refresh_health();
+            }
+            e
+        })
+    }
+
+    /// Current degradation snapshot. Refreshes the state machine from the
+    /// heap first, so the report never lags the allocator.
+    pub fn health(&mut self) -> HealthReport {
+        self.refresh_health();
+        let (high_water, capacity, free_bytes) = self.heap_numbers();
+        self.health.report(high_water, capacity, free_bytes)
+    }
+
+    /// Emergency reclamation: recreate a wedged shadow log (and re-baseline
+    /// its checkpoint), merge every table to retire dead versions, and
+    /// sweep orphaned reservations. Requires quiesced tables — abort any
+    /// in-flight transaction first. Allowed in every health state; this is
+    /// the path *out* of `ReadOnly`.
+    pub fn reclaim(&mut self) -> Result<ReclaimReport> {
+        let mut rep = ReclaimReport {
+            utilization_before: match &self.backend {
+                Backend::Nv(b) => b.heap().stats().utilization(),
+                _ => 0.0,
+            },
+            ..Default::default()
+        };
+        if let Backend::Nv(b) = &mut self.backend {
+            // A wedged log blocks merges (they append merge records), so it
+            // is recreated first. The fresh log starts empty; the immediate
+            // full-state checkpoint restores the `log ⊇ published state`
+            // invariant rung 2 depends on.
+            if b.shadow.as_ref().is_some_and(|sw| sw.is_wedged()) {
+                let cfg = b.shadow.as_ref().map(|sw| sw.cfg.clone());
+                if let Some(cfg) = cfg {
+                    let mut sw = ShadowWal::create(cfg, b.region().clone())?;
+                    sw.checkpoint_full(&b.names, &b.tables, self.mgr.last_committed())?;
+                    b.shadow = Some(sw);
+                    rep.wal_recreated = true;
+                }
+            }
+            let snapshot = self.mgr.last_committed();
+            for t in 0..b.tables.len() {
+                match b.merge_table(t, snapshot) {
+                    Ok(_) => rep.tables_merged += 1,
+                    Err(e) => {
+                        // A merge needs headroom for the new main; at the
+                        // brim it can itself exhaust capacity. Skip the
+                        // table (its old image is untouched) and keep
+                        // reclaiming elsewhere.
+                        let e = e.normalize_capacity();
+                        if e.is_capacity() {
+                            rep.merges_failed += 1;
+                        } else {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            let (blocks, bytes) = b.heap().reclaim_reserved()?;
+            rep.reserved_blocks_freed = blocks;
+            rep.reserved_bytes_freed = bytes;
+        }
+        self.health.note_reclaim();
+        rep.state_after = self.refresh_health();
+        rep.utilization_after = match &self.backend {
+            Backend::Nv(b) => b.heap().stats().utilization(),
+            _ => 0.0,
+        };
+        Ok(rep)
+    }
+
+    // ------------------------------------------------------------------
+    // Exhaustion-fault instrumentation
+    // ------------------------------------------------------------------
+
+    /// Arm an out-of-space fault on the shadow log (NVM-with-WAL backend
+    /// only).
+    pub fn arm_wal_fault(&mut self, spec: wal::WalFaultSpec) -> Result<()> {
+        match &mut self.backend {
+            Backend::Nv(b) => match &mut b.shadow {
+                Some(sw) => {
+                    sw.arm_fault(spec);
+                    Ok(())
+                }
+                None => Err(EngineError::Unsupported(
+                    "wal fault injection requires a shadow wal",
+                )),
+            },
+            _ => Err(EngineError::Unsupported(
+                "wal fault injection requires the NVM backend",
+            )),
+        }
+    }
+
+    /// True while the shadow-WAL writer is wedged by an out-of-space
+    /// failure (forces read-only mode until [`Database::reclaim`]).
+    pub fn wal_wedged(&self) -> bool {
+        match &self.backend {
+            Backend::Nv(b) => b.shadow.as_ref().is_some_and(|sw| sw.is_wedged()),
+            _ => false,
+        }
+    }
+
+    /// Arm an allocation fault on the NVM region (deterministic nth-attempt
+    /// or probabilistic).
+    pub fn arm_alloc_fault(&self, spec: nvm::AllocFaultSpec) -> Result<()> {
+        match &self.backend {
+            Backend::Nv(b) => {
+                b.region().arm_alloc_fault(&spec);
+                Ok(())
+            }
+            _ => Err(EngineError::Unsupported(
+                "allocation faults require the NVM backend",
+            )),
+        }
+    }
+
+    /// Clamp the heap's effective capacity to model a smaller device
+    /// (`None` lifts the clamp).
+    pub fn set_capacity_clamp(&self, clamp: Option<u64>) -> Result<()> {
+        match &self.backend {
+            Backend::Nv(b) => {
+                b.region().set_capacity_clamp(clamp);
+                Ok(())
+            }
+            _ => Err(EngineError::Unsupported(
+                "capacity clamps require the NVM backend",
+            )),
+        }
+    }
+
+    /// Allocation attempts the region has observed — the sweep space of the
+    /// nth-allocation fault harness. Zero off the NVM backend.
+    pub fn alloc_attempts(&self) -> u64 {
+        match &self.backend {
+            Backend::Nv(b) => b.region().alloc_attempts(),
+            _ => 0,
+        }
+    }
+
+    /// Volatile heap statistics (NVM backend only).
+    pub fn heap_stats(&self) -> Option<nvm::HeapStats> {
+        match &self.backend {
+            Backend::Nv(b) => Some(b.heap().stats()),
+            _ => None,
+        }
     }
 
     /// The active durability mode ("nvm" / "wal" / "volatile").
@@ -115,17 +326,18 @@ impl Database {
     // DDL
     // ------------------------------------------------------------------
 
-    /// Create a table.
+    /// Create a table. Rejected while the engine is read-only.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
-        let id = match &mut self.backend {
-            Backend::Nv(b) => b.create_table(name, schema)?,
+        self.admit_ddl()?;
+        let res = match &mut self.backend {
+            Backend::Nv(b) => b.create_table(name, schema),
             Backend::Wal(b) => {
                 let cts = self.mgr.last_committed();
-                b.create_table(name, schema, cts)?
+                b.create_table(name, schema, cts)
             }
-            Backend::Volatile(b) => b.create_table(name, schema)?,
+            Backend::Volatile(b) => b.create_table(name, schema),
         };
-        Ok(TableId(id))
+        self.after_write(res).map(TableId)
     }
 
     /// Look up a table by name.
@@ -147,17 +359,20 @@ impl Database {
         }
     }
 
-    /// Create an index over `(table, column)`.
+    /// Create an index over `(table, column)`. Rejected while the engine
+    /// is read-only.
     pub fn create_index(&mut self, table: TableId, column: usize, kind: IndexKind) -> Result<()> {
         self.check_table(table)?;
-        match &mut self.backend {
+        self.admit_ddl()?;
+        let res = match &mut self.backend {
             Backend::Nv(b) => match kind {
                 IndexKind::Hash => b.create_hash_index(table.0, column),
                 IndexKind::Ordered => b.create_ordered_index(table.0, column),
             },
             Backend::Wal(b) => b.create_index(table.0, column, kind),
             Backend::Volatile(b) => b.create_index(table.0, column, kind),
-        }
+        };
+        self.after_write(res)
     }
 
     fn check_table(&self, table: TableId) -> Result<()> {
@@ -194,7 +409,10 @@ impl Database {
         self.mgr.begin()
     }
 
-    /// Insert a row.
+    /// Insert a row. Rejected with a retryable typed error while the
+    /// engine is degraded (see [`Database::health`]); an allocation failure
+    /// mid-insert unwinds to a clean abort before the typed
+    /// [`EngineError::CapacityExhausted`] surfaces.
     pub fn insert(
         &mut self,
         tx: &mut Transaction,
@@ -202,6 +420,17 @@ impl Database {
         values: &[Value],
     ) -> Result<RowId> {
         self.check_table(table)?;
+        self.admit_write()?;
+        let res = self.insert_unguarded(tx, table, values);
+        self.after_write(res)
+    }
+
+    fn insert_unguarded(
+        &mut self,
+        tx: &mut Transaction,
+        table: TableId,
+        values: &[Value],
+    ) -> Result<RowId> {
         let t = table.0;
         let marker = tx.marker();
         let row = match &mut self.backend {
@@ -213,9 +442,18 @@ impl Database {
                 b.registry.record_insert(tx.tid, t, row)?;
                 let got = b.tables[t].insert_version(values, marker)?;
                 debug_assert_eq!(got, row);
-                b.index_insert(t, values, got)?;
-                if let Some(sw) = &mut b.shadow {
-                    sw.log_insert(tx.tid, t, got, values)?;
+                // The version exists but the transaction has not recorded
+                // it yet: a failure in the index or log step must tombstone
+                // it here, or nothing ever would.
+                let tail = b.index_insert(t, values, got).and_then(|()| {
+                    if let Some(sw) = &mut b.shadow {
+                        sw.log_insert(tx.tid, t, got, values)?;
+                    }
+                    Ok(())
+                });
+                if let Err(e) = tail {
+                    let _ = b.tables[t].abort_insert(got);
+                    return Err(e);
                 }
                 got
             }
@@ -236,9 +474,16 @@ impl Database {
     }
 
     /// Delete (invalidate) a visible row version. Fails with a write
-    /// conflict if another transaction holds the row.
+    /// conflict if another transaction holds the row, and with a retryable
+    /// typed error while the engine is degraded.
     pub fn delete(&mut self, tx: &mut Transaction, table: TableId, row: RowId) -> Result<()> {
         self.check_table(table)?;
+        self.admit_write()?;
+        let res = self.delete_unguarded(tx, table, row);
+        self.after_write(res)
+    }
+
+    fn delete_unguarded(&mut self, tx: &mut Transaction, table: TableId, row: RowId) -> Result<()> {
         let t = table.0;
         let marker = tx.marker();
         match &mut self.backend {
@@ -246,7 +491,12 @@ impl Database {
                 b.registry.record_invalidate(tx.tid, t, row)?;
                 b.tables[t].try_invalidate(row, marker)?;
                 if let Some(sw) = &mut b.shadow {
-                    sw.log_invalidate(tx.tid, t, row)?;
+                    // The end marker is already placed but the transaction
+                    // has not recorded it: restore it on a failed append.
+                    if let Err(e) = sw.log_invalidate(tx.tid, t, row) {
+                        let _ = b.tables[t].restore_end(row);
+                        return Err(e);
+                    }
                 }
             }
             Backend::Wal(b) => {
@@ -274,7 +524,19 @@ impl Database {
 
     /// Commit: stamp every write with the next commit timestamp, durably
     /// publish it, advance the committed state.
+    ///
+    /// Commits are admitted in every health state — an in-flight
+    /// transaction may always try to finish. A publish that hits the
+    /// capacity wall surfaces as the typed
+    /// [`EngineError::CapacityExhausted`] and leaves the transaction
+    /// active: [`Database::abort`] then rolls the stamped markers back to a
+    /// clean image.
     pub fn commit(&mut self, tx: &mut Transaction) -> Result<u64> {
+        let res = self.commit_unguarded(tx);
+        self.after_write(res)
+    }
+
+    fn commit_unguarded(&mut self, tx: &mut Transaction) -> Result<u64> {
         match &mut self.backend {
             Backend::Nv(b) => b.commit_txn(&mut self.mgr, tx),
             Backend::Wal(b) => {
@@ -307,7 +569,11 @@ impl Database {
         }
     }
 
-    /// Abort: roll back every pending marker.
+    /// Abort: roll back every pending marker. Also the unwind path after a
+    /// failed commit publish — the stamps `commit` already applied are
+    /// rolled back the same way as pending markers. Succeeds even while
+    /// the shadow log is wedged: an absent abort record replays exactly
+    /// like a missing commit, so nothing is lost by skipping the append.
     pub fn abort(&mut self, tx: &mut Transaction) -> Result<()> {
         match &mut self.backend {
             Backend::Nv(b) => {
@@ -321,7 +587,10 @@ impl Database {
                 }
                 b.registry.release(tx.tid)?;
                 if let Some(sw) = &mut b.shadow {
-                    sw.log_abort(tx.tid)?;
+                    match sw.log_abort(tx.tid) {
+                        Err(EngineError::Wal(e)) if e.is_full() => {}
+                        other => other?,
+                    }
                 }
             }
             Backend::Wal(b) => {
@@ -526,11 +795,14 @@ impl Database {
     pub fn merge(&mut self, table: TableId) -> Result<storage::MergeStats> {
         self.check_table(table)?;
         let snapshot = self.mgr.last_committed();
-        match &mut self.backend {
+        let res = match &mut self.backend {
             Backend::Nv(b) => b.merge_table(table.0, snapshot),
             Backend::Wal(b) => b.merge_table(table.0, snapshot),
             Backend::Volatile(b) => b.merge_table(table.0, snapshot),
-        }
+        };
+        // Merges are admitted in every health state — they are the cure,
+        // not the disease — but can themselves exhaust capacity.
+        self.after_write(res)
     }
 
     /// Write a checkpoint (WAL backend only; no-ops elsewhere — NVM *is*
@@ -660,6 +932,14 @@ impl Database {
                 self.backend = Backend::Volatile(VolatileBackend::create());
             }
         }
+        // The health machine is volatile: re-derive it from the recovered
+        // heap exactly as a fresh process would.
+        self.health.reset();
+        report.health = self.refresh_health();
+        report.utilization = match &self.backend {
+            Backend::Nv(b) => b.heap().stats().utilization(),
+            _ => 0.0,
+        };
         Ok(report)
     }
 
@@ -785,6 +1065,12 @@ impl Database {
         report.lint_findings = region.take_lint_findings();
         let _ = region.trace_stop();
         recovered?;
+        self.health.reset();
+        report.health = self.refresh_health();
+        report.utilization = match &self.backend {
+            Backend::Nv(b) => b.heap().stats().utilization(),
+            _ => 0.0,
+        };
         Ok(report)
     }
 
@@ -836,6 +1122,11 @@ impl Database {
                 }
             }
         }
+        rep.health = self.health.state();
+        rep.utilization = match &self.backend {
+            Backend::Nv(b) => b.heap().stats().utilization(),
+            _ => 0.0,
+        };
         Ok(rep)
     }
 
@@ -1105,21 +1396,65 @@ fn attach_ordered(
     .and_then(|(idx, check)| check.is_clean().then_some(idx))
 }
 
+/// Shared retry budget for transient failures: recovery's rung-1 poison
+/// retries and [`retry_write`]'s capacity retries draw on the same bound,
+/// so "how long the engine struggles before giving up" is one knob.
+pub(crate) const MAX_TRANSIENT_RETRIES: u64 = 8;
+
 /// Bounded retry for transiently poisoned NVM reads (recovery rung 1): the
 /// fault model clears a transient poison after a bounded number of failing
 /// reads, so a handful of retries repairs it in place. Permanent poison,
 /// checksum mismatches, and every other error pass straight through.
 fn retry_poisoned<T>(retries: &mut u64, mut f: impl FnMut() -> Result<T>) -> Result<T> {
-    const MAX_RETRIES: u64 = 8;
     let mut attempt = 0;
     loop {
         match f() {
             Ok(v) => return Ok(v),
-            Err(e) if is_transient_poison(&e) && attempt < MAX_RETRIES => {
+            Err(e) if is_transient_poison(&e) && attempt < MAX_TRANSIENT_RETRIES => {
                 attempt += 1;
                 *retries += 1;
             }
             Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for writes under capacity pressure — the
+/// write-path twin of recovery's rung-1 poison retry (same
+/// [`MAX_TRANSIENT_RETRIES`] budget). A retryable rejection (backpressure
+/// or typed capacity exhaustion) triggers an exponential backoff charged
+/// to the simulated clock, then an emergency [`Database::reclaim`] pass,
+/// then the operation runs again. Non-retryable errors (conflicts,
+/// read-only mode, corruption) pass straight through.
+///
+/// ```
+/// use hyrise_nv::{retry_write, Database, DurabilityConfig};
+/// use storage::{ColumnDef, DataType, Schema, Value};
+///
+/// let mut db = Database::create(DurabilityConfig::nvm_default()).unwrap();
+/// let t = db
+///     .create_table("t", Schema::new(vec![ColumnDef::new("k", DataType::Int)]))
+///     .unwrap();
+/// let mut tx = db.begin();
+/// let row = retry_write(&mut db, |db| db.insert(&mut tx, t, &[Value::Int(7)])).unwrap();
+/// db.commit(&mut tx).unwrap();
+/// assert_eq!(row, 0);
+/// ```
+pub fn retry_write<T>(
+    db: &mut Database,
+    mut op: impl FnMut(&mut Database) -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u64;
+    loop {
+        match op(db) {
+            Err(e) if e.is_retryable() && attempt < MAX_TRANSIENT_RETRIES => {
+                attempt += 1;
+                if let Backend::Nv(b) = &db.backend {
+                    b.region().clock().charge(1_000u64 << attempt.min(10));
+                }
+                db.reclaim()?;
+            }
+            other => return other,
         }
     }
 }

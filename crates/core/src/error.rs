@@ -17,6 +17,93 @@ pub enum EngineError {
     Catalog(String),
     /// The operation is not supported by the active durability backend.
     Unsupported(&'static str),
+    /// A persistent resource ran out of space mid-operation. The operation
+    /// unwound to a clean abort (reserved blocks freed, registry entries
+    /// retired); retry after reclamation ([`crate::Database::reclaim`]).
+    CapacityExhausted {
+        /// Which resource hit the wall (`nvm-heap`, `shadow-wal`,
+        /// `commit-publish`).
+        resource: &'static str,
+        /// Human-readable cause from the underlying layer.
+        detail: String,
+    },
+    /// Heap utilization crossed the backpressure watermark: new writes are
+    /// rejected until reclamation brings utilization back under the resume
+    /// watermark. Retryable — see [`crate::retry_write`].
+    Backpressure {
+        /// Utilization at rejection time, in percent.
+        utilization_pct: u32,
+    },
+    /// The engine is in read-only degraded mode (utilization crossed the
+    /// read-only watermark, or the shadow log wedged). Reads are served;
+    /// writes and DDL are rejected until [`crate::Database::reclaim`]
+    /// succeeds.
+    ReadOnly {
+        /// Why the engine degraded.
+        reason: &'static str,
+    },
+}
+
+impl EngineError {
+    /// True for typed capacity-exhaustion errors (the operation already
+    /// unwound cleanly; space must be reclaimed before retrying).
+    pub fn is_capacity(&self) -> bool {
+        matches!(self, EngineError::CapacityExhausted { .. })
+    }
+
+    /// True when the caller may retry the operation after reclamation —
+    /// capacity exhaustion and watermark backpressure both qualify;
+    /// read-only mode does not (it needs an explicit
+    /// [`crate::Database::reclaim`] first).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::CapacityExhausted { .. } | EngineError::Backpressure { .. }
+        )
+    }
+
+    /// Normalize out-of-space failures from every layer into the typed
+    /// [`EngineError::CapacityExhausted`]. The commit publisher reports
+    /// through the stringly `TxnError::Publish`, so that arm matches on the
+    /// two known out-of-space renderings.
+    pub(crate) fn normalize_capacity(self) -> EngineError {
+        fn nvm_oom(e: &nvm::NvmError) -> bool {
+            matches!(e, nvm::NvmError::OutOfMemory { .. })
+        }
+        match self {
+            EngineError::Nvm(e) if nvm_oom(&e) => EngineError::CapacityExhausted {
+                resource: "nvm-heap",
+                detail: e.to_string(),
+            },
+            EngineError::Storage(storage::StorageError::Nvm(e)) if nvm_oom(&e) => {
+                EngineError::CapacityExhausted {
+                    resource: "nvm-heap",
+                    detail: e.to_string(),
+                }
+            }
+            EngineError::Txn(txn::TxnError::Storage(storage::StorageError::Nvm(e)))
+                if nvm_oom(&e) =>
+            {
+                EngineError::CapacityExhausted {
+                    resource: "nvm-heap",
+                    detail: e.to_string(),
+                }
+            }
+            EngineError::Wal(e) if e.is_full() => EngineError::CapacityExhausted {
+                resource: "shadow-wal",
+                detail: e.to_string(),
+            },
+            EngineError::Txn(txn::TxnError::Publish(s))
+                if s.contains("log device full") || s.contains("out of memory") =>
+            {
+                EngineError::CapacityExhausted {
+                    resource: "commit-publish",
+                    detail: s,
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +115,17 @@ impl fmt::Display for EngineError {
             EngineError::Nvm(e) => write!(f, "nvm: {e}"),
             EngineError::Catalog(s) => write!(f, "catalog: {s}"),
             EngineError::Unsupported(s) => write!(f, "unsupported by this backend: {s}"),
+            EngineError::CapacityExhausted { resource, detail } => {
+                write!(f, "capacity exhausted on {resource}: {detail}")
+            }
+            EngineError::Backpressure { utilization_pct } => write!(
+                f,
+                "backpressure: heap utilization {utilization_pct}% is over the watermark; \
+                 retry after reclamation"
+            ),
+            EngineError::ReadOnly { reason } => {
+                write!(f, "engine is read-only: {reason}")
+            }
         }
     }
 }

@@ -1,0 +1,348 @@
+//! Watermark-driven graceful degradation.
+//!
+//! The persistent heap is a bump allocator with volatile free bins: its
+//! live footprint only shrinks when merges retire delta versions or when
+//! orphaned reservations are swept. An engine that accepts writes all the
+//! way to the brim therefore turns every commit into a coin-flip against
+//! [`nvm::NvmError::OutOfMemory`]. Instead the engine steers by a small
+//! state machine over heap utilization:
+//!
+//! | state | entered when | writes | DDL | reads |
+//! |---|---|---|---|---|
+//! | `Normal` | utilization `< resume` (hysteresis) | ✓ | ✓ | ✓ |
+//! | `Backpressure` | utilization `≥ backpressure` | ✗ (retryable) | ✓ | ✓ |
+//! | `ReadOnly` | utilization `≥ read_only`, or the shadow log wedged | ✗ | ✗ | ✓ |
+//!
+//! Transitions use hysteresis: once degraded, the engine returns to
+//! `Normal` only when utilization falls below the *resume* watermark
+//! (strictly lower than the backpressure watermark), so the state does not
+//! flap around a boundary. A wedged shadow-WAL writer forces `ReadOnly`
+//! regardless of utilization — an un-synced log would break the
+//! `log ⊇ published state` invariant recovery rung 2 depends on — until
+//! [`crate::Database::reclaim`] recreates the log and re-baselines its
+//! checkpoint.
+
+use crate::error::{EngineError, Result};
+
+/// Degradation state of the engine (see the module docs for the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// All operations admitted.
+    #[default]
+    Normal,
+    /// New writes rejected with the retryable [`EngineError::Backpressure`];
+    /// DDL, maintenance, and reads still admitted.
+    Backpressure,
+    /// Only reads (and reclamation) admitted.
+    ReadOnly,
+}
+
+impl HealthState {
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Normal => "normal",
+            HealthState::Backpressure => "backpressure",
+            HealthState::ReadOnly => "read-only",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Utilization thresholds steering the health state machine. All three are
+/// fractions of region capacity; invariants: `resume < backpressure <
+/// read_only`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watermarks {
+    /// Entering `Backpressure`: reject new writes above this.
+    pub backpressure: f64,
+    /// Entering `ReadOnly`: reject writes *and* DDL above this, keeping
+    /// enough headroom for the emergency merge itself to allocate.
+    pub read_only: f64,
+    /// Returning to `Normal`: utilization must fall below this (hysteresis
+    /// gap against flapping).
+    pub resume: f64,
+}
+
+impl Default for Watermarks {
+    fn default() -> Self {
+        Watermarks {
+            backpressure: 0.85,
+            read_only: 0.95,
+            resume: 0.75,
+        }
+    }
+}
+
+/// Snapshot of the engine's degradation machinery, returned by
+/// [`crate::Database::health`].
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Current state of the admission state machine.
+    pub state: HealthState,
+    /// Heap utilization the state was derived from (0.0 on non-NVM
+    /// backends).
+    pub utilization: f64,
+    /// Bump frontier of the heap in bytes (NVM backend only).
+    pub high_water: u64,
+    /// Region capacity in bytes (NVM backend only).
+    pub capacity: u64,
+    /// Bytes parked in the volatile free bins.
+    pub free_bytes: u64,
+    /// True while the shadow-WAL writer is wedged by an out-of-space
+    /// failure (forces `ReadOnly`).
+    pub wal_wedged: bool,
+    /// Operations that unwound with a typed capacity error.
+    pub capacity_aborts: u64,
+    /// Writes rejected by admission control since creation.
+    pub writes_rejected: u64,
+    /// Emergency reclamations run ([`crate::Database::reclaim`]).
+    pub reclaims: u64,
+    /// The active thresholds.
+    pub watermarks: Watermarks,
+}
+
+impl HealthReport {
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "health: {} ({:.1}% of {} bytes, {} free-binned){}; \
+             {} capacity aborts, {} writes rejected, {} reclaims",
+            self.state,
+            self.utilization * 100.0,
+            self.capacity,
+            self.free_bytes,
+            if self.wal_wedged { ", wal wedged" } else { "" },
+            self.capacity_aborts,
+            self.writes_rejected,
+            self.reclaims
+        )
+    }
+}
+
+/// What one [`crate::Database::reclaim`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct ReclaimReport {
+    /// Tables whose delta was merged into a fresh main.
+    pub tables_merged: u64,
+    /// Tables whose emergency merge itself failed (typically: not enough
+    /// headroom to build the new main). Their old image stays intact.
+    pub merges_failed: u64,
+    /// Orphaned `Reserved` blocks swept back into the free bins.
+    pub reserved_blocks_freed: u64,
+    /// Bytes those orphans held.
+    pub reserved_bytes_freed: u64,
+    /// True when a wedged shadow log was recreated and re-baselined.
+    pub wal_recreated: bool,
+    /// Utilization before the pass.
+    pub utilization_before: f64,
+    /// Utilization after the pass.
+    pub utilization_after: f64,
+    /// Health state after the pass re-observed the heap.
+    pub state_after: HealthState,
+}
+
+/// The volatile state machine itself. Owned by [`crate::Database`]; fed
+/// fresh utilization observations before every admission decision.
+#[derive(Debug)]
+pub(crate) struct HealthTracker {
+    state: HealthState,
+    marks: Watermarks,
+    wal_wedged: bool,
+    last_utilization: f64,
+    capacity_aborts: u64,
+    writes_rejected: u64,
+    reclaims: u64,
+}
+
+impl HealthTracker {
+    pub fn new(marks: Watermarks) -> HealthTracker {
+        HealthTracker {
+            state: HealthState::Normal,
+            marks,
+            wal_wedged: false,
+            last_utilization: 0.0,
+            capacity_aborts: 0,
+            writes_rejected: 0,
+            reclaims: 0,
+        }
+    }
+
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Back to the post-restart state: watermarks survive, the derived
+    /// state and counters restart with the (simulated) process.
+    pub fn reset(&mut self) {
+        *self = HealthTracker::new(self.marks);
+    }
+
+    /// Feed a fresh utilization sample and (re)derive the state. A wedged
+    /// shadow log dominates every utilization-based transition.
+    pub fn observe(&mut self, utilization: f64) -> HealthState {
+        self.last_utilization = utilization;
+        let m = self.marks;
+        self.state = if self.wal_wedged || utilization >= m.read_only {
+            HealthState::ReadOnly
+        } else {
+            match self.state {
+                HealthState::Normal if utilization >= m.backpressure => HealthState::Backpressure,
+                // Hysteresis: degraded states only resume below `resume`.
+                HealthState::Backpressure | HealthState::ReadOnly if utilization < m.resume => {
+                    HealthState::Normal
+                }
+                // A ReadOnly engine whose utilization dropped between
+                // read_only and resume relaxes to Backpressure: writes stay
+                // rejected but DDL/maintenance come back.
+                HealthState::ReadOnly => HealthState::Backpressure,
+                s => s,
+            }
+        };
+        self.state
+    }
+
+    pub fn set_wal_wedged(&mut self, wedged: bool) {
+        self.wal_wedged = wedged;
+    }
+
+    pub fn note_capacity_abort(&mut self) {
+        self.capacity_aborts += 1;
+    }
+
+    pub fn note_reclaim(&mut self) {
+        self.reclaims += 1;
+    }
+
+    /// Admission check for row writes (insert/delete/update).
+    pub fn admit_write(&mut self) -> Result<()> {
+        match self.state {
+            HealthState::Normal => Ok(()),
+            HealthState::Backpressure => {
+                self.writes_rejected += 1;
+                Err(EngineError::Backpressure {
+                    utilization_pct: (self.last_utilization * 100.0) as u32,
+                })
+            }
+            HealthState::ReadOnly => {
+                self.writes_rejected += 1;
+                Err(EngineError::ReadOnly {
+                    reason: if self.wal_wedged {
+                        "shadow log wedged by an out-of-space failure"
+                    } else {
+                        "heap utilization over the read-only watermark"
+                    },
+                })
+            }
+        }
+    }
+
+    /// Admission check for DDL (create table/index) — rejected only in
+    /// `ReadOnly`, since DDL is itself sometimes the cure (a fresh table to
+    /// migrate into) and always bounded.
+    pub fn admit_ddl(&mut self) -> Result<()> {
+        if self.state == HealthState::ReadOnly {
+            self.writes_rejected += 1;
+            return Err(EngineError::ReadOnly {
+                reason: if self.wal_wedged {
+                    "shadow log wedged by an out-of-space failure"
+                } else {
+                    "heap utilization over the read-only watermark"
+                },
+            });
+        }
+        Ok(())
+    }
+
+    pub fn report(&self, high_water: u64, capacity: u64, free_bytes: u64) -> HealthReport {
+        HealthReport {
+            state: self.state,
+            utilization: self.last_utilization,
+            high_water,
+            capacity,
+            free_bytes,
+            wal_wedged: self.wal_wedged,
+            capacity_aborts: self.capacity_aborts,
+            writes_rejected: self.writes_rejected,
+            reclaims: self.reclaims,
+            watermarks: self.marks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(Watermarks::default())
+    }
+
+    #[test]
+    fn normal_until_backpressure_watermark() {
+        let mut t = tracker();
+        assert_eq!(t.observe(0.10), HealthState::Normal);
+        assert_eq!(t.observe(0.84), HealthState::Normal);
+        assert_eq!(t.observe(0.85), HealthState::Backpressure);
+    }
+
+    #[test]
+    fn read_only_at_high_watermark_from_any_state() {
+        let mut t = tracker();
+        assert_eq!(t.observe(0.96), HealthState::ReadOnly);
+        let mut t = tracker();
+        t.observe(0.86);
+        assert_eq!(t.observe(0.95), HealthState::ReadOnly);
+    }
+
+    #[test]
+    fn hysteresis_holds_backpressure_until_resume() {
+        let mut t = tracker();
+        t.observe(0.90);
+        // Dropping below the backpressure mark is not enough…
+        assert_eq!(t.observe(0.80), HealthState::Backpressure);
+        // …only dropping below resume releases it.
+        assert_eq!(t.observe(0.74), HealthState::Normal);
+    }
+
+    #[test]
+    fn read_only_relaxes_through_backpressure() {
+        let mut t = tracker();
+        t.observe(0.97);
+        assert_eq!(t.observe(0.90), HealthState::Backpressure);
+        assert_eq!(t.observe(0.50), HealthState::Normal);
+    }
+
+    #[test]
+    fn wedged_wal_forces_read_only_at_any_utilization() {
+        let mut t = tracker();
+        t.set_wal_wedged(true);
+        assert_eq!(t.observe(0.01), HealthState::ReadOnly);
+        assert!(matches!(t.admit_write(), Err(EngineError::ReadOnly { .. })));
+        t.set_wal_wedged(false);
+        assert_eq!(t.observe(0.01), HealthState::Normal);
+    }
+
+    #[test]
+    fn admission_matches_state_table() {
+        let mut t = tracker();
+        t.observe(0.10);
+        assert!(t.admit_write().is_ok());
+        assert!(t.admit_ddl().is_ok());
+        t.observe(0.90);
+        assert!(matches!(
+            t.admit_write(),
+            Err(EngineError::Backpressure { .. })
+        ));
+        assert!(t.admit_ddl().is_ok());
+        t.observe(0.96);
+        assert!(matches!(t.admit_write(), Err(EngineError::ReadOnly { .. })));
+        assert!(matches!(t.admit_ddl(), Err(EngineError::ReadOnly { .. })));
+        assert_eq!(t.report(0, 0, 0).writes_rejected, 3);
+    }
+}

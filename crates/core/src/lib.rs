@@ -47,6 +47,7 @@ mod backend_wal;
 mod config;
 mod db;
 mod error;
+mod health;
 mod query;
 mod report;
 mod shadow_wal;
@@ -56,8 +57,9 @@ pub use backend_nv::NvBackend;
 pub use backend_vol::VolatileBackend;
 pub use backend_wal::WalBackend;
 pub use config::{DurabilityConfig, IndexKind, WalConfig};
-pub use db::{Database, TableId};
+pub use db::{retry_write, Database, TableId};
 pub use error::{is_conflict, EngineError, Result};
+pub use health::{HealthReport, HealthState, ReclaimReport, Watermarks};
 pub use query::{Agg, AggRow};
 pub use report::{IntegrityReport, PhaseTiming, RecoveryReport};
 pub use txn_registry::{RegistryRecovery, TxnRegistry, REGISTRY_SLOTS};

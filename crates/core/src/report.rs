@@ -6,6 +6,8 @@ use std::time::Duration;
 
 use nvm::{CrashOutcome, LintFinding};
 
+use crate::health::HealthState;
+
 /// One timed restart phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseTiming {
@@ -61,6 +63,11 @@ pub struct RecoveryReport {
     /// recovery: reads of bytes whose last store never reached the medium.
     /// Only populated on scheduled-crash restarts.
     pub lint_findings: Vec<LintFinding>,
+    /// Health state derived from the recovered heap (a restart near the
+    /// brim comes back degraded, not pretending to be healthy).
+    pub health: HealthState,
+    /// Heap utilization after recovery (0.0 off the NVM backend).
+    pub utilization: f64,
 }
 
 impl RecoveryReport {
@@ -80,12 +87,14 @@ impl RecoveryReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "restart [{}]: {:?} wall, {} rows, last_cts={}, rung {}",
+            "restart [{}]: {:?} wall, {} rows, last_cts={}, rung {}, health {} ({:.1}%)",
             self.mode,
             self.total_wall(),
             self.rows_recovered,
             self.last_cts,
-            self.rung
+            self.rung,
+            self.health,
+            self.utilization * 100.0
         );
         if self.poison_retries + self.blocks_quarantined + self.structures_rebuilt > 0 {
             let _ = writeln!(
@@ -125,6 +134,12 @@ pub struct IntegrityReport {
     pub index: index::IndexCheck,
     /// The durable commit watermark the checks ran against.
     pub last_cts: u64,
+    /// Health state at verification time (informational — does not affect
+    /// [`IntegrityReport::is_clean`]; a degraded engine can be perfectly
+    /// consistent).
+    pub health: HealthState,
+    /// Heap utilization at verification time (0.0 off the NVM backend).
+    pub utilization: f64,
 }
 
 impl IntegrityReport {
@@ -136,9 +151,12 @@ impl IntegrityReport {
     /// One-line human-readable summary.
     pub fn render(&self) -> String {
         format!(
-            "integrity@cts={}: {} heap blocks ({} limbo), {} rows ({} pending, {} future), \
+            "integrity@cts={} [{} {:.1}%]: {} heap blocks ({} limbo), \
+             {} rows ({} pending, {} future), \
              {} index entries ({} dangling, {} stale, {} missing) => {}",
             self.last_cts,
+            self.health,
+            self.utilization * 100.0,
             self.heap_blocks,
             self.heap_limbo_blocks,
             self.mvcc.rows,

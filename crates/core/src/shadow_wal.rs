@@ -73,6 +73,17 @@ impl ShadowWal {
         self.writer.stats()
     }
 
+    /// Arm a one-shot out-of-space fault on the underlying writer.
+    pub fn arm_fault(&mut self, spec: wal::WalFaultSpec) {
+        self.writer.arm_fault(spec);
+    }
+
+    /// True while the writer is wedged by an out-of-space failure: every
+    /// append/sync fails fast until the log is recreated.
+    pub fn is_wedged(&self) -> bool {
+        self.writer.is_wedged()
+    }
+
     /// Append a redo record for an insert (durable at the next sync).
     pub fn log_insert(&mut self, tid: u64, table: usize, row: u64, values: &[Value]) -> Result<()> {
         self.writer.append(&LogRecord::Insert {

@@ -301,10 +301,52 @@ impl NvHashIndex {
         column: usize,
         nbuckets: u64,
     ) -> Result<NvHashIndex> {
+        let nrows = table.row_count();
+        Self::build_with(heap, column, nbuckets, nrows, |row| {
+            table.value(row, column)
+        })
+    }
+
+    /// Bulk-build over in-memory rows whose index id is their position —
+    /// the shape of a planned merge's survivor list, letting the
+    /// replacement index be built *before* the merge publishes.
+    pub fn build_from_rows(
+        heap: &NvmHeap,
+        column: usize,
+        nbuckets: u64,
+        rows: &[Vec<Value>],
+    ) -> Result<NvHashIndex> {
+        Self::build_with(heap, column, nbuckets, rows.len() as u64, |row| {
+            rows[row as usize]
+                .get(column)
+                .cloned()
+                .ok_or(StorageError::Corrupt {
+                    reason: "planned row narrower than the indexed column",
+                })
+        })
+    }
+
+    /// Shared bulk-build loop. On any failure the partially built index is
+    /// destroyed before the error propagates — a capacity-failed build
+    /// must not leak its allocations.
+    fn build_with(
+        heap: &NvmHeap,
+        column: usize,
+        nbuckets: u64,
+        nrows: u64,
+        mut value_of: impl FnMut(u64) -> storage::Result<Value>,
+    ) -> Result<NvHashIndex> {
         let idx = NvHashIndex::create(heap, column, nbuckets)?;
-        for row in 0..table.row_count() {
-            let v = table.value(row, column)?;
-            idx.insert(&v, row)?;
+        let filled: Result<()> = (|| {
+            for row in 0..nrows {
+                let v = value_of(row)?;
+                idx.insert(&v, row)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = filled {
+            let _ = idx.destroy();
+            return Err(e);
         }
         Ok(idx)
     }

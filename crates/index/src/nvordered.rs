@@ -185,7 +185,10 @@ impl NvOrderedIndex {
             DataType::Text => {
                 let region = self.heap.region();
                 let len_bytes = self.blob.read_bytes_at(region, stored, 4)?;
-                let n = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as u64;
+                let n =
+                    u32::from_le_bytes(len_bytes.try_into().map_err(|_| StorageError::Corrupt {
+                        reason: "truncated index blob length prefix",
+                    })?) as u64;
                 let bytes = self.blob.read_bytes_at(region, stored + 4, n)?;
                 let probe_s = probe.as_text().ok_or(StorageError::TypeMismatch {
                     column: self.column,
@@ -314,7 +317,13 @@ impl NvOrderedIndex {
             match self.cmp_key(key, value)? {
                 std::cmp::Ordering::Equal => out.push(region.read_pod(cur + NODE_ROW)?),
                 std::cmp::Ordering::Greater => break,
-                std::cmp::Ordering::Less => unreachable!("predecessor search overshoot"),
+                // A key below the probe after a predecessor search means a
+                // broken list order — corruption, not a programming error.
+                std::cmp::Ordering::Less => {
+                    return Err(StorageError::Corrupt {
+                        reason: "skiplist order violated after predecessor search",
+                    })
+                }
             }
             cur = region.read_pod(cur + NODE_NEXT)?;
         }
@@ -437,10 +446,50 @@ impl NvOrderedIndex {
         column: usize,
     ) -> Result<NvOrderedIndex> {
         let dtype = table.schema().column(column)?.dtype;
+        let nrows = table.row_count();
+        Self::build_with(heap, column, dtype, nrows, |row| table.value(row, column))
+    }
+
+    /// Bulk-build over in-memory rows whose index id is their position —
+    /// the shape of a planned merge's survivor list, letting the
+    /// replacement index be built *before* the merge publishes.
+    pub fn build_from_rows(
+        heap: &NvmHeap,
+        column: usize,
+        dtype: DataType,
+        rows: &[Vec<Value>],
+    ) -> Result<NvOrderedIndex> {
+        Self::build_with(heap, column, dtype, rows.len() as u64, |row| {
+            rows[row as usize]
+                .get(column)
+                .cloned()
+                .ok_or(StorageError::Corrupt {
+                    reason: "planned row narrower than the indexed column",
+                })
+        })
+    }
+
+    /// Shared bulk-build loop. On any failure the partially built index is
+    /// destroyed before the error propagates — a capacity-failed build
+    /// must not leak its allocations.
+    fn build_with(
+        heap: &NvmHeap,
+        column: usize,
+        dtype: DataType,
+        nrows: u64,
+        mut value_of: impl FnMut(u64) -> storage::Result<Value>,
+    ) -> Result<NvOrderedIndex> {
         let idx = NvOrderedIndex::create(heap, column, dtype)?;
-        for row in 0..table.row_count() {
-            let v = table.value(row, column)?;
-            idx.insert(&v, row)?;
+        let filled: Result<()> = (|| {
+            for row in 0..nrows {
+                let v = value_of(row)?;
+                idx.insert(&v, row)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = filled {
+            let _ = idx.destroy();
+            return Err(e);
         }
         Ok(idx)
     }

@@ -143,9 +143,18 @@ pub(crate) struct Allocator {
     bump: u64,
     /// Exact-total-size free bins (volatile; rebuilt on recovery).
     bins: HashMap<u64, Vec<u64>>,
+    /// Total bytes sitting in the free bins. The bump frontier never
+    /// retreats, so `bump - free_bytes` is the live footprint the
+    /// watermark machinery steers by.
+    free_bytes: u64,
 }
 
 impl Allocator {
+    /// Park a block in its exact-size bin.
+    fn bin_push(&mut self, size: u64, block_off: u64) {
+        self.bins.entry(size).or_default().push(block_off);
+        self.free_bytes += size;
+    }
     /// Checksum of the current (volatile) header field values.
     fn header_checksum(region: &NvmRegion) -> Result<u64> {
         let mut buf = [0u8; hdr::CHECKSUM_COVERS];
@@ -178,6 +187,7 @@ impl Allocator {
             heap_start,
             bump: heap_start,
             bins: HashMap::new(),
+            free_bytes: 0,
         })
     }
 
@@ -210,6 +220,7 @@ impl Allocator {
             heap_start,
             bump,
             bins: HashMap::new(),
+            free_bytes: 0,
         };
         let report = alloc.recover(region)?;
         Ok((alloc, report))
@@ -294,13 +305,13 @@ impl Allocator {
                 AllocState::Allocated => report.live_blocks += 1,
                 AllocState::Free => {
                     report.free_blocks += 1;
-                    self.bins.entry(size).or_default().push(off);
+                    self.bin_push(size, off);
                 }
                 AllocState::Reserved => {
                     // Never activated: reclaim.
                     self.write_state(region, off, size, AllocState::Free)?;
                     report.reclaimed_reserved += 1;
-                    self.bins.entry(size).or_default().push(off);
+                    self.bin_push(size, off);
                 }
                 AllocState::Activating => {
                     // Redo: link store, free of the replaced block, publish.
@@ -314,7 +325,7 @@ impl Allocator {
                     if replaces != 0 {
                         let (rsize, _) = self.read_header(region, replaces)?;
                         self.write_state(region, replaces, rsize, AllocState::Free)?;
-                        self.bins.entry(rsize).or_default().push(replaces);
+                        self.bin_push(rsize, replaces);
                         report.free_blocks += 1;
                     }
                     self.write_state(region, off, size, AllocState::Allocated)?;
@@ -332,7 +343,7 @@ impl Allocator {
                     self.write_state(region, off, size, AllocState::Free)?;
                     report.completed_deactivations += 1;
                     report.free_blocks += 1;
-                    self.bins.entry(size).or_default().push(off);
+                    self.bin_push(size, off);
                 }
             }
             off += size;
@@ -355,13 +366,30 @@ impl Allocator {
     /// offset. Durable in state `Reserved`.
     pub fn reserve(&mut self, region: &NvmRegion, len: u64) -> Result<u64> {
         let total = Self::total_for(len);
-        let block_off = if let Some(list) = self.bins.get_mut(&total) {
-            match list.pop() {
-                Some(off) => off,
-                None => self.bump_alloc(region, total)?,
+        // Every reservation — bin reuse or fresh bump — counts as one
+        // allocation attempt the fault injector may fail.
+        region.alloc_attempt(total)?;
+        let (block_total, block_off) = match self.bins.get_mut(&total).and_then(|list| list.pop()) {
+            Some(off) => {
+                self.free_bytes -= total;
+                (total, off)
             }
-        } else {
-            self.bump_alloc(region, total)?
+            None => match self.bump_alloc(region, total) {
+                Ok(off) => (total, off),
+                // Exhaustion fallback: the bump frontier is at capacity
+                // and the exact bin is empty. Serve the request from the
+                // smallest binned block that fits, kept at its true class
+                // so heap walks and a later free stay consistent. Without
+                // this, degraded-mode work (emergency merges, reclaim)
+                // can starve while freed memory sits in mismatched bins.
+                Err(oom @ NvmError::OutOfMemory { .. }) => {
+                    match self.best_fit_pop(region, total)? {
+                        Some(hit) => hit,
+                        None => return Err(oom),
+                    }
+                }
+                Err(e) => return Err(e),
+            },
         };
         // Clear the activation words from any previous life, then mark
         // reserved; one header line, one persist.
@@ -370,10 +398,51 @@ impl Allocator {
         region.write_pod(block_off + bh::REPLACES, &0u64)?;
         region.write_pod(
             block_off + bh::SIZE_STATE,
-            &(total << STATE_BITS | AllocState::Reserved as u64),
+            &(block_total << STATE_BITS | AllocState::Reserved as u64),
         )?;
         Self::seal_block(region, block_off)?;
         Ok(block_off + ALLOC_BLOCK_HEADER)
+    }
+
+    /// Pop the smallest binned block whose class is at least `total` bytes,
+    /// returning `(handed_out_size, block_off)`. Used only when the bump
+    /// frontier is exhausted. When the surplus can stand alone as a block,
+    /// the tail is split off and re-binned so repeated small requests don't
+    /// swallow the few large blocks whole; otherwise the block is handed
+    /// out at its full class size.
+    fn best_fit_pop(&mut self, region: &NvmRegion, total: u64) -> Result<Option<(u64, u64)>> {
+        let Some(cls) = self
+            .bins
+            .iter()
+            .filter(|(size, list)| **size > total && !list.is_empty())
+            .map(|(size, _)| *size)
+            .min()
+        else {
+            return Ok(None);
+        };
+        let Some(off) = self.bins.get_mut(&cls).and_then(|list| list.pop()) else {
+            return Ok(None);
+        };
+        self.free_bytes -= cls;
+        let remainder = cls - total;
+        if remainder >= ALLOC_BLOCK_HEADER + CACHE_LINE {
+            // Write the remainder's header first: while the head block still
+            // reads as size `cls`, the tail header is invisible to the
+            // recovery walk, so a crash at any point leaves a coherent heap
+            // (the whole block simply reverts to one free block).
+            let rem_off = off + total;
+            region.write_pod(rem_off + bh::LINK_ADDR, &0u64)?;
+            region.write_pod(rem_off + bh::LINK_VAL, &0u64)?;
+            region.write_pod(rem_off + bh::REPLACES, &0u64)?;
+            region.write_pod(
+                rem_off + bh::SIZE_STATE,
+                &(remainder << STATE_BITS | AllocState::Free as u64),
+            )?;
+            Self::seal_block(region, rem_off)?;
+            self.bin_push(remainder, rem_off);
+            return Ok(Some((total, off)));
+        }
+        Ok(Some((cls, off)))
     }
 
     fn bump_alloc(&mut self, region: &NvmRegion, total: u64) -> Result<u64> {
@@ -381,7 +450,7 @@ impl Allocator {
         let new_bump = block_off
             .checked_add(total)
             .ok_or(NvmError::OutOfMemory { requested: total })?;
-        if new_bump > region.capacity() {
+        if new_bump > region.effective_capacity() {
             return Err(NvmError::OutOfMemory { requested: total });
         }
         // Header first (so the scan below the new bump always sees a valid
@@ -450,7 +519,7 @@ impl Allocator {
         if replaces_block != 0 {
             let (rsize, _) = self.read_header(region, replaces_block)?;
             self.write_state(region, replaces_block, rsize, AllocState::Free)?;
-            self.bins.entry(rsize).or_default().push(replaces_block);
+            self.bin_push(rsize, replaces_block);
         }
         // Step 4: publish.
         self.write_state(region, block_off, size, AllocState::Allocated)?;
@@ -486,7 +555,7 @@ impl Allocator {
             region.persist(addr, 8)?;
         }
         self.write_state(region, block_off, size, AllocState::Free)?;
-        self.bins.entry(size).or_default().push(block_off);
+        self.bin_push(size, block_off);
         Ok(())
     }
 
@@ -533,6 +602,34 @@ impl Allocator {
     /// Current bump frontier (bytes of heap consumed).
     pub fn high_water(&self) -> u64 {
         self.bump
+    }
+
+    /// Bytes parked in the volatile free bins (reusable without bumping).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
+    }
+
+    /// Free every `Reserved` block in the heap — the in-session twin of the
+    /// recovery scan's reservation reclaim. Sound only when no allocation
+    /// protocol is mid-flight (i.e. after an operation unwound with an
+    /// error): a reservation whose holder has unwound is unreachable by
+    /// construction, exactly like one orphaned by a crash. Returns
+    /// `(blocks, bytes)` reclaimed.
+    pub fn reclaim_reserved(&mut self, region: &NvmRegion) -> Result<(u64, u64)> {
+        let mut blocks = 0u64;
+        let mut bytes = 0u64;
+        let mut off = self.heap_start;
+        while off < self.bump {
+            let (size, state) = self.read_header(region, off)?;
+            if state == AllocState::Reserved {
+                self.write_state(region, off, size, AllocState::Free)?;
+                self.bin_push(size, off);
+                blocks += 1;
+                bytes += size;
+            }
+            off += size;
+        }
+        Ok((blocks, bytes))
     }
 }
 
@@ -720,20 +817,142 @@ mod tests {
         let region = NvmRegion::new(4096, LatencyModel::zero());
         let mut alloc = Allocator::format(&region).unwrap();
         let mut n = 0;
-        loop {
+        let err = loop {
             match alloc.reserve(&region, 256) {
                 Ok(p) => {
                     alloc.activate(&region, p, None, None).unwrap();
                     n += 1;
                 }
-                Err(NvmError::OutOfMemory { .. }) => break,
-                Err(e) => panic!("unexpected error {e}"),
+                Err(e) => break e,
             }
-        }
+        };
+        assert!(
+            matches!(err, NvmError::OutOfMemory { .. }),
+            "expected OutOfMemory, got {err}"
+        );
         assert!(
             (1..16).contains(&n),
             "allocated {n} blocks from a 4 KiB region"
         );
+    }
+
+    #[test]
+    fn injected_oom_fires_through_reserve() {
+        use crate::fault::{AllocFaultClass, AllocFaultSpec};
+        let (region, mut alloc) = setup();
+        region.arm_alloc_fault(&AllocFaultSpec {
+            class: AllocFaultClass::FailNth { nth: 1 },
+            seed: 0,
+        });
+        let p = alloc.reserve(&region, 32).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        assert!(matches!(
+            alloc.reserve(&region, 32),
+            Err(NvmError::OutOfMemory { .. })
+        ));
+        // One-shot fault: the retry succeeds and the heap stayed sound.
+        let p2 = alloc.reserve(&region, 32).unwrap();
+        alloc.activate(&region, p2, None, None).unwrap();
+        let (_, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.live_blocks, 2);
+    }
+
+    #[test]
+    fn capacity_clamp_limits_bump() {
+        let (region, mut alloc) = setup();
+        region.set_capacity_clamp(Some(CACHE_LINE + 2 * Allocator::total_for(256)));
+        let a = alloc.reserve(&region, 256).unwrap();
+        alloc.activate(&region, a, None, None).unwrap();
+        let b = alloc.reserve(&region, 256).unwrap();
+        alloc.activate(&region, b, None, None).unwrap();
+        assert!(matches!(
+            alloc.reserve(&region, 256),
+            Err(NvmError::OutOfMemory { .. })
+        ));
+        // Freed space is reusable under the clamp (bins, not bump)…
+        alloc.free(&region, b, None).unwrap();
+        let c = alloc.reserve(&region, 256).unwrap();
+        assert_eq!(c, b);
+        // …and lifting the clamp restores the full region.
+        region.set_capacity_clamp(None);
+        alloc.activate(&region, c, None, None).unwrap();
+        let d = alloc.reserve(&region, 256).unwrap();
+        assert_ne!(d, c);
+    }
+
+    #[test]
+    fn best_fit_fallback_splits_larger_bins_under_exhaustion() {
+        let (region, mut alloc) = setup();
+        // Fill the (clamped) region with one 1024-byte block, then free it:
+        // the bump frontier sits at the clamp, all free memory is one big
+        // binned block.
+        region.set_capacity_clamp(Some(CACHE_LINE + Allocator::total_for(1024)));
+        let big = alloc.reserve(&region, 1024).unwrap();
+        alloc.activate(&region, big, None, None).unwrap();
+        alloc.free(&region, big, None).unwrap();
+        let binned = alloc.free_bytes();
+        // A 64-byte request has no exact bin and no bump room: it is carved
+        // out of the big block, and the tail returns to the bins.
+        let a = alloc.reserve(&region, 64).unwrap();
+        assert_eq!(a, big);
+        assert_eq!(alloc.payload_capacity(&region, a).unwrap(), 64);
+        assert_eq!(alloc.free_bytes(), binned - Allocator::total_for(64));
+        alloc.activate(&region, a, None, None).unwrap();
+        // The split-off tail keeps serving requests under the clamp…
+        let b = alloc.reserve(&region, 64).unwrap();
+        assert_ne!(b, a);
+        alloc.activate(&region, b, None, None).unwrap();
+        // …while a request bigger than any remaining block fails cleanly.
+        assert!(matches!(
+            alloc.reserve(&region, 1024),
+            Err(NvmError::OutOfMemory { .. })
+        ));
+        // Freeing both hands back every byte, and recovery sees the same
+        // (now three-way split) heap.
+        alloc.free(&region, a, None).unwrap();
+        alloc.free(&region, b, None).unwrap();
+        assert_eq!(alloc.free_bytes(), binned);
+        let (alloc2, _) = Allocator::open(&region).unwrap();
+        assert_eq!(alloc2.free_bytes(), binned);
+    }
+
+    #[test]
+    fn free_bytes_tracks_bins() {
+        let (region, mut alloc) = setup();
+        assert_eq!(alloc.free_bytes(), 0);
+        let total = Allocator::total_for(128);
+        let p = alloc.reserve(&region, 128).unwrap();
+        alloc.activate(&region, p, None, None).unwrap();
+        assert_eq!(alloc.free_bytes(), 0);
+        alloc.free(&region, p, None).unwrap();
+        assert_eq!(alloc.free_bytes(), total);
+        let p2 = alloc.reserve(&region, 128).unwrap();
+        assert_eq!(p2, p);
+        assert_eq!(alloc.free_bytes(), 0);
+        // Recovery rebuilds the ledger from the heap image.
+        alloc.activate(&region, p2, None, None).unwrap();
+        alloc.free(&region, p2, None).unwrap();
+        let (alloc2, _) = Allocator::open(&region).unwrap();
+        assert_eq!(alloc2.free_bytes(), total);
+    }
+
+    #[test]
+    fn reclaim_reserved_frees_orphans_in_session() {
+        let (region, mut alloc) = setup();
+        let live = alloc.reserve(&region, 64).unwrap();
+        alloc.activate(&region, live, None, None).unwrap();
+        // Two reservations whose holders "unwound" without activating.
+        let o1 = alloc.reserve(&region, 64).unwrap();
+        let o2 = alloc.reserve(&region, 256).unwrap();
+        let (blocks, bytes) = alloc.reclaim_reserved(&region).unwrap();
+        assert_eq!(blocks, 2);
+        assert_eq!(bytes, Allocator::total_for(64) + Allocator::total_for(256));
+        assert_eq!(alloc.free_bytes(), bytes);
+        // The orphans are reusable and the heap image stays consistent.
+        assert_eq!(alloc.reserve(&region, 64).unwrap(), o1);
+        assert_eq!(alloc.reserve(&region, 256).unwrap(), o2);
+        let (_, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.live_blocks, 1);
     }
 
     #[test]

@@ -96,3 +96,66 @@ impl fmt::Display for FaultSpec {
         )
     }
 }
+
+/// A class of capacity-pressure fault: which allocation attempts fail with
+/// [`crate::NvmError::OutOfMemory`].
+///
+/// Unlike media faults, allocation faults do not damage the image — they
+/// model the allocator running out of durable space mid-operation, the
+/// condition every commit/merge/DDL path must unwind from cleanly. Armed
+/// via [`crate::NvmRegion::arm_alloc_fault`], observed by the allocator at
+/// reservation granularity, and composable with the crash scheduler (arm a
+/// crash point, let the fault fire, and the crash lands at the exhaustion
+/// point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocFaultClass {
+    /// Fail exactly the `nth` allocation attempt after arming (0-based),
+    /// then disarm. Sweeping `nth` over the attempt count of a workload
+    /// samples every allocation site deterministically.
+    FailNth {
+        /// Zero-based index of the attempt to fail.
+        nth: u64,
+    },
+    /// Each allocation attempt independently fails with probability `p`
+    /// until the fault is cleared.
+    FailProbabilistic {
+        /// Per-attempt failure probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl AllocFaultClass {
+    /// Short stable name used in artifact filenames and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocFaultClass::FailNth { .. } => "oom-nth",
+            AllocFaultClass::FailProbabilistic { .. } => "oom-prob",
+        }
+    }
+}
+
+impl fmt::Display for AllocFaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocFaultClass::FailNth { nth } => write!(f, "oom-nth({nth})"),
+            AllocFaultClass::FailProbabilistic { p } => write!(f, "oom-prob({p})"),
+        }
+    }
+}
+
+/// One deterministic capacity-pressure fault: a class plus the seed driving
+/// any randomness (the probabilistic class). The same spec over the same
+/// allocation sequence always fails the same attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocFaultSpec {
+    /// Which attempts fail.
+    pub class: AllocFaultClass,
+    /// Seed for the probabilistic class (ignored by `FailNth`).
+    pub seed: u64,
+}
+
+impl fmt::Display for AllocFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (seed {:#x})", self.class, self.seed)
+    }
+}

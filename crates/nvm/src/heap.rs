@@ -14,8 +14,24 @@ use crate::Result;
 pub struct HeapStats {
     /// Bytes of the region consumed by the bump frontier.
     pub high_water: u64,
-    /// Region capacity.
+    /// Effective region capacity (the configured capacity, or the active
+    /// capacity clamp when one models a smaller device).
     pub capacity: u64,
+    /// Bytes parked in the volatile free bins — reusable without advancing
+    /// the bump frontier.
+    pub free_bytes: u64,
+}
+
+impl HeapStats {
+    /// Live footprint as a fraction of capacity: the bump frontier minus
+    /// the binned free space. This is the utilization the watermark-driven
+    /// admission control steers by.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.high_water.saturating_sub(self.free_bytes) as f64 / self.capacity as f64
+    }
 }
 
 /// A persistent heap over a shared NVM region.
@@ -120,10 +136,20 @@ impl NvmHeap {
 
     /// Volatile heap statistics.
     pub fn stats(&self) -> HeapStats {
+        let guard = self.alloc.lock();
         HeapStats {
-            high_water: self.alloc.lock().high_water(),
-            capacity: self.region.capacity(),
+            high_water: guard.high_water(),
+            capacity: self.region.effective_capacity(),
+            free_bytes: guard.free_bytes(),
         }
+    }
+
+    /// Free every orphaned `Reserved` block — the in-session twin of the
+    /// recovery scan's reservation reclaim, for unwinding after a failed
+    /// operation. Sound only while no allocation protocol is mid-flight.
+    /// Returns `(blocks, bytes)` reclaimed.
+    pub fn reclaim_reserved(&self) -> Result<(u64, u64)> {
+        self.alloc.lock().reclaim_reserved(&self.region)
     }
 }
 

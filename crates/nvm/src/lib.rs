@@ -59,7 +59,7 @@ mod trace;
 
 pub use alloc::{AllocState, AllocatorRecovery, BlockInfo, ALLOC_BLOCK_HEADER};
 pub use error::{NvmError, Result};
-pub use fault::{FaultClass, FaultSpec};
+pub use fault::{AllocFaultClass, AllocFaultSpec, FaultClass, FaultSpec};
 pub use heap::{HeapStats, NvmHeap};
 pub use latency::{LatencyModel, SimClock};
 pub use layout::{align_up, line_index, CACHE_LINE};

@@ -266,9 +266,10 @@ impl ProtocolSpec {
         }
 
         // The publish store itself must be made durable (no deadline — it
-        // is the last step of the protocol).
+        // is the last step of the protocol). The index was found above, so
+        // a mismatch here is a spec-table inconsistency, not a crash.
         let StepKind::Publish { label } = self.steps[publish].kind else {
-            unreachable!("publish index found above");
+            return Err(SpecError::PublishCount { found: 0 });
         };
         if !store_is_persisted_before(&self.steps, &before, publish, label, None) {
             return Err(SpecError::UnpersistedPublish { label });

@@ -3,12 +3,12 @@
 //! deterministic crashes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use util::rng::{Rng, SmallRng};
 use util::sync::{Mutex, RwLock};
 
-use crate::fault::{FaultClass, FaultSpec};
+use crate::fault::{AllocFaultClass, AllocFaultSpec, FaultClass, FaultSpec};
 use crate::latency::{LatencyModel, SimClock};
 use crate::layout::{line_span, CACHE_LINE};
 use crate::pod::Pod;
@@ -99,6 +99,24 @@ pub struct NvmRegion {
     /// Fast-path flag mirroring `!poison.is_empty()` so unfaulted regions
     /// never take the poison lock on reads.
     poisoned: AtomicBool,
+    /// Capacity-pressure fault state; `None` outside exhaustion sessions.
+    alloc_fault: Mutex<Option<AllocFaultState>>,
+    /// Fast-path flag mirroring `alloc_fault.is_some()`.
+    alloc_faulted: AtomicBool,
+    /// Effective-capacity clamp for the allocator (`u64::MAX` = none).
+    /// Only the allocation limit shrinks; bounds checks and the on-medium
+    /// capacity header still use the true capacity.
+    alloc_clamp: AtomicU64,
+    /// Allocation attempts observed via [`NvmRegion::alloc_attempt`].
+    alloc_attempts: AtomicU64,
+}
+
+/// State of an armed capacity-pressure fault.
+struct AllocFaultState {
+    class: AllocFaultClass,
+    rng: SmallRng,
+    /// Attempts seen since arming (drives `FailNth`).
+    seen: u64,
 }
 
 /// State of one poisoned line.
@@ -130,6 +148,10 @@ impl NvmRegion {
             traced: AtomicBool::new(false),
             poison: Mutex::new(HashMap::new()),
             poisoned: AtomicBool::new(false),
+            alloc_fault: Mutex::new(None),
+            alloc_faulted: AtomicBool::new(false),
+            alloc_clamp: AtomicU64::new(u64::MAX),
+            alloc_attempts: AtomicU64::new(0),
         }
     }
 
@@ -539,10 +561,108 @@ impl NvmRegion {
         Ok(())
     }
 
-    /// Drop all outstanding poison (bit-level damage is not reversible).
+    /// Drop all outstanding poison and any armed allocation fault
+    /// (bit-level damage is not reversible). The capacity clamp is left in
+    /// place — it models a smaller device, not a transient fault.
     pub fn clear_faults(&self) {
         self.poison.lock().clear();
         self.poisoned.store(false, Ordering::Relaxed);
+        self.clear_alloc_fault();
+    }
+
+    // ---- Capacity-pressure (allocation) fault injection ----
+
+    /// Arm a capacity-pressure fault: subsequent allocation attempts fail
+    /// per `spec` (see [`AllocFaultSpec`]). Replaces any armed spec and
+    /// restarts the attempt count the spec observes.
+    pub fn arm_alloc_fault(&self, spec: &AllocFaultSpec) {
+        *self.alloc_fault.lock() = Some(AllocFaultState {
+            class: spec.class,
+            rng: SmallRng::seed_from_u64(spec.seed ^ 0xA110_CFA1),
+            seen: 0,
+        });
+        self.alloc_faulted.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarm any armed allocation fault.
+    pub fn clear_alloc_fault(&self) {
+        *self.alloc_fault.lock() = None;
+        self.alloc_faulted.store(false, Ordering::Relaxed);
+    }
+
+    /// Clamp the allocator's effective capacity to `limit` bytes (`None`
+    /// removes the clamp). Shrinks only what new allocations may use;
+    /// bounds checks and already-allocated data are untouched, so the
+    /// clamp is a pure pressure dial.
+    pub fn set_capacity_clamp(&self, limit: Option<u64>) {
+        self.alloc_clamp
+            .store(limit.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The armed capacity clamp, if any.
+    pub fn capacity_clamp(&self) -> Option<u64> {
+        match self.alloc_clamp.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    /// Capacity the allocator may actually use: the true capacity, shrunk
+    /// by any armed clamp.
+    #[inline]
+    pub fn effective_capacity(&self) -> u64 {
+        self.capacity.min(self.alloc_clamp.load(Ordering::Relaxed))
+    }
+
+    /// Allocation attempts observed so far (lifetime of the region).
+    /// Sweeping `FailNth` over `0..alloc_attempts()` of a reference run
+    /// samples every allocation site of a workload.
+    pub fn alloc_attempts(&self) -> u64 {
+        self.alloc_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Observe one allocation attempt of `requested` payload bytes. Called
+    /// by the allocator before reserving space; fails with
+    /// [`NvmError::OutOfMemory`] when an armed [`AllocFaultSpec`] says this
+    /// attempt is the one that hits the wall. Injected failures count into
+    /// `faults_injected`.
+    pub fn alloc_attempt(&self, requested: u64) -> Result<()> {
+        self.alloc_attempts.fetch_add(1, Ordering::Relaxed);
+        if !self.alloc_faulted.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut guard = self.alloc_fault.lock();
+        let fire = match guard.as_mut() {
+            None => false,
+            Some(state) => {
+                let n = state.seen;
+                state.seen += 1;
+                match state.class {
+                    AllocFaultClass::FailNth { nth } => {
+                        if n == nth {
+                            // One-shot: disarm so retries after the abort
+                            // see a healthy allocator again.
+                            *guard = None;
+                            self.alloc_faulted.store(false, Ordering::Relaxed);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    AllocFaultClass::FailProbabilistic { p } => {
+                        state.rng.gen_bool(p.clamp(0.0, 1.0))
+                    }
+                }
+            }
+        };
+        drop(guard);
+        if fire {
+            self.stats
+                .faults_injected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(NvmError::OutOfMemory { requested });
+        }
+        Ok(())
     }
 
     /// Number of currently poisoned cache lines.
@@ -918,6 +1038,69 @@ mod tests {
         // …a full-line store does.
         r.write_bytes(320, &[9u8; 64]).unwrap();
         assert_eq!(r.read_pod::<u64>(320).unwrap(), u64::from_le_bytes([9; 8]));
+    }
+
+    #[test]
+    fn alloc_fault_fail_nth_is_one_shot() {
+        let r = region();
+        r.arm_alloc_fault(&AllocFaultSpec {
+            class: AllocFaultClass::FailNth { nth: 2 },
+            seed: 0,
+        });
+        assert!(r.alloc_attempt(64).is_ok());
+        assert!(r.alloc_attempt(64).is_ok());
+        assert!(matches!(
+            r.alloc_attempt(64),
+            Err(NvmError::OutOfMemory { requested: 64 })
+        ));
+        // Disarmed after firing: retries succeed.
+        assert!(r.alloc_attempt(64).is_ok());
+        assert_eq!(r.stats().faults_injected, 1);
+        assert_eq!(r.alloc_attempts(), 4);
+    }
+
+    #[test]
+    fn alloc_fault_probabilistic_is_deterministic() {
+        let outcomes = |seed| {
+            let r = region();
+            r.arm_alloc_fault(&AllocFaultSpec {
+                class: AllocFaultClass::FailProbabilistic { p: 0.5 },
+                seed,
+            });
+            (0..64)
+                .map(|_| r.alloc_attempt(8).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = outcomes(7);
+        assert_eq!(a, outcomes(7));
+        assert_ne!(a, outcomes(8));
+        assert!(a.iter().any(|x| *x) && a.iter().any(|x| !*x));
+    }
+
+    #[test]
+    fn capacity_clamp_shrinks_effective_capacity_only() {
+        let r = region();
+        assert_eq!(r.effective_capacity(), r.capacity());
+        r.set_capacity_clamp(Some(1024));
+        assert_eq!(r.capacity_clamp(), Some(1024));
+        assert_eq!(r.effective_capacity(), 1024);
+        // Bounds checks still honour the true capacity.
+        r.write_pod(2048, &1u64).unwrap();
+        r.set_capacity_clamp(None);
+        assert_eq!(r.effective_capacity(), r.capacity());
+    }
+
+    #[test]
+    fn clear_faults_disarms_alloc_fault_but_keeps_clamp() {
+        let r = region();
+        r.arm_alloc_fault(&AllocFaultSpec {
+            class: AllocFaultClass::FailNth { nth: 0 },
+            seed: 0,
+        });
+        r.set_capacity_clamp(Some(2048));
+        r.clear_faults();
+        assert!(r.alloc_attempt(8).is_ok());
+        assert_eq!(r.capacity_clamp(), Some(2048));
     }
 
     #[test]

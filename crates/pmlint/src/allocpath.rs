@@ -1,0 +1,193 @@
+//! The `alloc-unwrap` rule: no panicking construct in any fn that can
+//! observe an allocation failure.
+//!
+//! Capacity exhaustion is a *normal* runtime condition for an engine
+//! steering by watermarks: every allocation primitive — heap reserve /
+//! activate, bump allocation, log append / sync — returns a typed
+//! out-of-space error, and every caller up the chain must unwind with it,
+//! never abort. The rule computes the reverse call-graph closure of the
+//! allocation primitives and flags `.unwrap()` / `.expect(..)` and panic
+//! macros in any non-test fn inside that closure.
+//!
+//! Reachability is name-based over [`CallGraph`] — deliberately
+//! over-approximate (a fn that *might* call an allocation primitive is
+//! held to the no-panic bar), matching the soundness posture of the other
+//! interprocedural rules.
+
+use crate::callgraph::CallGraph;
+use crate::hir::{build_program, Event, HirProgram};
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+
+/// Rule identifier.
+pub const RULE_ALLOC_UNWRAP: &str = "alloc-unwrap";
+
+/// The workspace's allocation primitives, as `(crate, fn-name)` seeds.
+/// An empty crate component matches any crate (used by tests).
+pub const ALLOC_SEEDS: &[(&str, &str)] = &[
+    ("nvm", "reserve"),
+    ("nvm", "activate"),
+    ("nvm", "alloc"),
+    ("nvm", "alloc_attempt"),
+    ("wal", "append"),
+    ("wal", "sync"),
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over `(path, source)` pairs with the given seeds.
+pub fn alloc_unwrap_findings(files: &[(String, String)], seeds: &[(&str, &str)]) -> Vec<Finding> {
+    let prog = build_program(files);
+    alloc_unwrap_on_program(&prog, seeds)
+}
+
+fn is_seed(prog: &HirProgram, id: usize, seeds: &[(&str, &str)]) -> bool {
+    let f = &prog.fns[id];
+    seeds
+        .iter()
+        .any(|(krate, name)| (krate.is_empty() || f.krate == *krate) && f.name == *name)
+}
+
+fn alloc_unwrap_on_program(prog: &HirProgram, seeds: &[(&str, &str)]) -> Vec<Finding> {
+    let graph = CallGraph::build(prog);
+
+    // `Some(witness)` once the fn can observe an allocation error; the
+    // witness names the call that carries the error in.
+    let mut observes: Vec<Option<String>> = vec![None; prog.fns.len()];
+    for f in &prog.fns {
+        if !f.is_test && is_seed(prog, f.id, seeds) {
+            observes[f.id] = Some("is an allocation primitive".to_owned());
+        }
+    }
+    // Fixpoint over the call graph (reverse reachability from the seeds).
+    loop {
+        let mut changed = false;
+        for f in &prog.fns {
+            if f.is_test || observes[f.id].is_some() {
+                continue;
+            }
+            for e in &f.events {
+                let Event::Call(c) = e else { continue };
+                let hit = graph
+                    .resolve(prog, f, c)
+                    .into_iter()
+                    .find(|&id| observes[id].is_some());
+                if hit.is_some() {
+                    observes[f.id] = Some(format!("calls `{}`", c.name));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Token scan inside every fn in the closure: `.unwrap()` / `.expect(`
+    // and the panic macros. Events miss macro bodies, tokens do not.
+    let mut findings = Vec::new();
+    for f in &prog.fns {
+        let Some(witness) = &observes[f.id] else {
+            continue;
+        };
+        // Test-only code may unwrap freely: `#[cfg(test)]` fns, and whole
+        // integration-test / bench / example files.
+        if f.is_test
+            || f.file.contains("/tests/")
+            || f.file.contains("/benches/")
+            || f.file.contains("/examples/")
+        {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev_dot = i > 0 && f.tokens[i - 1].is_punct('.');
+            let next_paren = f.tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let next_bang = f.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let (what, hit) = match t.text.as_str() {
+                "unwrap" | "expect" if prev_dot && next_paren => {
+                    (format!("`.{}(..)`", t.text), true)
+                }
+                name if PANIC_MACROS.contains(&name) && next_bang => (format!("`{name}!`"), true),
+                _ => (String::new(), false),
+            };
+            if hit {
+                findings.push(Finding {
+                    rule: RULE_ALLOC_UNWRAP,
+                    file: f.file.clone(),
+                    line: t.line,
+                    col: t.col,
+                    msg: format!(
+                        "{what} in `{}`, which can observe an allocation failure \
+                         ({witness}) — capacity exhaustion must unwind as a typed \
+                         error, not abort",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEEDS: &[(&str, &str)] = &[("", "reserve")];
+
+    fn run(src: &str) -> Vec<Finding> {
+        alloc_unwrap_findings(&[("crates/x/src/lib.rs".to_owned(), src.to_owned())], SEEDS)
+    }
+
+    #[test]
+    fn flags_unwrap_in_direct_caller() {
+        let f = run("fn reserve(n: u64) -> Result<u64, E> { Ok(n) }\n\
+                     fn commit() { let r = reserve(8).unwrap(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RULE_ALLOC_UNWRAP);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].msg.contains("`commit`"));
+    }
+
+    #[test]
+    fn flags_panic_macro_two_frames_up() {
+        let f = run("fn reserve(n: u64) -> Result<u64, E> { Ok(n) }\n\
+                     fn grow() -> Result<u64, E> { reserve(8) }\n\
+                     fn insert() { if grow().is_err() { panic!(\"full\"); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].msg.contains("`insert`"));
+    }
+
+    #[test]
+    fn ignores_fns_outside_the_closure() {
+        let f = run("fn reserve(n: u64) -> Result<u64, E> { Ok(n) }\n\
+                     fn lookup() -> u64 { maybe().unwrap() }\n\
+                     fn maybe() -> Option<u64> { Some(1) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ignores_test_fns() {
+        let f = run("fn reserve(n: u64) -> Result<u64, E> { Ok(n) }\n\
+                     #[cfg(test)] mod t { fn check() { super::reserve(8).unwrap(); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crate_scoped_seeds_do_not_match_other_crates() {
+        let f = alloc_unwrap_findings(
+            &[(
+                "crates/x/src/lib.rs".to_owned(),
+                "fn reserve(n: u64) -> u64 { n }\nfn go() { let v = reserve(8); other().unwrap(); }\nfn other() -> Option<u64> { None }"
+                    .to_owned(),
+            )],
+            &[("nvm", "reserve")],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -296,6 +296,34 @@ FIX PATTERN
   missing `after` edge) so it reflects the intended — correct — order,
   then make the code match it."#,
     },
+    RuleDoc {
+        name: "alloc-unwrap",
+        text: r#"alloc-unwrap — panicking construct where an allocation failure can surface
+
+WHY
+  Capacity exhaustion is a normal runtime condition, not a bug: the heap
+  is finite, the shadow log can hit ENOSPC, and the engine degrades
+  through backpressure and read-only modes instead of dying. That only
+  works if every fn on the reverse call-graph closure of the allocation
+  primitives (heap reserve/activate/alloc, log append/sync) unwinds
+  allocation errors as typed values. An `.unwrap()` or `panic!` anywhere
+  in that closure turns a full disk or a full heap into an abort — the
+  exact failure the degradation machinery exists to prevent.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:947:44: [alloc-unwrap] `.expect(..)` in
+  `merge`, which can observe an allocation failure (calls `alloc`) —
+  capacity exhaustion must unwind as a typed error, not abort
+
+FIX PATTERN
+  Replace the panic with a typed error the caller can act on:
+      let id = dict
+          .binary_search(&value)
+          .map_err(|_| StorageError::Corrupt { reason: "..." })?;
+  For genuinely infallible conversions, restructure so no panicking call
+  remains (e.g. `u32::from_le_bytes([b[0], b[1], b[2], b[3]])` instead of
+  `.try_into().unwrap()`)."#,
+    },
 ];
 
 /// Names of every rule with an `--explain` entry.

@@ -16,11 +16,14 @@
 //!    [`rules`](crate): no raw NVM writes outside flush-annotated
 //!    helpers, no panicking constructs on recovery/replay-critical paths,
 //!    `Pod` layout discipline, `// SAFETY:` comments on every `unsafe`,
-//!    and no `get_unchecked`.
+//!    no `get_unchecked`, and — via the call-graph closure of the
+//!    allocation primitives — no panicking construct in any fn that can
+//!    observe an allocation failure (`alloc-unwrap`).
 //!
 //! The CLI (`cargo run -p pmlint -- --deny`) runs both halves over the
 //! workspace and exits non-zero on any finding.
 
+mod allocpath;
 mod callgraph;
 mod config;
 mod dataflow;
@@ -33,6 +36,7 @@ pub mod sarif;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+pub use allocpath::{alloc_unwrap_findings, ALLOC_SEEDS, RULE_ALLOC_UNWRAP};
 pub use config::{Config, CriticalScope};
 pub use dataflow::{
     analyze, AnalysisCtx, RULE_PERSIST_ORDER, RULE_PUBLISH_BINDING, RULE_UNFLUSHED_ESCAPE,
@@ -181,6 +185,7 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
             })
             .collect();
         findings.append(&mut analyze_sources(&engine, &tree_analysis_ctx()));
+        findings.append(&mut alloc_unwrap_findings(&engine, allocpath::ALLOC_SEEDS));
     }
     findings.retain(|f| !cfg.is_suppressed(f.rule, &f.file));
     Ok(findings)

@@ -176,17 +176,30 @@ impl NvTable {
     fn create_delta_desc(heap: &NvmHeap, ncols: usize) -> Result<u64> {
         let region = heap.region();
         let desc = heap.alloc(delta_desc_size(ncols))?;
-        region.write_pod(desc + DD_ROWS, &0u64)?;
-        region.persist(desc + DD_ROWS, 8)?;
-        PSlab::<u64>::create(heap, desc + DD_BEGIN, 16)?;
-        PSlab::<u64>::create(heap, desc + DD_END, 16)?;
-        for c in 0..ncols as u64 {
-            let base = desc + DD_COLS + c * DD_COL_STRIDE;
-            PVec::<u64>::create(heap, base, 8)?;
-            PSlab::<u32>::create(heap, base + PVEC_HEADER, 16)?;
-            PVec::<u8>::create(heap, base + PVEC_HEADER + PSLAB_HEADER, 64)?;
+        // Zero the descriptor before initialising it: a recycled block may
+        // hold stale pointers, and the exhaustion unwind below walks the
+        // descriptor to free whatever a partial init managed to allocate.
+        region.write_bytes(desc, &vec![0u8; delta_desc_size(ncols) as usize])?;
+        let init = (|| -> Result<()> {
+            region.write_pod(desc + DD_ROWS, &0u64)?;
+            region.persist(desc + DD_ROWS, 8)?;
+            PSlab::<u64>::create(heap, desc + DD_BEGIN, 16)?;
+            PSlab::<u64>::create(heap, desc + DD_END, 16)?;
+            for c in 0..ncols as u64 {
+                let base = desc + DD_COLS + c * DD_COL_STRIDE;
+                PVec::<u64>::create(heap, base, 8)?;
+                PSlab::<u32>::create(heap, base + PVEC_HEADER, 16)?;
+                PVec::<u8>::create(heap, base + PVEC_HEADER + PSLAB_HEADER, 64)?;
+            }
+            Ok(())
+        })();
+        match init {
+            Ok(()) => Ok(desc),
+            Err(e) => {
+                let _ = Self::free_delta_tree_in(heap, desc, ncols);
+                Err(e)
+            }
         }
-        Ok(desc)
     }
 
     /// Re-attach to an existing table given its root block offset. Runs the
@@ -253,7 +266,9 @@ impl NvTable {
                                     reason: "dict entry beyond blob",
                                 })?
                                 .try_into()
-                                .expect("4 bytes"),
+                                .map_err(|_| StorageError::Corrupt {
+                                    reason: "dict entry beyond blob",
+                                })?,
                         ) as usize;
                         let bytes =
                             blob_bytes
@@ -393,7 +408,9 @@ impl NvTable {
                 run.extend_from_slice(s.as_bytes());
                 self.delta.cols[c].blob.append_bytes(&self.heap, &run)?
             }
-            other => other.as_word().expect("fixed-width value"),
+            other => other.as_word().ok_or(StorageError::Corrupt {
+                reason: "non-text value has no word encoding",
+            })?,
         };
         let id = self.delta.cols[c].dict.push(&self.heap, &word)? as u32;
         self.delta.probes[c].insert(v.clone(), id);
@@ -416,7 +433,8 @@ impl NvTable {
             DataType::Text => Ok(Value::Text(
                 read_string(&self.heap, m.cols[c].blob_ptr + word)?.to_string(),
             )),
-            dt => Ok(Value::from_word(dt, word)),
+            DataType::Int => Ok(Value::Int(word as i64)),
+            DataType::Double => Ok(Value::Double(f64::from_bits(word))),
         }
     }
 
@@ -631,7 +649,9 @@ fn decode_delta_entry(
         DataType::Double => Value::Double(f64::from_bits(word)),
         DataType::Text => {
             let len_bytes = blob.read_bytes_at(region, word, 4)?;
-            let n = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as u64;
+            let n = u32::from_le_bytes(len_bytes.try_into().map_err(|_| StorageError::Corrupt {
+                reason: "truncated blob length prefix",
+            })?) as u64;
             let bytes = blob.read_bytes_at(region, word + 4, n)?;
             Value::Text(String::from_utf8(bytes).map_err(|_| StorageError::Corrupt {
                 reason: "delta blob string not utf-8",
@@ -899,11 +919,43 @@ impl TableStore for NvTable {
     }
 
     fn merge(&mut self, snapshot: u64) -> Result<MergeStats> {
-        let region = self.heap.region().clone();
-        let heap = self.heap.clone();
-        let total = self.row_count();
+        let plan = self.merge_plan(snapshot)?;
+        self.merge_from_plan(plan)
+    }
+}
 
-        // 1. Collect survivors.
+/// A planned merge: the surviving row values, collected read-only. The
+/// post-merge row id of each survivor is its position in
+/// [`MergePlan::rows`], so replacement structures (indexes) can be built
+/// against the plan *before* [`NvTable::merge_from_plan`] publishes
+/// anything — the exhaustion-safe ordering where every fallible allocation
+/// precedes the atomic pair swap and a capacity failure leaves the old
+/// table untouched.
+#[derive(Debug)]
+pub struct MergePlan {
+    snapshot: u64,
+    rows_before: u64,
+    survivors: Vec<Vec<Value>>,
+}
+
+impl MergePlan {
+    /// The surviving rows in post-merge row-id order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.survivors
+    }
+
+    /// The snapshot the plan was taken at.
+    pub fn snapshot(&self) -> u64 {
+        self.snapshot
+    }
+}
+
+impl NvTable {
+    /// Collect the rows that survive a merge at `snapshot`. Read-only: no
+    /// allocation, no mutation, fails only on a non-quiesced table or a
+    /// media error.
+    pub fn merge_plan(&self, snapshot: u64) -> Result<MergePlan> {
+        let total = self.row_count();
         let m_end = self.main_end_vec()?;
         let d_begin = self.delta_begin_vec()?;
         let d_end = self.delta_end_vec()?;
@@ -925,87 +977,154 @@ impl TableStore for NvTable {
                 survivors.push(self.row_values(row)?);
             }
         }
+        Ok(MergePlan {
+            snapshot,
+            rows_before: total,
+            survivors,
+        })
+    }
+
+    /// Execute a planned merge: build the new main tree and empty delta in
+    /// fresh allocations, then swap them in with one atomic pair publish.
+    /// Every allocation precedes the swap, so a capacity failure unwinds
+    /// with the old table fully intact (freshly allocated blocks leak until
+    /// reclamation; nothing is published).
+    pub fn merge_from_plan(&mut self, plan: MergePlan) -> Result<MergeStats> {
+        let region = self.heap.region().clone();
+        let heap = self.heap.clone();
+        let MergePlan {
+            rows_before: total,
+            survivors,
+            ..
+        } = plan;
         let nrows = survivors.len() as u64;
         let ncols = self.schema.len();
 
-        // 2. Build the new main tree in fresh allocations.
-        let new_main = heap.alloc(main_desc_size(ncols))?;
-        region.write_pod(new_main + MD_ROWS, &nrows)?;
-        let end_ptr = heap.alloc((nrows * 8).max(8))?;
-        for i in 0..nrows {
-            region.write_pod(end_ptr + i * 8, &TS_INF)?;
-        }
-        region.persist(end_ptr, (nrows * 8).max(8))?;
-        region.write_pod(new_main + MD_END, &end_ptr)?;
+        // 2+3. Build the replacement trees. Every allocation is tracked so
+        // a capacity failure anywhere below unwinds completely: an
+        // exhausted merge must leave the heap exactly as it found it.
+        let mut allocated: Vec<u64> = Vec::new();
+        let mut delta_built = 0u64;
+        let mut pair_reserved = 0u64;
+        let root = self.root;
+        let built = (|| -> Result<(u64, u64, u64)> {
+            let new_main = heap.alloc(main_desc_size(ncols))?;
+            allocated.push(new_main);
+            region.write_pod(new_main + MD_ROWS, &nrows)?;
+            let end_ptr = heap.alloc((nrows * 8).max(8))?;
+            allocated.push(end_ptr);
+            for i in 0..nrows {
+                region.write_pod(end_ptr + i * 8, &TS_INF)?;
+            }
+            region.persist(end_ptr, (nrows * 8).max(8))?;
+            region.write_pod(new_main + MD_END, &end_ptr)?;
 
-        for c in 0..ncols {
-            let mut dict: Vec<Value> = survivors.iter().map(|r| r[c].clone()).collect();
-            dict.sort();
-            dict.dedup();
-            let ids: Vec<u64> = survivors
-                .iter()
-                .map(|r| dict.binary_search(&r[c]).expect("interned") as u64)
-                .collect();
-            let width = bitpack::width_for(dict.len() as u64);
-            let words = bitpack::pack_all(&ids, width);
+            for c in 0..ncols {
+                let mut dict: Vec<Value> = survivors.iter().map(|r| r[c].clone()).collect();
+                dict.sort();
+                dict.dedup();
+                let ids: Vec<u64> = survivors
+                    .iter()
+                    .map(|r| {
+                        dict.binary_search(&r[c]).map(|i| i as u64).map_err(|_| {
+                            StorageError::Corrupt {
+                                reason: "merge dictionary missing a surviving value",
+                            }
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let width = bitpack::width_for(dict.len() as u64);
+                let words = bitpack::pack_all(&ids, width);
 
-            // Text columns get one contiguous blob; entries are local
-            // offsets into it.
-            let mut blob_bytes: Vec<u8> = Vec::new();
-            let dict_ptr = heap.alloc((dict.len() as u64 * 8).max(8))?;
-            for (i, v) in dict.iter().enumerate() {
-                let word = match v {
-                    Value::Text(s) => {
-                        let local = blob_bytes.len() as u64;
-                        blob_bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                        blob_bytes.extend_from_slice(s.as_bytes());
-                        local
-                    }
-                    other => other.as_word().expect("fixed-width"),
+                // Text columns get one contiguous blob; entries are local
+                // offsets into it.
+                let mut blob_bytes: Vec<u8> = Vec::new();
+                let dict_ptr = heap.alloc((dict.len() as u64 * 8).max(8))?;
+                allocated.push(dict_ptr);
+                for (i, v) in dict.iter().enumerate() {
+                    let word = match v {
+                        Value::Text(s) => {
+                            let local = blob_bytes.len() as u64;
+                            blob_bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                            blob_bytes.extend_from_slice(s.as_bytes());
+                            local
+                        }
+                        other => other.as_word().ok_or(StorageError::Corrupt {
+                            reason: "non-text value has no word encoding",
+                        })?,
+                    };
+                    region.write_pod(dict_ptr + i as u64 * 8, &word)?;
+                }
+                region.persist(dict_ptr, (dict.len() as u64 * 8).max(8))?;
+                let blob_ptr = if blob_bytes.is_empty() {
+                    0
+                } else {
+                    let b = heap.alloc(blob_bytes.len() as u64)?;
+                    allocated.push(b);
+                    region.write_bytes(b, &blob_bytes)?;
+                    region.persist(b, blob_bytes.len() as u64)?;
+                    b
                 };
-                region.write_pod(dict_ptr + i as u64 * 8, &word)?;
+
+                let av_ptr = heap.alloc((words.len() as u64 * 8).max(8))?;
+                allocated.push(av_ptr);
+                for (i, w) in words.iter().enumerate() {
+                    region.write_pod(av_ptr + i as u64 * 8, w)?;
+                }
+                region.persist(av_ptr, (words.len() as u64 * 8).max(8))?;
+
+                let base = new_main + MD_COLS + c as u64 * MD_COL_STRIDE;
+                region.write_pod(base, &dict_ptr)?;
+                region.write_pod(base + 8, &(dict.len() as u64))?;
+                region.write_pod(base + 16, &av_ptr)?;
+                region.write_pod(base + 24, &(words.len() as u64))?;
+                region.write_pod(base + 32, &(width as u64))?;
+                region.write_pod(base + 40, &blob_ptr)?;
+                region.write_pod(base + 48, &(blob_bytes.len() as u64))?;
+                // Seal the column: fingerprint the descriptor plus the payloads
+                // just written, before the pair swap makes any of it reachable.
+                region.write_pod(base + MC_SUM, &main_col_sum(&region, base)?)?;
             }
-            region.persist(dict_ptr, (dict.len() as u64 * 8).max(8))?;
-            let blob_ptr = if blob_bytes.is_empty() {
-                0
-            } else {
-                let b = heap.alloc(blob_bytes.len() as u64)?;
-                region.write_bytes(b, &blob_bytes)?;
-                region.persist(b, blob_bytes.len() as u64)?;
-                b
-            };
+            region.persist(new_main, main_desc_size(ncols))?;
 
-            let av_ptr = heap.alloc((words.len() as u64 * 8).max(8))?;
-            for (i, w) in words.iter().enumerate() {
-                region.write_pod(av_ptr + i as u64 * 8, w)?;
+            // 3. Fresh empty delta.
+            let new_delta = Self::create_delta_desc(&heap, ncols)?;
+            delta_built = new_delta;
+
+            // 4a. Reserve and fill the new pair block.
+            let old_pair: u64 = region.read_pod(root + ROOT_PAIR)?;
+            let pair = heap.reserve(PAIR_SIZE)?;
+            pair_reserved = pair;
+            region.write_pod(pair + PAIR_DELTA, &new_delta)?;
+            region.write_pod(pair + PAIR_MAIN, &new_main)?;
+            region.persist(pair, PAIR_SIZE)?;
+            Ok((pair, old_pair, new_main))
+        })();
+        let unwind = |heap: &NvmHeap| {
+            if pair_reserved != 0 {
+                let _ = heap.free(pair_reserved, None);
             }
-            region.persist(av_ptr, (words.len() as u64 * 8).max(8))?;
+            if delta_built != 0 {
+                let _ = Self::free_delta_tree_in(heap, delta_built, ncols);
+            }
+            for p in allocated.iter().rev() {
+                let _ = heap.free(*p, None);
+            }
+        };
+        let (pair, old_pair, _new_main) = match built {
+            Ok(v) => v,
+            Err(e) => {
+                unwind(&heap);
+                return Err(e);
+            }
+        };
 
-            let base = new_main + MD_COLS + c as u64 * MD_COL_STRIDE;
-            region.write_pod(base, &dict_ptr)?;
-            region.write_pod(base + 8, &(dict.len() as u64))?;
-            region.write_pod(base + 16, &av_ptr)?;
-            region.write_pod(base + 24, &(words.len() as u64))?;
-            region.write_pod(base + 32, &(width as u64))?;
-            region.write_pod(base + 40, &blob_ptr)?;
-            region.write_pod(base + 48, &(blob_bytes.len() as u64))?;
-            // Seal the column: fingerprint the descriptor plus the payloads
-            // just written, before the pair swap makes any of it reachable.
-            region.write_pod(base + MC_SUM, &main_col_sum(&region, base)?)?;
-        }
-        region.persist(new_main, main_desc_size(ncols))?;
-
-        // 3. Fresh empty delta.
-        let new_delta = Self::create_delta_desc(&heap, ncols)?;
-
-        // 4. Atomic swap: one new pair block replaces the old one.
-        let old_pair: u64 = region.read_pod(self.root + ROOT_PAIR)?;
-        let pair = heap.reserve(PAIR_SIZE)?;
-        region.write_pod(pair + PAIR_DELTA, &new_delta)?;
-        region.write_pod(pair + PAIR_MAIN, &new_main)?;
-        region.persist(pair, PAIR_SIZE)?;
+        // 4b. Atomic swap: the new pair block replaces the old one.
         // pmlint: publish(table-pair)
-        heap.activate(pair, Some((self.root + ROOT_PAIR, pair)), Some(old_pair))?;
+        if let Err(e) = heap.activate(pair, Some((self.root + ROOT_PAIR, pair)), Some(old_pair)) {
+            unwind(&heap);
+            return Err(e.into());
+        }
 
         // 5. Reclaim the old tree (leaks only if we crash mid-free).
         // The old pair block was already freed by the activate(replaces).
@@ -1203,8 +1322,14 @@ impl NvTable {
     }
 
     fn free_delta_tree(&self, old_delta: u64, ncols: usize) -> Result<()> {
-        let region = self.region();
-        let heap = &self.heap;
+        Self::free_delta_tree_in(&self.heap, old_delta, ncols)
+    }
+
+    /// Free a delta tree through a bare heap handle. Tolerates partially
+    /// initialised descriptors whose untouched fields read as null — the
+    /// exhaustion unwind in `create_delta_desc` relies on this.
+    fn free_delta_tree_in(heap: &NvmHeap, old_delta: u64, ncols: usize) -> Result<()> {
+        let region = heap.region();
         free_slab_data(heap, region, old_delta + DD_BEGIN)?;
         free_slab_data(heap, region, old_delta + DD_END)?;
         for c in 0..ncols {

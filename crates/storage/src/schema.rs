@@ -110,7 +110,11 @@ impl Schema {
             *pos += n;
             Ok(s)
         };
-        let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let ncols = u32::from_le_bytes(
+            take(&mut pos, 4)?
+                .try_into()
+                .map_err(|_| corrupt("schema image truncated"))?,
+        ) as usize;
         if ncols == 0 || ncols > 4096 {
             return Err(corrupt("implausible column count"));
         }
@@ -118,7 +122,11 @@ impl Schema {
         for _ in 0..ncols {
             let tag = take(&mut pos, 1)?[0];
             let dtype = DataType::from_tag(tag).ok_or(corrupt("unknown type tag"))?;
-            let nlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let nlen = u32::from_le_bytes(
+                take(&mut pos, 4)?
+                    .try_into()
+                    .map_err(|_| corrupt("schema image truncated"))?,
+            ) as usize;
             let name = std::str::from_utf8(take(&mut pos, nlen)?)
                 .map_err(|_| corrupt("column name not utf-8"))?
                 .to_owned();

@@ -158,7 +158,11 @@ impl VTable {
         tid: u64,
     ) -> Vec<RowId> {
         rows.filter(|&r| {
-            let (in_main, i) = self.split(r).expect("row from internal iteration");
+            // Rows come from internal iteration; an out-of-range id is a
+            // bookkeeping bug we surface as invisibility, not a panic.
+            let Ok((in_main, i)) = self.split(r) else {
+                return false;
+            };
             let (b, e) = if in_main {
                 (0, self.main.end_ts[i as usize])
             } else {
@@ -396,8 +400,14 @@ impl TableStore for VTable {
             dict.dedup();
             let ids: Vec<u64> = survivors
                 .iter()
-                .map(|r| dict.binary_search(&r[c]).expect("value interned") as u64)
-                .collect();
+                .map(|r| {
+                    dict.binary_search(&r[c])
+                        .map(|i| i as u64)
+                        .map_err(|_| StorageError::Corrupt {
+                            reason: "merge dictionary missing a surviving value",
+                        })
+                })
+                .collect::<Result<_>>()?;
             new_main
                 .avs
                 .push(BitPacked::from_ids(&ids, dict.len() as u64));

@@ -28,7 +28,7 @@ mod writer;
 pub use checkpoint::{load_checkpoint, write_checkpoint, CheckpointMeta};
 pub use record::{crc32, LogRecord};
 pub use recovery::{replay_log, replay_log_bounded, ReplayReport};
-pub use writer::{LogReader, LogWriter, WalStats};
+pub use writer::{LogReader, LogWriter, WalFaultClass, WalFaultSpec, WalStats};
 
 use std::fmt;
 use std::path::PathBuf;
@@ -47,6 +47,24 @@ pub enum WalError {
     },
     /// Replaying a record against the table failed.
     Storage(storage::StorageError),
+    /// The log device is out of space (ENOSPC / short write). After the
+    /// first `Full` the writer wedges: every later append/sync fails fast
+    /// until the log is truncated or reopened, because a partially written
+    /// frame makes further appends unrecoverable.
+    Full {
+        /// Operation that hit the wall (`append`, `sync`, …).
+        op: &'static str,
+        /// True when the writer was already wedged by an earlier failure.
+        wedged: bool,
+    },
+}
+
+impl WalError {
+    /// True for out-of-space failures — the class the engine's capacity
+    /// machinery normalizes into its typed `CapacityExhausted` error.
+    pub fn is_full(&self) -> bool {
+        matches!(self, WalError::Full { .. })
+    }
 }
 
 impl fmt::Display for WalError {
@@ -58,6 +76,13 @@ impl fmt::Display for WalError {
                 None => write!(f, "corrupt image: {reason}"),
             },
             WalError::Storage(e) => write!(f, "storage during replay: {e}"),
+            WalError::Full { op, wedged } => {
+                if *wedged {
+                    write!(f, "log device full: {op} rejected (writer wedged)")
+                } else {
+                    write!(f, "log device full during {op}")
+                }
+            }
         }
     }
 }

@@ -354,6 +354,44 @@ mod tests {
     }
 
     #[test]
+    fn short_write_tail_ignored_like_torn_tail() {
+        use crate::writer::{WalFaultClass, WalFaultSpec};
+        let path = tmplog("shortwrite");
+        let clock = Arc::new(SimClock::new());
+        let mut w = LogWriter::open(&path, clock, 0).unwrap();
+        w.append(&ins(1, 0, 10)).unwrap();
+        w.append(&LogRecord::Commit { tid: 1, cts: 1 }).unwrap();
+        w.sync().unwrap();
+        let good_prefix = w.position();
+        // The device fills up mid-append: a prefix of txn 2's insert frame
+        // reaches the file, then the writer wedges.
+        w.arm_fault(WalFaultSpec {
+            class: WalFaultClass::AppendShortWrite,
+            nth: 0,
+        });
+        assert!(w.append(&ins(2, 1, 20)).unwrap_err().is_full());
+        drop(w);
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > good_prefix,
+            "partial frame is on disk"
+        );
+
+        // Replay must treat the half-written frame exactly like the
+        // truncated-tail case: end-of-log at the last complete record.
+        let mut tables = vec![VTable::new(schema())];
+        let report = replay_log_bounded(&path, 0, &mut tables, u64::MAX).unwrap();
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(report.rows_inserted, 1);
+        assert_eq!(report.last_cts, 1);
+        assert!(
+            !report.stopped_early,
+            "a short write is a normal end-of-log"
+        );
+        assert_eq!(report.valid_prefix, good_prefix);
+        assert_eq!(tables[0].scan_visible(1, 999).unwrap(), vec![0]);
+    }
+
+    #[test]
     fn crc_corrupted_mid_log_record_stops_cleanly() {
         let path = tmplog("midcrc");
         let clock = Arc::new(SimClock::new());

@@ -1,0 +1,155 @@
+//! Walk the watermark-driven degradation ladder live: fill a small NVM
+//! device toward the brim and watch the engine move Normal → Backpressure
+//! → ReadOnly, keep serving reads the whole way, then reclaim its way back
+//! to writability — no panic anywhere on the path.
+//!
+//! Run: `cargo run --release -p hyrise-nv --example graceful_degradation`
+
+use hyrise_nv::{retry_write, Database, DurabilityConfig, EngineError, HealthState};
+use nvm::{AllocFaultClass, AllocFaultSpec, LatencyModel};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+fn banner(db: &mut Database, label: &str) {
+    let h = db.health();
+    println!(
+        "[{label}] state={:?} utilization={:.1}% rejected={} capacity_aborts={} reclaims={}",
+        h.state,
+        h.utilization * 100.0,
+        h.writes_rejected,
+        h.capacity_aborts,
+        h.reclaims
+    );
+}
+
+fn main() -> hyrise_nv::Result<()> {
+    let mut db = Database::create(DurabilityConfig::nvm_with_wal(
+        16 << 20,
+        LatencyModel::zero(),
+    ))?;
+    let t = db.create_table(
+        "orders",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("qty", DataType::Int),
+        ]),
+    )?;
+
+    // Seed some committed state, then clamp the effective capacity so the
+    // current footprint sits at ~60% — modelling a small NVM device.
+    let mut next_id = 0i64;
+    for _ in 0..40 {
+        let mut tx = db.begin();
+        for _ in 0..8 {
+            db.insert(&mut tx, t, &[Value::Int(next_id), Value::Int(1)])?;
+            next_id += 1;
+        }
+        db.commit(&mut tx)?;
+    }
+    let s = db.heap_stats().unwrap();
+    db.set_capacity_clamp(Some((s.high_water - s.free_bytes) * 10 / 6))?;
+    banner(&mut db, "seeded");
+
+    // Fill toward the brim. Admission control turns writers away with a
+    // typed, retryable error before the allocator ever runs dry.
+    let rejection = loop {
+        let mut tx = db.begin();
+        let mut failed = None;
+        for _ in 0..8 {
+            match db.insert(&mut tx, t, &[Value::Int(next_id), Value::Int(1)]) {
+                Ok(_) => next_id += 1,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        match failed {
+            Some(e) => {
+                db.abort(&mut tx)?;
+                break e;
+            }
+            None => {
+                db.commit(&mut tx)?;
+            }
+        }
+    };
+    println!("write rejected: {rejection}");
+
+    // Shrink the device so the surviving footprint reads over the
+    // backpressure watermark: admission control now turns writers away
+    // with a typed, retryable error before the allocator ever runs dry.
+    let s = db.heap_stats().unwrap();
+    let live = s.high_water - s.free_bytes;
+    db.set_capacity_clamp(Some(live * 100 / 88))?;
+    banner(&mut db, "backpressure");
+    assert_eq!(db.health().state, HealthState::Backpressure);
+    let mut tx = db.begin();
+    match db.insert(&mut tx, t, &[Value::Int(-2), Value::Int(0)]) {
+        Err(e @ EngineError::Backpressure { .. }) => {
+            assert!(e.is_retryable());
+            println!("write refused (retryable): {e}");
+        }
+        other => panic!("expected a typed Backpressure rejection, got {other:?}"),
+    }
+    db.abort(&mut tx)?;
+
+    // Tighten the clamp past the read-only watermark: the engine stops
+    // admitting writes and DDL entirely — but reads still flow.
+    db.set_capacity_clamp(Some(live + live / 50))?;
+    banner(&mut db, "read-only");
+    let tx = db.begin();
+    let visible = db.scan_all(&tx, t)?.len();
+    println!("reads still served in ReadOnly: {visible} rows visible");
+    let mut tx = db.begin();
+    match db.insert(&mut tx, t, &[Value::Int(-1), Value::Int(0)]) {
+        Err(e @ EngineError::ReadOnly { .. }) => println!("write refused: {e}"),
+        other => panic!("expected a typed ReadOnly rejection, got {other:?}"),
+    }
+    db.abort(&mut tx)?;
+
+    // Recovery: back on the full device, delete a swathe of rows in small
+    // transactions (their versions stay on-heap until a merge retires
+    // them), shrink again, and reclaim: the emergency merge compacts the
+    // table and utilization drops back under the resume mark.
+    db.set_capacity_clamp(None)?;
+    let mut doomed = (0..next_id).filter(|id| id % 4 != 0).peekable();
+    while doomed.peek().is_some() {
+        let mut tx = db.begin();
+        for id in doomed.by_ref().take(8) {
+            let hits = db.scan_eq(&tx, t, 0, &Value::Int(id))?;
+            if let Some(hit) = hits.first() {
+                db.delete(&mut tx, t, hit.row)?;
+            }
+        }
+        db.commit(&mut tx)?;
+    }
+    let s = db.heap_stats().unwrap();
+    let live = s.high_water - s.free_bytes;
+    db.set_capacity_clamp(Some(live * 100 / 88))?; // pressured again
+    banner(&mut db, "pressured");
+    let rep = db.reclaim()?;
+    println!(
+        "reclaim: {} tables merged, utilization {:.1}% -> {:.1}%, state {:?}",
+        rep.tables_merged,
+        rep.utilization_before * 100.0,
+        rep.utilization_after * 100.0,
+        rep.state_after
+    );
+    banner(&mut db, "reclaimed");
+
+    // And the retry helper rides out a transient allocation failure: the
+    // first attempt hits an injected out-of-memory, reclamation runs, and
+    // the retry lands.
+    db.arm_alloc_fault(AllocFaultSpec {
+        class: AllocFaultClass::FailNth { nth: 0 },
+        seed: 0,
+    })?;
+    let mut tx = db.begin();
+    retry_write(&mut db, |db| {
+        db.insert(&mut tx, t, &[Value::Int(next_id), Value::Int(1)])
+    })?;
+    db.commit(&mut tx)?;
+    println!("retry_write rode out an injected allocation failure");
+    banner(&mut db, "recovered");
+    Ok(())
+}
