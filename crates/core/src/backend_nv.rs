@@ -6,7 +6,9 @@
 //! ```text
 //! 0:  last_cts u64                 — the durable commit-timestamp publish
 //! 8:  ntables  u64                 — publish point for CREATE TABLE
-//! 16: per table (stride 24): name_ptr | table_root | idx_block
+//! 16: registry u64                 — txn-registry base pointer
+//! 24: progress u64                 — recovery attempt counter (0 = clean)
+//! 32: per table (stride 24): name_ptr | table_root | idx_block
 //! idx_block: count u64 | per index (stride 24): kind | column | desc
 //! ```
 //!
@@ -31,7 +33,8 @@ use crate::{MAX_INDEXES_PER_TABLE, MAX_TABLES};
 const CAT_LAST_CTS: u64 = 0;
 const CAT_NTABLES: u64 = 8;
 const CAT_REGISTRY: u64 = 16;
-const CAT_ENTRIES: u64 = 24;
+const CAT_PROGRESS: u64 = 24;
+const CAT_ENTRIES: u64 = 32;
 const CAT_ENTRY_STRIDE: u64 = 24;
 const CAT_SIZE: u64 = CAT_ENTRIES + MAX_TABLES as u64 * CAT_ENTRY_STRIDE;
 
@@ -172,6 +175,7 @@ impl NvBackend {
         r.write_pod(catalog + CAT_LAST_CTS, &0u64)?;
         r.write_pod(catalog + CAT_NTABLES, &0u64)?;
         r.write_pod(catalog + CAT_REGISTRY, &registry.base_offset())?;
+        r.write_pod(catalog + CAT_PROGRESS, &0u64)?;
         r.persist(catalog, CAT_ENTRIES)?;
         heap.set_root(catalog)?;
         Ok(NvBackend {
@@ -355,6 +359,37 @@ impl NvBackend {
             self.idx_block(table)? + IDX_ENTRIES + i * IDX_ENTRY_STRIDE,
             IDX_ENTRY_STRIDE,
         ))
+    }
+
+    /// `(offset, len)` of the catalogue's recovery-progress word — the
+    /// publish word of the `recovery-progress` protocol.
+    pub fn recovery_progress_extent(&self) -> (u64, u64) {
+        (self.catalog + CAT_PROGRESS, 8)
+    }
+
+    /// `(offset, len)` of registry slot `slot`'s transaction-id word —
+    /// the publish word of the `recovery-undo-release` protocol (label
+    /// `registry-slot-clear`).
+    pub fn registry_slot_tid_extent(&self, slot: usize) -> (u64, u64) {
+        self.registry.slot_tid_extent(slot)
+    }
+
+    /// Recovery attempt counter still recorded in the catalogue (0 after
+    /// a completed recovery; a successful [`NvBackend::create`] also
+    /// starts at 0).
+    pub fn recovery_attempts(&self) -> Result<u64> {
+        Ok(self.heap.region().read_pod(self.catalog + CAT_PROGRESS)?)
+    }
+
+    /// Zero the recovery-progress word: recovery completed. The single
+    /// publish-last store closing the attempt opened by
+    /// [`begin_recovery_attempt`].
+    pub(crate) fn finish_recovery_attempt(&self) -> Result<()> {
+        let r = self.heap.region();
+        // pmlint: publish(recovery-progress)
+        r.write_pod(self.catalog + CAT_PROGRESS, &0u64)?;
+        r.persist(self.catalog + CAT_PROGRESS, 8)?;
+        Ok(())
     }
 
     /// Durably published last commit timestamp.
@@ -655,6 +690,36 @@ impl NvBackend {
         }
         Ok(stats)
     }
+}
+
+/// Durably bump the catalogue's recovery-progress word and return the new
+/// attempt number (1 = first attempt since the last clean shutdown or
+/// completed recovery; >1 = this recovery is itself re-entrant, an earlier
+/// attempt was cut short).
+///
+/// This is the one deliberately *non-idempotent* recovery-time store: a
+/// monotone counter, bumped before recovery mutates anything else and
+/// zeroed by [`NvBackend::finish_recovery_attempt`] only after the ladder,
+/// undo pass, and shadow re-baseline have all completed. Every other
+/// recovery mutation is idempotent by re-derivation, so replaying a
+/// partial attempt is safe — the counter exists to make interrupted
+/// attempts *observable* (and bounded) rather than to gate replay.
+///
+/// Runs before the backend is attached, straight off the heap root; if no
+/// catalogue root is published yet the attach will fail anyway, so the
+/// attempt is reported as 0 and nothing is written.
+pub(crate) fn begin_recovery_attempt(heap: &NvmHeap) -> Result<u64> {
+    let catalog = heap.root()?;
+    if catalog == 0 {
+        return Ok(0);
+    }
+    let r = heap.region();
+    let prior: u64 = r.read_pod(catalog + CAT_PROGRESS)?;
+    let attempt = prior.saturating_add(1);
+    // pmlint: publish(recovery-progress)
+    r.write_pod(catalog + CAT_PROGRESS, &attempt)?;
+    r.persist(catalog + CAT_PROGRESS, 8)?;
+    Ok(attempt)
 }
 
 /// Durable commit publish for the NVM backend: one 8-byte persist of the

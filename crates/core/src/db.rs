@@ -1,7 +1,7 @@
 //! The `Database` façade.
 
 use index::{NvHashIndex, NvOrderedIndex};
-use nvm::{CrashPolicy, NvmHeap};
+use nvm::{CrashPoint, CrashPolicy, NvmHeap};
 use storage::mvcc;
 use storage::nv::MediaExtent;
 use storage::{RowId, ScanResult, Schema, TableStore, Value};
@@ -14,7 +14,7 @@ use crate::backend_wal::WalBackend;
 use crate::config::{DurabilityConfig, IndexKind, WalConfig};
 use crate::error::{EngineError, Result};
 use crate::health::{HealthReport, HealthState, HealthTracker, ReclaimReport, Watermarks};
-use crate::report::{timed_phase, IntegrityReport, RecoveryReport};
+use crate::report::{timed_phase, IntegrityReport, PersistStats, RecoveryReport};
 use crate::shadow_wal::ShadowWal;
 
 /// Handle to a table in the catalogue.
@@ -849,7 +849,8 @@ impl Database {
                 let paths = b.paths.clone();
                 let clock_arc = b.clock().clone();
                 let index_specs = b.index_specs.clone();
-                let clock = || clock_arc.now_ns();
+                // File-backed recovery generates no NVM persist traffic.
+                let clock = || (clock_arc.now_ns(), PersistStats::default());
 
                 // Phase 1: load the newest checkpoint.
                 let ckpt = timed_phase(&mut report.phases, "checkpoint load", clock, || {
@@ -925,7 +926,7 @@ impl Database {
                 timed_phase(
                     &mut report.phases,
                     "data loss",
-                    || 0,
+                    || (0, PersistStats::default()),
                     || Ok::<(), EngineError>(()),
                 )?;
                 self.mgr = TxnManager::new();
@@ -956,7 +957,7 @@ impl Database {
         region: std::sync::Arc<nvm::NvmRegion>,
         report: &mut RecoveryReport,
     ) -> Result<()> {
-        let clock = || region.clock().now_ns();
+        let clock = nv_probe(&region);
         let shadow_cfg = match &self.config {
             DurabilityConfig::NvmWithWal { wal, .. } => Some(wal.clone()),
             _ => None,
@@ -975,6 +976,15 @@ impl Database {
             },
         )?;
         report.heap_blocks_scanned = alloc_report.blocks_scanned;
+
+        // Attempt accounting: durably bump the progress word before any
+        // other recovery mutation. `attempt > 1` means this recovery is
+        // itself re-entrant — an earlier attempt was cut short by a
+        // nested crash (or a recoverable failure) before it could zero
+        // the word.
+        report.attempt = retry_poisoned(&mut retries, || {
+            crate::backend_nv::begin_recovery_attempt(&heap)
+        })?;
 
         // Phase 2: catalogue + tables + indexes — fast path or ladder.
         let mut nb = match &shadow_cfg {
@@ -1008,10 +1018,6 @@ impl Database {
         report.mvcc_words_repaired = repaired;
         report.last_cts = last_cts;
         report.rows_recovered = nb.tables.iter().map(|t| t.row_count()).sum();
-        report.poison_retries = retries;
-        if retries > 0 {
-            report.rung = report.rung.max(1);
-        }
 
         // Re-attach the shadow log and re-baseline its checkpoint from the
         // recovered state. The re-baseline is what keeps *future* rung-2
@@ -1024,6 +1030,16 @@ impl Database {
                 sw.checkpoint_full(&nb.names, &nb.tables, last_cts)
             })?;
             nb.shadow = Some(sw);
+        }
+
+        // Close the attempt: the progress word returns to 0 only once the
+        // ladder, undo pass, and shadow re-baseline have all completed —
+        // a nested crash anywhere above leaves it non-zero, and the next
+        // attempt reports itself as re-entrant.
+        retry_poisoned(&mut retries, || nb.finish_recovery_attempt())?;
+        report.poison_retries = retries;
+        if retries > 0 {
+            report.rung = report.rung.max(1);
         }
 
         self.mgr = TxnManager::recovered(last_cts);
@@ -1065,6 +1081,63 @@ impl Database {
         report.lint_findings = region.take_lint_findings();
         let _ = region.trace_stop();
         recovered?;
+        self.health.reset();
+        report.health = self.refresh_health();
+        report.utilization = match &self.backend {
+            Backend::Nv(b) => b.heap().stats().utilization(),
+            _ => 0.0,
+        };
+        Ok(report)
+    }
+
+    /// Like [`Database::restart_scheduled`], but keeps the persist trace
+    /// armed *across* the recovery: the pending crash is materialized,
+    /// the recorder is re-armed with `next` — a crash point inside the
+    /// upcoming recovery, its fence numbers relative to the recovery's
+    /// own persistence stream — and recovery runs. The trace stays
+    /// active afterwards, so nested-crash chains compose: each call
+    /// models one power-cycle, the next call materializes `next`
+    /// (crash-at-end of recovery if it never tripped), and a final
+    /// [`Database::restart_scheduled`] terminates the chain, linting the
+    /// last recovery and closing the trace.
+    ///
+    /// Pass `None` to record the recovery without scheduling a trip
+    /// (useful as a reference run: `region.trace_fences()` afterwards is
+    /// the recovery's own fence count, the sampling domain for nested
+    /// points).
+    ///
+    /// If the recovery attempt fails (e.g. a composed allocation fault),
+    /// the error is returned with the trace still active and the stale
+    /// backend still in place — calling the method again models the next
+    /// power-cycle retrying recovery.
+    pub fn restart_scheduled_traced(&mut self, next: Option<CrashPoint>) -> Result<RecoveryReport> {
+        let region = match &mut self.backend {
+            Backend::Nv(b) => {
+                let region = b.region().clone();
+                // Flush the shadow writer's buffer into the log file before
+                // materializing the crash (the file survives power loss).
+                b.shadow = None;
+                region
+            }
+            _ => {
+                return Err(EngineError::Catalog(
+                    "scheduled crashes require the NVM backend".into(),
+                ))
+            }
+        };
+        let outcome = region
+            .finalize_scheduled_crash()
+            .map_err(EngineError::Nvm)?;
+        region
+            .rearm_recovery_crash(next)
+            .map_err(EngineError::Nvm)?;
+        let mut report = RecoveryReport {
+            mode: self.mode(),
+            scheduled: Some(outcome),
+            ..Default::default()
+        };
+        self.recover_nv(region.clone(), &mut report)?;
+        report.lint_findings = region.take_lint_findings();
         self.health.reset();
         report.health = self.refresh_health();
         report.utilization = match &self.backend {
@@ -1190,6 +1263,26 @@ impl Database {
     }
 }
 
+/// [`timed_phase`] probe over an NVM region: the simulated clock plus the
+/// region's persist counters, so each recovery phase's report row carries
+/// the traffic it generated.
+fn nv_probe(
+    region: &std::sync::Arc<nvm::NvmRegion>,
+) -> impl Fn() -> (u64, PersistStats) + Copy + '_ {
+    move || {
+        let s = region.stats();
+        (
+            region.clock().now_ns(),
+            PersistStats {
+                bytes_written: s.bytes_written,
+                flushes: s.flush_calls,
+                lines_flushed: s.lines_flushed,
+                fences: s.fences,
+            },
+        )
+    }
+}
+
 /// Recovery rungs 0–2 for the NVM-with-shadow backend: catalogue decode
 /// with per-table failure isolation, bounded retry of transiently poisoned
 /// reads (rung 1), media verification of every checksummed structure, WAL
@@ -1200,7 +1293,7 @@ fn attach_with_ladder(
     wal_cfg: &WalConfig,
     report: &mut RecoveryReport,
     retries: &mut u64,
-    clock: impl Fn() -> u64 + Copy,
+    clock: impl Fn() -> (u64, PersistStats) + Copy,
 ) -> Result<NvBackend> {
     use storage::nv::NvTable;
 

@@ -61,7 +61,7 @@ pub use db::{retry_write, Database, TableId};
 pub use error::{is_conflict, EngineError, Result};
 pub use health::{HealthReport, HealthState, ReclaimReport, Watermarks};
 pub use query::{Agg, AggRow};
-pub use report::{IntegrityReport, PhaseTiming, RecoveryReport};
+pub use report::{IntegrityReport, PersistStats, PhaseTiming, RecoveryReport};
 pub use txn_registry::{RegistryRecovery, TxnRegistry, REGISTRY_SLOTS};
 
 /// Maximum number of tables the persistent catalogue supports.

@@ -8,6 +8,38 @@ use nvm::{CrashOutcome, LintFinding};
 
 use crate::health::HealthState;
 
+/// Persist traffic charged to one restart phase: how much the phase wrote
+/// to NVM and how many flush/fence round trips it needed. Attributes
+/// restart cost to recovery phases (all zero on the file-backed paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistStats {
+    /// Bytes stored into the region during the phase.
+    pub bytes_written: u64,
+    /// Flush calls issued.
+    pub flushes: u64,
+    /// Dirty cache lines actually written back.
+    pub lines_flushed: u64,
+    /// Store fences issued.
+    pub fences: u64,
+}
+
+impl PersistStats {
+    /// Componentwise difference against an earlier probe.
+    pub fn since(&self, earlier: &PersistStats) -> PersistStats {
+        PersistStats {
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            flushes: self.flushes - earlier.flushes,
+            lines_flushed: self.lines_flushed - earlier.lines_flushed,
+            fences: self.fences - earlier.fences,
+        }
+    }
+
+    /// True when the phase produced no persist traffic at all.
+    pub fn is_zero(&self) -> bool {
+        *self == PersistStats::default()
+    }
+}
+
 /// One timed restart phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseTiming {
@@ -17,6 +49,8 @@ pub struct PhaseTiming {
     pub wall: Duration,
     /// Simulated NVM/IO nanoseconds charged during the phase.
     pub simulated_ns: u64,
+    /// Persist traffic the phase generated.
+    pub persist: PersistStats,
 }
 
 /// What a restart did and how long each phase took. Experiment E6 prints
@@ -68,6 +102,11 @@ pub struct RecoveryReport {
     pub health: HealthState,
     /// Heap utilization after recovery (0.0 off the NVM backend).
     pub utilization: f64,
+    /// Recovery attempt number read from the persistent progress word as
+    /// this recovery began: 1 = clean first attempt, >1 = re-entrant (an
+    /// earlier attempt was itself cut short by a crash), 0 = not
+    /// applicable (non-NVM backends, or no catalogue to account against).
+    pub attempt: u64,
 }
 
 impl RecoveryReport {
@@ -103,12 +142,29 @@ impl RecoveryReport {
                 self.poison_retries, self.structures_rebuilt, self.blocks_quarantined
             );
         }
+        if self.attempt > 1 {
+            let _ = writeln!(s, "  re-entrant: recovery attempt #{}", self.attempt);
+        }
         for p in &self.phases {
-            let _ = writeln!(
-                s,
-                "  {:<28} {:>12?}  (+{} sim-ns)",
-                p.name, p.wall, p.simulated_ns
-            );
+            if p.persist.is_zero() {
+                let _ = writeln!(
+                    s,
+                    "  {:<28} {:>12?}  (+{} sim-ns)",
+                    p.name, p.wall, p.simulated_ns
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "  {:<28} {:>12?}  (+{} sim-ns, {}B stored, {} flushes/{} lines, {} fences)",
+                    p.name,
+                    p.wall,
+                    p.simulated_ns,
+                    p.persist.bytes_written,
+                    p.persist.flushes,
+                    p.persist.lines_flushed,
+                    p.persist.fences
+                );
+            }
         }
         for f in &self.lint_findings {
             let _ = writeln!(s, "  LINT: {f}");
@@ -171,21 +227,24 @@ impl IntegrityReport {
     }
 }
 
-/// Helper to time a phase: runs `f`, records wall time and the simulated-ns
-/// delta observed through `sim_now` around the call.
+/// Helper to time a phase: runs `f`, records wall time plus the
+/// simulated-ns and persist-traffic deltas observed through `probe`
+/// around the call.
 pub(crate) fn timed_phase<T, E>(
     phases: &mut Vec<PhaseTiming>,
     name: &'static str,
-    sim_now: impl Fn() -> u64,
+    probe: impl Fn() -> (u64, PersistStats),
     f: impl FnOnce() -> std::result::Result<T, E>,
 ) -> std::result::Result<T, E> {
-    let sim0 = sim_now();
+    let (sim0, persist0) = probe();
     let t0 = std::time::Instant::now();
     let out = f()?;
+    let (sim1, persist1) = probe();
     phases.push(PhaseTiming {
         name,
         wall: t0.elapsed(),
-        simulated_ns: sim_now() - sim0,
+        simulated_ns: sim1 - sim0,
+        persist: persist1.since(&persist0),
     });
     Ok(out)
 }
@@ -204,11 +263,18 @@ mod tests {
             name: "a",
             wall: Duration::from_millis(2),
             simulated_ns: 10,
+            persist: PersistStats::default(),
         });
         r.phases.push(PhaseTiming {
             name: "b",
             wall: Duration::from_millis(3),
             simulated_ns: 5,
+            persist: PersistStats {
+                bytes_written: 64,
+                flushes: 2,
+                lines_flushed: 1,
+                fences: 2,
+            },
         });
         assert_eq!(r.total_wall(), Duration::from_millis(5));
         assert_eq!(r.total_simulated_ns(), 15);
@@ -218,10 +284,16 @@ mod tests {
     #[test]
     fn timed_phase_records() {
         let mut phases = Vec::new();
-        let out: Result<u32, ()> = timed_phase(&mut phases, "work", || 7, || Ok(42));
+        let out: Result<u32, ()> = timed_phase(
+            &mut phases,
+            "work",
+            || (7, PersistStats::default()),
+            || Ok(42),
+        );
         assert_eq!(out.unwrap(), 42);
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].name, "work");
         assert_eq!(phases[0].simulated_ns, 0);
+        assert!(phases[0].persist.is_zero());
     }
 }

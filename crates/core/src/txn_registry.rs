@@ -231,10 +231,23 @@ impl TxnRegistry {
                 }
                 report.repaired += t.repair_row(row, last_cts)?;
             }
+            // Release the slot only after the row repairs above are
+            // durable — publish-last, per the `recovery-undo-release`
+            // protocol. (`repair_row` persists each repaired word; a
+            // crash landing between a repair and this clear replays the
+            // slot, and the repairs are idempotent at a fixed last_cts.)
+            // pmlint: publish(registry-slot-clear)
             region.write_pod(off + S_TID, &0u64)?;
             region.persist(off + S_TID, 8)?;
         }
         Ok(report)
+    }
+
+    /// `(offset, len)` of slot `slot`'s transaction-id word — the publish
+    /// word of the `recovery-undo-release` protocol (label
+    /// `registry-slot-clear`).
+    pub fn slot_tid_extent(&self, slot: usize) -> (u64, u64) {
+        (self.slot_off(slot as u64) + S_TID, 8)
     }
 }
 

@@ -1033,6 +1033,69 @@ pub fn registry() -> Vec<ProtocolSpec> {
                 ProtocolStep::new(Fence, &[4]),
             ],
         },
+        // Recovery attempt accounting: the progress word is the one
+        // deliberately non-idempotent recovery-time store (a monotone
+        // attempt counter bumped at attempt start, zeroed on success).
+        // It is a single word, so the bump itself is the publish and
+        // must be fenced before any other recovery mutation depends on
+        // the attempt having been registered.
+        ProtocolSpec {
+            name: "recovery-progress",
+            what: "recovery attempt counter, published before recovery mutates state",
+            steps: vec![
+                ProtocolStep::new(
+                    Publish {
+                        label: "recovery-progress",
+                    },
+                    &[],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["recovery-progress"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+            ],
+        },
+        // Recovery undo pass: per-row MVCC repairs are persisted strictly
+        // before the registry slot is released (tid zeroed). A crash
+        // between the two replays the repairs — they are idempotent at a
+        // fixed last-cts — while releasing first could strand a
+        // half-repaired row with no registry entry pointing at it.
+        ProtocolSpec {
+            name: "recovery-undo-release",
+            what: "undo-pass row repairs durable before the registry slot clear",
+            steps: vec![
+                ProtocolStep::optional(
+                    Store {
+                        label: "mvcc-repair",
+                        checksummed: false,
+                    },
+                    &[],
+                ),
+                ProtocolStep::optional(
+                    Flush {
+                        covers: &["mvcc-repair"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::optional(Fence, &[1]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "registry-slot-clear",
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["registry-slot-clear"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+            ],
+        },
     ]
 }
 

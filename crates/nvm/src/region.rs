@@ -790,6 +790,36 @@ impl NvmRegion {
         Ok(outcome)
     }
 
+    /// Re-arm the trace for a *nested* crash inside the upcoming
+    /// recovery. Valid only right after
+    /// [`NvmRegion::finalize_scheduled_crash`] (lint mode): recording
+    /// restarts with fence numbering relative to the recovery attempt's
+    /// own persistence stream, so `point` trips at the Nth recovery
+    /// fence (or mid-epoch within recovery). Pass `None` to record the
+    /// recovery without scheduling a trip — a later
+    /// `finalize_scheduled_crash` then materializes a crash at end of
+    /// recovery, and `trace_fences` exposes the recovery's fence count
+    /// for sampling nested points.
+    ///
+    /// Lost lines and lint findings from earlier crashes in the chain
+    /// carry across the re-arm.
+    pub fn rearm_recovery_crash(&self, point: Option<CrashPoint>) -> Result<()> {
+        if !self.traced.load(Ordering::Relaxed) {
+            return Err(NvmError::TraceState {
+                reason: "rearm_recovery_crash requires an active persist trace",
+            });
+        }
+        match self.recorder.lock().as_mut() {
+            Some(rec) if rec.mode() == Mode::Lint => {
+                rec.rearm(point);
+                Ok(())
+            }
+            _ => Err(NvmError::TraceState {
+                reason: "rearm_recovery_crash requires a materialized crash (lint mode)",
+            }),
+        }
+    }
+
     /// Drain the missing-flush findings collected since the scheduled
     /// crash was materialized.
     pub fn take_lint_findings(&self) -> Vec<LintFinding> {

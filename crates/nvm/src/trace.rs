@@ -21,6 +21,17 @@
 //! and is reported as a [`LintFinding`] carrying the epoch and sequence
 //! number of the store that was never persisted. A store to a lost line
 //! clears it (recovery re-initialized the bytes before reading them).
+//!
+//! Nested crashes: instead of staying in lint mode for the whole
+//! recovery, the recorder can be *re-armed* ([`Recorder::rearm`]) right
+//! after the crash is materialized. Recording then restarts — fence
+//! numbering begins again at 1, relative to the recovery attempt's own
+//! persistence stream — so a second crash point can trip at any fence
+//! *inside* recovery, recursively to any depth (crash → partial recovery
+//! → crash → …). The lost-line set and the findings carry across the
+//! re-arm: a line torn away by an earlier crash keeps linting reads until
+//! some recovery attempt rewrites it, and a recovery store that itself
+//! fails to persist before the next trip re-enters the lost set.
 
 use std::collections::HashMap;
 
@@ -230,6 +241,10 @@ impl Recorder {
                 };
                 for line in a..=b {
                     self.last_store.insert(line, stamp);
+                    // A re-armed recovery rewrote a line lost by an earlier
+                    // crash; if this store fails to persist before the next
+                    // trip, `compute_lost` re-derives it from the stamp.
+                    self.lost.remove(&line);
                 }
                 if self.config.keep_events {
                     self.events.push(TraceEvent::Store {
@@ -296,7 +311,10 @@ impl Recorder {
                 }
                 if trip {
                     self.tripped_at = Some(n);
-                    self.lost = self.compute_lost();
+                    // Union, not assignment: lines lost by earlier crashes in
+                    // the chain stay lost until some segment rewrites them.
+                    let newly_lost = self.compute_lost();
+                    self.lost.extend(newly_lost);
                     self.mode = Mode::Blackout;
                 }
                 survivors
@@ -327,7 +345,8 @@ impl Recorder {
         if self.mode == Mode::Recording {
             // Crash-at-end: pending (flushed, unfenced) lines are lost too.
             self.pending.clear();
-            self.lost = self.compute_lost();
+            let newly_lost = self.compute_lost();
+            self.lost.extend(newly_lost);
         }
         self.mode = Mode::Lint;
         self.pending.clear();
@@ -341,10 +360,13 @@ impl Recorder {
         }
     }
 
-    /// A read of `[off, off+len)` during lint mode. Each lost line is
-    /// reported once (the first read wins).
+    /// A read of `[off, off+len)` checked against the lost-line set. Each
+    /// lost line is reported once (the first read wins). Active in lint
+    /// mode and in recording mode (a re-armed recovery reading a line an
+    /// earlier crash took away is the same bug); blackout reads are the
+    /// doomed execution's and are ignored.
     pub fn on_read(&mut self, off: u64, len: u64) {
-        if self.mode != Mode::Lint || self.lost.is_empty() || len == 0 {
+        if self.mode == Mode::Blackout || self.lost.is_empty() || len == 0 {
             return;
         }
         let (a, b) = line_span(off, len);
@@ -359,6 +381,33 @@ impl Recorder {
                 });
             }
         }
+    }
+
+    /// Re-arm the recorder for a nested crash *inside* the upcoming
+    /// recovery. Valid only right after [`Recorder::finalize`] (lint
+    /// mode): recording restarts with a fresh segment — fence numbering
+    /// begins again at 1, relative to the recovery attempt's own
+    /// persistence stream — while the lost-line set and accumulated
+    /// findings carry across, so stale pre-crash lines keep linting
+    /// reads until a recovery segment rewrites them.
+    ///
+    /// The per-segment store/persist tracking is cleared: finalize made
+    /// volatile == persistent, so every line is converged at segment
+    /// start and only stores issued *within* this segment can be lost by
+    /// its crash. `next_seq` stays monotonic so stamps remain unique
+    /// across the whole chain.
+    pub fn rearm(&mut self, point: Option<CrashPoint>) {
+        debug_assert_eq!(self.mode, Mode::Lint);
+        self.mode = Mode::Recording;
+        self.events.clear();
+        self.stores = 0;
+        self.fences = 0;
+        self.flushed_lines = 0;
+        self.last_store.clear();
+        self.pending.clear();
+        self.persisted_seq.clear();
+        self.armed = point;
+        self.tripped_at = None;
     }
 
     pub fn take_findings(&mut self) -> Vec<LintFinding> {

@@ -261,6 +261,149 @@ fn rewriting_a_lost_line_clears_the_lint() {
     assert!(r.take_lint_findings().is_empty());
 }
 
+// ---- Nested crashes: re-arming the trace across a materialized crash ----
+
+#[test]
+fn rearm_schedules_nested_crash_inside_recovery() {
+    let r = region();
+    r.trace_start(TraceConfig::default());
+    r.arm_crash(CrashPoint::AtFence { fence: 1 }).unwrap();
+    r.write_pod(line_off(1), &11u64).unwrap();
+    r.persist(line_off(1), 8).unwrap(); // fence #1: trips
+    let first = r.finalize_scheduled_crash().unwrap();
+    assert_eq!(first.tripped_at_fence, Some(1));
+
+    // Recovery itself now runs traced, with its own crash point at its
+    // own fence #2 — fence numbering restarted at the re-arm.
+    r.rearm_recovery_crash(Some(CrashPoint::AtFence { fence: 2 }))
+        .unwrap();
+    r.write_pod(line_off(2), &22u64).unwrap();
+    r.persist(line_off(2), 8).unwrap(); // recovery fence #1: durable
+    r.write_pod(line_off(3), &33u64).unwrap();
+    r.persist(line_off(3), 8).unwrap(); // recovery fence #2: trips, drains first
+    assert_eq!(r.crash_tripped(), Some(2));
+    // Doomed continuation of the recovery: lost.
+    r.write_pod(line_off(4), &44u64).unwrap();
+    r.persist(line_off(4), 8).unwrap();
+    let second = r.finalize_scheduled_crash().unwrap();
+    assert_eq!(second.tripped_at_fence, Some(2));
+    assert_eq!(second.fences_seen, 3);
+    assert_eq!(r.read_pod::<u64>(line_off(1)).unwrap(), 11);
+    assert_eq!(r.read_pod::<u64>(line_off(2)).unwrap(), 22);
+    assert_eq!(r.read_pod::<u64>(line_off(3)).unwrap(), 33);
+    assert_eq!(r.read_pod::<u64>(line_off(4)).unwrap(), 0, "post-trip lost");
+    let _ = r.take_lint_findings();
+    assert!(r.trace_stop().is_some());
+}
+
+#[test]
+fn rearm_requires_materialized_crash() {
+    let r = region();
+    // No trace at all.
+    assert!(matches!(
+        r.rearm_recovery_crash(None),
+        Err(NvmError::TraceState { .. })
+    ));
+    // Recording, but no crash materialized yet.
+    r.trace_start(TraceConfig::default());
+    assert!(matches!(
+        r.rearm_recovery_crash(Some(CrashPoint::AtFence { fence: 1 })),
+        Err(NvmError::TraceState { .. })
+    ));
+    r.trace_stop();
+}
+
+/// A line lost by the first crash keeps linting reads across the re-arm
+/// until some recovery segment rewrites it; recovery stores that fail to
+/// persist before the nested trip join the lost set (union semantics).
+#[test]
+fn lost_set_and_findings_carry_across_rearm() {
+    let r = region();
+    r.trace_start(TraceConfig::default());
+    r.arm_crash(CrashPoint::AtFence { fence: 1 }).unwrap();
+    r.write_pod(line_off(1), &1u64).unwrap();
+    r.write_pod(line_off(2), &2u64).unwrap(); // stored, never flushed
+    r.persist(line_off(1), 8).unwrap(); // fence #1: trips; line 2 lost
+    let first = r.finalize_scheduled_crash().unwrap();
+    assert_eq!(first.lost_lines, 1);
+
+    r.rearm_recovery_crash(Some(CrashPoint::AtFence { fence: 1 }))
+        .unwrap();
+    // Reading the carried lost line during the re-armed recording is the
+    // same missing-flush bug as in plain lint mode.
+    let _ = r.read_pod::<u64>(line_off(2)).unwrap();
+    let findings = r.take_lint_findings();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 2);
+    // Recovery rewrites line 2 and persists it (durable), but also stores
+    // to line 5 without ever flushing it before its own crash: the nested
+    // loss joins the (now empty) carried set — union semantics.
+    r.write_pod(line_off(2), &22u64).unwrap();
+    r.write_pod(line_off(5), &55u64).unwrap(); // stored, never flushed
+    r.persist(line_off(2), 8).unwrap(); // recovery fence #1: trips, drains line 2
+    let second = r.finalize_scheduled_crash().unwrap();
+    assert_eq!(second.lost_lines, 1, "line 5 lost; line 2 persisted");
+    assert_eq!(r.read_pod::<u64>(line_off(2)).unwrap(), 22);
+    let findings = r.take_lint_findings();
+    assert!(findings.iter().all(|f| f.line != 2), "rewritten line clean");
+    let _ = r.read_pod::<u64>(line_off(5)).unwrap();
+    assert_eq!(r.take_lint_findings().len(), 1, "nested loss still lints");
+}
+
+/// Rewriting a carried lost line *without* persisting it before the
+/// nested crash re-derives it as lost — the rewrite alone is not durable.
+#[test]
+fn unpersisted_rewrite_of_lost_line_stays_lost() {
+    let r = region();
+    r.trace_start(TraceConfig::default());
+    r.arm_crash(CrashPoint::AtFence { fence: 1 }).unwrap();
+    r.write_pod(line_off(1), &1u64).unwrap();
+    r.write_pod(line_off(3), &3u64).unwrap(); // stored, never flushed
+    r.persist(line_off(1), 8).unwrap(); // trips; line 3 lost
+    assert_eq!(r.finalize_scheduled_crash().unwrap().lost_lines, 1);
+
+    r.rearm_recovery_crash(None).unwrap();
+    r.write_pod(line_off(3), &33u64).unwrap(); // rewrite, never flushed
+    r.write_pod(line_off(4), &44u64).unwrap();
+    r.persist(line_off(4), 8).unwrap();
+    // Crash at end of recovery: the unpersisted rewrite is lost again.
+    let second = r.finalize_scheduled_crash().unwrap();
+    assert_eq!(second.lost_lines, 1);
+    let _ = r.read_pod::<u64>(line_off(3)).unwrap();
+    assert_eq!(r.take_lint_findings().len(), 1);
+}
+
+/// The same chain (workload point + nested recovery point) must leave a
+/// byte-identical surviving image across runs.
+#[test]
+fn nested_chains_are_deterministic() {
+    fn run() -> (u64, u64, u64) {
+        let r = region();
+        r.trace_start(TraceConfig { keep_events: false });
+        r.arm_crash(CrashPoint::AtFence { fence: 3 }).unwrap();
+        for i in 0u64..8 {
+            r.write_pod(line_off(1 + i), &(i + 100)).unwrap();
+            r.persist(line_off(1 + i), 8).unwrap();
+        }
+        let first = r.finalize_scheduled_crash().unwrap();
+        r.rearm_recovery_crash(Some(CrashPoint::MidEpoch {
+            epoch: 2,
+            survival: MidEpochSurvival::Random { p: 0.5, seed: 7 },
+        }))
+        .unwrap();
+        for i in 0u64..8 {
+            r.write_pod(line_off(20 + i), &(i + 200)).unwrap();
+            r.flush(line_off(20 + i), 8).unwrap();
+            if i % 2 == 1 {
+                r.fence();
+            }
+        }
+        let second = r.finalize_scheduled_crash().unwrap();
+        (first.image_hash, second.image_hash, second.lost_lines)
+    }
+    assert_eq!(run(), run());
+}
+
 #[test]
 fn enumerate_fences_covers_whole_run() {
     // Reference run to learn the fence count, then crash at every fence.

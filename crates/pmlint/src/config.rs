@@ -72,6 +72,7 @@ impl Config {
                     &[
                         "restart",
                         "restart_scheduled",
+                        "restart_scheduled_traced",
                         "recover_nv",
                         "attach_with_ladder",
                         "attach_hash",
@@ -91,6 +92,8 @@ impl Config {
                         "swap_table_root",
                         "swap_index_desc",
                         "into_backend",
+                        "begin_recovery_attempt",
+                        "finish_recovery_attempt",
                     ],
                 ),
                 CriticalScope::fns("crates/core/src/txn_registry.rs", &["open", "recover"]),

@@ -1,0 +1,11 @@
+//! Seeded violation: `.unwrap()` inside a recovery-progress helper —
+//! the attempt-accounting fns run against arbitrary post-crash bytes and
+//! are recovery-critical like the rest of the restart path.
+
+pub fn begin_recovery_attempt(prior: Option<u64>) -> u64 {
+    prior.unwrap() + 1
+}
+
+pub fn finish_recovery_attempt(word: Option<u64>) -> u64 {
+    word.map(|_| 0).unwrap_or(0) // combinator form: not flagged
+}

@@ -116,9 +116,43 @@ fn detects_unregistered_checksummed_labels() {
     assert!(media.iter().any(|f| f.msg.contains("\"main-blob\"")));
 }
 
+/// The recovery-progress helpers added for re-entrant recovery are
+/// recovery-critical: an `.unwrap()` inside them is flagged exactly like
+/// one in `recover` (combinators like `.unwrap_or` stay allowed).
+#[test]
+fn detects_unwrap_in_recovery_progress_helpers() {
+    let cfg = Config {
+        critical: vec![CriticalScope::fns(
+            "recovery_progress.rs",
+            &["begin_recovery_attempt", "finish_recovery_attempt"],
+        )],
+        ..Config::empty()
+    };
+    let findings = lint_fixture("recovery_progress.rs", &cfg);
+    assert_single(&findings, "recovery-unwrap", 6, 11);
+}
+
 #[test]
 fn protocol_registry_validates() {
     assert!(pmlint::validate_protocols().is_empty());
+}
+
+/// The recovery-phase specs (attempt accounting, undo-pass slot release)
+/// are registered, pass happens-before validation, and contribute their
+/// publish labels to the annotation binding set.
+#[test]
+fn recovery_phase_specs_registered_and_validate() {
+    let specs = nvm::protocol_registry();
+    for name in ["recovery-progress", "recovery-undo-release"] {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("spec {name} missing from registry"));
+        assert!(spec.validate().is_ok(), "{name} fails validation");
+    }
+    let labels = nvm::publish_labels();
+    assert!(labels.iter().any(|l| l.label == "recovery-progress"));
+    assert!(labels.iter().any(|l| l.label == "registry-slot-clear"));
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! the publish store of its protocol instance, and nothing bound is left
 //! unpersisted at the end.
 
-use hyrise_nv::{Database, DurabilityConfig, IndexKind, TableId};
+use hyrise_nv::{Database, DurabilityConfig, IndexKind, TableId, REGISTRY_SLOTS};
 use nvm::{check_trace, protocol_registry, ProtocolSpec, RangeBinding, TraceConfig};
 use storage::nv::MediaExtent;
 use storage::{ColumnDef, DataType, Schema, Value};
@@ -167,6 +167,75 @@ fn merge_publish_conforms_to_spec() {
     assert!(report.is_clean(), "violations: {:?}", report.violations);
     assert_eq!(report.publish_instances, 1, "one pair swap per merge");
     assert!(report.bound_stores_checked > 0);
+}
+
+/// Recovery-phase protocols, checked against a *live recovery trace*: a
+/// scheduled crash is materialized with a transaction in flight, the
+/// recorder stays armed across the restart, and the recovery's own
+/// persist stream (progress-word accounting, undo-pass repairs, registry
+/// slot release) is conformance-checked against the recovery-phase specs.
+#[test]
+fn recovery_phases_conform_to_specs() {
+    let (mut db, t) = nvm_db_with_table();
+    let region = db.nv_backend().unwrap().region().clone();
+
+    region.trace_start(TraceConfig::default());
+    insert_rows(&mut db, t, 0..4);
+    // Leave a transaction in flight so the undo pass has a registry slot
+    // to walk and release during the traced recovery.
+    let mut tx = db.begin();
+    db.insert(&mut tx, t, &[Value::Int(100), Value::Int(1000)])
+        .unwrap();
+    let report = db.restart_scheduled_traced(None).unwrap();
+    assert_eq!(report.attempt, 1, "clean first recovery attempt");
+    assert!(
+        report.mvcc_words_repaired >= 1,
+        "undo pass repaired the row"
+    );
+    let trace = region.trace_stop().unwrap();
+
+    let backend = db.nv_backend().unwrap();
+    let extents = db.media_extents(t).unwrap();
+
+    // Attempt accounting: the bump at recovery start and the zero at
+    // recovery end are both publishes of the progress word, each flushed
+    // and fenced immediately.
+    let bindings = vec![RangeBinding::new(
+        "recovery-progress",
+        vec![backend.recovery_progress_extent()],
+    )];
+    let rep = check_trace(&spec("recovery-progress"), &bindings, &trace);
+    assert!(rep.is_clean(), "violations: {:?}", rep.violations);
+    assert_eq!(rep.publish_instances, 2, "attempt bump + completion zero");
+
+    // Undo pass: the in-flight transaction's MVCC repairs are durable
+    // strictly before its registry slot is released.
+    let slots: Vec<(u64, u64)> = (0..REGISTRY_SLOTS as usize)
+        .map(|s| backend.registry_slot_tid_extent(s))
+        .collect();
+    let bindings = vec![
+        bind(&extents, "delta-begin"),
+        bind(&extents, "delta-end"),
+        RangeBinding::new("registry-slot-clear", slots),
+    ];
+    // The repair stores land in the table's MVCC extents; rebind them
+    // under the spec's repair label.
+    let bindings: Vec<RangeBinding> = bindings
+        .into_iter()
+        .map(|b| {
+            if b.label == "registry-slot-clear" {
+                b
+            } else {
+                RangeBinding::new("mvcc-repair", b.ranges)
+            }
+        })
+        .collect();
+    let rep = check_trace(&spec("recovery-undo-release"), &bindings, &trace);
+    assert!(rep.is_clean(), "violations: {:?}", rep.violations);
+    assert_eq!(
+        rep.publish_instances, 1,
+        "one slot release per in-flight txn"
+    );
 }
 
 /// Index registration protocol: the entry slot (kind, column, descriptor
