@@ -1,10 +1,12 @@
 //! P0 — pmlint whole-tree analysis must stay interactive.
 //!
-//! The v2 analyzer runs on every CI push and is meant to be part of the
+//! The v3 analyzer runs on every CI push and is meant to be part of the
 //! inner development loop, so its full-tree runtime (lex + HIR + call
-//! graph + both interprocedural fixpoints over all engine crates) is a
-//! budgeted quantity: the median of several runs must stay under 10
-//! seconds or this harness exits non-zero.
+//! graph + the persist-order/taint fixpoints + the v3 concurrency
+//! passes: atomics-ordering dataflow, lock-discipline walk, pairwise
+//! lock-order facts over all engine crates) is a budgeted quantity: the
+//! median of several runs must stay under 10 seconds or this harness
+//! exits non-zero.
 //!
 //! Run: `cargo run --release -p hyrise-nv-bench --bin p0_pmlint_runtime`
 

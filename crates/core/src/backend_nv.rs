@@ -100,7 +100,8 @@ impl AttachParts {
             .idx_blocks
             .get(t)
             .ok_or_else(|| EngineError::Catalog(format!("table slot {t} out of range")))?;
-        let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        // pmlint: observe(index-count)
+        let icount: u64 = r.load_u64_acquire(idx_block + IDX_COUNT)?;
         if icount as usize > MAX_INDEXES_PER_TABLE {
             return Err(EngineError::Catalog("implausible index count".into()));
         }
@@ -128,7 +129,7 @@ impl AttachParts {
         let base = self.catalog + CAT_ENTRIES + t as u64 * CAT_ENTRY_STRIDE;
         let r = self.heap.region();
         // pmlint: publish(catalog-table-root)
-        r.write_pod(base + 8, &new_root)?;
+        r.store_u64_release(base + 8, new_root)?;
         r.persist(base + 8, 8)?;
         *slot = new_root;
         Ok(())
@@ -140,7 +141,7 @@ impl AttachParts {
     pub fn swap_index_desc(&self, e: &IndexEntrySpec, new_desc: u64) -> Result<()> {
         let r = self.heap.region();
         // pmlint: publish(index-desc)
-        r.write_pod(e.entry_base + 16, &new_desc)?;
+        r.store_u64_release(e.entry_base + 16, new_desc)?;
         r.persist(e.entry_base + 16, 8)?;
         Ok(())
     }
@@ -229,8 +230,10 @@ impl NvBackend {
             return Err(EngineError::Catalog("no catalogue root in region".into()));
         }
         let r = heap.region().clone();
-        let last_cts: u64 = r.read_pod(catalog + CAT_LAST_CTS)?;
-        let ntables: u64 = r.read_pod(catalog + CAT_NTABLES)?;
+        // pmlint: observe(catalog-cts)
+        let last_cts: u64 = r.load_u64_acquire(catalog + CAT_LAST_CTS)?;
+        // pmlint: observe(catalog-ntables)
+        let ntables: u64 = r.load_u64_acquire(catalog + CAT_NTABLES)?;
         if ntables as usize > MAX_TABLES {
             return Err(EngineError::Catalog("implausible table count".into()));
         }
@@ -378,7 +381,11 @@ impl NvBackend {
     /// a completed recovery; a successful [`NvBackend::create`] also
     /// starts at 0).
     pub fn recovery_attempts(&self) -> Result<u64> {
-        Ok(self.heap.region().read_pod(self.catalog + CAT_PROGRESS)?)
+        // pmlint: observe(recovery-progress)
+        Ok(self
+            .heap
+            .region()
+            .load_u64_acquire(self.catalog + CAT_PROGRESS)?)
     }
 
     /// Zero the recovery-progress word: recovery completed. The single
@@ -387,14 +394,18 @@ impl NvBackend {
     pub(crate) fn finish_recovery_attempt(&self) -> Result<()> {
         let r = self.heap.region();
         // pmlint: publish(recovery-progress)
-        r.write_pod(self.catalog + CAT_PROGRESS, &0u64)?;
+        r.store_u64_release(self.catalog + CAT_PROGRESS, 0)?;
         r.persist(self.catalog + CAT_PROGRESS, 8)?;
         Ok(())
     }
 
     /// Durably published last commit timestamp.
     pub fn last_cts(&self) -> Result<u64> {
-        Ok(self.heap.region().read_pod(self.catalog + CAT_LAST_CTS)?)
+        // pmlint: observe(catalog-cts)
+        Ok(self
+            .heap
+            .region()
+            .load_u64_acquire(self.catalog + CAT_LAST_CTS)?)
     }
 
     /// Durably publish a commit timestamp — the commit's linearization
@@ -402,7 +413,7 @@ impl NvBackend {
     pub fn publish_cts(&self, cts: u64) -> Result<()> {
         let r = self.heap.region();
         // pmlint: publish(catalog-cts)
-        r.write_pod(self.catalog + CAT_LAST_CTS, &cts)?;
+        r.store_u64_release(self.catalog + CAT_LAST_CTS, cts)?;
         r.persist(self.catalog + CAT_LAST_CTS, 8)?;
         Ok(())
     }
@@ -467,7 +478,7 @@ impl NvBackend {
         r.persist(base, CAT_ENTRY_STRIDE)?;
         // Publish.
         // pmlint: publish(catalog-ntables)
-        r.write_pod(self.catalog + CAT_NTABLES, &(t + 1))?;
+        r.store_u64_release(self.catalog + CAT_NTABLES, t + 1)?;
         r.persist(self.catalog + CAT_NTABLES, 8)?;
 
         self.tables.push(table);
@@ -510,14 +521,15 @@ impl NvBackend {
         let idx = NvHashIndex::build_from(&self.heap, &self.tables[table], column, nbuckets)?;
         let idx_block = self.idx_block(table)?;
         let r = self.heap.region();
-        let count: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        // pmlint: observe(index-count)
+        let count: u64 = r.load_u64_acquire(idx_block + IDX_COUNT)?;
         let ib = idx_block + IDX_ENTRIES + count * IDX_ENTRY_STRIDE;
         r.write_pod(ib, &KIND_HASH)?;
         r.write_pod(ib + 8, &(column as u64))?;
         r.write_pod(ib + 16, &idx.desc_offset())?;
         r.persist(ib, IDX_ENTRY_STRIDE)?;
         // pmlint: publish(index-count)
-        r.write_pod(idx_block + IDX_COUNT, &(count + 1))?;
+        r.store_u64_release(idx_block + IDX_COUNT, count + 1)?;
         r.persist(idx_block + IDX_COUNT, 8)?;
         self.indexes[table].hash.push(idx);
         Ok(())
@@ -533,14 +545,15 @@ impl NvBackend {
         let oi = NvOrderedIndex::build_from(&self.heap, &self.tables[table], column)?;
         let idx_block = self.idx_block(table)?;
         let r = self.heap.region();
-        let count: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        // pmlint: observe(index-count)
+        let count: u64 = r.load_u64_acquire(idx_block + IDX_COUNT)?;
         let ib = idx_block + IDX_ENTRIES + count * IDX_ENTRY_STRIDE;
         r.write_pod(ib, &KIND_ORDERED)?;
         r.write_pod(ib + 8, &(column as u64))?;
         r.write_pod(ib + 16, &oi.desc_offset())?;
         r.persist(ib, IDX_ENTRY_STRIDE)?;
         // pmlint: publish(index-count)
-        r.write_pod(idx_block + IDX_COUNT, &(count + 1))?;
+        r.store_u64_release(idx_block + IDX_COUNT, count + 1)?;
         r.persist(idx_block + IDX_COUNT, 8)?;
         self.indexes[table].ordered.push(oi);
         Ok(())
@@ -581,7 +594,8 @@ impl NvBackend {
         let idx_block = self.idx_block(table)?;
         let r = self.heap.region().clone();
         // Walk the catalogue entries so slot positions stay aligned.
-        let icount: u64 = r.read_pod(idx_block + IDX_COUNT)?;
+        // pmlint: observe(index-count)
+        let icount: u64 = r.load_u64_acquire(idx_block + IDX_COUNT)?;
         let mut new_hash: Vec<NvHashIndex> = Vec::new();
         let mut new_ordered: Vec<NvOrderedIndex> = Vec::new();
         let destroy_new = |hash: Vec<NvHashIndex>, ordered: Vec<NvOrderedIndex>| {
@@ -714,10 +728,11 @@ pub(crate) fn begin_recovery_attempt(heap: &NvmHeap) -> Result<u64> {
         return Ok(0);
     }
     let r = heap.region();
-    let prior: u64 = r.read_pod(catalog + CAT_PROGRESS)?;
+    // pmlint: observe(recovery-progress)
+    let prior: u64 = r.load_u64_acquire(catalog + CAT_PROGRESS)?;
     let attempt = prior.saturating_add(1);
     // pmlint: publish(recovery-progress)
-    r.write_pod(catalog + CAT_PROGRESS, &attempt)?;
+    r.store_u64_release(catalog + CAT_PROGRESS, attempt)?;
     r.persist(catalog + CAT_PROGRESS, 8)?;
     Ok(attempt)
 }
@@ -732,7 +747,8 @@ pub struct NvPublisher {
 impl txn::CommitPublish for NvPublisher {
     fn publish(&mut self, cts: u64, _txn: &txn::Transaction) -> txn::Result<()> {
         let r = self.heap.region();
-        r.write_pod(self.catalog + CAT_LAST_CTS, &cts)
+        // pmlint: publish(catalog-cts)
+        r.store_u64_release(self.catalog + CAT_LAST_CTS, cts)
             .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
         r.persist(self.catalog + CAT_LAST_CTS, 8)
             .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
@@ -756,7 +772,8 @@ impl txn::CommitPublish for ShadowedNvPublisher<'_> {
                 .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
         }
         let r = self.heap.region();
-        r.write_pod(self.catalog + CAT_LAST_CTS, &cts)
+        // pmlint: publish(catalog-cts)
+        r.store_u64_release(self.catalog + CAT_LAST_CTS, cts)
             .map_err(|e| txn::TxnError::Publish(e.to_string()))?;
         r.persist(self.catalog + CAT_LAST_CTS, 8)
             .map_err(|e| txn::TxnError::Publish(e.to_string()))?;

@@ -196,7 +196,8 @@ impl TxnRegistry {
         if let Some(slot) = self.active.remove(&tid) {
             let region = self.heap.region();
             let off = self.slot_off(slot);
-            region.write_pod(off + S_TID, &0u64)?;
+            // pmlint: publish(registry-slot-clear)
+            region.store_u64_release(off + S_TID, 0)?;
             region.persist(off + S_TID, 8)?;
         }
         Ok(())
@@ -210,7 +211,8 @@ impl TxnRegistry {
         let mut report = RegistryRecovery::default();
         for s in 0..REGISTRY_SLOTS {
             let off = self.slot_off(s);
-            let tid: u64 = region.read_pod(off + S_TID)?;
+            // pmlint: observe(registry-slot-clear)
+            let tid: u64 = region.load_u64_acquire(off + S_TID)?;
             if tid == 0 {
                 continue;
             }
@@ -237,7 +239,7 @@ impl TxnRegistry {
             // crash landing between a repair and this clear replays the
             // slot, and the repairs are idempotent at a fixed last_cts.)
             // pmlint: publish(registry-slot-clear)
-            region.write_pod(off + S_TID, &0u64)?;
+            region.store_u64_release(off + S_TID, 0)?;
             region.persist(off + S_TID, 8)?;
         }
         Ok(report)

@@ -67,6 +67,16 @@ pub enum NvmError {
         /// True if no amount of retrying will succeed.
         permanent: bool,
     },
+    /// An atomic word access was not naturally aligned. The publication
+    /// primitives ([`store_u64_release`](crate::NvmRegion::store_u64_release)
+    /// and friends) operate on whole 8-byte words; a misaligned offset is a
+    /// protocol bug, not a recoverable condition.
+    UnalignedAccess {
+        /// Byte offset of the access.
+        offset: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
     /// A persistent structure's stored checksum does not match the bytes it
     /// covers: the medium returned wrong data (bit rot, torn line, scribble).
     ChecksumMismatch {
@@ -116,6 +126,10 @@ impl fmt::Display for NvmError {
                 f,
                 "poisoned read at offset {offset} (cache line {line}, {})",
                 if *permanent { "permanent" } else { "transient" }
+            ),
+            NvmError::UnalignedAccess { offset, align } => write!(
+                f,
+                "unaligned atomic access at offset {offset} (requires {align}-byte alignment)"
             ),
             NvmError::ChecksumMismatch {
                 what,

@@ -99,6 +99,12 @@ impl NvmHeap {
     /// Reserve + activate in one call, for blocks whose reachability is
     /// established later by higher-level protocols (e.g. table metadata
     /// linked before first use).
+    ///
+    /// Holds the allocator mutex across the reserve→activate persists on
+    /// purpose: the two steps form one allocation protocol instance, and a
+    /// concurrent allocator mutation between them could hand the same lines
+    /// to another block.
+    // pmlint: lock-held-persist(reserve+activate is one atomic allocator protocol)
     pub fn alloc(&self, len: u64) -> Result<u64> {
         let mut guard = self.alloc.lock();
         let p = guard.reserve(&self.region, len)?;

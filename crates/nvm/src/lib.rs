@@ -54,6 +54,7 @@ mod pvar;
 mod pvec;
 mod region;
 mod schedule;
+mod seqlock;
 mod stats;
 mod trace;
 
@@ -67,13 +68,14 @@ pub use parray::PArray;
 pub use pod::Pod;
 pub use protocol::{
     check_trace, publish_labels, registry as protocol_registry, ConformanceReport,
-    ConformanceViolation, ProtocolSpec, ProtocolStep, PublishLabel, RangeBinding, SpecError,
-    StepId, StepKind,
+    ConformanceViolation, MemOrder, ProtocolSpec, ProtocolStep, PublishLabel, RangeBinding,
+    SpecError, StepId, StepKind,
 };
 pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;
 pub use pvec::{PVec, PVEC_HEADER};
 pub use region::{CrashPolicy, NvmRegion};
 pub use schedule::{CrashOutcome, CrashPoint, CrashSchedule, MidEpochSurvival};
+pub use seqlock::SeqLock;
 pub use stats::{NvmStats, StatsSnapshot};
 pub use trace::{LintFinding, PersistTrace, StoreStamp, TraceConfig, TraceEvent};

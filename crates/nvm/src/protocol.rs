@@ -31,6 +31,41 @@ use crate::trace::{PersistTrace, TraceEvent};
 /// Index of a step within its [`ProtocolSpec`].
 pub type StepId = usize;
 
+/// Memory-ordering annotation on a protocol step: the visibility half of
+/// the publication contract, complementing the durability half (flush +
+/// fence) the rest of the spec machinery proves. A publish step annotated
+/// `Release` promises that the engine performs the store with
+/// release semantics ([`NvmRegion::store_u64_release`](crate::NvmRegion::store_u64_release));
+/// an [`StepKind::AtomicLoad`] annotated `Acquire` is the matching
+/// observation. `pmlint`'s atomics-ordering pass enforces the annotations
+/// against the actual source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrder {
+    /// No inter-thread ordering (never valid for publication).
+    Relaxed,
+    /// Load half of a release/acquire pair.
+    Acquire,
+    /// Store half of a release/acquire pair.
+    Release,
+    /// Combined acquire+release (read-modify-write only).
+    AcqRel,
+    /// Sequentially consistent (subsumes acquire and release).
+    SeqCst,
+}
+
+impl std::fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemOrder::Relaxed => "Relaxed",
+            MemOrder::Acquire => "Acquire",
+            MemOrder::Release => "Release",
+            MemOrder::AcqRel => "AcqRel",
+            MemOrder::SeqCst => "SeqCst",
+        };
+        f.write_str(s)
+    }
+}
+
 /// What one protocol step does.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepKind {
@@ -65,6 +100,15 @@ pub enum StepKind {
         /// What must become durable externally.
         label: &'static str,
     },
+    /// An atomic load of a publish word on the observation side of a
+    /// protocol (seqlock read, recovery-path probe). Loads produce no
+    /// trace events, so conformance checking skips them; the static
+    /// validator requires an acquire-or-stronger [`MemOrder`] annotation,
+    /// and `pmlint` checks the annotated source sites.
+    AtomicLoad {
+        /// Label of the publish word being observed.
+        label: &'static str,
+    },
 }
 
 /// One node of a protocol's happens-before DAG.
@@ -77,6 +121,11 @@ pub struct ProtocolStep {
     /// An optional step may be absent from a conforming trace (e.g. the
     /// end-timestamp stamp of a commit that performed no deletes).
     pub optional: bool,
+    /// Memory-ordering annotation: how the store/load of this step must be
+    /// performed for concurrent readers, independent of durability.
+    /// `None` means the step carries no visibility obligation (plain
+    /// store, flush, fence, external).
+    pub order: Option<MemOrder>,
 }
 
 impl ProtocolStep {
@@ -85,6 +134,7 @@ impl ProtocolStep {
             kind,
             after: after.to_vec(),
             optional: false,
+            order: None,
         }
     }
 
@@ -93,7 +143,13 @@ impl ProtocolStep {
             kind,
             after: after.to_vec(),
             optional: true,
+            order: None,
         }
+    }
+
+    fn with_order(mut self, order: MemOrder) -> ProtocolStep {
+        self.order = Some(order);
+        self
     }
 }
 
@@ -145,6 +201,19 @@ pub enum SpecError {
         /// Label of the publish word.
         label: &'static str,
     },
+    /// A step's memory-ordering annotation is missing or too weak for its
+    /// role (publish stores need release-or-stronger, atomic loads need
+    /// acquire-or-stronger).
+    OrderMismatch {
+        /// The offending step.
+        step: StepId,
+        /// The step's label.
+        label: &'static str,
+        /// The annotation found (`None` = unannotated).
+        found: Option<MemOrder>,
+        /// What the role requires.
+        need: &'static str,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -167,24 +236,55 @@ impl std::fmt::Display for SpecError {
             SpecError::UnpersistedPublish { label } => {
                 write!(f, "publish {label:?} is never flushed and fenced")
             }
+            SpecError::OrderMismatch {
+                step,
+                label,
+                found,
+                need,
+            } => match found {
+                Some(o) => write!(
+                    f,
+                    "step {step} ({label:?}) is annotated {o} but its role requires {need}"
+                ),
+                None => write!(
+                    f,
+                    "step {step} ({label:?}) has no memory-order annotation; its role requires {need}"
+                ),
+            },
         }
     }
 }
 
 impl ProtocolSpec {
+    /// The label of the spec's publish step, or `None` for an observe-side
+    /// spec (one that only declares [`StepKind::AtomicLoad`] steps, like
+    /// `seqlock-read`).
+    pub fn try_publish_label(&self) -> Option<&'static str> {
+        self.steps.iter().find_map(|s| match s.kind {
+            StepKind::Publish { label } => Some(label),
+            _ => None,
+        })
+    }
+
     /// The label of the spec's publish step.
     ///
     /// # Panics
     ///
-    /// Panics if the spec has no publish step; validated specs always do.
+    /// Panics if the spec has no publish step; use
+    /// [`ProtocolSpec::try_publish_label`] when the spec may be an
+    /// observe-side spec.
     pub fn publish_label(&self) -> &'static str {
-        self.steps
-            .iter()
-            .find_map(|s| match s.kind {
-                StepKind::Publish { label } => Some(label),
-                _ => None,
-            })
-            .expect("validated spec has a publish step")
+        self.try_publish_label().expect("spec has a publish step")
+    }
+
+    /// True for an observe-side spec: no publish point, at least one
+    /// atomic load of someone else's publish word.
+    pub fn is_observe(&self) -> bool {
+        self.try_publish_label().is_none()
+            && self
+                .steps
+                .iter()
+                .any(|s| matches!(s.kind, StepKind::AtomicLoad { .. }))
     }
 
     /// Labels of every durable store step, with their checksum flag.
@@ -224,12 +324,51 @@ impl ProtocolSpec {
             .filter(|(_, s)| matches!(s.kind, StepKind::Publish { .. }))
             .map(|(i, _)| i)
             .collect();
-        if publishes.len() != 1 {
-            return Err(SpecError::PublishCount {
-                found: publishes.len(),
-            });
+        let has_atomic_load = self
+            .steps
+            .iter()
+            .any(|s| matches!(s.kind, StepKind::AtomicLoad { .. }));
+        // Observe-side specs (seqlock-read) have no publish point of their
+        // own: they describe how someone else's publish word is read.
+        let publish = match publishes.len() {
+            1 => Some(publishes[0]),
+            0 if has_atomic_load => None,
+            found => return Err(SpecError::PublishCount { found }),
+        };
+
+        // Ordering annotations: a publish store annotated for visibility
+        // must be release-or-stronger; an atomic load must always be
+        // annotated acquire-or-stronger (an unordered observation of a
+        // publish word is exactly the bug the annotation exists to rule
+        // out).
+        for (i, s) in self.steps.iter().enumerate() {
+            match s.kind {
+                StepKind::Publish { label } => {
+                    if let Some(o) = s.order {
+                        if !matches!(o, MemOrder::Release | MemOrder::SeqCst) {
+                            return Err(SpecError::OrderMismatch {
+                                step: i,
+                                label,
+                                found: Some(o),
+                                need: "Release or SeqCst",
+                            });
+                        }
+                    }
+                }
+                StepKind::AtomicLoad { label } => match s.order {
+                    Some(MemOrder::Acquire | MemOrder::SeqCst) => {}
+                    other => {
+                        return Err(SpecError::OrderMismatch {
+                            step: i,
+                            label,
+                            found: other,
+                            need: "Acquire or SeqCst",
+                        });
+                    }
+                },
+                _ => {}
+            }
         }
-        let publish = publishes[0];
 
         let declared: Vec<&'static str> = self
             .steps
@@ -255,12 +394,12 @@ impl ProtocolSpec {
         let before = |a: StepId, b: StepId| reach[a][b];
 
         // Every durable store needs store → flush(covering) → fence →
-        // publish, all ordered.
+        // publish, all ordered (no deadline in an observe-side spec).
         for (i, s) in self.steps.iter().enumerate() {
             let StepKind::Store { label, .. } = s.kind else {
                 continue;
             };
-            if !store_is_persisted_before(&self.steps, &before, i, label, Some(publish)) {
+            if !store_is_persisted_before(&self.steps, &before, i, label, publish) {
                 return Err(SpecError::UnpersistedStore { label });
             }
         }
@@ -268,11 +407,13 @@ impl ProtocolSpec {
         // The publish store itself must be made durable (no deadline — it
         // is the last step of the protocol). The index was found above, so
         // a mismatch here is a spec-table inconsistency, not a crash.
-        let StepKind::Publish { label } = self.steps[publish].kind else {
-            return Err(SpecError::PublishCount { found: 0 });
-        };
-        if !store_is_persisted_before(&self.steps, &before, publish, label, None) {
-            return Err(SpecError::UnpersistedPublish { label });
+        if let Some(publish) = publish {
+            let StepKind::Publish { label } = self.steps[publish].kind else {
+                return Err(SpecError::PublishCount { found: 0 });
+            };
+            if !store_is_persisted_before(&self.steps, &before, publish, label, None) {
+                return Err(SpecError::UnpersistedPublish { label });
+            }
         }
         Ok(())
     }
@@ -513,7 +654,16 @@ pub fn check_trace(
     bindings: &[RangeBinding],
     trace: &PersistTrace,
 ) -> ConformanceReport {
-    let publish_label = spec.publish_label();
+    // Observe-side specs (atomic loads only) produce no store events:
+    // there is nothing a persist trace could check.
+    let Some(publish_label) = spec.try_publish_label() else {
+        return ConformanceReport {
+            spec: spec.name,
+            publish_instances: 0,
+            bound_stores_checked: 0,
+            violations: Vec::new(),
+        };
+    };
     let publish_ranges: Vec<(u64, u64)> = bindings
         .iter()
         .filter(|b| b.label == publish_label)
@@ -651,6 +801,11 @@ pub struct PublishLabel {
     pub label: &'static str,
     /// Name of the declaring [`ProtocolSpec`].
     pub spec: &'static str,
+    /// Memory-ordering annotation on the publish step, when the spec
+    /// declares one. `Release`/`SeqCst` means the engine must perform
+    /// the publish with a release store and observe it with acquire
+    /// loads — `pmlint`'s atomics-ordering pass enforces this.
+    pub order: Option<MemOrder>,
 }
 
 /// Every distinct publish label declared by the [`registry`], in
@@ -660,11 +815,19 @@ pub struct PublishLabel {
 pub fn publish_labels() -> Vec<PublishLabel> {
     let mut out: Vec<PublishLabel> = Vec::new();
     for spec in registry() {
-        let label = spec.publish_label();
+        let Some(label) = spec.try_publish_label() else {
+            continue; // observe-side spec: no publish word of its own
+        };
         if !out.iter().any(|p| p.label == label) {
+            let order = spec
+                .steps
+                .iter()
+                .find(|st| matches!(st.kind, StepKind::Publish { .. }))
+                .and_then(|st| st.order);
             out.push(PublishLabel {
                 label,
                 spec: spec.name,
+                order,
             });
         }
     }
@@ -717,7 +880,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "catalog-cts",
                     },
                     &[2, 5],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["catalog-cts"],
@@ -786,7 +950,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "delta-rows",
                     },
                     &[6],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["delta-rows"],
@@ -855,7 +1020,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "table-pair",
                     },
                     &[6],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["table-pair"],
@@ -890,7 +1056,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "catalog-ntables",
                     },
                     &[2],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["catalog-ntables"],
@@ -925,7 +1092,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "index-count",
                     },
                     &[2],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["index-count"],
@@ -960,7 +1128,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "index-desc",
                     },
                     &[2],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["index-desc"],
@@ -988,7 +1157,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "catalog-cts",
                     },
                     &[0],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["catalog-cts"],
@@ -1023,7 +1193,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "catalog-table-root",
                     },
                     &[2],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["catalog-table-root"],
@@ -1048,7 +1219,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "recovery-progress",
                     },
                     &[],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["recovery-progress"],
@@ -1086,7 +1258,8 @@ pub fn registry() -> Vec<ProtocolSpec> {
                         label: "registry-slot-clear",
                     },
                     &[2],
-                ),
+                )
+                .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["registry-slot-clear"],
@@ -1094,6 +1267,85 @@ pub fn registry() -> Vec<ProtocolSpec> {
                     &[3],
                 ),
                 ProtocolStep::new(Fence, &[4]),
+            ],
+        },
+        // Seqlock write: the odd sequence bump opens the write window
+        // (readers retry), the payload is stored and persisted, and the
+        // even bump publishes it. Both bumps are release stores of the
+        // same word; only the closing bump is the publish step — the odd
+        // bump is declared as an (unbound in traces) store so the DAG
+        // shows the window ordering.
+        ProtocolSpec {
+            name: "seqlock-write",
+            what: "seqlock payload publish between odd/even sequence bumps",
+            steps: vec![
+                ProtocolStep::new(
+                    Store {
+                        label: "seqlock-seq-odd",
+                        checksummed: false,
+                    },
+                    &[],
+                )
+                .with_order(MemOrder::Release),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["seqlock-seq-odd"],
+                    },
+                    &[0],
+                ),
+                ProtocolStep::new(Fence, &[1]),
+                ProtocolStep::new(
+                    Store {
+                        label: "seqlock-payload",
+                        checksummed: false,
+                    },
+                    &[2],
+                ),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["seqlock-payload"],
+                    },
+                    &[3],
+                ),
+                ProtocolStep::new(Fence, &[4]),
+                ProtocolStep::new(
+                    Publish {
+                        label: "seqlock-seq",
+                    },
+                    &[5],
+                )
+                .with_order(MemOrder::Release),
+                ProtocolStep::new(
+                    Flush {
+                        covers: &["seqlock-seq"],
+                    },
+                    &[6],
+                ),
+                ProtocolStep::new(Fence, &[7]),
+            ],
+        },
+        // Seqlock read — the observe side of `seqlock-write`: an acquire
+        // load of the sequence word, the payload read, and a validating
+        // acquire re-read (equal and even ⇒ the payload is consistent).
+        // Static-only: loads produce no persist-trace events.
+        ProtocolSpec {
+            name: "seqlock-read",
+            what: "optimistic seqlock read validated by acquire re-read",
+            steps: vec![
+                ProtocolStep::new(
+                    AtomicLoad {
+                        label: "seqlock-seq",
+                    },
+                    &[],
+                )
+                .with_order(MemOrder::Acquire),
+                ProtocolStep::new(
+                    AtomicLoad {
+                        label: "seqlock-seq",
+                    },
+                    &[0],
+                )
+                .with_order(MemOrder::Acquire),
             ],
         },
     ]
@@ -1113,10 +1365,102 @@ mod tests {
                 spec.name,
                 spec.validate()
             );
-            // Every spec names its publish point.
-            let _ = spec.publish_label();
+            // Every spec names its publish point — or is an observe-side
+            // spec made of acquire loads.
+            assert!(
+                spec.try_publish_label().is_some() || spec.is_observe(),
+                "spec {} has neither publish nor atomic-load steps",
+                spec.name
+            );
         }
         assert!(registry().len() >= 6, "at least six declared protocols");
+    }
+
+    #[test]
+    fn registry_publish_steps_are_release_annotated() {
+        for spec in registry() {
+            for s in &spec.steps {
+                if matches!(s.kind, StepKind::Publish { .. }) {
+                    assert_eq!(
+                        s.order,
+                        Some(MemOrder::Release),
+                        "publish step of {} must carry a Release annotation",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_publish_annotation_fails_validation() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-relaxed-publish",
+            what: "publish annotated Relaxed",
+            steps: vec![
+                ProtocolStep::new(Publish { label: "p" }, &[]).with_order(MemOrder::Relaxed),
+                ProtocolStep::new(Flush { covers: &["p"] }, &[0]),
+                ProtocolStep::new(Fence, &[1]),
+            ],
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::OrderMismatch {
+                label: "p",
+                found: Some(MemOrder::Relaxed),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unannotated_atomic_load_fails_validation() {
+        use StepKind::*;
+        let spec = ProtocolSpec {
+            name: "bad-bare-load",
+            what: "atomic load without an order annotation",
+            steps: vec![ProtocolStep::new(AtomicLoad { label: "p" }, &[])],
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::OrderMismatch {
+                label: "p",
+                found: None,
+                ..
+            })
+        ));
+        let relaxed = ProtocolSpec {
+            name: "bad-relaxed-load",
+            what: "atomic load annotated Relaxed",
+            steps: vec![
+                ProtocolStep::new(AtomicLoad { label: "p" }, &[]).with_order(MemOrder::Relaxed)
+            ],
+        };
+        assert!(matches!(
+            relaxed.validate(),
+            Err(SpecError::OrderMismatch {
+                found: Some(MemOrder::Relaxed),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn observe_spec_skips_trace_conformance() {
+        let r = NvmRegion::new(4096, LatencyModel::zero());
+        r.trace_start(TraceConfig::default());
+        r.write_pod(64, &1u64).unwrap();
+        r.persist(64, 8).unwrap();
+        let trace = r.trace_stop().unwrap();
+        let spec = registry()
+            .into_iter()
+            .find(|s| s.name == "seqlock-read")
+            .unwrap();
+        assert!(spec.is_observe());
+        let report = check_trace(&spec, &[], &trace);
+        assert!(report.is_clean());
+        assert_eq!(report.publish_instances, 0);
     }
 
     #[test]

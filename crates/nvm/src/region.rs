@@ -35,11 +35,60 @@ pub enum CrashPolicy {
     },
 }
 
+/// An 8-aligned byte buffer backed by `AtomicU64` words.
+///
+/// Individual words can be published with genuine release/acquire atomics
+/// (the hardware contract the seqlock/epoch read paths depend on) while
+/// everything else keeps treating the image as plain bytes through
+/// `Deref`/`DerefMut`. Mixed atomic and non-atomic access to the same word
+/// is sound here because every byte-level access happens under the
+/// enclosing `RwLock<Images>`, which orders it against the atomic word
+/// operations.
+struct AlignedBuf {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn zeroed(len: usize) -> AlignedBuf {
+        let words: Box<[AtomicU64]> = (0..len.div_ceil(8)).map(|_| AtomicU64::new(0)).collect();
+        AlignedBuf { words, len }
+    }
+
+    /// The aligned `AtomicU64` word covering byte offset `off`. Callers
+    /// must have bounds- and alignment-checked `off` already.
+    #[inline]
+    fn word(&self, off: usize) -> &AtomicU64 {
+        &self.words[off / 8]
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `AtomicU64` has the same in-memory representation as
+        // `u64`; the buffer owns `len <= words.len() * 8` initialized
+        // bytes, and mixed atomic/non-atomic access is ordered by the
+        // enclosing images lock.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedBuf {
+    #[inline]
+    // pmlint: flush-helper
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `deref`, with exclusivity guaranteed by `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
 struct Images {
     /// What the CPU sees (caches + medium combined).
-    volatile: Box<[u8]>,
+    volatile: AlignedBuf,
     /// What survives power loss (the medium).
-    persistent: Box<[u8]>,
+    persistent: AlignedBuf,
     /// One bit per cache line: line differs between the two images.
     dirty: Vec<u64>,
 }
@@ -136,8 +185,8 @@ impl NvmRegion {
         let lines = capacity / CACHE_LINE;
         NvmRegion {
             images: RwLock::new(Images {
-                volatile: vec![0u8; capacity as usize].into_boxed_slice(),
-                persistent: vec![0u8; capacity as usize].into_boxed_slice(),
+                volatile: AlignedBuf::zeroed(capacity as usize),
+                persistent: AlignedBuf::zeroed(capacity as usize),
                 dirty: vec![0u64; lines.div_ceil(64) as usize],
             }),
             stats: NvmStats::default(),
@@ -427,6 +476,66 @@ impl NvmRegion {
         self.flush(off, len)?;
         self.fence();
         Ok(())
+    }
+
+    #[inline]
+    fn check_word(&self, off: u64) -> Result<()> {
+        self.check(off, 8)?;
+        if !off.is_multiple_of(8) {
+            return Err(NvmError::UnalignedAccess {
+                offset: off,
+                align: 8,
+            });
+        }
+        Ok(())
+    }
+
+    /// Release-store `value` into the naturally aligned 8-byte word at
+    /// `off`. This is the store half of the engine's publication contract:
+    /// a writer makes a protocol instance *visible to concurrent readers*
+    /// by release-storing its publish word after the payload stores, and
+    /// the matching readers observe it with
+    /// [`NvmRegion::load_u64_acquire`]. Visibility order (release/acquire)
+    /// and durability order (flush + fence) are separate halves of the
+    /// contract — the store dirties the word's cache line like any other
+    /// store, so the caller must still persist it.
+    // pmlint: caller-flushes
+    pub fn store_u64_release(&self, off: u64, value: u64) -> Result<()> {
+        self.check_word(off)?;
+        self.scrub_poison(off, 8);
+        let mut img = self.images.write();
+        img.volatile
+            .word(off as usize)
+            .store(value, Ordering::Release);
+        let (a, b) = line_span(off, 8);
+        img.mark_dirty(a, b);
+        drop(img);
+        self.stats
+            .bytes_written
+            .fetch_add(8, std::sync::atomic::Ordering::Relaxed);
+        if self.traced.load(Ordering::Relaxed) {
+            if let Some(rec) = self.recorder.lock().as_mut() {
+                rec.on_store(off, 8);
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquire-load the naturally aligned 8-byte word at `off` — the read
+    /// half of the publication contract. Everything the publishing thread
+    /// stored before its [`NvmRegion::store_u64_release`] of this word is
+    /// visible after this load returns the published value.
+    pub fn load_u64_acquire(&self, off: u64) -> Result<u64> {
+        self.check_word(off)?;
+        self.check_poison(off, 8)?;
+        let img = self.images.read();
+        let v = img.volatile.word(off as usize).load(Ordering::Acquire);
+        drop(img);
+        self.stats
+            .bytes_read
+            .fetch_add(8, std::sync::atomic::Ordering::Relaxed);
+        self.lint_read(off, 8);
+        Ok(v)
     }
 
     /// Charge read latency for a bulk scan of `len` bytes that is assumed to
@@ -1131,6 +1240,51 @@ mod tests {
         r.clear_faults();
         assert!(r.alloc_attempt(8).is_ok());
         assert_eq!(r.capacity_clamp(), Some(2048));
+    }
+
+    #[test]
+    fn atomic_word_roundtrips_with_byte_access() {
+        let r = region();
+        r.store_u64_release(64, 0xDEAD_BEEF).unwrap();
+        assert_eq!(r.load_u64_acquire(64).unwrap(), 0xDEAD_BEEF);
+        // The atomic word and the byte view are the same memory.
+        assert_eq!(r.read_pod::<u64>(64).unwrap(), 0xDEAD_BEEF);
+        r.write_pod(72, &77u64).unwrap();
+        assert_eq!(r.load_u64_acquire(72).unwrap(), 77);
+    }
+
+    #[test]
+    fn atomic_store_is_dirty_until_persisted() {
+        let r = region();
+        r.store_u64_release(0, 1).unwrap();
+        assert_eq!(r.dirty_lines(), 1, "release store dirties its line");
+        r.crash(CrashPolicy::DropUnflushed);
+        assert_eq!(r.load_u64_acquire(0).unwrap(), 0, "unpersisted word lost");
+        r.store_u64_release(0, 9).unwrap();
+        r.persist(0, 8).unwrap();
+        r.crash(CrashPolicy::DropUnflushed);
+        assert_eq!(r.load_u64_acquire(0).unwrap(), 9, "persisted word survives");
+    }
+
+    #[test]
+    fn atomic_word_access_requires_alignment() {
+        let r = region();
+        assert!(matches!(
+            r.store_u64_release(4, 1),
+            Err(NvmError::UnalignedAccess {
+                offset: 4,
+                align: 8
+            })
+        ));
+        assert!(matches!(
+            r.load_u64_acquire(12),
+            Err(NvmError::UnalignedAccess { .. })
+        ));
+        assert!(r.store_u64_release(4096 - 8, 1).is_ok());
+        assert!(matches!(
+            r.store_u64_release(4096, 1),
+            Err(NvmError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

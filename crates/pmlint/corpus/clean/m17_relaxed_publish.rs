@@ -1,0 +1,9 @@
+//! Clean twin of m17: the epoch publish store carries `Release`, so an
+//! acquiring reader observes every pre-publication store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    seq.store(epoch, Ordering::Release);
+}

@@ -1,0 +1,13 @@
+//! Clean twin of m18: the helper the publish site delegates to stores
+//! with `Release`, so the publication edge survives the extra frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(seq: &AtomicU64, epoch: u64) {
+    seq.store(epoch, Ordering::Release);
+}
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    bump(seq, epoch);
+}

@@ -1,0 +1,9 @@
+//! Clean twin of m19: the aliased ordering path resolves to `Release`;
+//! the alias itself is not a violation.
+
+use std::sync::atomic::{AtomicU64, Ordering as O};
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    seq.store(epoch, O::Release);
+}

@@ -1,0 +1,8 @@
+//! Clean twin of m20: the release-published `seq` word goes through
+//! `store_u64_release`, then is flushed by the caller-side persist.
+
+pub fn publish_epoch(region: &NvmRegion, off: u64, epoch: u64) -> Result<()> {
+    // pmlint: publish(seq)
+    region.store_u64_release(off, epoch)?;
+    region.persist(off, 8)
+}

@@ -1,0 +1,9 @@
+//! Clean twin of m21: the epoch load carries `Acquire`, pairing with the
+//! writer's release store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn current_epoch(seq: &AtomicU64) -> u64 {
+    // pmlint: observe(seq)
+    seq.load(Ordering::Acquire)
+}

@@ -1,0 +1,7 @@
+//! Clean twin of m22: the release-published `seq` word is observed via
+//! `load_u64_acquire`, completing the release/acquire pair.
+
+pub fn current_epoch(region: &NvmRegion, off: u64) -> Result<u64> {
+    // pmlint: observe(seq)
+    region.load_u64_acquire(off)
+}

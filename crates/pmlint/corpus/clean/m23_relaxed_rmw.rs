@@ -1,0 +1,9 @@
+//! Clean twin of m23: the epoch RMW carries `AcqRel`, so its store half
+//! is a release and its load half an acquire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn advance_epoch(seq: &AtomicU64) -> u64 {
+    // pmlint: publish(seq)
+    seq.fetch_add(1, Ordering::AcqRel)
+}

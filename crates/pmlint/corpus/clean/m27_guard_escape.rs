@@ -1,0 +1,13 @@
+//! Clean twin of m27: the accessor copies the value out through the
+//! guard and lets the lock drop at scope exit.
+
+pub struct Table {
+    meta: Mutex<Meta>,
+}
+
+impl Table {
+    pub fn epoch(&self) -> u64 {
+        let guard = self.meta.lock();
+        guard.epoch
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean twin of m28: both paths take `catalog` before `index`; a single
+//! global order cannot deadlock.
+
+pub struct Engine {
+    catalog: Mutex<Catalog>,
+    index: Mutex<Index>,
+}
+
+impl Engine {
+    pub fn checkpoint(&self) {
+        let cat = self.catalog.lock();
+        let idx = self.index.lock();
+        drop(idx);
+        drop(cat);
+    }
+
+    pub fn compact(&self) {
+        let cat = self.catalog.lock();
+        let idx = self.index.lock();
+        drop(idx);
+        drop(cat);
+    }
+}

@@ -1,0 +1,15 @@
+//! Clean twin of m29: one acquisition serves both steps of the refresh;
+//! the guard is reused instead of re-locking.
+
+pub struct Registry {
+    tables: Mutex<Tables>,
+}
+
+impl Registry {
+    pub fn refresh(&self) {
+        let mut guard = self.tables.lock();
+        guard.reload();
+        guard.prune();
+        drop(guard);
+    }
+}

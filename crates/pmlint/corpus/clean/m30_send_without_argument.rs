@@ -1,0 +1,12 @@
+//! Clean twin of m30: the SAFETY comment argues why crossing threads is
+//! sound (exclusive ownership; no unsynchronized sharing).
+
+pub struct FrameHandle {
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: `FrameHandle` exclusively owns its mapping; the pointer is
+// never shared between threads without the owning lock, so moving the
+// handle to another thread cannot race.
+unsafe impl Send for FrameHandle {}

@@ -1,0 +1,13 @@
+//! Clean twin of m31: the slot header persists the sequence word as a
+//! plain `u64`; any runtime atomicity lives outside the Pod image.
+
+#[repr(C)]
+pub struct SlotHeader {
+    pub seq: u64,
+    pub len: u64,
+}
+
+const _: () = assert!(core::mem::size_of::<SlotHeader>() == 16);
+
+// SAFETY: `repr(C)` with two 8-byte fields; size pinned above.
+unsafe impl Pod for SlotHeader {}

@@ -1,0 +1,10 @@
+//! Seeded bug: the epoch publish store uses `Ordering::Relaxed`, so a
+//! reader that acquires the epoch may still see pre-publication row
+//! bytes — the release/acquire edge the protocol depends on is missing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    seq.store(epoch, Ordering::Relaxed); //~ atomic-ordering
+}

@@ -1,0 +1,14 @@
+//! Seeded bug: the publish site delegates to a helper whose store is
+//! `Relaxed`; the ordering hole is one call frame away from the
+//! annotation and only visible interprocedurally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(seq: &AtomicU64, epoch: u64) {
+    seq.store(epoch, Ordering::Relaxed);
+}
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    bump(seq, epoch); //~ atomic-ordering
+}

@@ -1,0 +1,10 @@
+//! Seeded bug: the ordering enum is imported under an alias (`O`), and
+//! the publish store picks `O::Relaxed` — the lint must see through the
+//! alias rather than trusting the path prefix.
+
+use std::sync::atomic::{AtomicU64, Ordering as O};
+
+pub fn publish_epoch(seq: &AtomicU64, epoch: u64) {
+    // pmlint: publish(seq)
+    seq.store(epoch, O::Relaxed); //~ atomic-ordering
+}

@@ -1,0 +1,10 @@
+//! Seeded bug: the `seq` label's ProtocolSpec declares release
+//! publication, but the publish word is written with a plain
+//! `write_pod` — no release store, so concurrent readers race on the
+//! word even though the persist ordering is correct.
+
+pub fn publish_epoch(region: &NvmRegion, off: u64, epoch: u64) -> Result<()> {
+    // pmlint: publish(seq)
+    region.write_pod(off, &epoch)?; //~ atomic-ordering
+    region.persist(off, 8)
+}

@@ -1,0 +1,10 @@
+//! Seeded bug: the reader side of the `seq` protocol loads the epoch
+//! with `Relaxed`, so nothing orders the subsequent row reads after the
+//! publication it pairs with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn current_epoch(seq: &AtomicU64) -> u64 {
+    // pmlint: observe(seq)
+    seq.load(Ordering::Relaxed) //~ atomic-ordering
+}

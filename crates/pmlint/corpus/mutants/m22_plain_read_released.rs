@@ -1,0 +1,8 @@
+//! Seeded bug: `seq` is release-published by its ProtocolSpec, but the
+//! observer reads the word with a plain `read_pod` — no acquire edge,
+//! so the rows guarded by the epoch may be read out of order.
+
+pub fn current_epoch(region: &NvmRegion, off: u64) -> Result<u64> {
+    // pmlint: observe(seq)
+    region.read_pod(off) //~ atomic-ordering
+}

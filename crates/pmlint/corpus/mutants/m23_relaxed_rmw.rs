@@ -1,0 +1,10 @@
+//! Seeded bug: the epoch is advanced with `fetch_add(.., Relaxed)` at a
+//! publish site; an RMW can still publish stale row bytes when its
+//! store half is unordered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn advance_epoch(seq: &AtomicU64) -> u64 {
+    // pmlint: publish(seq)
+    seq.fetch_add(1, Ordering::Relaxed) //~ atomic-ordering
+}

@@ -1,0 +1,17 @@
+//! Seeded bug: the commit path persists (flush + fence) while still
+//! holding the table mutex, stalling every contending thread for the
+//! duration of the media flush.
+
+pub struct Table {
+    meta: Mutex<Meta>,
+}
+
+impl Table {
+    pub fn commit(&self, region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+        let guard = self.meta.lock();
+        region.write_pod(off, &v)?;
+        region.persist(off, 8)?; //~ lock-held-persist
+        drop(guard);
+        Ok(())
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded bug: a checkpoint flushes every dirty line and fences while
+//! holding the tail mutex — the whole flush loop serializes against
+//! every writer.
+
+pub struct Log {
+    tail: Mutex<Tail>,
+}
+
+impl Log {
+    pub fn checkpoint(&self, region: &NvmRegion, offs: &[u64]) -> Result<()> {
+        let guard = self.tail.lock();
+        for off in offs {
+            region.flush(*off, 64)?; //~ lock-held-persist
+        }
+        region.fence(); //~ lock-held-persist
+        drop(guard);
+        Ok(())
+    }
+}

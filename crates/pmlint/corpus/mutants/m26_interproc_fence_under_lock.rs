@@ -1,0 +1,21 @@
+//! Seeded bug: the fence is one call frame away — the commit path holds
+//! the mutex across a helper that writes and persists. Only a
+//! transitive fence analysis sees it.
+
+fn persist_meta(region: &NvmRegion, off: u64) -> Result<()> {
+    region.write_pod(off, &1u64)?;
+    region.persist(off, 8)
+}
+
+pub struct Table {
+    meta: Mutex<Meta>,
+}
+
+impl Table {
+    pub fn commit(&self, region: &NvmRegion, off: u64) -> Result<()> {
+        let guard = self.meta.lock();
+        persist_meta(region, off)?; //~ lock-held-persist
+        drop(guard);
+        Ok(())
+    }
+}

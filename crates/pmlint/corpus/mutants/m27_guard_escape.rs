@@ -1,0 +1,13 @@
+//! Seeded bug: the accessor hands the raw mutex guard to its caller, so
+//! the lock stays held for as long as the caller keeps the value alive.
+
+pub struct Table {
+    meta: Mutex<Meta>,
+}
+
+impl Table {
+    pub fn lock_meta(&self) -> MetaGuard<'_> {
+        let guard = self.meta.lock();
+        guard //~ guard-escape
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded bug: two paths take the same pair of locks in opposite order
+//! (`catalog` then `index` vs `index` then `catalog`) — a concurrent
+//! interleaving deadlocks.
+
+pub struct Engine {
+    catalog: Mutex<Catalog>,
+    index: Mutex<Index>,
+}
+
+impl Engine {
+    pub fn checkpoint(&self) {
+        let cat = self.catalog.lock();
+        let idx = self.index.lock(); //~ lock-cycle
+        drop(idx);
+        drop(cat);
+    }
+
+    pub fn compact(&self) {
+        let idx = self.index.lock();
+        let cat = self.catalog.lock();
+        drop(cat);
+        drop(idx);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded bug: the refresh path re-acquires the mutex it already holds;
+//! std locks are not reentrant, so this self-deadlocks at runtime.
+
+pub struct Registry {
+    tables: Mutex<Tables>,
+}
+
+impl Registry {
+    pub fn refresh(&self) {
+        let a = self.tables.lock();
+        let b = self.tables.lock(); //~ lock-cycle
+        drop(b);
+        drop(a);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded bug: `Send` is asserted for a raw-pointer handle with a
+//! SAFETY comment that argues bounds validity, not thread safety — the
+//! claim the impl actually makes is never justified.
+
+pub struct FrameHandle {
+    base: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the base pointer stays inside the mapped region and the
+// length is validated at construction.
+unsafe impl Send
+    for FrameHandle //~ send-sync-justification
+{
+}

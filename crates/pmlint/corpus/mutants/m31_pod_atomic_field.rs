@@ -1,0 +1,16 @@
+//! Seeded bug: a Pod slot header carries an `AtomicU64` — the lock/flag
+//! word would be persisted as raw bytes and resurrected with whatever
+//! state it crashed in.
+
+use std::sync::atomic::AtomicU64;
+
+#[repr(C)]
+pub struct SlotHeader {
+    pub seq: AtomicU64,
+    pub len: u64,
+}
+
+const _: () = assert!(core::mem::size_of::<SlotHeader>() == 16);
+
+// SAFETY: `repr(C)` with two 8-byte fields; size pinned above.
+unsafe impl Pod for SlotHeader {} //~ pod-interior-mutability

@@ -45,6 +45,11 @@ pub const RULE_PUBLISH_BINDING: &str = "publish-binding";
 pub struct AnalysisCtx {
     /// Publish labels declared by the protocol registry.
     pub known_labels: Vec<String>,
+    /// Labels whose ProtocolSpec declares a release ordering on the
+    /// publish step: their annotated sites must use genuine atomic
+    /// release stores (and observe sites acquire loads), not plain
+    /// `write_pod`.
+    pub released_labels: Vec<String>,
     /// Require every known label to have an annotated site in tree.
     pub check_publish_binding: bool,
     /// File to anchor missing-label findings at.
@@ -57,23 +62,32 @@ impl AnalysisCtx {
     pub fn bare(labels: &[&str]) -> Self {
         AnalysisCtx {
             known_labels: labels.iter().map(|s| s.to_string()).collect(),
+            released_labels: Vec::new(),
             check_publish_binding: false,
             labels_anchor: "crates/nvm/src/protocol.rs".to_owned(),
         }
+    }
+
+    /// Like [`AnalysisCtx::bare`], but the given subset of labels is
+    /// ordering-annotated (release publication required).
+    pub fn bare_with_released(labels: &[&str], released: &[&str]) -> Self {
+        let mut ctx = Self::bare(labels);
+        ctx.released_labels = released.iter().map(|s| s.to_string()).collect();
+        ctx
     }
 }
 
 /// A source position plus a human-readable description.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Site {
-    file: String,
-    line: u32,
-    col: u32,
-    what: String,
+pub(crate) struct Site {
+    pub(crate) file: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    pub(crate) what: String,
 }
 
 impl Site {
-    fn of(f: &HirFn, line: u32, col: u32, what: String) -> Self {
+    pub(crate) fn of(f: &HirFn, line: u32, col: u32, what: String) -> Self {
         Site {
             file: f.file.clone(),
             line,
@@ -81,7 +95,7 @@ impl Site {
             what,
         }
     }
-    fn brief(&self) -> String {
+    pub(crate) fn brief(&self) -> String {
         format!("{} ({}:{})", self.what, self.file, self.line)
     }
 }
@@ -163,7 +177,7 @@ impl PersistSummary {
 
 /// What a call site does to NVM, classified by name + arity + argument
 /// shape (`nvm` write-primitive intrinsics).
-enum Intrinsic {
+pub(crate) enum Intrinsic {
     /// Writes without persisting (caller must flush + fence).
     DirtyStore { value_arg: Option<usize> },
     /// Writes and persists internally (implies a fence).
@@ -180,7 +194,7 @@ fn last_arg(call: &CallEvent) -> Option<usize> {
     call.args.len().checked_sub(1)
 }
 
-const REGIONISH: &[&str] = &["region", "heap", "reg", "r", "h", "nvm"];
+pub(crate) const REGIONISH: &[&str] = &["region", "heap", "reg", "r", "h", "nvm"];
 
 /// Does the arg at `idx` mention a region/heap handle?
 fn region_arg(f: &HirFn, call: &CallEvent, idx: usize) -> bool {
@@ -195,7 +209,7 @@ fn region_arg(f: &HirFn, call: &CallEvent, idx: usize) -> bool {
     })
 }
 
-fn classify(f: &HirFn, call: &CallEvent) -> Option<Intrinsic> {
+pub(crate) fn classify(f: &HirFn, call: &CallEvent) -> Option<Intrinsic> {
     if !call.qualifiers.is_empty() {
         return None; // `ptr::write`, `std::…` — never an nvm intrinsic
     }
@@ -228,7 +242,7 @@ fn classify(f: &HirFn, call: &CallEvent) -> Option<Intrinsic> {
     }
 }
 
-fn fn_disp(f: &HirFn) -> String {
+pub(crate) fn fn_disp(f: &HirFn) -> String {
     match &f.impl_type {
         Some(t) => format!("{}::{}", t, f.name),
         None => f.name.clone(),
@@ -877,6 +891,19 @@ pub fn analyze(prog: &HirProgram, ctx: &AnalysisCtx) -> Vec<Finding> {
                         });
                     }
                 }
+                if let Some(label) = &c.observe_label {
+                    if !known.contains(label.as_str()) {
+                        findings.push(Finding {
+                            rule: RULE_PUBLISH_BINDING,
+                            file: f.file.clone(),
+                            line: c.line,
+                            col: c.col,
+                            msg: format!(
+                                "observe label `{label}` is not declared by any ProtocolSpec in nvm::protocol_registry()"
+                            ),
+                        });
+                    }
+                }
             }
         }
     }
@@ -895,6 +922,9 @@ pub fn analyze(prog: &HirProgram, ctx: &AnalysisCtx) -> Vec<Finding> {
             }
         }
     }
+
+    // Concurrency-safety passes (atomics ordering, lock discipline).
+    crate::concurrency::analyze(prog, &graph, ctx, &mut findings);
 
     // Stable order + dedupe.
     findings.sort_by(|a, b| {

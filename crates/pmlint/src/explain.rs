@@ -297,6 +297,170 @@ FIX PATTERN
   then make the code match it."#,
     },
     RuleDoc {
+        name: "atomic-ordering",
+        text: r#"atomic-ordering — publication without release/acquire ordering
+
+WHY
+  The engine publishes structures twice: to the medium (flush + fence,
+  rule persist-order) and to *other threads* (a release store that an
+  acquire load pairs with). A `Relaxed` store at a publish site — or a
+  plain, non-atomic store where the ProtocolSpec declares release
+  publication — lets a concurrent reader observe the publish word before
+  the row bytes it guards. The analysis is interprocedural: a helper's
+  relaxed store reached from an annotated publish site is the same bug
+  one frame away. Sites are anchored by the same annotations the persist
+  analysis uses: `// pmlint: publish(<label>)` for the writer side and
+  `// pmlint: observe(<label>)` for the reader side.
+
+EXAMPLE FINDING
+  crates/core/src/backend_nv.rs:365:9: [atomic-ordering] publish `seq`
+  uses atomic `store` with ordering Relaxed; publish requires Release
+  (or SeqCst) — a reader that acquires the publish word must also see
+  every prior store
+
+FIX PATTERN
+  Writer side, through the region primitive (release + persist-tracked):
+      // pmlint: publish(catalog-cts)
+      region.store_u64_release(off, cts)?;
+      region.persist(off, 8)?;
+  Reader side:
+      // pmlint: observe(catalog-cts)
+      let cts = region.load_u64_acquire(off)?;
+  For raw atomics, use `Ordering::Release` / `Ordering::Acquire`
+  (RMWs: `AcqRel`)."#,
+    },
+    RuleDoc {
+        name: "lock-held-persist",
+        text: r#"lock-held-persist — persist fence while holding a lock
+
+WHY
+  A persist (clwb + sfence) costs media-write latency — hundreds of
+  nanoseconds to microseconds under the NVM latency model. Executing one
+  while holding a mutex or write guard stalls every contending thread
+  for the duration of the flush; under load this serializes the engine
+  on the medium. The check is transitive: a helper that fences, called
+  under a guard, is the same stall. Protocols that *require* the fence
+  inside the critical section (e.g. allocator reserve→activate) declare
+  it with `// pmlint: lock-held-persist(<reason>)` on the fn.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:512:9: [lock-held-persist] persist
+  fence `persist` in `NvTable::commit` while holding lock `meta`
+  (acquired line 508); persist latency under a lock stalls every
+  contending thread — drop the guard first, or annotate the fn
+  `// pmlint: lock-held-persist(<reason>)` if the protocol requires it
+
+FIX PATTERN
+  Stage under the lock, persist outside it:
+      let guard = self.meta.lock();
+      region.write_pod(off, &v)?;
+      drop(guard);
+      region.persist(off, 8)?;
+  or document the protocol that needs the fence inside:
+      // pmlint: lock-held-persist(reserve+activate is one atomic
+      // allocator protocol)
+      pub fn alloc(&self, len: u64) -> Result<u64> { … }"#,
+    },
+    RuleDoc {
+        name: "guard-escape",
+        text: r#"guard-escape — lock guard returned from the fn that acquired it
+
+WHY
+  Returning a `MutexGuard`/`RwLock*Guard` hands the critical section to
+  the caller: the lock stays held for as long as the caller keeps the
+  value, invisible at every call site. In an engine where persist
+  latency already rides on lock hold times, an escaped guard turns one
+  careless caller into a global stall (or a deadlock, combined with
+  rule lock-cycle).
+
+EXAMPLE FINDING
+  crates/core/src/catalog.rs:88:9: [guard-escape] guard `guard` for lock
+  `meta` escapes `Catalog::lock_meta` by return; the lock stays held for
+  as long as the caller keeps the value — extract the data and drop the
+  guard instead
+
+FIX PATTERN
+  Return the data, not the guard:
+      pub fn epoch(&self) -> u64 {
+          let guard = self.meta.lock();
+          guard.epoch
+      }"#,
+    },
+    RuleDoc {
+        name: "lock-cycle",
+        text: r#"lock-cycle — inconsistent lock order or self re-acquisition
+
+WHY
+  Two code paths that take the same pair of locks in opposite order
+  deadlock under a concurrent interleaving; a fn that re-acquires a lock
+  it already holds self-deadlocks unconditionally (std locks are not
+  reentrant). Both are order bugs that no test reliably reproduces —
+  the static pairwise check catches them before the lock-free era makes
+  the interleavings denser. Read-read re-acquisition on an RwLock is
+  legal and not flagged.
+
+EXAMPLE FINDING
+  crates/core/src/engine.rs:204:30: [lock-cycle] inconsistent lock
+  order: `catalog` (held since line 202) then `index` in
+  `Engine::checkpoint` but `index` (held since line 311) then `catalog`
+  in `Engine::compact` — a concurrent interleaving deadlocks; pick one
+  order
+
+FIX PATTERN
+  Pick one global order (document it where the locks are declared) and
+  make every path follow it; for self-deadlocks, thread the existing
+  guard through instead of re-locking."#,
+    },
+    RuleDoc {
+        name: "send-sync-justification",
+        text: r#"send-sync-justification — unsafe Send/Sync impl without a thread-safety argument
+
+WHY
+  `unsafe impl Send/Sync` is a concurrency claim: the type is safe to
+  move to or share between threads. The engine's SAFETY-comment
+  convention (rule unsafe-safety-comment) requires *an* argument, but a
+  crash-consistency argument ("bounds checked", "mapping outlives self")
+  does not cover the claim being made here. The comment must say what
+  lock, atomic, or ownership rule makes cross-thread use sound.
+
+EXAMPLE FINDING
+  crates/nvm/src/region.rs:61:22: [send-sync-justification] `unsafe impl
+  Sync for NvmRegion` without a thread-safety argument in its
+  `// SAFETY:` comment — asserting `Sync` claims the type is safe across
+  threads; the comment must say why (what lock, atomic, or ownership
+  rule makes it so)
+
+FIX PATTERN
+      // SAFETY: all mutation of the mapped bytes goes through the
+      // per-extent locks; the raw pointer itself is never exposed, so
+      // concurrent `&self` access cannot race.
+      unsafe impl Sync for NvmRegion {}"#,
+    },
+    RuleDoc {
+        name: "pod-interior-mutability",
+        text: r#"pod-interior-mutability — Pod type with an interior-mutable field
+
+WHY
+  Pod values are raw bytes on the medium: they are written with
+  `write_pod`, checksummed, and resurrected verbatim after a crash. An
+  interior-mutable field (`Atomic*`, `Cell`, `Mutex`, …) inside a Pod
+  type persists transient runtime state — a lock word or in-flight flag
+  — and recovery would revive it in whatever state the crash left it.
+  Runtime synchronization state belongs next to the image, never in it.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:60:25: [pod-interior-mutability]
+  `unsafe impl Pod for SlotHeader` but `SlotHeader` contains
+  interior-mutable field type `AtomicU64` — Pod values are raw bytes on
+  the medium; lock/atomic state must not be persisted
+
+FIX PATTERN
+  Persist the plain value and keep the atomic outside the Pod image:
+      #[repr(C)]
+      struct SlotHeader { seq: u64, len: u64 }   // persisted
+      struct Slot { hdr_off: u64, seq: AtomicU64 } // runtime view"#,
+    },
+    RuleDoc {
         name: "alloc-unwrap",
         text: r#"alloc-unwrap — panicking construct where an allocation failure can surface
 
@@ -342,7 +506,7 @@ mod tests {
 
     #[test]
     fn every_rule_has_why_example_and_fix() {
-        assert!(explained_rules().len() >= 14);
+        assert!(explained_rules().len() >= 20);
         for rule in explained_rules() {
             let text = explain(rule).unwrap();
             assert!(text.contains("WHY"), "{rule} missing WHY");

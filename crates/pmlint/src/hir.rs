@@ -54,6 +54,9 @@ pub struct CallEvent {
     /// `// pmlint: publish(<label>)` annotation on this call's line (or
     /// the comment block directly above it).
     pub publish_label: Option<String>,
+    /// `// pmlint: observe(<label>)` annotation — this call reads a
+    /// publish word on the observation side (acquire load expected).
+    pub observe_label: Option<String>,
     /// Token index of the callee name (for taint bookkeeping).
     pub tok_idx: usize,
 }
@@ -118,6 +121,10 @@ pub struct HirFn {
     /// Annotated `// pmlint: caller-flushes` — the fn's contract is to
     /// leave stores unflushed for the caller to batch.
     pub caller_flushes: bool,
+    /// Annotated `// pmlint: lock-held-persist(<reason>)` — the fn
+    /// deliberately persists while holding a lock (an atomic multi-step
+    /// protocol), exempting it from the `lock-held-persist` rule.
+    pub lock_held_persist: bool,
     /// Body tokens (shared slice of the file's tokens).
     pub tokens: Vec<Tok>,
     /// Body events, in execution-ish order.
@@ -163,6 +170,7 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
         is_test: bool,
         flush_helper: bool,
         caller_flushes: bool,
+        lock_held_persist: bool,
         sig_start: usize,
         body: Option<Span>,
     }
@@ -250,6 +258,11 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
                                     t.line,
                                     "pmlint: caller-flushes",
                                 ),
+                                lock_held_persist: has_annotation(
+                                    &lexed.comments,
+                                    t.line,
+                                    "pmlint: lock-held-persist(",
+                                ),
                                 sig_start: i,
                                 body: None,
                             });
@@ -321,6 +334,7 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
             is_test: r.is_test,
             flush_helper: r.flush_helper,
             caller_flushes: r.caller_flushes,
+            lock_held_persist: r.lock_held_persist,
             tokens,
             events,
         });
@@ -562,6 +576,8 @@ fn extract_events(tokens: &[Tok], nested: &[Span], comments: &HashMap<u32, Strin
     // (anchor, order, event) — anchored events sorted at the end.
     let mut out: Vec<(usize, usize, Event)> = Vec::new();
     let mut used_annotations: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut used_observe_annotations: std::collections::HashSet<u32> =
+        std::collections::HashSet::new();
     let mut order = 0usize;
     let n = tokens.len();
     let mut j = 0usize;
@@ -647,8 +663,11 @@ fn extract_events(tokens: &[Tok], nested: &[Span], comments: &HashMap<u32, Strin
                     let (qualifiers, recv) = call_context(tokens, j);
                     // Each publish annotation binds to the first call
                     // after it only — not to every call within reach.
-                    let publish_label = publish_annotation(comments, t.line)
+                    let publish_label = label_annotation(comments, t.line, "pmlint: publish(")
                         .filter(|(al, _)| used_annotations.insert(*al))
+                        .map(|(_, label)| label);
+                    let observe_label = label_annotation(comments, t.line, "pmlint: observe(")
+                        .filter(|(al, _)| used_observe_annotations.insert(*al))
                         .map(|(_, label)| label);
                     // Anchor at the closing paren: argument sub-calls
                     // execute before the call itself.
@@ -664,6 +683,7 @@ fn extract_events(tokens: &[Tok], nested: &[Span], comments: &HashMap<u32, Strin
                             line: t.line,
                             col: t.col,
                             publish_label,
+                            observe_label,
                             tok_idx: j,
                         }),
                     ));
@@ -949,13 +969,18 @@ fn call_context(tokens: &[Tok], idx: usize) -> (Vec<String>, Option<String>) {
     (Vec::new(), None)
 }
 
-/// `// pmlint: publish(<label>)` on `line` or the comment block above
-/// it. Returns the annotation's own line so the caller can bind each
-/// annotation to the *first* call after it only.
-fn publish_annotation(comments: &HashMap<u32, String>, line: u32) -> Option<(u32, String)> {
+/// `// pmlint: <needle><label>)` on `line` or the comment block above
+/// it (`needle` is e.g. `"pmlint: publish("`). Returns the annotation's
+/// own line so the caller can bind each annotation to the *first* call
+/// after it only.
+fn label_annotation(
+    comments: &HashMap<u32, String>,
+    line: u32,
+    needle: &str,
+) -> Option<(u32, String)> {
     let parse = |c: &str| -> Option<String> {
-        let at = c.find("pmlint: publish(")?;
-        let rest = &c[at + "pmlint: publish(".len()..];
+        let at = c.find(needle)?;
+        let rest = &c[at + needle.len()..];
         let end = rest.find(')')?;
         Some(rest[..end].trim().to_owned())
     };
@@ -1116,6 +1141,83 @@ mod tests {
             })
             .unwrap();
         assert_eq!(call.publish_label.as_deref(), Some("delta-rows"));
+    }
+
+    #[test]
+    fn observe_annotation_binds_to_the_call() {
+        let fns = parse(
+            "fn q(r: &R) -> u64 {\n    // pmlint: observe(delta-rows)\n    r.load_u64_acquire(0)\n}",
+        );
+        let call = fns[0]
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Call(c) if c.name == "load_u64_acquire" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call.observe_label.as_deref(), Some("delta-rows"));
+        assert_eq!(call.publish_label, None);
+    }
+
+    #[test]
+    fn publish_and_observe_annotations_bind_independently() {
+        // Each annotation kind has its own once-per-line accounting: a
+        // publish and an observe on adjacent lines must not steal each
+        // other's binding.
+        let fns = parse(
+            "fn pq(r: &R) {\n    // pmlint: publish(a)\n    r.store_u64_release(0, 1);\n    // pmlint: observe(b)\n    r.load_u64_acquire(0);\n}",
+        );
+        let label = |name: &str, pick: fn(&CallEvent) -> Option<&str>| {
+            fns[0].events.iter().find_map(|e| match e {
+                Event::Call(c) if c.name == name => pick(c),
+                _ => None,
+            })
+        };
+        assert_eq!(
+            label("store_u64_release", |c| c.publish_label.as_deref()),
+            Some("a")
+        );
+        assert_eq!(
+            label("load_u64_acquire", |c| c.observe_label.as_deref()),
+            Some("b")
+        );
+    }
+
+    #[test]
+    fn lock_held_persist_annotation_marks_the_fn() {
+        let fns = parse(
+            "fn b(&self) {}\n// pmlint: lock-held-persist(one protocol instance)\nfn a(&self) {}",
+        );
+        let by_name = |n: &str| fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("a").lock_held_persist);
+        assert!(!by_name("b").lock_held_persist);
+    }
+
+    #[test]
+    fn generic_atomic_calls_keep_receiver_and_args() {
+        // Atomic ops on generic/pointer atomics must parse like any
+        // other method call: receiver, name, arg spans (the ordering
+        // classification downstream depends on all three).
+        let fns = parse(
+            "fn g(p: &AtomicPtr<Node>, v: &AtomicUsize) {\n    p.store(core::ptr::null_mut(), Ordering::Release);\n    v.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n}",
+        );
+        let call = |name: &str| {
+            fns[0]
+                .events
+                .iter()
+                .find_map(|e| match e {
+                    Event::Call(c) if c.name == name => Some(c),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let st = call("store");
+        assert_eq!(st.recv.as_deref(), Some("p"));
+        assert_eq!(st.args.len(), 2);
+        let cx = call("compare_exchange");
+        assert_eq!(cx.recv.as_deref(), Some("v"));
+        assert_eq!(cx.args.len(), 4);
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!    checksummed labels they declare are cross-checked against the
 //!    `media_extents` targeting maps in the source tree
 //!    ([`media_findings`], rule `publish-once-media`).
-//! 2. **Source lints** — a token-level walk of every crate
+//! 2. **Concurrency lints** — interprocedural atomics-ordering and
+//!    lock-discipline passes over the engine call graph
+//!    ([`analyze`](crate), rules `atomic-ordering`, `lock-held-persist`,
+//!    `guard-escape`, `lock-cycle`): release publication / acquire
+//!    observation at every ordering-annotated protocol site, no persist
+//!    fences under a lock, no escaping guards, one global lock order.
+//! 3. **Source lints** — a token-level walk of every crate
 //!    ([`lint_source`], [`lint_tree`]) enforcing the rules documented in
 //!    [`rules`](crate): no raw NVM writes outside flush-annotated
 //!    helpers, no panicking constructs on recovery/replay-critical paths,
@@ -25,6 +31,7 @@
 
 mod allocpath;
 mod callgraph;
+mod concurrency;
 mod config;
 mod dataflow;
 mod explain;
@@ -37,6 +44,9 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use allocpath::{alloc_unwrap_findings, ALLOC_SEEDS, RULE_ALLOC_UNWRAP};
+pub use concurrency::{
+    RULE_ATOMIC_ORDERING, RULE_GUARD_ESCAPE, RULE_LOCK_CYCLE, RULE_LOCK_HELD_PERSIST,
+};
 pub use config::{Config, CriticalScope};
 pub use dataflow::{
     analyze, AnalysisCtx, RULE_PERSIST_ORDER, RULE_PUBLISH_BINDING, RULE_UNFLUSHED_ESCAPE,
@@ -60,9 +70,19 @@ pub fn analyze_sources(files: &[(String, String)], ctx: &AnalysisCtx) -> Vec<Fin
 /// The analysis context for the real tree: publish labels from the nvm
 /// protocol registry, with binding required.
 pub fn tree_analysis_ctx() -> AnalysisCtx {
+    let labels = nvm::publish_labels();
     AnalysisCtx {
-        known_labels: nvm::publish_labels()
+        known_labels: labels.iter().map(|p| p.label.to_owned()).collect(),
+        released_labels: labels
             .iter()
+            .filter(|p| {
+                p.order.is_some_and(|o| {
+                    matches!(
+                        o,
+                        nvm::MemOrder::Release | nvm::MemOrder::AcqRel | nvm::MemOrder::SeqCst
+                    )
+                })
+            })
             .map(|p| p.label.to_owned())
             .collect(),
         check_publish_binding: true,

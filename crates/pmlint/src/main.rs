@@ -6,6 +6,11 @@
 //! any finding survives (the CI contract). `--sarif` writes a SARIF
 //! 2.1.0 report, `--github` prints workflow-command annotations, and
 //! `--explain` documents a rule and exits.
+//!
+//! Exit codes are distinct so CI can tell "the tree is dirty" from "the
+//! linter could not run": 0 = clean, 1 = findings under `--deny`,
+//! 2 = usage error, 3 = I/O or internal error (unreadable tree,
+//! unwritable report).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -67,7 +72,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: pmlint [--deny] [--root DIR] [--sarif OUT] [--github] \
-                     [--suppress FILE] [--explain RULE]"
+                     [--suppress FILE] [--explain RULE]\n\
+                     \n\
+                     exit codes:\n\
+                     \x20 0  clean (or findings without --deny)\n\
+                     \x20 1  findings, with --deny (the CI gate tripped)\n\
+                     \x20 2  usage error (unknown flag, missing operand, unknown rule)\n\
+                     \x20 3  I/O or internal error (unreadable tree or suppress file,\n\
+                     \x20    unwritable SARIF report) — the lint did not run to completion"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -78,6 +90,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if !root.is_dir() {
+        eprintln!("pmlint: root {} is not a directory", root.display());
+        return ExitCode::from(3);
+    }
+
     let mut cfg = pmlint::Config::tree_default();
     match &suppress {
         Some(file) => match std::fs::read_to_string(file) {
@@ -86,7 +103,7 @@ fn main() -> ExitCode {
                 .extend(pmlint::Config::parse_suppressions(&text)),
             Err(e) => {
                 eprintln!("pmlint: cannot read {}: {e}", file.display());
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         },
         None => pmlint::load_suppressions(&root, &mut cfg),
@@ -96,7 +113,7 @@ fn main() -> ExitCode {
         Ok(f) => f,
         Err(e) => {
             eprintln!("pmlint: cannot walk tree at {}: {e}", root.display());
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
     for f in &findings {
@@ -109,7 +126,7 @@ fn main() -> ExitCode {
         let doc = pmlint::sarif::to_sarif(&findings);
         if let Err(e) = std::fs::write(&out, doc) {
             eprintln!("pmlint: cannot write {}: {e}", out.display());
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
         println!("pmlint: SARIF report written to {}", out.display());
     }

@@ -25,8 +25,18 @@
 //! * `unsafe-safety-comment` — any `unsafe` token without a `// SAFETY:`
 //!   comment (or `# Safety` doc section) directly above or on the line.
 //! * `no-get-unchecked` — `get_unchecked(_mut)` in non-test code.
+//! * `send-sync-justification` — `unsafe impl Send/Sync for T` whose
+//!   `// SAFETY:` block does not argue thread safety (mention of
+//!   threads, locks, atomics, or synchronization). Asserting `Send`/
+//!   `Sync` is a concurrency claim; a crash-consistency SAFETY comment
+//!   does not cover it.
+//! * `pod-interior-mutability` — `unsafe impl Pod for T` where `T`'s
+//!   definition in the same file contains an interior-mutable field
+//!   (`Cell`, `RefCell`, `UnsafeCell`, `Mutex`, `RwLock`, `Atomic*`).
+//!   Pod types are raw bytes on the medium; interior-mutability state
+//!   (lock words, atomic flags) must not be persisted.
 //!
-//! A ninth, tree-level rule (`publish-once-media`) lives in
+//! A tree-level rule (`publish-once-media`) lives in
 //! [`media_findings`](crate::media_findings): every checksummed store
 //! label declared in the nvm protocol registry must be registered in a
 //! `media_extents` targeting map.
@@ -116,8 +126,17 @@ struct PodImpl {
     col: u32,
 }
 
+struct MarkerImpl {
+    trait_name: String,
+    type_name: String,
+    line: u32,
+    col: u32,
+}
+
 struct TypeDef {
     has_repr: bool,
+    /// First interior-mutable field type mentioned in the definition.
+    interior_mut: Option<String>,
 }
 
 /// Lint one file; returns findings plus tree-level facts.
@@ -140,6 +159,7 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
     let mut attr_test = false;
     let mut attrs: Vec<Vec<String>> = Vec::new();
     let mut pod_impls: Vec<PodImpl> = Vec::new();
+    let mut marker_impls: Vec<MarkerImpl> = Vec::new();
     let mut type_defs: HashMap<String, TypeDef> = HashMap::new();
     let mut size_asserted: BTreeSet<String> = BTreeSet::new();
     // Depth of the scope stack while inside `fn media_extents`.
@@ -276,7 +296,13 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
                                 a.iter().any(|w| w == "repr")
                                     && a.iter().any(|w| w == "C" || w == "transparent")
                             });
-                            type_defs.insert(name.text.clone(), TypeDef { has_repr });
+                            type_defs.insert(
+                                name.text.clone(),
+                                TypeDef {
+                                    has_repr,
+                                    interior_mut: body_interior_mut(toks, i),
+                                },
+                            );
                         }
                         pending = Some(PendingItem {
                             fn_name: String::new(),
@@ -291,6 +317,11 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
                         check_safety_comment(&lexed.comments, &lines, t, &mut emit);
                         if let Some(imp) = parse_pod_impl(toks, i) {
                             pod_impls.push(imp);
+                        }
+                        if let Some(imp) = parse_marker_impl(toks, i) {
+                            if !safety_argues_threads(&lexed.comments, &lines, t) {
+                                marker_impls.push(imp);
+                            }
                         }
                     }
                     "size_of" | "align_of" => {
@@ -387,6 +418,19 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
         i += 1;
     }
 
+    for imp in &marker_impls {
+        findings.push(Finding {
+            rule: "send-sync-justification",
+            file: path.to_owned(),
+            line: imp.line,
+            col: imp.col,
+            msg: format!(
+                "`unsafe impl {} for {}` without a thread-safety argument in its `// SAFETY:` comment — asserting `{}` claims the type is safe across threads; the comment must say why (what lock, atomic, or ownership rule makes it so)",
+                imp.trait_name, imp.type_name, imp.trait_name
+            ),
+        });
+    }
+
     // Pod layout rules, resolved against the file-wide defs.
     for imp in &pod_impls {
         let Some(def) = type_defs.get(&imp.type_name) else {
@@ -400,6 +444,18 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
                 col: imp.col,
                 msg: format!(
                     "`unsafe impl Pod for {}` but `{}` lacks #[repr(C)]/#[repr(transparent)] — field order is unstable",
+                    imp.type_name, imp.type_name
+                ),
+            });
+        }
+        if let Some(field_ty) = &def.interior_mut {
+            findings.push(Finding {
+                rule: "pod-interior-mutability",
+                file: path.to_owned(),
+                line: imp.line,
+                col: imp.col,
+                msg: format!(
+                    "`unsafe impl Pod for {}` but `{}` contains interior-mutable field type `{field_ty}` — Pod values are raw bytes on the medium; lock/atomic state must not be persisted",
                     imp.type_name, imp.type_name
                 ),
             });
@@ -555,6 +611,148 @@ fn parse_pod_impl(toks: &[Tok], i: usize) -> Option<PodImpl> {
         line: name.line,
         col: name.col,
     })
+}
+
+/// At the index of an `unsafe` token, parse `unsafe impl Send/Sync for
+/// Type` and return the marker impl.
+fn parse_marker_impl(toks: &[Tok], i: usize) -> Option<MarkerImpl> {
+    let mut j = i + 1;
+    if !toks.get(j)?.is_ident("impl") {
+        return None;
+    }
+    j += 1;
+    // Skip generic parameters `<...>`.
+    if toks.get(j)?.is_punct('<') {
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') && !(j >= 1 && toks[j - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    let trait_tok = toks.get(j)?;
+    if trait_tok.kind != TokKind::Ident || !matches!(trait_tok.text.as_str(), "Send" | "Sync") {
+        return None;
+    }
+    j += 1;
+    if !toks.get(j)?.is_ident("for") {
+        return None;
+    }
+    j += 1;
+    let target = toks.get(j)?;
+    if target.kind != TokKind::Ident {
+        return None;
+    }
+    // Take the last segment of a possible path; keep generics off.
+    let mut name = target.clone();
+    let mut k = j + 1;
+    while toks.get(k).is_some_and(|t| t.is_punct(':'))
+        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+    {
+        name = toks.get(k + 2)?.clone();
+        k += 3;
+    }
+    Some(MarkerImpl {
+        trait_name: trait_tok.text.clone(),
+        type_name: name.text,
+        line: name.line,
+        col: name.col,
+    })
+}
+
+/// Does the `// SAFETY:` comment block on/above `t` argue thread safety?
+fn safety_argues_threads(comments: &HashMap<u32, String>, lines: &[&str], t: &Tok) -> bool {
+    const THREAD_WORDS: &[&str] = &[
+        "sync",
+        "send",
+        "thread",
+        "lock",
+        "atomic",
+        "synchroniz",
+        "mutex",
+        "rwlock",
+        "concurren",
+        "race",
+    ];
+    let argues = |c: &str| {
+        let c = c.to_lowercase();
+        THREAD_WORDS.iter().any(|w| c.contains(w))
+    };
+    if comments.get(&t.line).is_some_and(|c| argues(c)) {
+        return true;
+    }
+    let mut l = t.line;
+    while l > 1 {
+        l -= 1;
+        let raw = lines
+            .get(l as usize - 1)
+            .map(|s| s.trim())
+            .unwrap_or_default();
+        if raw.is_empty() {
+            break;
+        }
+        if raw.starts_with("//") {
+            if comments.get(&l).is_some_and(|c| argues(c)) {
+                return true;
+            }
+            continue;
+        }
+        if raw.starts_with("#[") || raw.starts_with("#![") {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+const INTERIOR_MUT_TYPES: &[&str] = &["Cell", "RefCell", "UnsafeCell", "Mutex", "RwLock"];
+
+/// Scan the body of the type definition whose `struct`/`enum`/`union`
+/// keyword is at `i` for interior-mutable field types. Returns the first
+/// one found.
+fn body_interior_mut(toks: &[Tok], i: usize) -> Option<String> {
+    // Find the body opener: first `{` or `(` before a terminating `;`.
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let open = loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') if !(j >= 1 && toks[j - 1].is_punct('-')) => angle -= 1,
+            TokKind::Punct('{') | TokKind::Punct('(') if angle <= 0 => break j,
+            TokKind::Punct(';') if angle <= 0 => return None, // unit struct
+            _ => {}
+        }
+        j += 1;
+    };
+    let close_ch = if toks[open].is_punct('{') { '}' } else { ')' };
+    let open_ch = if close_ch == '}' { '{' } else { '(' };
+    let mut depth = 0i32;
+    let mut k = open;
+    while let Some(t) = toks.get(k) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident
+            && (INTERIOR_MUT_TYPES.contains(&t.text.as_str())
+                || (t.text.starts_with("Atomic") && t.text.len() > 6))
+        {
+            return Some(t.text.clone());
+        }
+        k += 1;
+    }
+    None
 }
 
 /// For `size_of :: < T >` at index `i`, return `T`.

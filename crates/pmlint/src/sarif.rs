@@ -62,7 +62,7 @@ pub fn to_sarif(findings: &[Finding]) -> String {
             r#"{{"version":"2.1.0","#,
             r#""$schema":"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json","#,
             r#""runs":[{{"tool":{{"driver":{{"name":"pmlint","informationUri":"https://example.invalid/pmlint","#,
-            r#""version":"2.0.0","rules":[{rules}]}}}},"#,
+            r#""version":"3.0.0","rules":[{rules}]}}}},"#,
             r#""originalUriBaseIds":{{"SRCROOT":{{"uri":"file:///"}}}},"#,
             r#""results":[{results}]}}]}}"#
         ),
@@ -114,6 +114,24 @@ mod tests {
         let opens = s.matches('{').count();
         let closes = s.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn concurrency_rules_round_trip() {
+        // The rule table is derived from the findings, so the v3
+        // concurrency rules must show up with their own rule objects.
+        let f = vec![Finding {
+            rule: crate::RULE_ATOMIC_ORDERING,
+            file: "crates/core/src/backend_nv.rs".to_owned(),
+            line: 365,
+            col: 9,
+            msg: "publish `seq` uses atomic `store` with ordering Relaxed".to_owned(),
+        }];
+        let s = to_sarif(&f);
+        assert!(s.contains(r#""id":"atomic-ordering""#));
+        assert!(s.contains(r#""ruleId":"atomic-ordering""#));
+        let a = to_github_annotations(&f);
+        assert!(a.contains("[atomic-ordering]"));
     }
 
     #[test]

@@ -3,14 +3,25 @@
 //! report, and a corrected twin under `corpus/clean/` that must come
 //! back clean. The test asserts *exact* recall (every marker matched)
 //! and *exact* precision (no unmarked finding) on both halves.
+//!
+//! m01–m16 seed crash-consistency bugs (persist order, taint,
+//! binding); m17–m31 seed concurrency bugs (atomics ordering, lock
+//! discipline, Send/Sync and Pod hygiene).
 
 use std::path::{Path, PathBuf};
 
-use pmlint::{analyze_sources, AnalysisCtx, Finding};
+use pmlint::{analyze_sources, lint_source, AnalysisCtx, Config, Finding};
 
 /// Labels the corpus protocol uses; `cts` is annotated in mutants,
-/// `root` exists so the known set is not a singleton.
-const CORPUS_LABELS: &[&str] = &["cts", "root"];
+/// `root` exists so the known set is not a singleton, and `seq` is
+/// declared with release publication (drives the plain-access half of
+/// `atomic-ordering`).
+const CORPUS_LABELS: &[&str] = &["cts", "root", "seq"];
+const RELEASED_LABELS: &[&str] = &["seq"];
+
+/// The two syntactic concurrency rules that ride along with the
+/// interprocedural analyses in the corpus run.
+const SYNTACTIC_RULES: &[&str] = &["send-sync-justification", "pod-interior-mutability"];
 
 fn corpus_dir(half: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -50,18 +61,24 @@ fn markers(source: &str) -> Vec<(u32, String)> {
 }
 
 fn analyze_one(name: &str, source: &str) -> Vec<Finding> {
-    analyze_sources(
+    let mut out = analyze_sources(
         &[(name.to_string(), source.to_string())],
-        &AnalysisCtx::bare(CORPUS_LABELS),
-    )
+        &AnalysisCtx::bare_with_released(CORPUS_LABELS, RELEASED_LABELS),
+    );
+    let (src, _) = lint_source(name, source, &Config::empty());
+    out.extend(
+        src.into_iter()
+            .filter(|f| SYNTACTIC_RULES.contains(&f.rule)),
+    );
+    out
 }
 
 #[test]
 fn every_mutant_is_detected_exactly() {
     let files = corpus_files("mutants");
     assert!(
-        files.len() >= 15,
-        "corpus must hold at least 15 mutants, found {}",
+        files.len() >= 30,
+        "corpus must hold at least 30 mutants, found {}",
         files.len()
     );
     let mut detected = 0usize;
@@ -85,7 +102,7 @@ fn every_mutant_is_detected_exactly() {
         }
         detected += 1;
     }
-    assert!(detected >= 15, "only {detected} mutants detected");
+    assert!(detected >= 30, "only {detected} mutants detected");
 }
 
 /// The diagnostics must name both ends of the violation: the store and
@@ -125,6 +142,45 @@ fn diagnostics_name_store_and_publish_or_sink_sites() {
                         "{name}: publish-binding diagnostic lacks label:\n  {f}"
                     );
                 }
+                "atomic-ordering" => {
+                    assert!(
+                        f.msg.contains("`seq`")
+                            && (f.msg.contains("requires")
+                                || f.msg.contains("release publication")),
+                        "{name}: atomic-ordering diagnostic lacks label/requirement:\n  {f}"
+                    );
+                }
+                "lock-held-persist" => {
+                    assert!(
+                        f.msg.contains("while holding lock"),
+                        "{name}: lock-held-persist diagnostic lacks the held lock:\n  {f}"
+                    );
+                }
+                "guard-escape" => {
+                    assert!(
+                        f.msg.contains("escapes"),
+                        "{name}: guard-escape diagnostic lacks the escape:\n  {f}"
+                    );
+                }
+                "lock-cycle" => {
+                    assert!(
+                        f.msg.contains("inconsistent lock order")
+                            || f.msg.contains("not reentrant"),
+                        "{name}: lock-cycle diagnostic lacks the cycle shape:\n  {f}"
+                    );
+                }
+                "send-sync-justification" => {
+                    assert!(
+                        f.msg.contains("thread-safety"),
+                        "{name}: send-sync diagnostic lacks the missing argument:\n  {f}"
+                    );
+                }
+                "pod-interior-mutability" => {
+                    assert!(
+                        f.msg.contains("interior-mutable"),
+                        "{name}: pod diagnostic lacks the field type:\n  {f}"
+                    );
+                }
                 other => panic!("{name}: unexpected rule {other}: {f}"),
             }
         }
@@ -135,8 +191,8 @@ fn diagnostics_name_store_and_publish_or_sink_sites() {
 fn every_clean_twin_has_zero_findings() {
     let files = corpus_files("clean");
     assert!(
-        files.len() >= 15,
-        "corpus must hold at least 15 clean twins, found {}",
+        files.len() >= 30,
+        "corpus must hold at least 30 clean twins, found {}",
         files.len()
     );
     for (name, source) in &files {

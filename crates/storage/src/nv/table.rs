@@ -222,7 +222,8 @@ impl NvTable {
         let delta_desc: u64 = region.read_pod(pair + PAIR_DELTA)?;
         let main_desc: u64 = region.read_pod(pair + PAIR_MAIN)?;
 
-        let rows: u64 = region.read_pod(delta_desc + DD_ROWS)?;
+        // pmlint: observe(delta-rows)
+        let rows: u64 = region.load_u64_acquire(delta_desc + DD_ROWS)?;
         let mut cols = Vec::with_capacity(ncols);
         for c in 0..ncols as u64 {
             let base = delta_desc + DD_COLS + c * DD_COL_STRIDE;
@@ -721,7 +722,7 @@ impl TableStore for NvTable {
 
         // 4. Publish the row.
         // pmlint: publish(delta-rows)
-        region.write_pod(self.delta.desc + DD_ROWS, &(idx + 1))?;
+        region.store_u64_release(self.delta.desc + DD_ROWS, idx + 1)?;
         region.persist(self.delta.desc + DD_ROWS, 8)?;
         self.delta.rows = idx + 1;
         Ok(self.main_rows_() + idx)
