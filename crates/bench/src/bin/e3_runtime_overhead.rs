@@ -27,7 +27,17 @@ fn configs() -> Vec<(&'static str, DurabilityConfig)> {
     ]
 }
 
+fn config_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_owned())
+}
+
 fn main() {
+    let cfg_name = config_arg();
     let quick = std::env::args().any(|a| a == "--quick");
     let (records, op_count) = if quick {
         (2_000, 2_000)
@@ -66,6 +76,7 @@ fn main() {
             let kops_model = op_count as f64 / (wall + sim) / 1e3;
             rows_out.push(
                 Row::new()
+                    .with("config", &cfg_name)
                     .with("mix", *mix_name)
                     .with("backend", name)
                     .with("kops_wall", format!("{kops_wall:.1}"))

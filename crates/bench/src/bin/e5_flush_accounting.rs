@@ -6,14 +6,54 @@
 //! touched timestamp plus the CTS publish. This table prints measured
 //! averages from the region's instrumentation counters.
 //!
-//! Run: `cargo run --release -p hyrise-nv-bench --bin e5_flush_accounting`
+//! A second table breaks the traffic down *per protocol instance*: each
+//! micro-op window is recorded with the persist tracer, the publish-word
+//! bindings count how many protocol instances ran (one row-counter bump
+//! per delta append, one CTS store per commit, …), and the counter deltas
+//! are divided by that count. These are the live numbers the static
+//! bounds of `ProtocolSpec::static_cost()` are cross-checked against in
+//! `p2_persist_cost`.
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin e5_flush_accounting
+//! [--config <name>]` — rows are keyed by the config name (default
+//! `current`) so a pre-optimization baseline can be preserved next to the
+//! current numbers in `results/e5_flush_accounting.jsonl`.
 
 use benchkit::{load_ycsb, print_table, run_ycsb_op, write_json, Row};
 use hyrise_nv::{Database, DurabilityConfig};
-use nvm::LatencyModel;
+use nvm::{check_trace, protocol_registry, LatencyModel, RangeBinding, TraceConfig};
+use storage::{ColumnDef, DataType, Schema, Value};
 use workload::{Op, YcsbConfig, YcsbGenerator, YcsbMix};
 
-fn main() {
+fn config_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_owned())
+}
+
+fn spec(name: &str) -> nvm::ProtocolSpec {
+    protocol_registry()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("protocol {name:?} not in registry"))
+}
+
+fn bind(extents: &[storage::nv::MediaExtent], label: &'static str) -> RangeBinding {
+    RangeBinding::new(
+        label,
+        extents
+            .iter()
+            .filter(|e| e.what == label)
+            .map(|e| (e.offset, e.len))
+            .collect(),
+    )
+}
+
+/// Per-op-kind averages over a YCSB stream (the original E5 table).
+fn per_op_rows(config: &str) -> Vec<Row> {
     let n_ops = 2_000usize;
     let mut db =
         Database::create(DurabilityConfig::nvm(512 << 20, LatencyModel::pcm())).expect("create");
@@ -84,6 +124,7 @@ fn main() {
         let per = |x: u64| format!("{:.2}", x as f64 / n_ops as f64);
         rows_out.push(
             Row::new()
+                .with("config", config)
                 .with("op", kind)
                 .with("flushes/op", per(d.flush_calls))
                 .with("lines/op", per(d.lines_flushed))
@@ -91,10 +132,137 @@ fn main() {
                 .with("nvm_bytes_written/op", per(d.bytes_written)),
         );
     }
+    rows_out
+}
+
+/// Per-protocol-instance traffic: counter deltas over a traced micro-op
+/// window, divided by the publish-instance count the conformance checker
+/// recovers from the trace.
+fn per_protocol_rows(config: &str) -> Vec<Row> {
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("v", DataType::Int),
+    ]);
+    let mut db = Database::create(DurabilityConfig::nvm_default()).expect("create");
+    let t = db.create_table("e5", schema).expect("table");
+    let region = db.nv_backend().unwrap().region().clone();
+    let mut rows_out = Vec::new();
+    let mut push = |protocol: &str, instances: u64, d: nvm::StatsSnapshot, violations: usize| {
+        let per = |x: u64| format!("{:.2}", x as f64 / instances.max(1) as f64);
+        rows_out.push(
+            Row::new()
+                .with("config", config)
+                .with("protocol", protocol)
+                .with("instances", instances)
+                .with("flushes/instance", per(d.flush_calls))
+                .with("fences/instance", per(d.fences))
+                .with("bytes/instance", per(d.bytes_written))
+                .with("violations", violations),
+        );
+    };
+
+    // delta-append: 64 single-row appends inside open transactions; every
+    // insert publishes one row via the row counter.
+    let commits = 8i64;
+    let writes_per_commit = 8i64;
+    region.trace_start(TraceConfig::default());
+    let mut txns = Vec::new();
+    let before = db.nvm_stats();
+    for c in 0..commits {
+        let mut tx = db.begin();
+        for k in 0..writes_per_commit {
+            let key = c * writes_per_commit + k;
+            db.insert(&mut tx, t, &[Value::Int(key), Value::Int(key * 10)])
+                .expect("insert");
+        }
+        txns.push(tx);
+    }
+    let d_append = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let rows_pub = backend.table_rows_publish_extent(t.0).unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "delta-dict"),
+        bind(&extents, "delta-blob"),
+        bind(&extents, "delta-av"),
+        bind(&extents, "delta-begin"),
+        bind(&extents, "delta-end"),
+        RangeBinding::new("delta-rows", vec![rows_pub]),
+    ];
+    let report = check_trace(&spec("delta-append"), &bindings, &trace);
+    push(
+        "delta-append",
+        report.publish_instances,
+        d_append,
+        report.violations.len(),
+    );
+
+    // txn-commit-publish: commit the staged transactions; each commit
+    // stamps its begin words and publishes one CTS.
+    region.trace_start(TraceConfig::default());
+    let before = db.nvm_stats();
+    for mut tx in txns {
+        db.commit(&mut tx).expect("commit");
+    }
+    let d_commit = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "delta-begin"),
+        bind(&extents, "delta-end"),
+        RangeBinding::new("catalog-cts", vec![backend.cts_extent()]),
+    ];
+    let report = check_trace(&spec("txn-commit-publish"), &bindings, &trace);
+    push(
+        &format!("txn-commit-publish (W={writes_per_commit})"),
+        report.publish_instances,
+        d_commit,
+        report.violations.len(),
+    );
+
+    // merge-publish: one delta→main merge, published by the pair swap.
+    region.trace_start(TraceConfig::default());
+    let before = db.nvm_stats();
+    db.merge(t).expect("merge");
+    let d_merge = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let pair_pub = backend.table_pair_publish_extent(t.0).unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "main-dict"),
+        bind(&extents, "main-av"),
+        bind(&extents, "main-blob"),
+        bind(&extents, "main-end"),
+        RangeBinding::new("table-pair", vec![pair_pub]),
+    ];
+    let report = check_trace(&spec("merge-publish"), &bindings, &trace);
+    push(
+        "merge-publish",
+        report.publish_instances,
+        d_merge,
+        report.violations.len(),
+    );
+
+    rows_out
+}
+
+fn main() {
+    let config = config_arg();
+    let op_rows = per_op_rows(&config);
+    let proto_rows = per_protocol_rows(&config);
 
     print_table(
         "E5: persistence primitives per operation (Hyrise-NV, 2-column table)",
-        &rows_out,
+        &op_rows,
     );
-    write_json("e5_flush_accounting", &rows_out);
+    print_table(
+        "E5: persistence primitives per protocol instance (traced micro-ops)",
+        &proto_rows,
+    );
+    let mut all = op_rows;
+    all.extend(proto_rows);
+    write_json("e5_flush_accounting", &all);
 }

@@ -1,0 +1,251 @@
+//! P2 — Static persistence-cost bounds vs. live traces.
+//!
+//! Every ordering protocol in the registry is a DAG of store / flush /
+//! fence / publish steps, so its per-instance persistence cost has a
+//! static interval: [`ProtocolSpec::static_cost`] folds the steps into
+//! `[min, max]` flush and fence counts. The first table prints those
+//! bounds for all registered specs — the numbers pmlint's cost pass and
+//! the E5 live accounting are both anchored to.
+//!
+//! The second table cross-checks the bounds against reality: the same
+//! traced micro-op windows as E5 (delta append, batched commit, merge
+//! publish) are divided by the publish-instance count recovered by the
+//! conformance checker, and any window whose observed flush or fence
+//! traffic exceeds its spec's static maximum is flagged. `merge-publish`
+//! and `delta-append` are *expected* to exceed: the merge body runs
+//! nested crash-safe allocation protocols (reserve/activate per rebuilt
+//! column payload) and the append path pays dictionary/blob maintenance
+//! (dict entry appends, growth reallocations) — traffic deliberately
+//! outside the publish DAG. The flag is the measurement of that gap, not
+//! a bug. See DESIGN.md ("Persistence-cost model").
+//!
+//! Run: `cargo run --release -p hyrise-nv-bench --bin p2_persist_cost`.
+
+use benchkit::{print_table, write_json, Row};
+use hyrise_nv::{Database, DurabilityConfig};
+use nvm::{check_trace, protocol_registry, RangeBinding, TraceConfig};
+use storage::{ColumnDef, DataType, Schema, Value};
+
+fn spec(name: &str) -> nvm::ProtocolSpec {
+    protocol_registry()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("protocol {name:?} not in registry"))
+}
+
+fn bind(extents: &[storage::nv::MediaExtent], label: &'static str) -> RangeBinding {
+    RangeBinding::new(
+        label,
+        extents
+            .iter()
+            .filter(|e| e.what == label)
+            .map(|e| (e.offset, e.len))
+            .collect(),
+    )
+}
+
+/// Static bounds for every registered spec.
+fn static_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for s in protocol_registry() {
+        let c = s.static_cost();
+        rows.push(
+            Row::new()
+                .with("protocol", s.name)
+                .with("stores", format!("{}..{}", c.min_stores, c.max_stores))
+                .with("flushes", format!("{}..{}", c.min_flushes, c.max_flushes))
+                .with("fences", format!("{}..{}", c.min_fences, c.max_fences)),
+        );
+    }
+    rows
+}
+
+struct Window {
+    protocol: String,
+    spec_name: &'static str,
+    instances: u64,
+    flushes: u64,
+    fences: u64,
+    violations: usize,
+    /// Extra per-instance flushes the bound check tolerates beyond the
+    /// spec maximum. The spec DAG models per-write steps once; a window
+    /// that realizes them W times (the W stamp flushes of a batched
+    /// commit) declares the surplus here, plus one flush per extra
+    /// protocol instance the window is known to contain (the registry
+    /// slot release), so the check still bites on anything *beyond* the
+    /// declared traffic.
+    flush_allowance: u64,
+    /// Same, for fences (the slot release pays one fence per commit).
+    fence_allowance: u64,
+}
+
+/// The three traceable micro-op windows (same shapes as E5's second
+/// table), each yielding observed totals plus the instance count.
+fn traced_windows() -> Vec<Window> {
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("v", DataType::Int),
+    ]);
+    let mut db = Database::create(DurabilityConfig::nvm_default()).expect("create");
+    let t = db.create_table("p2", schema).expect("table");
+    let region = db.nv_backend().unwrap().region().clone();
+    let mut out = Vec::new();
+
+    // delta-append window.
+    let commits = 8i64;
+    let writes_per_commit = 8i64;
+    region.trace_start(TraceConfig::default());
+    let mut txns = Vec::new();
+    let before = db.nvm_stats();
+    for c in 0..commits {
+        let mut tx = db.begin();
+        for k in 0..writes_per_commit {
+            let key = c * writes_per_commit + k;
+            db.insert(&mut tx, t, &[Value::Int(key), Value::Int(key * 10)])
+                .expect("insert");
+        }
+        txns.push(tx);
+    }
+    let d = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let rows_pub = backend.table_rows_publish_extent(t.0).unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "delta-dict"),
+        bind(&extents, "delta-blob"),
+        bind(&extents, "delta-av"),
+        bind(&extents, "delta-begin"),
+        bind(&extents, "delta-end"),
+        RangeBinding::new("delta-rows", vec![rows_pub]),
+    ];
+    let report = check_trace(&spec("delta-append"), &bindings, &trace);
+    out.push(Window {
+        protocol: "delta-append".into(),
+        spec_name: "delta-append",
+        instances: report.publish_instances,
+        flushes: d.flush_calls,
+        fences: d.fences,
+        violations: report.violations.len(),
+        flush_allowance: 0,
+        fence_allowance: 0,
+    });
+
+    // txn-commit-publish window (batched commit of the staged txns).
+    region.trace_start(TraceConfig::default());
+    let before = db.nvm_stats();
+    for mut tx in txns {
+        db.commit(&mut tx).expect("commit");
+    }
+    let d = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "delta-begin"),
+        bind(&extents, "delta-end"),
+        RangeBinding::new("catalog-cts", vec![backend.cts_extent()]),
+    ];
+    let report = check_trace(&spec("txn-commit-publish"), &bindings, &trace);
+    out.push(Window {
+        protocol: format!("txn-commit-publish (W={writes_per_commit})"),
+        spec_name: "txn-commit-publish",
+        instances: report.publish_instances,
+        flushes: d.flush_calls,
+        fences: d.fences,
+        violations: report.violations.len(),
+        // W-1 surplus stamp flushes + the slot release's flush and fence
+        // (one recovery-undo-release instance rides in each commit).
+        flush_allowance: writes_per_commit as u64,
+        fence_allowance: 1,
+    });
+
+    // merge-publish window.
+    region.trace_start(TraceConfig::default());
+    let before = db.nvm_stats();
+    db.merge(t).expect("merge");
+    let d = db.nvm_stats().since(&before);
+    let trace = region.trace_stop().unwrap();
+    let backend = db.nv_backend().unwrap();
+    let pair_pub = backend.table_pair_publish_extent(t.0).unwrap();
+    let extents = db.media_extents(t).unwrap();
+    let bindings = vec![
+        bind(&extents, "main-dict"),
+        bind(&extents, "main-av"),
+        bind(&extents, "main-blob"),
+        bind(&extents, "main-end"),
+        RangeBinding::new("table-pair", vec![pair_pub]),
+    ];
+    let report = check_trace(&spec("merge-publish"), &bindings, &trace);
+    out.push(Window {
+        protocol: "merge-publish".into(),
+        spec_name: "merge-publish",
+        instances: report.publish_instances,
+        flushes: d.flush_calls,
+        fences: d.fences,
+        violations: report.violations.len(),
+        flush_allowance: 0,
+        fence_allowance: 0,
+    });
+
+    out
+}
+
+fn main() {
+    let static_table = static_rows();
+    print_table(
+        "P2: static persistence-cost bounds (per instance)",
+        &static_table,
+    );
+
+    let mut rows = Vec::new();
+    let mut exceeded = 0usize;
+    for w in traced_windows() {
+        let c = spec(w.spec_name).static_cost();
+        let inst = w.instances.max(1) as f64;
+        let fl = w.flushes as f64 / inst;
+        let fe = w.fences as f64 / inst;
+        let fl_exceeds = fl > (c.max_flushes as u64 + w.flush_allowance) as f64 + 0.5;
+        let fe_exceeds = fe > (c.max_fences as u64 + w.fence_allowance) as f64 + 0.5;
+        if fl_exceeds || fe_exceeds {
+            exceeded += 1;
+        }
+        rows.push(
+            Row::new()
+                .with("protocol", &w.protocol)
+                .with("instances", w.instances)
+                .with("flushes/instance", format!("{fl:.2}"))
+                .with(
+                    "static flushes",
+                    format!("{}..{}", c.min_flushes, c.max_flushes),
+                )
+                .with("fences/instance", format!("{fe:.2}"))
+                .with(
+                    "static fences",
+                    format!("{}..{}", c.min_fences, c.max_fences),
+                )
+                .with(
+                    "exceeds",
+                    if fl_exceeds || fe_exceeds {
+                        "YES"
+                    } else {
+                        "no"
+                    },
+                )
+                .with("violations", w.violations),
+        );
+    }
+    print_table(
+        "P2: observed traffic vs static bounds (traced windows)",
+        &rows,
+    );
+    println!(
+        "p2: {exceeded} window(s) exceed their static bound (delta-append and \
+         merge-publish expected: nested dictionary/blob maintenance and \
+         crash-safe allocation protocols outside the publish DAG)"
+    );
+
+    let mut all = static_table;
+    all.extend(rows);
+    write_json("p2_persist_cost", &all);
+}

@@ -62,28 +62,79 @@ pub fn print_table(title: &str, rows: &[Row]) {
     }
 }
 
-/// Append rows as JSON lines to `results/<name>.jsonl` under the workspace
+/// Write rows as JSON lines to `results/<name>.jsonl` under the workspace
 /// root (best effort; failures are printed, not fatal).
+///
+/// Re-running a bench replaces its previous rows instead of appending
+/// duplicates: existing lines whose `config` value matches a config
+/// present in `rows` are dropped before the new rows are written. Rows
+/// without a `config` cell share the empty config, so a config-less bench
+/// fully overwrites its file on each run while configs it did not re-run
+/// (e.g. a preserved pre-optimization baseline) are kept.
 pub fn write_json(name: &str, rows: &[Row]) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.jsonl"));
-    match std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    {
+
+    let new_configs: std::collections::BTreeSet<String> = rows
+        .iter()
+        .map(|r| r.cells.get("config").cloned().unwrap_or_default())
+        .collect();
+    let kept: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !new_configs.contains(&json_config(l)))
+        .map(str::to_owned)
+        .collect();
+
+    let mut out = String::new();
+    for line in &kept {
+        out.push_str(line);
+        out.push('\n');
+    }
+    for row in rows {
+        let line = util::json::object(row.cells.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    match std::fs::File::create(&path) {
         Ok(mut f) => {
-            for row in rows {
-                let line =
-                    util::json::object(row.cells.iter().map(|(k, v)| (k.as_str(), v.as_str())));
-                let _ = writeln!(f, "{line}");
-            }
+            let _ = f.write_all(out.as_bytes());
         }
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+}
+
+/// The `config` value of one serialized JSONL row ("" when absent). The
+/// rows are flat string-to-string objects produced by [`write_json`], so a
+/// scan to the next unescaped quote recovers the exact value.
+fn json_config(line: &str) -> String {
+    let Some(start) = line
+        .find("\"config\":\"")
+        .map(|i| i + "\"config\":\"".len())
+    else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => break,
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    match esc {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        other => out.push(other),
+                    }
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -95,6 +146,19 @@ mod tests {
         let r = Row::new().with("a", 1).with("b", "x");
         assert_eq!(r.cells.get("a").unwrap(), "1");
         assert_eq!(r.cells.get("b").unwrap(), "x");
+    }
+
+    #[test]
+    fn json_config_extracts_value() {
+        assert_eq!(
+            json_config(r#"{"a":"1","config":"pre-batch","b":"2"}"#),
+            "pre-batch"
+        );
+        assert_eq!(json_config(r#"{"a":"1"}"#), "");
+        assert_eq!(
+            json_config(r#"{"config":"with \"quote\""}"#),
+            "with \"quote\""
+        );
     }
 
     #[test]

@@ -633,6 +633,7 @@ impl Database {
     }
 
     /// All rows visible to `tx`.
+    // pmlint: read-path
     pub fn scan_all(&self, tx: &Transaction, table: TableId) -> Result<Vec<ScanResult>> {
         let rows = self.table(table)?.scan_visible(tx.snapshot, tx.tid)?;
         self.materialize(table, rows)
@@ -640,6 +641,7 @@ impl Database {
 
     /// Visible rows with `column == value` (full column scan through the
     /// dictionary; use [`Database::index_lookup`] when an index exists).
+    // pmlint: read-path
     pub fn scan_eq(
         &self,
         tx: &Transaction,
@@ -654,6 +656,7 @@ impl Database {
     }
 
     /// Visible rows with `lo <= column < hi`.
+    // pmlint: read-path
     pub fn scan_range(
         &self,
         tx: &Transaction,
@@ -671,6 +674,7 @@ impl Database {
     /// Point lookup through an index on `(table, column)`; falls back to a
     /// dictionary scan when no index exists. Results are verified against
     /// the base table and MVCC-filtered.
+    // pmlint: read-path
     pub fn index_lookup(
         &self,
         tx: &Transaction,
@@ -737,6 +741,7 @@ impl Database {
     }
 
     /// Range lookup through an ordered index; falls back to a scan.
+    // pmlint: read-path
     pub fn index_range_lookup(
         &self,
         tx: &Transaction,
@@ -782,6 +787,7 @@ impl Database {
     }
 
     /// Total physical rows (all versions) in a table.
+    // pmlint: read-path
     pub fn row_count(&self, table: TableId) -> Result<u64> {
         Ok(self.table(table)?.row_count())
     }

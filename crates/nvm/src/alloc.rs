@@ -323,10 +323,25 @@ impl Allocator {
                         region.persist(link_addr, 8)?;
                     }
                     if replaces != 0 {
-                        let (rsize, _) = self.read_header(region, replaces)?;
-                        self.write_state(region, replaces, rsize, AllocState::Free)?;
-                        self.bin_push(rsize, replaces);
-                        report.free_blocks += 1;
+                        // The redo must be idempotent: a crash landing
+                        // after the original step 3 (or after a previous
+                        // recovery attempt's redo) leaves the replaced
+                        // block already Free, and the linear scan bins
+                        // every Free block it visits. Freeing it again
+                        // here would enter it into the bins twice, and a
+                        // later `reserve` would hand the same block to
+                        // two owners.
+                        let (rsize, rstate) = self.read_header(region, replaces)?;
+                        if rstate != AllocState::Free {
+                            self.write_state(region, replaces, rsize, AllocState::Free)?;
+                            if replaces < off {
+                                // Already scanned (as non-free): bin it
+                                // now. Blocks ahead of the cursor are
+                                // binned when the scan reaches them.
+                                self.bin_push(rsize, replaces);
+                                report.free_blocks += 1;
+                            }
+                        }
                     }
                     self.write_state(region, off, size, AllocState::Allocated)?;
                     report.completed_activations += 1;
@@ -743,6 +758,61 @@ mod tests {
         assert_eq!(report.completed_activations, 1);
         assert_eq!(region.read_pod::<u64>(slot).unwrap(), p, "link redone");
         assert_eq!(region.read_pod::<u64>(p).unwrap(), 99, "payload durable");
+    }
+
+    #[test]
+    fn interrupted_activation_redo_does_not_double_free_the_replaced_block() {
+        // Crash *inside* the activate redo: the replaced block is already
+        // durably Free (original step 3 completed) but the activating
+        // block never reached Allocated. The next recovery scan must not
+        // bin the replaced block twice — otherwise two later reserves
+        // alias the same block.
+        let (region, mut alloc) = setup();
+        let slot = alloc.reserve(&region, 8).unwrap();
+        alloc.activate(&region, slot, None, None).unwrap();
+        let old = alloc.reserve(&region, 32).unwrap();
+        alloc
+            .activate(&region, old, Some((slot, old)), None)
+            .unwrap();
+
+        let newp = alloc.reserve(&region, 32).unwrap();
+        let old_block = old - ALLOC_BLOCK_HEADER;
+        let new_block = newp - ALLOC_BLOCK_HEADER;
+        let size = Allocator::total_for(32);
+        // Step 1: activation record naming the replaced block.
+        region.write_pod(new_block + bh::LINK_ADDR, &slot).unwrap();
+        region.write_pod(new_block + bh::LINK_VAL, &newp).unwrap();
+        region
+            .write_pod(new_block + bh::REPLACES, &old_block)
+            .unwrap();
+        region
+            .write_pod(
+                new_block + bh::SIZE_STATE,
+                &(size << STATE_BITS | AllocState::Activating as u64),
+            )
+            .unwrap();
+        Allocator::seal_block(&region, new_block).unwrap();
+        // Step 2 + 3 completed: link stored, replaced block durably Free.
+        region.write_pod(slot, &newp).unwrap();
+        region.persist(slot, 8).unwrap();
+        region
+            .write_pod(
+                old_block + bh::SIZE_STATE,
+                &(size << STATE_BITS | AllocState::Free as u64),
+            )
+            .unwrap();
+        Allocator::seal_block(&region, old_block).unwrap();
+        // Crash before step 4 (publish Allocated).
+        region.crash(CrashPolicy::DropUnflushed);
+
+        let (mut a, report) = Allocator::open(&region).unwrap();
+        assert_eq!(report.completed_activations, 1);
+        assert_eq!(report.free_blocks, 1, "replaced block binned exactly once");
+        // Two same-class reserves must come back distinct: the first pops
+        // the freed block, the second must NOT alias it.
+        let r1 = a.reserve(&region, 32).unwrap();
+        let r2 = a.reserve(&region, 32).unwrap();
+        assert_ne!(r1, r2, "free bin handed the same block out twice");
     }
 
     #[test]

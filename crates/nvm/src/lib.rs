@@ -69,7 +69,7 @@ pub use pod::Pod;
 pub use protocol::{
     check_trace, publish_labels, registry as protocol_registry, ConformanceReport,
     ConformanceViolation, MemOrder, ProtocolSpec, ProtocolStep, PublishLabel, RangeBinding,
-    SpecError, StepId, StepKind,
+    SpecError, StaticCost, StepId, StepKind,
 };
 pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;

@@ -85,6 +85,16 @@ impl<T: Pod> PArray<T> {
         region.persist(off, T::SIZE as u64)
     }
 
+    /// Write element `i` and issue its write-back without draining: the
+    /// caller batches several stamps and pays one fence for all of them.
+    // pmlint: caller-flushes
+    #[inline]
+    pub fn store_unfenced(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
+        let off = self.elem_off(i);
+        region.write_pod(off, value)?;
+        region.flush(off, T::SIZE as u64)
+    }
+
     /// Persist the whole array (one flush call covering every line).
     pub fn persist_all(&self, region: &NvmRegion) -> Result<()> {
         if self.len == 0 {

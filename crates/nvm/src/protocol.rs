@@ -165,6 +165,36 @@ pub struct ProtocolSpec {
     pub steps: Vec<ProtocolStep>,
 }
 
+/// Static persistence-cost bound of one protocol instance, derived from
+/// the spec DAG alone.
+///
+/// Fences are exact per step: one [`StepKind::Fence`] is one sfence, so
+/// `min_fences` counts the required fence steps and `max_fences` adds the
+/// optional ones. Flushes are bounded per *covered label*: a
+/// [`StepKind::Flush`] covering N labels may be realised as up to N
+/// cache-line write-backs (one per column, say) but never fewer than one,
+/// so `min_flushes` counts required flush steps and `max_flushes` sums
+/// `covers.len()` over all flush steps including optional ones. A live
+/// trace of one conforming instance must land inside both intervals;
+/// traffic above `max_fences`/`max_flushes` means the implementation pays
+/// for persistence the protocol does not require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticCost {
+    /// Required durable stores (store + publish steps, optional excluded).
+    pub min_stores: usize,
+    /// All durable stores (optional included).
+    pub max_stores: usize,
+    /// Required flush steps (each is at least one write-back).
+    pub min_flushes: usize,
+    /// Upper bound on write-backs: sum of covered labels over every flush
+    /// step, optional included.
+    pub max_flushes: usize,
+    /// Required fence steps.
+    pub min_fences: usize,
+    /// All fence steps (optional included).
+    pub max_fences: usize,
+}
+
 /// A static defect in a [`ProtocolSpec`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpecError {
@@ -296,6 +326,44 @@ impl ProtocolSpec {
                 _ => None,
             })
             .collect()
+    }
+
+    /// The spec's static persistence-cost bound: how many durable stores,
+    /// cache-line write-backs, and fences one conforming protocol instance
+    /// may issue. See [`StaticCost`] for the exact interval semantics.
+    pub fn static_cost(&self) -> StaticCost {
+        let mut c = StaticCost {
+            min_stores: 0,
+            max_stores: 0,
+            min_flushes: 0,
+            max_flushes: 0,
+            min_fences: 0,
+            max_fences: 0,
+        };
+        for s in &self.steps {
+            match s.kind {
+                StepKind::Store { .. } | StepKind::Publish { .. } => {
+                    c.max_stores += 1;
+                    if !s.optional {
+                        c.min_stores += 1;
+                    }
+                }
+                StepKind::Flush { covers } => {
+                    c.max_flushes += covers.len().max(1);
+                    if !s.optional {
+                        c.min_flushes += 1;
+                    }
+                }
+                StepKind::Fence => {
+                    c.max_fences += 1;
+                    if !s.optional {
+                        c.min_fences += 1;
+                    }
+                }
+                StepKind::External { .. } | StepKind::AtomicLoad { .. } => {}
+            }
+        }
+        c
     }
 
     /// Statically validate the spec for happens-before completeness.
@@ -841,11 +909,14 @@ pub fn publish_labels() -> Vec<PublishLabel> {
 pub fn registry() -> Vec<ProtocolSpec> {
     use StepKind::*;
     vec![
-        // Commit: stamp MVCC words (each persisted), then one 8-byte
-        // publish of the commit timestamp in the catalogue.
+        // Commit: stamp the MVCC words of every write (each write-back
+        // issued without draining), drain once, then one 8-byte publish of
+        // the commit timestamp in the catalogue. One batched flush step
+        // covers all begin/end stamps — realised as one write-back per
+        // stamped word — so a W-write commit pays two fences, not W+1.
         ProtocolSpec {
             name: "txn-commit-publish",
-            what: "commit-timestamp publish after per-row MVCC stamps",
+            what: "commit-timestamp publish after batched per-row MVCC stamps",
             steps: vec![
                 ProtocolStep::new(
                     Store {
@@ -854,13 +925,6 @@ pub fn registry() -> Vec<ProtocolSpec> {
                     },
                     &[],
                 ),
-                ProtocolStep::new(
-                    Flush {
-                        covers: &["delta-begin"],
-                    },
-                    &[0],
-                ),
-                ProtocolStep::new(Fence, &[1]),
                 ProtocolStep::optional(
                     Store {
                         label: "delta-end",
@@ -870,25 +934,25 @@ pub fn registry() -> Vec<ProtocolSpec> {
                 ),
                 ProtocolStep::new(
                     Flush {
-                        covers: &["delta-end"],
+                        covers: &["delta-begin", "delta-end"],
                     },
-                    &[3],
+                    &[0, 1],
                 ),
-                ProtocolStep::new(Fence, &[4]),
+                ProtocolStep::new(Fence, &[2]),
                 ProtocolStep::new(
                     Publish {
                         label: "catalog-cts",
                     },
-                    &[2, 5],
+                    &[3],
                 )
                 .with_order(MemOrder::Release),
                 ProtocolStep::new(
                     Flush {
                         covers: &["catalog-cts"],
                     },
-                    &[6],
+                    &[4],
                 ),
-                ProtocolStep::new(Fence, &[7]),
+                ProtocolStep::new(Fence, &[5]),
             ],
         },
         // Delta append: cells + MVCC words are written and flushed (one
@@ -1390,6 +1454,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn static_cost_bounds_are_consistent() {
+        for spec in registry() {
+            let c = spec.static_cost();
+            assert!(c.min_stores <= c.max_stores, "{}: store bounds", spec.name);
+            assert!(
+                c.min_flushes <= c.max_flushes,
+                "{}: flush bounds",
+                spec.name
+            );
+            assert!(c.min_fences <= c.max_fences, "{}: fence bounds", spec.name);
+            if !spec.is_observe() {
+                // Every publish-side protocol must fence at least once: the
+                // publish word itself has to drain to the medium.
+                assert!(c.min_fences >= 1, "{}: publish without a fence", spec.name);
+                assert!(c.min_flushes >= 1, "{}: publish without a flush", spec.name);
+            } else {
+                assert_eq!(c.max_fences, 0, "{}: observe-side spec fences", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn static_cost_of_delta_append() {
+        let spec = registry()
+            .into_iter()
+            .find(|s| s.name == "delta-append")
+            .unwrap();
+        let c = spec.static_cost();
+        // Required: av/begin/end stores + the publish; optional dict/blob.
+        assert_eq!(c.min_stores, 4);
+        assert_eq!(c.max_stores, 6);
+        // One batched flush plus the publish flush; the batch may be
+        // realised as up to five per-column write-backs.
+        assert_eq!(c.min_flushes, 2);
+        assert_eq!(c.max_flushes, 6);
+        // One fence seals the batch, one seals the publish word.
+        assert_eq!(c.min_fences, 2);
+        assert_eq!(c.max_fences, 2);
     }
 
     #[test]

@@ -98,6 +98,15 @@ impl<T: Pod> PSlab<T> {
         region.persist(off, T::SIZE as u64)
     }
 
+    /// Write element `i` and issue its write-back without draining: the
+    /// caller batches several stamps and pays one fence for all of them.
+    // pmlint: caller-flushes
+    pub fn store_unfenced(&self, region: &NvmRegion, i: u64, value: &T) -> Result<()> {
+        let off = self.elem_off(region, i)?;
+        region.write_pod(off, value)?;
+        region.flush(off, T::SIZE as u64)
+    }
+
     /// Grow (if needed) so that index `i` is addressable, copying the first
     /// `live` elements into the new block. Crash-safe pointer swap.
     pub fn ensure(&self, heap: &NvmHeap, i: u64, live: u64) -> Result<()> {

@@ -203,9 +203,12 @@ impl<T: Pod> PVec<T> {
     }
 
     /// Append without the durable length publish: writes the element and
-    /// flushes it, but leaves the length update to a later
-    /// [`PVec::publish_len`]. Lets a transaction batch several appends under
-    /// one publish point.
+    /// issues its write-back, but neither drains the queue nor updates the
+    /// length — both are left to a later fence plus [`PVec::publish_len`].
+    /// Lets a transaction batch several appends (across several vectors)
+    /// under one fence and one publish point instead of paying a fence per
+    /// element.
+    // pmlint: caller-flushes
     pub fn push_unpublished(&self, heap: &NvmHeap, at: u64, value: &T) -> Result<()> {
         let region = heap.region();
         let cap = self.capacity(region)?;
@@ -214,12 +217,17 @@ impl<T: Pod> PVec<T> {
         }
         let off = self.elem_off(region, at)?;
         region.write_pod(off, value)?;
-        region.persist(off, T::SIZE as u64)
+        region.flush(off, T::SIZE as u64)
     }
 
     /// Durably publish a new length after a batch of
     /// [`PVec::push_unpublished`] writes, folding the newly published
     /// elements into the running content checksum.
+    ///
+    /// Ordering contract: the staged elements' write-backs must have been
+    /// drained (`region.fence()`) before this is called — the length word
+    /// may otherwise reach the medium ahead of the elements it publishes.
+    /// The caller fences once for the whole batch.
     pub fn publish_len(&self, region: &NvmRegion, new_len: u64) -> Result<()> {
         let (len, sum) = self.len_sum(region)?;
         let sum = if new_len >= len {
@@ -454,6 +462,9 @@ mod tests {
         let v = PVec::<u64>::create(&h, hdr, 8).unwrap();
         v.push_unpublished(&h, 0, &10).unwrap();
         v.push_unpublished(&h, 1, &20).unwrap();
+        // One drain covers both staged write-backs, then the length word
+        // publishes them.
+        h.region().fence();
         v.publish_len(h.region(), 2).unwrap();
         h.region().crash(CrashPolicy::DropUnflushed);
         let v2 = PVec::<u64>::open(hdr);

@@ -176,12 +176,19 @@ mod tests {
     fn concurrent_readers_never_observe_torn_payload() {
         // The payload is written as [i; 16] per version i: a torn read
         // would mix bytes of two versions. Readers validate every result.
+        // Iteration counts shrink under Miri so the interpreter finishes
+        // in reasonable time while still exploring the interleavings.
+        let (writes, reads) = if cfg!(miri) {
+            (5u8, 10usize)
+        } else {
+            (50u8, 200usize)
+        };
         let l = lock();
         l.write(|r| r.write_bytes(64, &[0u8; 16])).unwrap();
         let writer = {
             let l = l.clone();
             std::thread::spawn(move || {
-                for i in 1..=50u8 {
+                for i in 1..=writes {
                     l.write(|r| r.write_bytes(64, &[i; 16])).unwrap();
                 }
             })
@@ -190,7 +197,7 @@ mod tests {
             .map(|_| {
                 let l = l.clone();
                 std::thread::spawn(move || {
-                    for _ in 0..200 {
+                    for _ in 0..reads {
                         let bytes: Vec<u8> = l.read(|b| b.to_vec()).unwrap();
                         assert!(bytes.iter().all(|x| *x == bytes[0]), "torn read: {bytes:?}");
                     }
@@ -201,7 +208,68 @@ mod tests {
         for r in readers {
             r.join().unwrap();
         }
-        assert_eq!(l.read(|b| b[0]).unwrap(), 50);
+        assert_eq!(l.read(|b| b[0]).unwrap(), writes);
+    }
+
+    #[test]
+    fn read_started_inside_an_open_window_returns_only_the_new_payload() {
+        // Deterministic interleaving, channel-paced (Miri-runnable):
+        //
+        //   writer: open window ── block ── store payload, close window
+        //   reader:            └ observe odd seq, enter read() ┘ validate
+        //
+        // The writer blocks *between* region calls, so no region lock is
+        // held while it waits. The reader provably sees the open window
+        // (is_torn) before calling read(); the sequence is monotonic, so
+        // the read can never validate against the pre-open payload — the
+        // only validatable outcome is the complete post-write payload.
+        // `f` runs exactly once: while the window is odd the read spins
+        // without invoking it, and after the even close nothing moves the
+        // sequence again.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{mpsc, Arc as StdArc};
+
+        let l = lock();
+        l.write(|r| r.write_bytes(64, &[1u8; 16])).unwrap();
+
+        let (opened_tx, opened_rx) = mpsc::channel::<()>();
+        let (resume_tx, resume_rx) = mpsc::channel::<()>();
+        let writer = {
+            let l = l.clone();
+            std::thread::spawn(move || {
+                l.write(move |r| {
+                    opened_tx.send(()).unwrap();
+                    resume_rx.recv().unwrap();
+                    r.write_bytes(64, &[2u8; 16])
+                })
+                .unwrap();
+            })
+        };
+        opened_rx.recv().unwrap();
+        assert!(l.is_torn().unwrap(), "window durably open before payload");
+
+        let calls = StdArc::new(AtomicUsize::new(0));
+        let reader = {
+            let l = l.clone();
+            let calls = calls.clone();
+            std::thread::spawn(move || {
+                assert!(l.is_torn().unwrap(), "reader enters during the window");
+                l.read(move |b| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    b.to_vec()
+                })
+                .unwrap()
+            })
+        };
+        resume_tx.send(()).unwrap();
+        writer.join().unwrap();
+        let bytes = reader.join().unwrap();
+        assert_eq!(bytes, vec![2u8; 16], "only the published payload validates");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "payload closure runs once: spins while odd never invoke it"
+        );
     }
 
     #[test]

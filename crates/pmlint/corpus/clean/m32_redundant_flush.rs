@@ -1,0 +1,8 @@
+//! Clean twin of m32: one flush per store, then the fence.
+
+pub fn seal_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    region.fence();
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Clean twin of m34: the second flush covers a store of its own.
+
+pub fn checkpoint(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    region.fence();
+    region.write_pod(off + 64, &v)?;
+    region.flush(off + 64, 8)?;
+    region.fence();
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Clean twin of m35: one persist carries both the flush and the fence.
+
+pub fn publish_word(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.persist(off, 8)
+}

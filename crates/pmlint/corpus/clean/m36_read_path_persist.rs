@@ -1,0 +1,12 @@
+//! Clean twin of m36: the read path only reads; the warming helper is a
+//! separate write-side entry point no read root reaches.
+
+pub fn warm_slot(region: &NvmRegion, off: u64) -> Result<()> {
+    region.write_pod(off, &0u64)?;
+    region.persist(off, 8)
+}
+
+// pmlint: read-path
+pub fn read_hot(region: &NvmRegion, off: u64) -> Result<u64> {
+    region.read_pod(off)
+}

@@ -1,0 +1,14 @@
+//! Clean twin of m37: the read path validates against a seqlock-style
+//! version word instead of blocking on a mutex.
+
+pub struct Probe {
+    seq_off: u64,
+}
+
+impl Probe {
+    // pmlint: read-path
+    pub fn lookup(&self, region: &NvmRegion) -> u64 {
+        // pmlint: observe(seq)
+        region.load_u64_acquire(self.seq_off)
+    }
+}

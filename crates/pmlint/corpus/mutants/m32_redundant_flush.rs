@@ -1,0 +1,10 @@
+//! Seeded bug: the same line is flushed twice with no intervening
+//! store — the second write-back is a no-op that still pays the flush.
+
+pub fn seal_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    region.flush(off, 8)?; //~ redundant-flush
+    region.fence();
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Seeded bug: a helper already flushed the line; the caller flushes it
+//! again with no store in between. The defect spans a call boundary, so
+//! the diagnostic must name the helper's flush in its path.
+
+fn seal(region: &NvmRegion, off: u64) -> Result<()> {
+    region.flush(off, 8)
+}
+
+pub fn persist_row(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    seal(region, off)?;
+    region.flush(off, 8)?; //~ redundant-flush
+    region.fence();
+    Ok(())
+}

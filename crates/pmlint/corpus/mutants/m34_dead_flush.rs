@@ -1,0 +1,11 @@
+//! Seeded bug: after the fence everything is durable, yet another flush
+//! is issued with no reaching store — it persists nothing.
+
+pub fn checkpoint(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.flush(off, 8)?;
+    region.fence();
+    region.flush(off + 64, 8)?; //~ dead-flush
+    region.fence();
+    Ok(())
+}

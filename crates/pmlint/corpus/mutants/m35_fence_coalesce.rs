@@ -1,0 +1,9 @@
+//! Seeded bug: `persist` already fences; the explicit fence right after
+//! drains an empty write-back queue.
+
+pub fn publish_word(region: &NvmRegion, off: u64, v: u64) -> Result<()> {
+    region.write_pod(off, &v)?;
+    region.persist(off, 8)?;
+    region.fence(); //~ fence-coalesce
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Seeded bug: a fn annotated as a read-path root reaches a helper that
+//! writes and persists — the read path must be persistence-free.
+
+fn warm_slot(region: &NvmRegion, off: u64) -> Result<()> {
+    region.write_pod(off, &0u64)?; //~ read-path-purity
+    region.persist(off, 8) //~ read-path-purity
+}
+
+// pmlint: read-path
+pub fn read_hot(region: &NvmRegion, off: u64) -> Result<u64> {
+    warm_slot(region, off)?;
+    region.read_pod(off)
+}

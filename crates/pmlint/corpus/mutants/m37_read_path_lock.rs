@@ -1,0 +1,16 @@
+//! Seeded bug: a read-path root takes a mutex — reads must stay
+//! lock-free so writers can never stall them.
+
+pub struct Probe {
+    state: Mutex<u64>,
+}
+
+impl Probe {
+    // pmlint: read-path
+    pub fn lookup(&self) -> u64 {
+        let g = self.state.lock(); //~ read-path-purity
+        let v = *g;
+        drop(g);
+        v
+    }
+}

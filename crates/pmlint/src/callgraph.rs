@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::hir::{CallEvent, HirFn, HirProgram};
+use crate::hir::{CallEvent, Event, HirFn, HirProgram};
 
 /// std / core module qualifiers that can never name a workspace fn.
 const STD_MODULES: &[&str] = &[
@@ -18,6 +18,49 @@ const STD_MODULES: &[&str] = &[
     "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
     "isize",
 ];
+
+/// std container / string types: a local initialized from one of these
+/// constructors can never be a workspace type, so method calls on it
+/// (`hits.push(..)`, `seen.len()`) must not union with same-named
+/// workspace methods (`PVec::push`, `NvOrderedIndex::len`).
+const STD_CONTAINERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "String",
+];
+
+/// Does every `let` binding of `recv` in `caller` initialize it from a
+/// std container constructor (`Vec::new()`, `vec![..]`, `String::new()`)?
+/// Conservative: any binding with a different (or absent) initializer
+/// keeps name-based resolution in play.
+fn local_is_std_container(caller: &HirFn, recv: &str) -> bool {
+    let mut bound = false;
+    for ev in &caller.events {
+        let Event::Let(l) = ev else { continue };
+        if !l.names.iter().any(|n| n == recv) {
+            continue;
+        }
+        let (a, b) = l.expr;
+        let toks = &caller.tokens[a.min(caller.tokens.len())..b.min(caller.tokens.len())];
+        let std_init = match toks.first() {
+            Some(t) if STD_CONTAINERS.contains(&t.text.as_str()) => {
+                toks.get(1).is_some_and(|t| t.is_punct(':'))
+            }
+            Some(t) if t.is_ident("vec") => toks.get(1).is_some_and(|t| t.is_punct('!')),
+            _ => false,
+        };
+        if !std_init {
+            return false;
+        }
+        bound = true;
+    }
+    bound
+}
 
 /// Call graph: callee candidates per fn name.
 pub struct CallGraph {
@@ -101,9 +144,15 @@ impl CallGraph {
                 return same_file;
             }
         }
-        // Method call on a non-self receiver: require the candidate to be
-        // a method (has self); free call: prefer free fns in the same
-        // file, else all free fns, else everything.
+        // Method call on a non-self receiver: a receiver known to be a
+        // std container resolves to nothing; otherwise require the
+        // candidate to be a method (has self). Free call: prefer free fns
+        // in the same file, else all free fns, else everything.
+        if let Some(recv) = call.recv.as_deref() {
+            if recv != "self" && local_is_std_container(caller, recv) {
+                return Vec::new();
+            }
+        }
         if call.recv.is_some() {
             let methods: Vec<usize> = cands
                 .iter()
@@ -189,6 +238,44 @@ mod tests {
         let r = g.resolve(&p, caller, call);
         assert_eq!(r.len(), 1);
         assert_eq!(p.fns[r[0]].impl_type.as_deref(), Some("Foo"));
+    }
+
+    #[test]
+    fn std_container_locals_resolve_to_nothing() {
+        let p = prog(&[(
+            "crates/a/src/lib.rs",
+            "impl PVec { fn push(&self, v: u64) {} } \
+             fn f() { let hits = Vec::new(); hits.push(1u64); } \
+             fn g(pv: PVec) { pv.push(2u64); }",
+        )]);
+        let g = CallGraph::build(&p);
+        let f = p.fns.iter().find(|f| f.name == "f").unwrap();
+        let call = f
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::hir::Event::Call(c) if c.name == "push" && c.recv.is_some() => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            g.resolve(&p, f, call).is_empty(),
+            "Vec local must not union with PVec::push"
+        );
+        let gfn = p.fns.iter().find(|f| f.name == "g").unwrap();
+        let call = gfn
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::hir::Event::Call(c) if c.name == "push" && c.recv.is_some() => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            g.resolve(&p, gfn, call).len(),
+            1,
+            "unknown receiver keeps name-based resolution"
+        );
     }
 
     #[test]

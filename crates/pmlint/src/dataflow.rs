@@ -180,6 +180,10 @@ impl PersistSummary {
 pub(crate) enum Intrinsic {
     /// Writes without persisting (caller must flush + fence).
     DirtyStore { value_arg: Option<usize> },
+    /// Writes and flushes internally but leaves the fence to the caller
+    /// (`push_unpublished`: durability is batched under the publishing
+    /// fence).
+    StagedStore { value_arg: Option<usize> },
     /// Writes and persists internally (implies a fence).
     DurableStore { value_arg: Option<usize> },
     /// `flush(off, len)` — Dirty → InFlight for all pending.
@@ -228,7 +232,12 @@ pub(crate) fn classify(f: &HirFn, call: &CallEvent) -> Option<Intrinsic> {
                 value_arg: last_arg(call),
             })
         }
-        "store" | "push" | "push_unpublished" | "publish_len" | "append_bytes"
+        "push_unpublished" if (n == 2 || n == 3) && region_arg(f, call, 0) => {
+            Some(Intrinsic::StagedStore {
+                value_arg: last_arg(call),
+            })
+        }
+        "store" | "push" | "publish_len" | "append_bytes"
             if (n == 2 || n == 3) && region_arg(f, call, 0) =>
         {
             Some(Intrinsic::DurableStore {
@@ -373,6 +382,22 @@ fn walk_persist(
                     ),
                     origin_fn: f.id,
                     state: StoreState::Dirty,
+                    chain: Vec::new(),
+                });
+            }
+            Some(Intrinsic::StagedStore { .. }) => {
+                // Written and flushed internally, not fenced: the line
+                // is in flight until the caller's publishing fence.
+                flushed = true;
+                pending.push(PendingStore {
+                    origin: Site::of(
+                        f,
+                        call.line,
+                        call.col,
+                        format!("`{}` in `{}`", call.name, fn_disp(f)),
+                    ),
+                    origin_fn: f.id,
+                    state: StoreState::InFlight,
                     chain: Vec::new(),
                 });
             }
@@ -701,6 +726,9 @@ fn walk_taint(
                         Intrinsic::DirtyStore {
                             value_arg: Some(v), ..
                         }
+                        | Intrinsic::StagedStore {
+                            value_arg: Some(v), ..
+                        }
                         | Intrinsic::DurableStore {
                             value_arg: Some(v), ..
                         },
@@ -925,6 +953,9 @@ pub fn analyze(prog: &HirProgram, ctx: &AnalysisCtx) -> Vec<Finding> {
 
     // Concurrency-safety passes (atomics ordering, lock discipline).
     crate::concurrency::analyze(prog, &graph, ctx, &mut findings);
+
+    // Persistence-cost pass and read-path purity gate (v4).
+    crate::cost::analyze(prog, &graph, &mut findings);
 
     // Stable order + dedupe.
     findings.sort_by(|a, b| {

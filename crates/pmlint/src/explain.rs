@@ -488,6 +488,125 @@ FIX PATTERN
   remains (e.g. `u32::from_le_bytes([b[0], b[1], b[2], b[3]])` instead of
   `.try_into().unwrap()`)."#,
     },
+    RuleDoc {
+        name: "redundant-flush",
+        text: r#"redundant-flush — same line flushed twice with no intervening store
+
+WHY
+  A cache-line write-back (clwb) costs on the order of a hundred
+  nanoseconds on NVM; it dominates the persistence cost of small
+  transactions. Flushing a line that was already flushed — and not
+  re-dirtied by a store in between — pays that cost for nothing. The
+  pattern usually appears when a helper seals its own stores and a caller
+  defensively flushes the same extent again. The analysis inlines callee
+  persistence traces, so the diagnostic names the first flush even when it
+  lives in a helper.
+
+EXAMPLE FINDING
+  crates/storage/src/nv/table.rs:712:14: [redundant-flush] line
+  `region[off]` is flushed again by `flush` in `NvTable::seal_row`
+  (table.rs:712) with no intervening store; the write-back is a no-op —
+  drop it; path: flush `flush` in `seal` (table.rs:640) -> via call to
+  `seal` in `NvTable::seal_row` (table.rs:710) -> flush `flush` in
+  `NvTable::seal_row` (table.rs:712)
+
+FIX PATTERN
+  Delete the second flush and rely on the first:
+      region.write_pod(off, &v)?;
+      seal(region, off)?;   // already flushes `off`
+      region.fence();
+  If the helper's flush is conditional, hoist the condition instead of
+  flushing unconditionally in both places."#,
+    },
+    RuleDoc {
+        name: "dead-flush",
+        text: r#"dead-flush — flush with no reaching store since the last fence
+
+WHY
+  After a fence, every earlier flushed store is durable. A flush issued
+  with no store since that fence has no dirty line it could possibly
+  write back — it is dead code that still occupies a write-back slot and
+  serializes against real flushes in the same epoch. These survive
+  refactors: the store the flush once covered moved or was deleted, and
+  the flush stayed.
+
+EXAMPLE FINDING
+  crates/wal/src/lib.rs:204:14: [dead-flush] flush `flush` in
+  `Wal::sync` (lib.rs:204) has no reaching store since the last fence;
+  every line it could cover is already durable — delete it; path: fence
+  `fence` in `Wal::sync` (lib.rs:201) -> flush `flush` in `Wal::sync`
+  (lib.rs:204)
+
+FIX PATTERN
+  Delete the flush, or move it after the store it is meant to cover:
+      region.write_pod(off, &v)?;
+      region.flush(off, 8)?;    // covers the store above
+      region.fence();"#,
+    },
+    RuleDoc {
+        name: "fence-coalesce",
+        text: r#"fence-coalesce — adjacent fences with no intervening flushed store
+
+WHY
+  sfence drains the store buffer; its cost is paid per instruction, not
+  per line. Two fences with no flushed store between them drain an empty
+  queue the second time. The common shape is `persist` (flush + fence)
+  followed by an explicit `fence`, or two helpers that each fence
+  back-to-back. One fence at the end of the batch gives the identical
+  durability guarantee — this is the transformation behind batched
+  commit stamping (fence once per table, not once per row).
+
+EXAMPLE FINDING
+  crates/txn/src/manager.rs:188:16: [fence-coalesce] fence `fence` in
+  `TxnManager::commit` (manager.rs:188) follows fence `persist` in
+  `TxnManager::commit` (manager.rs:186) with no intervening flushed
+  store; the write-back queue is empty — coalesce into one fence; path:
+  fence `persist` in `TxnManager::commit` (manager.rs:186) -> fence
+  `fence` in `TxnManager::commit` (manager.rs:188)
+
+FIX PATTERN
+  Keep one fence per durability epoch:
+      region.write_pod(a, &x)?;
+      region.flush(a, 8)?;
+      region.write_pod(b, &y)?;
+      region.flush(b, 8)?;
+      region.fence();            // one fence covers both lines
+  When a helper already ends in `persist`, do not fence again in the
+  caller."#,
+    },
+    RuleDoc {
+        name: "read-path-purity",
+        text: r#"read-path-purity — persistence primitive or lock reachable from a read-path root
+
+WHY
+  The instant-restart design keeps reads at DRAM speed: a scan or point
+  lookup must never flush, fence, persist, or take a lock, or read
+  latency inherits NVM write-back and writer-contention costs. A fn
+  annotated `// pmlint: read-path` declares that contract; the gate walks
+  its transitive callees and reports any persistence intrinsic or lock
+  acquisition it can reach. Unresolved calls are assumed pure, so the
+  gate never blocks on code outside the analyzed tree.
+
+EXAMPLE FINDING
+  crates/core/src/db.rs:641:18: [read-path-purity] read-path root
+  `Db::scan_eq` reaches persistence primitive `persist` at
+  crates/core/src/db.rs:641; the read path must issue zero persistence
+  primitives and take no lock; path: `Db::scan_eq` -> `warm_cache`
+
+FIX PATTERN
+  Move the write work off the read path (defer cache warming to the
+  writer or a maintenance task), and replace locks with seqlock-style
+  optimistic reads:
+      // pmlint: read-path
+      pub fn scan_eq(&self, ...) -> Vec<Row> {
+          loop {
+              let s1 = self.seq.load(Ordering::Acquire);
+              if s1 & 1 == 1 { continue; }
+              let out = self.read_rows(...);
+              if self.seq.load(Ordering::Acquire) == s1 { return out; }
+          }
+      }"#,
+    },
 ];
 
 /// Names of every rule with an `--explain` entry.

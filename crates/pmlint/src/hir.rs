@@ -125,6 +125,15 @@ pub struct HirFn {
     /// deliberately persists while holding a lock (an atomic multi-step
     /// protocol), exempting it from the `lock-held-persist` rule.
     pub lock_held_persist: bool,
+    /// Annotated `// pmlint: read-path` — a root of the read-path purity
+    /// gate: everything reachable from it must issue no persistence
+    /// primitive and acquire no lock (rule `read-path-purity`).
+    pub read_path: bool,
+    /// Annotated `// pmlint: read-pure` — a leaf the purity gate trusts:
+    /// the fn models a plain load on real hardware (simulated-region read
+    /// accessors whose internal bookkeeping locks are simulator artefacts),
+    /// so the walk does not descend into it.
+    pub read_pure: bool,
     /// Body tokens (shared slice of the file's tokens).
     pub tokens: Vec<Tok>,
     /// Body events, in execution-ish order.
@@ -171,6 +180,8 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
         flush_helper: bool,
         caller_flushes: bool,
         lock_held_persist: bool,
+        read_path: bool,
+        read_pure: bool,
         sig_start: usize,
         body: Option<Span>,
     }
@@ -263,6 +274,16 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
                                     t.line,
                                     "pmlint: lock-held-persist(",
                                 ),
+                                read_path: has_annotation(
+                                    &lexed.comments,
+                                    t.line,
+                                    "pmlint: read-path",
+                                ),
+                                read_pure: has_annotation(
+                                    &lexed.comments,
+                                    t.line,
+                                    "pmlint: read-pure",
+                                ),
                                 sig_start: i,
                                 body: None,
                             });
@@ -335,6 +356,8 @@ pub fn parse_file(path: &str, source: &str) -> Vec<HirFn> {
             flush_helper: r.flush_helper,
             caller_flushes: r.caller_flushes,
             lock_held_persist: r.lock_held_persist,
+            read_path: r.read_path,
+            read_pure: r.read_pure,
             tokens,
             events,
         });

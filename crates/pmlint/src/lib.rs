@@ -33,6 +33,7 @@ mod allocpath;
 mod callgraph;
 mod concurrency;
 mod config;
+mod cost;
 mod dataflow;
 mod explain;
 mod hir;
@@ -48,6 +49,7 @@ pub use concurrency::{
     RULE_ATOMIC_ORDERING, RULE_GUARD_ESCAPE, RULE_LOCK_CYCLE, RULE_LOCK_HELD_PERSIST,
 };
 pub use config::{Config, CriticalScope};
+pub use cost::{RULE_DEAD_FLUSH, RULE_FENCE_COALESCE, RULE_READ_PATH_PURITY, RULE_REDUNDANT_FLUSH};
 pub use dataflow::{
     analyze, AnalysisCtx, RULE_PERSIST_ORDER, RULE_PUBLISH_BINDING, RULE_UNFLUSHED_ESCAPE,
     RULE_VOLATILE_ESCAPE,

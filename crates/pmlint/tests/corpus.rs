@@ -181,6 +181,30 @@ fn diagnostics_name_store_and_publish_or_sink_sites() {
                         "{name}: pod diagnostic lacks the field type:\n  {f}"
                     );
                 }
+                "redundant-flush" => {
+                    assert!(
+                        f.msg.contains("no intervening store") && f.msg.contains("path: flush"),
+                        "{name}: redundant-flush diagnostic lacks the first flush path:\n  {f}"
+                    );
+                }
+                "dead-flush" => {
+                    assert!(
+                        f.msg.contains("no reaching store"),
+                        "{name}: dead-flush diagnostic lacks the reaching-store claim:\n  {f}"
+                    );
+                }
+                "fence-coalesce" => {
+                    assert!(
+                        f.msg.contains("no intervening flushed store"),
+                        "{name}: fence-coalesce diagnostic lacks the empty-queue claim:\n  {f}"
+                    );
+                }
+                "read-path-purity" => {
+                    assert!(
+                        f.msg.contains("read-path root") && f.msg.contains("path:"),
+                        "{name}: read-path-purity diagnostic lacks the root path:\n  {f}"
+                    );
+                }
                 other => panic!("{name}: unexpected rule {other}: {f}"),
             }
         }

@@ -789,6 +789,32 @@ impl TableStore for NvTable {
         Ok(())
     }
 
+    fn stamp_insert(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        if in_main {
+            return Err(StorageError::MainRowImmutable { row });
+        }
+        let region = self.region();
+        self.delta.begin.store_unfenced(region, i, &cts)?;
+        Ok(())
+    }
+
+    fn stamp_invalidate(&mut self, row: RowId, cts: u64) -> Result<()> {
+        let (in_main, i) = self.split(row)?;
+        let region = self.region();
+        if in_main {
+            self.main_ref()?.end.store_unfenced(region, i, &cts)?;
+        } else {
+            self.delta.end.store_unfenced(region, i, &cts)?;
+        }
+        Ok(())
+    }
+
+    fn commit_fence(&mut self) -> Result<()> {
+        self.region().fence();
+        Ok(())
+    }
+
     fn begin_ts(&self, row: RowId) -> Result<u64> {
         let (in_main, i) = self.split(row)?;
         if in_main {

@@ -64,6 +64,29 @@ pub trait TableStore: Send {
     /// Commit a pending invalidation: end becomes `cts`.
     fn commit_invalidate(&mut self, row: RowId, cts: u64) -> Result<()>;
 
+    /// Stamp a pending insert's begin word with `cts` without draining the
+    /// write-back queue. A batching committer stamps every write of a
+    /// transaction through `stamp_*`, then issues one [`Self::commit_fence`]
+    /// per touched table before publishing — W stamps cost one fence
+    /// instead of W. The default falls back to the fully-persisting
+    /// [`Self::commit_insert`], so stores without a cheaper staged write
+    /// remain correct (their `commit_fence` is a no-op).
+    fn stamp_insert(&mut self, row: RowId, cts: u64) -> Result<()> {
+        self.commit_insert(row, cts)
+    }
+
+    /// Stamp a pending invalidation's end word with `cts` without draining
+    /// the write-back queue. See [`Self::stamp_insert`] for the contract.
+    fn stamp_invalidate(&mut self, row: RowId, cts: u64) -> Result<()> {
+        self.commit_invalidate(row, cts)
+    }
+
+    /// Drain the write-back queue so every previous `stamp_*` is durable.
+    /// No-op by default (the default `stamp_*` already persist fully).
+    fn commit_fence(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// Begin timestamp word of `row`.
     fn begin_ts(&self, row: RowId) -> Result<u64>;
 

@@ -151,11 +151,28 @@ impl TxnManager {
             .checked_add(1)
             .filter(|c| *c <= storage::mvcc::MAX_CTS)
             .ok_or(TxnError::TimestampOverflow)?;
+        // Stamp every write without draining, then drain once per touched
+        // table: W stamps cost one fence per table instead of one each.
+        // The publish below happens-after every drain, so the ordering
+        // contract (all stamps durable before the CTS is visible) holds.
+        let mut touched: Vec<usize> = Vec::new();
         for w in &txn.writes {
-            match *w {
-                WriteOp::Insert { table, row } => tables[table].commit_insert(row, cts)?,
-                WriteOp::Invalidate { table, row } => tables[table].commit_invalidate(row, cts)?,
+            let table = match *w {
+                WriteOp::Insert { table, row } => {
+                    tables[table].stamp_insert(row, cts)?;
+                    table
+                }
+                WriteOp::Invalidate { table, row } => {
+                    tables[table].stamp_invalidate(row, cts)?;
+                    table
+                }
+            };
+            if !touched.contains(&table) {
+                touched.push(table);
             }
+        }
+        for &table in &touched {
+            tables[table].commit_fence()?;
         }
         publish.publish(cts, txn)?;
         self.last_committed = cts;
