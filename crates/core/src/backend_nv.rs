@@ -34,7 +34,12 @@ const CAT_LAST_CTS: u64 = 0;
 const CAT_NTABLES: u64 = 8;
 const CAT_REGISTRY: u64 = 16;
 const CAT_PROGRESS: u64 = 24;
-const CAT_ENTRIES: u64 = 32;
+/// Clean-shutdown marker: non-zero only between a graceful shutdown's
+/// final sync and the next open, which durably clears it before any other
+/// mutation. A restart that finds it set may skip the mvcc undo pass — no
+/// transaction can have been in flight.
+const CAT_CLEAN: u64 = 32;
+const CAT_ENTRIES: u64 = 40;
 const CAT_ENTRY_STRIDE: u64 = 24;
 const CAT_SIZE: u64 = CAT_ENTRIES + MAX_TABLES as u64 * CAT_ENTRY_STRIDE;
 
@@ -168,7 +173,12 @@ impl AttachParts {
 impl NvBackend {
     /// Format a fresh region and create an empty catalogue.
     pub fn create(capacity: u64, latency: LatencyModel) -> Result<NvBackend> {
-        let region = Arc::new(NvmRegion::new(capacity, latency));
+        Self::create_on_region(Arc::new(NvmRegion::new(capacity, latency)))
+    }
+
+    /// Format a caller-built region (simulated or file-backed) and create
+    /// an empty catalogue on it.
+    pub fn create_on_region(region: Arc<NvmRegion>) -> Result<NvBackend> {
         let heap = NvmHeap::format(region)?;
         let catalog = heap.alloc(CAT_SIZE)?;
         let registry = TxnRegistry::create(&heap)?;
@@ -177,6 +187,7 @@ impl NvBackend {
         r.write_pod(catalog + CAT_NTABLES, &0u64)?;
         r.write_pod(catalog + CAT_REGISTRY, &registry.base_offset())?;
         r.write_pod(catalog + CAT_PROGRESS, &0u64)?;
+        r.write_pod(catalog + CAT_CLEAN, &0u64)?;
         r.persist(catalog, CAT_ENTRIES)?;
         heap.set_root(catalog)?;
         Ok(NvBackend {
@@ -386,6 +397,16 @@ impl NvBackend {
             .heap
             .region()
             .load_u64_acquire(self.catalog + CAT_PROGRESS)?)
+    }
+
+    /// Durably set the clean-shutdown marker. Called by
+    /// [`Database::shutdown`](crate::Database::shutdown) after the last
+    /// transaction; the next open clears it and skips the undo pass.
+    pub(crate) fn mark_clean_shutdown(&self) -> Result<()> {
+        let r = self.heap.region();
+        r.write_pod(self.catalog + CAT_CLEAN, &1u64)?;
+        r.persist(self.catalog + CAT_CLEAN, 8)?;
+        Ok(())
     }
 
     /// Zero the recovery-progress word: recovery completed. The single
@@ -722,6 +743,25 @@ impl NvBackend {
 /// Runs before the backend is attached, straight off the heap root; if no
 /// catalogue root is published yet the attach will fail anyway, so the
 /// attempt is reported as 0 and nothing is written.
+/// Read the clean-shutdown marker and, if set, durably clear it before
+/// returning — the marker must never survive into the run it admits, or a
+/// later hard crash would masquerade as clean. Returns whether the previous
+/// process shut down gracefully. A region with no catalogue root reports
+/// `false`.
+pub(crate) fn take_clean_shutdown(heap: &NvmHeap) -> Result<bool> {
+    let catalog = heap.root()?;
+    if catalog == 0 {
+        return Ok(false);
+    }
+    let r = heap.region();
+    let clean: u64 = r.read_pod(catalog + CAT_CLEAN)?;
+    if clean != 0 {
+        r.write_pod(catalog + CAT_CLEAN, &0u64)?;
+        r.persist(catalog + CAT_CLEAN, 8)?;
+    }
+    Ok(clean != 0)
+}
+
 pub(crate) fn begin_recovery_attempt(heap: &NvmHeap) -> Result<u64> {
     let catalog = heap.root()?;
     if catalog == 0 {

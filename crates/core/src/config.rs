@@ -69,6 +69,22 @@ pub enum DurabilityConfig {
         /// clock as the NVM primitives).
         wal: WalConfig,
     },
+    /// Hyrise-NV on a real file: all primary data in a `MAP_SHARED` mmap
+    /// of `path`, the engine's first durability backend whose bytes
+    /// survive actual process death. Fences become `msync(MS_SYNC)` over
+    /// the flushed lines. With `wal: Some(..)`, a shadow write-ahead log
+    /// rides along exactly as in [`DurabilityConfig::NvmWithWal`],
+    /// providing recovery rung 2 for media damage in the file.
+    NvmFile {
+        /// Path of the backing file (created and grown on first open).
+        path: PathBuf,
+        /// Region capacity in bytes.
+        capacity: u64,
+        /// Latency model charged by persistence primitives.
+        latency: LatencyModel,
+        /// Optional shadow log (rung-2 media recovery).
+        wal: Option<WalConfig>,
+    },
     /// Log-based baseline: DRAM tables + WAL + checkpoints.
     Wal(WalConfig),
     /// No durability (upper-bound throughput reference).
@@ -103,11 +119,42 @@ impl DurabilityConfig {
         }
     }
 
+    /// File-backed NVM region at `path` (no shadow WAL).
+    pub fn nvm_file(
+        path: impl Into<PathBuf>,
+        capacity: u64,
+        latency: LatencyModel,
+    ) -> DurabilityConfig {
+        DurabilityConfig::NvmFile {
+            path: path.into(),
+            capacity,
+            latency,
+            wal: None,
+        }
+    }
+
+    /// File-backed NVM region at `path` plus a shadow WAL in a fresh temp
+    /// directory.
+    pub fn nvm_file_with_wal(
+        path: impl Into<PathBuf>,
+        capacity: u64,
+        latency: LatencyModel,
+    ) -> DurabilityConfig {
+        DurabilityConfig::NvmFile {
+            path: path.into(),
+            capacity,
+            latency,
+            wal: Some(WalConfig::temp()),
+        }
+    }
+
     /// Short name used in reports.
     pub fn mode_name(&self) -> &'static str {
         match self {
             DurabilityConfig::Nvm { .. } => "nvm",
             DurabilityConfig::NvmWithWal { .. } => "nvm+wal",
+            DurabilityConfig::NvmFile { wal: None, .. } => "nvm-file",
+            DurabilityConfig::NvmFile { wal: Some(_), .. } => "nvm-file+wal",
             DurabilityConfig::Wal(_) => "wal",
             DurabilityConfig::Volatile => "volatile",
         }

@@ -51,6 +51,7 @@ mod health;
 mod query;
 mod report;
 mod shadow_wal;
+pub mod torture;
 mod txn_registry;
 
 pub use backend_nv::NvBackend;

@@ -102,6 +102,10 @@ pub struct RecoveryReport {
     pub health: HealthState,
     /// Heap utilization after recovery (0.0 off the NVM backend).
     pub utilization: f64,
+    /// True if the previous process set the clean-shutdown marker (graceful
+    /// SIGTERM path): no transaction was in flight, so the mvcc undo pass
+    /// was skipped. Always false after a hard crash.
+    pub clean_shutdown: bool,
     /// Recovery attempt number read from the persistent progress word as
     /// this recovery began: 1 = clean first attempt, >1 = re-entrant (an
     /// earlier attempt was itself cut short by a crash), 0 = not

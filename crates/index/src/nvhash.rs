@@ -236,6 +236,35 @@ impl NvHashIndex {
         Ok(())
     }
 
+    /// The labelled persistent extents of this index — one checksummed run
+    /// per chain entry, for media-fault harnesses that target real bytes
+    /// (the file-backed backend corrupts these offsets in the closed image
+    /// file to force a rung-1 rebuild).
+    pub fn media_extents(&self) -> Result<Vec<storage::nv::MediaExtent>> {
+        let region = self.heap.region();
+        let mut out = Vec::new();
+        for b in 0..self.nbuckets {
+            let mut cur: u64 = region.read_pod(self.buckets + b * 8)?;
+            let mut hops = 0u64;
+            while cur != 0 {
+                if hops > 1 << 32 {
+                    return Err(StorageError::Corrupt {
+                        reason: "hash index chain cycle",
+                    });
+                }
+                hops += 1;
+                out.push(storage::nv::MediaExtent {
+                    what: "hash-index-entry",
+                    offset: cur,
+                    len: ENTRY_SIZE,
+                    checksummed: true,
+                });
+                cur = region.read_pod(cur + E_NEXT)?;
+            }
+        }
+        Ok(out)
+    }
+
     /// Check index↔table agreement: every entry must point at an in-bounds
     /// row whose current key hashes to the entry's stored hash, and every
     /// physical table row must be reachable through a lookup of its key.

@@ -371,6 +371,33 @@ impl NvOrderedIndex {
         Ok(())
     }
 
+    /// The labelled persistent extents of this index — one checksummed run
+    /// per skip-list node, for media-fault harnesses that target real bytes
+    /// (the file-backed backend corrupts these offsets in the closed image
+    /// file to force a rung-1 rebuild).
+    pub fn media_extents(&self) -> Result<Vec<storage::nv::MediaExtent>> {
+        let region = self.heap.region();
+        let mut out = Vec::new();
+        let mut cur: u64 = region.read_pod(self.desc + D_HEAD)?;
+        let mut hops = 0u64;
+        while cur != 0 {
+            if hops > 1 << 32 {
+                return Err(StorageError::Corrupt {
+                    reason: "ordered index level-0 cycle",
+                });
+            }
+            hops += 1;
+            out.push(storage::nv::MediaExtent {
+                what: "ordered-index-node",
+                offset: cur,
+                len: NODE_SIZE,
+                checksummed: true,
+            });
+            cur = region.read_pod(cur + NODE_NEXT)?;
+        }
+        Ok(out)
+    }
+
     /// Check index↔table agreement: walk the level-0 list (the durable
     /// truth) verifying order, bounds, and that each entry's key equals its
     /// row's current column value; then confirm every physical table row is

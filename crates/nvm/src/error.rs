@@ -77,6 +77,14 @@ pub enum NvmError {
         /// Required alignment in bytes.
         align: u64,
     },
+    /// An operating-system call on the file-backed region failed (open,
+    /// ftruncate, mmap, msync). The simulated backend never raises this.
+    Io {
+        /// The syscall or operation that failed.
+        op: &'static str,
+        /// OS error text (from `errno`) plus any path context.
+        detail: String,
+    },
     /// A persistent structure's stored checksum does not match the bytes it
     /// covers: the medium returned wrong data (bit rot, torn line, scribble).
     ChecksumMismatch {
@@ -131,6 +139,9 @@ impl fmt::Display for NvmError {
                 f,
                 "unaligned atomic access at offset {offset} (requires {align}-byte alignment)"
             ),
+            NvmError::Io { op, detail } => {
+                write!(f, "file-backed region {op} failed: {detail}")
+            }
             NvmError::ChecksumMismatch {
                 what,
                 offset,

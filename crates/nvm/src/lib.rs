@@ -46,6 +46,7 @@ mod fault;
 mod heap;
 mod latency;
 mod layout;
+mod mmap;
 mod parray;
 mod pod;
 mod protocol;
@@ -64,6 +65,9 @@ pub use fault::{AllocFaultClass, AllocFaultSpec, FaultClass, FaultSpec};
 pub use heap::{HeapStats, NvmHeap};
 pub use latency::{LatencyModel, SimClock};
 pub use layout::{align_up, line_index, CACHE_LINE};
+pub use mmap::{
+    arm_kill_at_fence, install_sigterm_hook, raise_sigkill, send_sigterm, sigterm_seen,
+};
 pub use parray::PArray;
 pub use pod::Pod;
 pub use protocol::{
@@ -74,7 +78,7 @@ pub use protocol::{
 pub use pslab::{PSlab, PSLAB_HEADER};
 pub use pvar::PVar;
 pub use pvec::{PVec, PVEC_HEADER};
-pub use region::{CrashPolicy, NvmRegion};
+pub use region::{CrashPolicy, NvmConfig, NvmRegion, RegionBacking};
 pub use schedule::{CrashOutcome, CrashPoint, CrashSchedule, MidEpochSurvival};
 pub use seqlock::SeqLock;
 pub use stats::{NvmStats, StatsSnapshot};

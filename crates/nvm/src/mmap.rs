@@ -1,0 +1,313 @@
+//! File-backed mapped image: hand-rolled `extern "C"` bindings for
+//! `mmap`/`msync`/`munmap`/`ftruncate` (plus the `raise`/`signal` process
+//! primitives the out-of-process crash harness needs), keeping the
+//! workspace's zero-registry-deps property.
+//!
+//! The mapping is `MAP_SHARED`, so stores land in the kernel page cache and
+//! survive a `kill -9` of the writing process; only an `msync(MS_SYNC)` —
+//! issued by the region at fence boundaries — makes them survive power loss.
+//! That asymmetry (process death keeps everything, power loss keeps only the
+//! synced prefix) is the real-hardware behaviour the simulated backend's
+//! `CrashPolicy` models adversarially; DESIGN.md discusses the mapping.
+
+use std::ffi::c_void;
+use std::fs::{File, OpenOptions};
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::{NvmError, Result};
+
+const PROT_READ: i32 = 0x1;
+const PROT_WRITE: i32 = 0x2;
+const MAP_SHARED: i32 = 0x01;
+const MS_SYNC: i32 = 0x4;
+const SIGKILL: i32 = 9;
+const SIGTERM: i32 = 15;
+/// glibc/musl `_SC_PAGESIZE`.
+const SC_PAGESIZE: i32 = 30;
+
+// SAFETY: each declaration matches the POSIX C prototype exactly (checked
+// against `man 2 mmap`/`msync`/`munmap`/`ftruncate`/`raise`/`signal`/
+// `man 3 sysconf` on Linux glibc and musl); all are plain syscall wrappers
+// with no callback or ownership transfer beyond what each call site states.
+extern "C" {
+    // SAFETY: callers pass a null hint, a length > 0, and a file descriptor
+    // they own; the returned mapping (or MAP_FAILED) is checked before use.
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    // SAFETY: callers pass exactly the pointer/length pair a successful
+    // `mmap` returned; the mapping is not touched afterwards.
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+    // SAFETY: callers pass a page-aligned pointer inside a live mapping and
+    // a length that stays within it.
+    fn msync(addr: *mut c_void, length: usize, flags: i32) -> i32;
+    fn ftruncate(fd: i32, length: i64) -> i32;
+    fn sysconf(name: i32) -> i64;
+    fn raise(sig: i32) -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+/// Build an [`NvmError::Io`] from the calling thread's `errno`.
+fn io_err(op: &'static str) -> NvmError {
+    NvmError::Io {
+        op,
+        detail: std::io::Error::last_os_error().to_string(),
+    }
+}
+
+/// The system page size (msync granularity); falls back to 4096 if
+/// `sysconf` refuses to answer.
+pub(crate) fn page_size() -> usize {
+    // SAFETY: sysconf(_SC_PAGESIZE) reads a static configuration value and
+    // touches no caller memory.
+    let n = unsafe { sysconf(SC_PAGESIZE) };
+    if n > 0 {
+        n as usize
+    } else {
+        4096
+    }
+}
+
+/// A `MAP_SHARED` read-write mapping of a regular file, grown to a fixed
+/// length at open time.
+pub(crate) struct MmapFile {
+    ptr: *mut u8,
+    len: usize,
+    page: usize,
+    /// Keeps the fd alive for the lifetime of the mapping (not strictly
+    /// required by POSIX, but it keeps the file pinned for diagnostics).
+    _file: File,
+}
+
+// SAFETY: the raw mapping pointer is plain memory with no thread affinity;
+// moving the owning struct to another thread transfers exclusive ownership
+// of the mapping, and all mutable access is serialized by the region's
+// images lock.
+unsafe impl Send for MmapFile {}
+// SAFETY: shared `&MmapFile` access is sound across threads because every
+// byte-level mutation goes through `&mut self` (ordered by the region's
+// images RwLock) and the only concurrent word accesses are `AtomicU64`
+// operations, which synchronize themselves.
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Open (creating if needed) `path`, grow it to `len` bytes with
+    /// `ftruncate`, and map it shared read-write.
+    pub(crate) fn open(path: &Path, len: u64) -> Result<MmapFile> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| NvmError::Io {
+                op: "open",
+                detail: format!("{}: {e}", path.display()),
+            })?;
+        let page = page_size();
+        let map_len = (len as usize).div_ceil(page) * page;
+        // SAFETY: the fd is open read-write and owned by `file`; extending
+        // the file before mapping guarantees every mapped page is backed,
+        // so later stores cannot SIGBUS.
+        if unsafe { ftruncate(file.as_raw_fd(), map_len as i64) } != 0 {
+            return Err(io_err("ftruncate"));
+        }
+        // SAFETY: null address hint, a non-zero page-rounded length, a
+        // valid fd sized to cover the whole mapping, and offset 0; the
+        // result is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                map_len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io_err("mmap"));
+        }
+        Ok(MmapFile {
+            ptr: ptr as *mut u8,
+            len: map_len,
+            page,
+            _file: file,
+        })
+    }
+
+    /// The whole mapping as a byte slice.
+    #[inline]
+    pub(crate) fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of `len` initialized bytes for
+        // the lifetime of `self`; mixed atomic/non-atomic access is ordered
+        // by the region's images lock.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The whole mapping as a mutable byte slice.
+    #[inline]
+    // pmlint: flush-helper
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `bytes`, with exclusivity guaranteed by `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// The aligned `AtomicU64` word covering byte offset `off`. Callers
+    /// must have bounds- and alignment-checked `off` already.
+    #[inline]
+    pub(crate) fn word(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(off.is_multiple_of(8) && off + 8 <= self.len);
+        // SAFETY: the mapping is page-aligned so `ptr + off` is 8-aligned
+        // for the 8-aligned `off` the caller checked; `AtomicU64` has the
+        // same representation as `u64`, and concurrent access through the
+        // atomic is synchronized by the atomic operations themselves.
+        unsafe { &*(self.ptr.add(off) as *const AtomicU64) }
+    }
+
+    /// `msync(MS_SYNC)` the page-rounded span covering `[off, off+len)`.
+    pub(crate) fn msync_range(&self, off: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let start = (off / self.page) * self.page;
+        let end = (off + len).min(self.len).div_ceil(self.page) * self.page;
+        let end = end.min(self.len);
+        // SAFETY: `start` is page-aligned and `end <= self.len`, so the
+        // span lies inside the live mapping.
+        if unsafe { msync(self.ptr.add(start) as *mut c_void, end - start, MS_SYNC) } != 0 {
+            return Err(io_err("msync"));
+        }
+        Ok(())
+    }
+
+    /// `msync(MS_SYNC)` the entire mapping.
+    pub(crate) fn sync_all(&self) -> Result<()> {
+        self.msync_range(0, self.len)
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` are exactly what `mmap` returned, and the
+        // mapping is never touched after this point.
+        let rc = unsafe { munmap(self.ptr as *mut c_void, self.len) };
+        debug_assert_eq!(rc, 0, "munmap failed");
+    }
+}
+
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+static KILL_AT_FENCE: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // Async-signal-safe: a single atomic store, no allocation, no locks.
+    SIGTERM_SEEN.store(true, Ordering::Release);
+}
+
+/// Install a SIGTERM handler that records the request in a flag instead of
+/// killing the process, so a long-running child can finish the current
+/// transaction and take the graceful-shutdown fast path. Used by the
+/// out-of-process torture harness.
+pub fn install_sigterm_hook() {
+    // SAFETY: the handler is an `extern "C" fn(i32)` doing one atomic
+    // store (async-signal-safe per signal-safety(7)); passing it as the
+    // address `signal` expects matches the C prototype.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+/// True once SIGTERM has been delivered after [`install_sigterm_hook`].
+pub fn sigterm_seen() -> bool {
+    SIGTERM_SEEN.load(Ordering::Acquire)
+}
+
+/// Deliver SIGKILL to the calling process: the hard-crash primitive of the
+/// torture harness. Never returns (the process dies before `raise` does).
+pub fn raise_sigkill() {
+    // SAFETY: raise(2) with a valid signal number has no preconditions.
+    unsafe {
+        raise(SIGKILL);
+    }
+}
+
+/// Deliver SIGTERM to another process (the graceful-shutdown request of the
+/// out-of-process harness). Returns false if the signal could not be sent.
+pub fn send_sigterm(pid: u32) -> bool {
+    // SAFETY: kill(2) with a concrete pid and valid signal number touches no
+    // caller memory; a stale pid at worst returns ESRCH.
+    unsafe { kill(pid as i32, SIGTERM) == 0 }
+}
+
+/// Arm a process-wide deterministic kill: the `n`th [`fence`] observed from
+/// now (1-based, across every region in the process) delivers SIGKILL to
+/// the process before any of that fence's write-back work runs. `0`
+/// disarms. This is the real-process analogue of
+/// [`CrashPoint::AtFence`](crate::CrashPoint) — the page cache survives the
+/// kill, so the reopened image holds every store issued before the fatal
+/// fence, synced or not.
+///
+/// [`fence`]: crate::NvmRegion::fence
+pub fn arm_kill_at_fence(n: u64) {
+    KILL_AT_FENCE.store(n, Ordering::Relaxed);
+}
+
+/// Count one fence against an armed [`arm_kill_at_fence`] countdown,
+/// killing the process when it reaches the armed fence. Called by
+/// [`NvmRegion::fence`](crate::NvmRegion::fence); a no-op while disarmed.
+pub(crate) fn fence_kill_tick() {
+    if KILL_AT_FENCE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    if KILL_AT_FENCE.fetch_sub(1, Ordering::Relaxed) == 1 {
+        raise_sigkill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_through_file() {
+        let path = std::env::temp_dir().join(format!("nvm-mmap-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut m = MmapFile::open(&path, 8192).unwrap();
+            m.bytes_mut()[100..104].copy_from_slice(b"abcd");
+            m.word(0).store(0xFEED, Ordering::Release);
+            m.sync_all().unwrap();
+        }
+        {
+            let m = MmapFile::open(&path, 8192).unwrap();
+            assert_eq!(&m.bytes()[100..104], b"abcd");
+            assert_eq!(m.word(0).load(Ordering::Acquire), 0xFEED);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn msync_range_page_rounds() {
+        let path = std::env::temp_dir().join(format!("nvm-msync-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut m = MmapFile::open(&path, 4096 * 3).unwrap();
+        m.bytes_mut()[5000] = 7;
+        m.msync_range(5000, 1).unwrap();
+        m.msync_range(0, usize::MAX / 2).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn page_size_sane() {
+        let p = page_size();
+        assert!(p >= 512 && p.is_power_of_two());
+    }
+}

@@ -1,0 +1,24 @@
+//! Clean twin of m38: the block documents where the prototypes were
+//! verified and the raw-pointer declaration carries the pointer contract
+//! its call sites rely on.
+
+// SAFETY: each declaration matches the POSIX C prototype exactly
+// (checked against `man 2 msync` / `man 2 sched_yield` on Linux glibc
+// and musl); both are plain syscall wrappers.
+extern "C" {
+    // SAFETY: callers pass a page-aligned pointer inside a live mapping
+    // and a length that stays within it.
+    fn msync(addr: *mut u8, length: usize, flags: i32) -> i32;
+    fn sched_yield() -> i32;
+}
+
+pub fn sync_hint() -> i32 {
+    // SAFETY: no arguments, no caller memory touched.
+    unsafe { sched_yield() }
+}
+
+pub fn sync_range(addr: *mut u8, len: usize) -> i32 {
+    // SAFETY: callers pass a live page-aligned mapping of at least `len`
+    // bytes; MS_SYNC = 4 on Linux.
+    unsafe { msync(addr, len, 4) }
+}

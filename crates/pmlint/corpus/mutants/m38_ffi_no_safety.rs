@@ -1,0 +1,20 @@
+//! Seeded bug: hand-rolled FFI bindings with no SAFETY argument — the
+//! block never says where the prototypes were verified, and the
+//! raw-pointer `msync` declaration never states the pointer contract the
+//! durability path relies on.
+
+extern "C" { //~ ffi-safety-comment
+    fn msync(addr: *mut u8, length: usize, flags: i32) -> i32; //~ ffi-safety-comment
+    fn sched_yield() -> i32;
+}
+
+pub fn sync_hint() -> i32 {
+    // SAFETY: no arguments, no caller memory touched.
+    unsafe { sched_yield() }
+}
+
+pub fn sync_range(addr: *mut u8, len: usize) -> i32 {
+    // SAFETY: callers pass a live page-aligned mapping of at least `len`
+    // bytes; MS_SYNC = 4 on Linux.
+    unsafe { msync(addr, len, 4) }
+}

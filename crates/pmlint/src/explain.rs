@@ -239,6 +239,39 @@ FIX PATTERN
       unsafe { … }"#,
     },
     RuleDoc {
+        name: "ffi-safety-comment",
+        text: r#"ffi-safety-comment — foreign declarations without a SAFETY argument
+
+WHY
+  A foreign `extern` block is an unchecked trust boundary: the compiler
+  verifies nothing against the C side, so a wrong parameter type or a
+  missed out-parameter is silent undefined behaviour at every call. The
+  zero-dependency mmap backend hand-declares mmap/msync/munmap — exactly
+  the calls that hand the kernel a pointer into the persistent image. The
+  block must carry a `// SAFETY:` comment saying where each prototype was
+  verified, and every foreign fn whose signature carries raw pointers
+  must state the pointer contract (validity, length, ownership) its call
+  sites rely on. `extern crate` and `extern "C" fn` definitions declare
+  nothing foreign and are exempt.
+
+EXAMPLE FINDING
+  crates/nvm/src/mmap.rs:34:1: [ffi-safety-comment] foreign `extern`
+  block without a `// SAFETY:` comment — the compiler checks nothing
+  against the C side; state where each prototype was verified
+
+FIX PATTERN
+  // SAFETY: each declaration matches the POSIX C prototype exactly
+  // (checked against `man 2 mmap` on Linux glibc and musl).
+  extern "C" {
+      // SAFETY: callers pass a null hint, a length > 0, and an owned fd;
+      // the returned mapping (or MAP_FAILED) is checked before use.
+      fn mmap(addr: *mut c_void, length: usize, prot: i32, flags: i32,
+              fd: i32, offset: i64) -> *mut c_void;
+      fn ftruncate(fd: i32, length: i64) -> i32;  // no pointers: block
+                                                  // comment suffices
+  }"#,
+    },
+    RuleDoc {
         name: "no-get-unchecked",
         text: r#"no-get-unchecked — get_unchecked in engine code
 

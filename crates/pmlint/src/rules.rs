@@ -35,6 +35,13 @@
 //!   (`Cell`, `RefCell`, `UnsafeCell`, `Mutex`, `RwLock`, `Atomic*`).
 //!   Pod types are raw bytes on the medium; interior-mutability state
 //!   (lock words, atomic flags) must not be persisted.
+//! * `ffi-safety-comment` — a foreign `extern` block without a
+//!   `// SAFETY:` comment above it, or a foreign fn whose signature
+//!   carries raw pointers without its own `// SAFETY:` comment. Foreign
+//!   declarations are unchecked trust boundaries (the compiler verifies
+//!   nothing against the C side); the prototype-match and pointer
+//!   contracts must be written down. `extern crate` and `extern "C" fn`
+//!   definitions are not foreign blocks and are exempt.
 //!
 //! A tree-level rule (`publish-once-media`) lives in
 //! [`media_findings`](crate::media_findings): every checksummed store
@@ -313,6 +320,9 @@ pub fn lint_source(path: &str, source: &str, cfg: &Config) -> (Vec<Finding>, Fil
                         attr_test = false;
                         attrs.clear();
                     }
+                    "extern" => {
+                        check_extern_block(toks, i, &lexed.comments, &lines, &mut emit);
+                    }
                     "unsafe" => {
                         check_safety_comment(&lexed.comments, &lines, t, &mut emit);
                         if let Some(imp) = parse_pod_impl(toks, i) {
@@ -500,17 +510,12 @@ fn has_annotation(comments: &HashMap<u32, String>, line: u32, needle: &str) -> b
     false
 }
 
-/// `unsafe` must carry a `// SAFETY:` comment (or a `# Safety` doc
-/// section) on its line or in the comment/attribute block directly above.
-fn check_safety_comment(
-    comments: &HashMap<u32, String>,
-    lines: &[&str],
-    t: &Tok,
-    emit: &mut impl FnMut(&'static str, &Tok, String),
-) {
+/// Is there a `// SAFETY:` comment (or `# Safety` doc section) on `t`'s
+/// line or in the comment/attribute block directly above it?
+fn has_safety_comment(comments: &HashMap<u32, String>, lines: &[&str], t: &Tok) -> bool {
     let ok_comment = |c: &str| c.contains("SAFETY:") || c.contains("# Safety");
     if comments.get(&t.line).is_some_and(|c| ok_comment(c)) {
-        return;
+        return true;
     }
     let mut l = t.line;
     while l > 1 {
@@ -524,7 +529,7 @@ fn check_safety_comment(
         }
         if raw.starts_with("//") {
             if comments.get(&l).is_some_and(|c| ok_comment(c)) {
-                return;
+                return true;
             }
             continue;
         }
@@ -533,11 +538,102 @@ fn check_safety_comment(
         }
         break; // hit code — the comment block (if any) ended
     }
-    emit(
-        "unsafe-safety-comment",
-        t,
-        "`unsafe` without a `// SAFETY:` comment justifying it".to_owned(),
-    );
+    false
+}
+
+/// `unsafe` must carry a `// SAFETY:` comment (or a `# Safety` doc
+/// section) on its line or in the comment/attribute block directly above.
+fn check_safety_comment(
+    comments: &HashMap<u32, String>,
+    lines: &[&str],
+    t: &Tok,
+    emit: &mut impl FnMut(&'static str, &Tok, String),
+) {
+    if !has_safety_comment(comments, lines, t) {
+        emit(
+            "unsafe-safety-comment",
+            t,
+            "`unsafe` without a `// SAFETY:` comment justifying it".to_owned(),
+        );
+    }
+}
+
+/// At the index of an `extern` token, detect a foreign block (`extern
+/// "C" { … }` or bare `extern { … }`) and enforce the FFI SAFETY
+/// discipline: a `// SAFETY:` comment above the block arguing that the
+/// declarations match the C prototypes, plus one above every foreign fn
+/// whose signature carries raw pointers (the pointer contract call sites
+/// rely on). `extern crate`, `extern "C" fn` definitions, and
+/// `extern "C" fn(..)` pointer types open no foreign block and are
+/// skipped.
+fn check_extern_block(
+    toks: &[Tok],
+    i: usize,
+    comments: &HashMap<u32, String>,
+    lines: &[&str],
+    emit: &mut impl FnMut(&'static str, &Tok, String),
+) {
+    let t = &toks[i];
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|n| n.kind == TokKind::Str) {
+        j += 1; // the optional ABI string, `extern "C"`
+    }
+    if !toks.get(j).is_some_and(|n| n.is_punct('{')) {
+        return; // not a foreign block
+    }
+    if !has_safety_comment(comments, lines, t) {
+        emit(
+            "ffi-safety-comment",
+            t,
+            "foreign `extern` block without a `// SAFETY:` comment — the compiler checks \
+             nothing against the C side; state where each prototype was verified"
+                .to_owned(),
+        );
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        let tk = &toks[j];
+        match tk.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident if tk.text == "fn" && depth == 1 => {
+                let Some(name) = toks.get(j + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    j += 1;
+                    continue;
+                };
+                // Foreign fns have no body: the signature runs to `;`.
+                let mut k = j + 2;
+                let mut raw_ptr = false;
+                while k < toks.len() && !toks[k].is_punct(';') {
+                    if toks[k].is_punct('*') {
+                        raw_ptr = true;
+                    }
+                    k += 1;
+                }
+                if raw_ptr && !has_safety_comment(comments, lines, tk) {
+                    emit(
+                        "ffi-safety-comment",
+                        name,
+                        format!(
+                            "foreign fn `{}` passes raw pointers without a `// SAFETY:` comment \
+                             above it — state the pointer contract call sites rely on (validity, \
+                             length, ownership)",
+                            name.text
+                        ),
+                    );
+                }
+                j = k;
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
 }
 
 /// At the index of an `unsafe` token, parse `unsafe impl [<…>] [path::]Pod

@@ -19,9 +19,13 @@ use pmlint::{analyze_sources, lint_source, AnalysisCtx, Config, Finding};
 const CORPUS_LABELS: &[&str] = &["cts", "root", "seq"];
 const RELEASED_LABELS: &[&str] = &["seq"];
 
-/// The two syntactic concurrency rules that ride along with the
-/// interprocedural analyses in the corpus run.
-const SYNTACTIC_RULES: &[&str] = &["send-sync-justification", "pod-interior-mutability"];
+/// The syntactic rules that ride along with the interprocedural
+/// analyses in the corpus run.
+const SYNTACTIC_RULES: &[&str] = &[
+    "send-sync-justification",
+    "pod-interior-mutability",
+    "ffi-safety-comment",
+];
 
 fn corpus_dir(half: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -179,6 +183,12 @@ fn diagnostics_name_store_and_publish_or_sink_sites() {
                     assert!(
                         f.msg.contains("interior-mutable"),
                         "{name}: pod diagnostic lacks the field type:\n  {f}"
+                    );
+                }
+                "ffi-safety-comment" => {
+                    assert!(
+                        f.msg.contains("SAFETY"),
+                        "{name}: ffi diagnostic lacks the missing-comment claim:\n  {f}"
                     );
                 }
                 "redundant-flush" => {

@@ -1,0 +1,17 @@
+//! Seeded violations: a foreign block without a block-level `// SAFETY:`
+//! comment, and a raw-pointer foreign fn without its own; the annotated
+//! twin below and the `extern "C" fn` definition must stay clean.
+
+extern "C" {
+    fn memmove(dst: *mut u8, src: *const u8, n: usize) -> *mut u8;
+    fn getpid() -> i32;
+}
+
+// SAFETY: prototypes checked against `man 2 munmap` / `man 2 getppid`.
+extern "C" {
+    // SAFETY: callers pass exactly the pointer/length pair mmap returned.
+    fn munmap(addr: *mut u8, length: usize) -> i32;
+    fn getppid() -> i32;
+}
+
+pub extern "C" fn on_signal(_sig: i32) {}

@@ -89,6 +89,36 @@ fn detects_unsafe_without_safety_comment() {
     assert_single(&findings, "unsafe-safety-comment", 4, 5);
 }
 
+/// Both firing modes of the FFI rule, span-asserted: the block-level
+/// finding anchors on `extern`, the per-fn finding on the raw-pointer
+/// foreign fn's name. The SAFETY-annotated twin block and the
+/// `extern "C" fn` definition in the same fixture must stay clean.
+#[test]
+fn detects_ffi_without_safety_comments() {
+    let findings = lint_fixture("ffi_no_safety.rs", &Config::empty());
+    assert_eq!(
+        findings.len(),
+        2,
+        "expected exactly two findings: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, "ffi-safety-comment");
+    assert_eq!(
+        (findings[0].line, findings[0].col),
+        (5, 1),
+        "wrong block span: {:?}",
+        findings[0]
+    );
+    assert!(findings[0].msg.contains("foreign `extern` block"));
+    assert_eq!(findings[1].rule, "ffi-safety-comment");
+    assert_eq!(
+        (findings[1].line, findings[1].col),
+        (6, 8),
+        "wrong fn span: {:?}",
+        findings[1]
+    );
+    assert!(findings[1].msg.contains("`memmove`"));
+}
+
 #[test]
 fn detects_get_unchecked() {
     let findings = lint_fixture("get_unchecked.rs", &Config::empty());

@@ -16,10 +16,13 @@
 //!   checkpoint codecs.
 //! * [`json`] — just enough JSON emission for the benchmark result rows.
 //! * [`hash`] — FNV-1a, used for image fingerprints and header checksums.
+//! * [`repro`] — bounded, deduplicating JSONL replay-artifact writer shared
+//!   by the torture suites (keeps `results/` from growing without limit).
 
 pub mod buf;
 pub mod hash;
 pub mod json;
+pub mod repro;
 pub mod rng;
 pub mod sync;
 

@@ -1,0 +1,120 @@
+//! Bounded replay-artifact writer for the torture harnesses.
+//!
+//! Every torture suite appends one JSONL line per failure so a violation
+//! reproduces with a single targeted run. Unbounded append-only files grow
+//! without limit when a flaky environment re-hits the same seed, so this
+//! writer (a) **dedupes** by `(suite, seed)` — a new line for a seed the
+//! file already records replaces the old one — and (b) **rotates**: the
+//! file keeps at most [`MAX_LINES`] lines, dropping the oldest first.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Hard cap on lines per repro file; the oldest lines rotate out first.
+pub const MAX_LINES: usize = 256;
+
+/// Append a repro line for `(suite, seed)` to `path`, replacing any earlier
+/// line for the same suite+seed and truncating the file to the newest
+/// [`MAX_LINES`] entries. `extra` pairs are appended after the `suite` and
+/// `seed` fields. Errors are swallowed (a repro writer must never turn a
+/// real failure into an IO panic); returns false when nothing was written.
+pub fn write<'a>(
+    path: &Path,
+    suite: &str,
+    seed: u64,
+    extra: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> bool {
+    let seed_s = seed.to_string();
+    let extra: Vec<(&str, &str)> = extra.into_iter().collect();
+    let mut pairs: Vec<(&str, &str)> = vec![("suite", suite), ("seed", seed_s.as_str())];
+    pairs.extend(extra.iter().copied());
+    let line = crate::json::object(pairs);
+
+    // The dedupe key as it appears in a serialized line. Keys are emitted
+    // in order with `suite` first and `seed` second, so matching on this
+    // prefix is exact, not a substring heuristic.
+    let key = crate::json::object([("suite", suite), ("seed", seed_s.as_str())]);
+    let key_prefix = &key[..key.len() - 1]; // drop the closing brace
+
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .map(|s| {
+            s.lines()
+                .filter(|l| !l.trim().is_empty() && !l.starts_with(key_prefix))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(line);
+    if lines.len() > MAX_LINES {
+        let drop = lines.len() - MAX_LINES;
+        lines.drain(..drop);
+    }
+
+    let tmp = path.with_extension("jsonl.tmp");
+    let write_all = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        for l in &lines {
+            writeln!(f, "{l}")?;
+        }
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write_all().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("repro-{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn lines(p: &Path) -> Vec<String> {
+        std::fs::read_to_string(p)
+            .unwrap_or_default()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn dedupes_by_suite_and_seed() {
+        let p = tmp("dedupe");
+        assert!(write(&p, "s", 1, [("detail", "first")]));
+        assert!(write(&p, "s", 2, [("detail", "other")]));
+        assert!(write(&p, "s", 1, [("detail", "second")]));
+        let ls = lines(&p);
+        assert_eq!(ls.len(), 2, "{ls:?}");
+        assert!(ls[1].contains("\"seed\":\"1\"") && ls[1].contains("second"));
+        assert!(!ls.iter().any(|l| l.contains("first")));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn distinct_suites_share_a_file_without_clobbering() {
+        let p = tmp("suites");
+        write(&p, "a", 7, [("detail", "x")]);
+        write(&p, "b", 7, [("detail", "y")]);
+        assert_eq!(lines(&p).len(), 2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn rotates_oldest_lines_out() {
+        let p = tmp("rotate");
+        for seed in 0..(MAX_LINES as u64 + 10) {
+            write(&p, "s", seed, [("detail", "d")]);
+        }
+        let ls = lines(&p);
+        assert_eq!(ls.len(), MAX_LINES);
+        assert!(ls[0].contains("\"seed\":\"10\""));
+        assert!(ls
+            .last()
+            .unwrap()
+            .contains(&format!("\"seed\":\"{}\"", MAX_LINES as u64 + 9)));
+        let _ = std::fs::remove_file(&p);
+    }
+}

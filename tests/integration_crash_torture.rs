@@ -18,7 +18,6 @@
 //! while local runs go deeper.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use hyrise_nv::{Database, DurabilityConfig, IndexKind};
@@ -261,28 +260,24 @@ fn results_path(name: &str) -> PathBuf {
 }
 
 /// Persist a `(seed, crash point)` replay artifact so a failure reproduces
-/// with a single targeted run.
+/// with a single targeted run. Deduped by seed and bounded via
+/// [`util::repro`] so `results/` cannot grow without limit.
 fn write_repro(seed: u64, original: CrashPoint, shrunk: CrashPoint, v: &Violation) {
-    let path = results_path("crash_torture_repro.jsonl");
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    {
-        let seed_s = seed.to_string();
-        let original_s = format!("{original:?}");
-        let shrunk_s = format!("{shrunk:?}");
-        let fence_s = shrunk.trip_fence().to_string();
-        let line = util::json::object([
-            ("seed", seed_s.as_str()),
+    let original_s = format!("{original:?}");
+    let shrunk_s = format!("{shrunk:?}");
+    let fence_s = shrunk.trip_fence().to_string();
+    util::repro::write(
+        &results_path("crash_torture_repro.jsonl"),
+        "crash_torture",
+        seed,
+        [
             ("original_point", original_s.as_str()),
             ("shrunk_point", shrunk_s.as_str()),
             ("shrunk_fence", fence_s.as_str()),
             ("invariant", v.invariant),
             ("detail", v.detail.as_str()),
-        ]);
-        let _ = writeln!(f, "{line}");
-    }
+        ],
+    );
 }
 
 /// Shrink a failing point to the smallest fence boundary that still

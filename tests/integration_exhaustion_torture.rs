@@ -22,7 +22,6 @@
 //! the exact seed/nth under `results/`.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use hyrise_nv::{
@@ -65,18 +64,9 @@ fn results_path(name: &str) -> PathBuf {
     p
 }
 
-fn write_repro(suite: &str, detail: &[(&str, &str)]) {
+fn write_repro(suite: &str, seed: u64, detail: &[(&str, &str)]) {
     let name = format!("exhaustion_torture_repro_{suite}.jsonl");
-    let mut fields = vec![("suite", suite)];
-    fields.extend_from_slice(detail);
-    let line = util::json::object(fields);
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(results_path(&name))
-    {
-        let _ = writeln!(f, "{line}");
-    }
+    util::repro::write(&results_path(&name), suite, seed, detail.iter().copied());
 }
 
 /// A rejected or failed write must carry a typed capacity/admission error —
@@ -254,8 +244,8 @@ fn alloc_fault_sweep_every_site_aborts_cleanly() {
         if let Err(payload) = out {
             write_repro(
                 "alloc_sweep",
+                seed,
                 &[
-                    ("seed", &format!("{seed:#x}")),
                     ("nth", &nth.to_string()),
                     ("total_sites", &total.to_string()),
                 ],
@@ -336,10 +326,7 @@ fn probabilistic_alloc_faults_never_panic() {
             assert_eq!(scan_state(&mut db, t).unwrap(), oracle);
         });
         if let Err(payload) = out {
-            write_repro(
-                "alloc_probabilistic",
-                &[("seed", &format!("{seed:#x}")), ("p", "0.05")],
-            );
+            write_repro("alloc_probabilistic", seed, &[("p", "0.05")]);
             std::panic::resume_unwind(payload);
         }
     }
@@ -659,11 +646,8 @@ fn wal_enospc_wedges_then_reclaim_recovers() {
             if let Err(payload) = out {
                 write_repro(
                     "wal_fault",
-                    &[
-                        ("class", class.name()),
-                        ("nth", &nth.to_string()),
-                        ("seed", &format!("{seed:#x}")),
-                    ],
+                    seed,
+                    &[("class", class.name()), ("nth", &nth.to_string())],
                 );
                 std::panic::resume_unwind(payload);
             }
@@ -802,8 +786,8 @@ fn crash_at_exhaustion_recovers_a_clean_committed_prefix() {
             if let Err(payload) = out {
                 write_repro(
                     "crash_at_exhaustion",
+                    seed,
                     &[
-                        ("seed", &format!("{seed:#x}")),
                         ("fence", &fence.to_string()),
                         ("total_fences", &total_fences.to_string()),
                     ],

@@ -20,7 +20,6 @@
 //! failures append a repro line with the exact seed and target offset.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use hyrise_nv::{Database, DurabilityConfig, IndexKind, TableId};
@@ -253,27 +252,21 @@ fn torture_media_faults_no_silent_corruption() {
                     rungs[o.rung.min(2) as usize] += 1;
                 }
                 Err(payload) => {
-                    // Repro artifact, then re-raise.
-                    let name = format!(
-                        "fault_torture_repro_{}_seed{seed:#x}_rate1.jsonl",
-                        class.name()
-                    );
-                    let seed_s = format!("{seed:#x}");
+                    // Repro artifact (deduped by suite+seed, bounded), then
+                    // re-raise.
+                    let name = format!("fault_torture_repro_{}.jsonl", class.name());
+                    let suite = format!("fault_torture/{}", class.name());
                     let class_s = format!("{class}");
-                    let line = util::json::object([
-                        ("suite", "fault_torture"),
-                        ("fault_class", class.name()),
-                        ("fault_class_detail", class_s.as_str()),
-                        ("seed", seed_s.as_str()),
-                        ("faults_per_scenario", "1"),
-                    ]);
-                    if let Ok(mut f) = std::fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(results_path(&name))
-                    {
-                        let _ = writeln!(f, "{line}");
-                    }
+                    util::repro::write(
+                        &results_path(&name),
+                        &suite,
+                        seed,
+                        [
+                            ("fault_class", class.name()),
+                            ("fault_class_detail", class_s.as_str()),
+                            ("faults_per_scenario", "1"),
+                        ],
+                    );
                     std::panic::resume_unwind(payload);
                 }
             }

@@ -20,7 +20,6 @@
 //! are written as replay artifacts under `results/`.
 
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 use hyrise_nv::{Database, DurabilityConfig, IndexKind, TableId};
@@ -421,27 +420,22 @@ fn write_repro(
     shrunk: &[CrashPoint],
     v: &Violation,
 ) {
-    let path = results_path("recovery_torture_repro.jsonl");
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    {
-        let seed_s = format!("{seed:#x}");
-        let p0_s = format!("{p0:?}");
-        let nested_s = format!("{nested:?}");
-        let shrunk_s = format!("{shrunk:?}");
-        let line = util::json::object([
-            ("class", class),
-            ("seed", seed_s.as_str()),
+    let suite = format!("recovery_torture/{class}");
+    let p0_s = format!("{p0:?}");
+    let nested_s = format!("{nested:?}");
+    let shrunk_s = format!("{shrunk:?}");
+    util::repro::write(
+        &results_path("recovery_torture_repro.jsonl"),
+        &suite,
+        seed,
+        [
             ("workload_point", p0_s.as_str()),
             ("nested_chain", nested_s.as_str()),
             ("shrunk_chain", shrunk_s.as_str()),
             ("invariant", v.invariant),
             ("detail", v.detail.as_str()),
-        ]);
-        let _ = writeln!(f, "{line}");
-    }
+        ],
+    );
 }
 
 /// Shrink a failing nested chain: first drop points from the tail (a
